@@ -1,0 +1,609 @@
+//! `simnet` actors for the Raft baseline: replica, client and admin.
+
+use std::collections::BTreeMap;
+
+use consensus::StaticConfig;
+use rsmr_core::command::Cmd;
+use rsmr_core::session::{SessionDecision, SessionTable};
+use rsmr_core::state_machine::StateMachine;
+use simnet::wire;
+use simnet::{Actor, Context, NodeId, SimDuration, SimTime, Timer};
+
+use super::core::{RaftCore, RaftEffects, RaftPropose, RaftTunables};
+use super::msg::{Index, RaftMsg};
+
+/// How often the replica pumps the core's timers.
+const TICK: SimDuration = SimDuration::from_millis(5);
+
+/// A Raft replica hosting a [`StateMachine`].
+pub struct RaftNode<S: StateMachine> {
+    core: RaftCore<S::Op>,
+    sm: S,
+    sessions: SessionTable<S::Output>,
+    waiting: BTreeMap<(NodeId, u64), ()>,
+    /// An admin's pending config change: `(admin, config entry index)`.
+    pending_admin: Option<(NodeId, Index)>,
+    compact_threshold: u64,
+    applied_count: u64,
+}
+
+impl<S: StateMachine + Default> RaftNode<S> {
+    /// Creates a member of the initial cluster.
+    pub fn new(me: NodeId, initial: StaticConfig, tun: RaftTunables) -> Self {
+        let compact_threshold = tun.compact_threshold;
+        RaftNode {
+            core: RaftCore::new(me, initial, SimTime::ZERO, tun),
+            sm: S::default(),
+            sessions: SessionTable::new(),
+            waiting: BTreeMap::new(),
+            pending_admin: None,
+            compact_threshold,
+            applied_count: 0,
+        }
+    }
+
+    /// Creates a blank joining node, brought up by the leader via snapshot
+    /// and log replication after it is added to the configuration.
+    pub fn joining(me: NodeId, tun: RaftTunables) -> Self {
+        let compact_threshold = tun.compact_threshold;
+        RaftNode {
+            core: RaftCore::blank(me, tun),
+            sm: S::default(),
+            sessions: SessionTable::new(),
+            waiting: BTreeMap::new(),
+            pending_admin: None,
+            compact_threshold,
+            applied_count: 0,
+        }
+    }
+}
+
+impl<S: StateMachine> RaftNode<S> {
+    /// Creates a member of the initial cluster with an explicit initial
+    /// application state. The state is carried as a genesis snapshot so
+    /// that later joiners receive it through `InstallSnapshot`.
+    pub fn with_state(me: NodeId, initial: StaticConfig, tun: RaftTunables, sm: S) -> Self {
+        let compact_threshold = tun.compact_threshold;
+        let sessions: SessionTable<S::Output> = SessionTable::new();
+        let payload = wire::to_bytes(&(sm.snapshot(), sessions.clone()));
+        RaftNode {
+            core: RaftCore::with_genesis_snapshot(me, initial, payload, SimTime::ZERO, tun),
+            sm,
+            sessions,
+            waiting: BTreeMap::new(),
+            pending_admin: None,
+            compact_threshold,
+            applied_count: 0,
+        }
+    }
+
+    /// The protocol core (read-only).
+    pub fn core(&self) -> &RaftCore<S::Op> {
+        &self.core
+    }
+
+    /// Read access to the application state.
+    pub fn state_machine(&self) -> &S {
+        &self.sm
+    }
+
+    /// Commands applied by this replica.
+    pub fn applied_count(&self) -> u64 {
+        self.applied_count
+    }
+
+    fn snapshot_payload(&self) -> Vec<u8> {
+        wire::to_bytes(&(self.sm.snapshot(), self.sessions.clone()))
+    }
+
+    fn restore_payload(&mut self, data: &[u8]) -> bool {
+        let Some((app, sessions)) =
+            wire::from_bytes::<(Vec<u8>, SessionTable<S::Output>)>(data)
+        else {
+            return false;
+        };
+        let Some(sm) = S::restore(&app) else {
+            return false;
+        };
+        self.sm = sm;
+        self.sessions = sessions;
+        true
+    }
+
+    fn process_effects(
+        &mut self,
+        ctx: &mut Context<'_, RaftMsg<S::Op, S::Output>>,
+        fx: RaftEffects<S::Op>,
+    ) {
+        for (to, rpc) in fx.outbound {
+            ctx.send(to, RaftMsg::Rpc(rpc));
+        }
+        if fx.became_leader {
+            ctx.metrics().incr("raft.leader_elections", 1);
+        }
+        if let Some(data) = fx.installed_snapshot {
+            if self.restore_payload(&data) {
+                ctx.metrics().incr("raft.snapshots_installed", 1);
+            } else {
+                ctx.metrics().incr("raft.snapshot_decode_failures", 1);
+            }
+        }
+        for (index, cmd) in fx.committed {
+            match cmd {
+                Cmd::Noop => {}
+                Cmd::App { client, seq, op } => self.apply_app(ctx, client, seq, &op),
+                Cmd::Batch { entries } => {
+                    for (client, seq, op) in entries {
+                        self.apply_app(ctx, client, seq, &op);
+                    }
+                }
+                Cmd::Reconfigure { .. } => {
+                    let now = ctx.now();
+                    ctx.metrics().incr("raft.config_commits", 1);
+                    ctx.metrics()
+                        .timeline_push("rsmr.epoch_finalized", now, index as f64);
+                    // Resolve the admin waiting on this entry.
+                    if let Some((admin, at)) = self.pending_admin {
+                        if index >= at {
+                            self.pending_admin = None;
+                            ctx.send(
+                                admin,
+                                RaftMsg::ReconfigureReply {
+                                    ok: true,
+                                    leader: Some(self.core.id()),
+                                    members: self.core.current_members(),
+                                },
+                            );
+                        }
+                    }
+                    // A leader removed by the committed config steps down.
+                    if self.core.is_leader()
+                        && !self.core.current_members().contains(&self.core.id())
+                    {
+                        self.core.abdicate();
+                    }
+                }
+            }
+        }
+        // Compaction keeps the log bounded (and exercises InstallSnapshot
+        // for joiners). A margin of recent entries is retained so healthy
+        // followers that lag by a few in-flight entries are served from
+        // the log rather than with a full snapshot.
+        const COMPACT_MARGIN: u64 = 64;
+        let upto = self.core.delivered_index().saturating_sub(COMPACT_MARGIN);
+        if upto.saturating_sub(self.core.snapshot_index()) > self.compact_threshold {
+            let payload = self.snapshot_payload();
+            self.core.compact(upto, payload);
+            ctx.metrics().incr("raft.compactions", 1);
+        }
+    }
+
+    fn apply_app(
+        &mut self,
+        ctx: &mut Context<'_, RaftMsg<S::Op, S::Output>>,
+        client: NodeId,
+        seq: u64,
+        op: &S::Op,
+    ) {
+        let output = match self.sessions.check(client, seq) {
+            SessionDecision::Fresh => {
+                let out = self.sm.apply(op);
+                self.sessions.record(client, seq, out.clone());
+                self.applied_count += 1;
+                ctx.metrics().incr("raft.applied", 1);
+                let now = ctx.now();
+                ctx.metrics().timeline_push("rsmr.commits", now, 1.0);
+                out
+            }
+            SessionDecision::Duplicate(out) => out,
+            SessionDecision::Stale => {
+                self.waiting.remove(&(client, seq));
+                return;
+            }
+        };
+        if self.waiting.remove(&(client, seq)).is_some() {
+            ctx.send(
+                client,
+                RaftMsg::Reply {
+                    seq,
+                    output,
+                    members: self.core.current_members(),
+                },
+            );
+        }
+    }
+}
+
+impl<S: StateMachine> Actor for RaftNode<S> {
+    type Msg = RaftMsg<S::Op, S::Output>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        ctx.set_timer(TICK, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg) {
+        match msg {
+            RaftMsg::Rpc(rpc) => {
+                let fx = self.core.on_message(from, rpc, ctx.now());
+                self.process_effects(ctx, fx);
+            }
+            RaftMsg::Request { seq, op } => {
+                match self.sessions.check(from, seq) {
+                    SessionDecision::Duplicate(output) => {
+                        ctx.send(
+                            from,
+                            RaftMsg::Reply {
+                                seq,
+                                output,
+                                members: self.core.current_members(),
+                            },
+                        );
+                        return;
+                    }
+                    SessionDecision::Stale => return,
+                    SessionDecision::Fresh => {}
+                }
+                let (fx, res) = self.core.propose(
+                    Cmd::App {
+                        client: from,
+                        seq,
+                        op,
+                    },
+                    ctx.now(),
+                );
+                match res {
+                    RaftPropose::Appended(_) => {
+                        self.waiting.insert((from, seq), ());
+                    }
+                    RaftPropose::NotLeader(_) | RaftPropose::BadReconfigure => {
+                        ctx.send(
+                            from,
+                            RaftMsg::Redirect {
+                                seq,
+                                leader: self.core.leader_hint(),
+                                members: self.core.current_members(),
+                            },
+                        );
+                    }
+                }
+                self.process_effects(ctx, fx);
+            }
+            RaftMsg::Reconfigure { members } => {
+                let current = self.core.current_members();
+                if members == current {
+                    ctx.send(
+                        from,
+                        RaftMsg::ReconfigureReply {
+                            ok: true,
+                            leader: self.core.leader_hint(),
+                            members: current,
+                        },
+                    );
+                    return;
+                }
+                if !self.core.is_leader() {
+                    ctx.send(
+                        from,
+                        RaftMsg::ReconfigureReply {
+                            ok: false,
+                            leader: self.core.leader_hint(),
+                            members: current,
+                        },
+                    );
+                    return;
+                }
+                let (fx, res) = self
+                    .core
+                    .propose(Cmd::Reconfigure { members }, ctx.now());
+                match res {
+                    RaftPropose::Appended(index) => {
+                        self.pending_admin = Some((from, index));
+                        let now = ctx.now();
+                        ctx.metrics().incr("raft.reconfigs_accepted", 1);
+                        ctx.metrics()
+                            .timeline_push("rsmr.reconfig_proposed", now, index as f64);
+                    }
+                    _ => {
+                        ctx.send(
+                            from,
+                            RaftMsg::ReconfigureReply {
+                                ok: false,
+                                leader: self.core.leader_hint(),
+                                members: self.core.current_members(),
+                            },
+                        );
+                    }
+                }
+                self.process_effects(ctx, fx);
+            }
+            RaftMsg::Reply { .. } | RaftMsg::Redirect { .. } | RaftMsg::ReconfigureReply { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, _timer: Timer) {
+        let fx = self.core.tick(ctx.now());
+        self.process_effects(ctx, fx);
+        ctx.set_timer(TICK, 0);
+    }
+}
+
+/// A closed-loop Raft client (mirrors `rsmr_core::RsmrClient`).
+pub struct RaftClient<S: StateMachine> {
+    servers: Vec<NodeId>,
+    target: NodeId,
+    gen: Box<dyn FnMut(u64) -> S::Op>,
+    next_seq: u64,
+    inflight: Option<(u64, S::Op, SimTime, SimTime)>,
+    limit: Option<u64>,
+    completed: u64,
+    retransmit_after: SimDuration,
+}
+
+impl<S: StateMachine> RaftClient<S> {
+    /// Creates a client issuing `gen` operations, at most `limit` of them.
+    pub fn new(
+        servers: Vec<NodeId>,
+        gen: impl FnMut(u64) -> S::Op + 'static,
+        limit: Option<u64>,
+    ) -> Self {
+        assert!(!servers.is_empty());
+        let target = servers[0];
+        RaftClient {
+            servers,
+            target,
+            gen: Box::new(gen),
+            next_seq: 0,
+            inflight: None,
+            limit,
+            completed: 0,
+            retransmit_after: SimDuration::from_millis(300),
+        }
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    fn issue_next(&mut self, ctx: &mut Context<'_, RaftMsg<S::Op, S::Output>>) {
+        if let Some(limit) = self.limit {
+            if self.next_seq >= limit {
+                return;
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let op = (self.gen)(seq);
+        self.inflight = Some((seq, op.clone(), ctx.now(), ctx.now()));
+        ctx.send(self.target, RaftMsg::Request { seq, op });
+    }
+
+    fn rotate(&mut self) {
+        let idx = self
+            .servers
+            .iter()
+            .position(|&s| s == self.target)
+            .unwrap_or(0);
+        self.target = self.servers[(idx + 1) % self.servers.len()];
+    }
+
+    fn adopt_members(&mut self, members: &[NodeId]) {
+        if !members.is_empty() && self.servers != members {
+            self.servers = members.to_vec();
+            if !self.servers.contains(&self.target) {
+                self.target = self.servers[0];
+            }
+        }
+    }
+}
+
+impl<S: StateMachine> Actor for RaftClient<S> {
+    type Msg = RaftMsg<S::Op, S::Output>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        self.issue_next(ctx);
+        ctx.set_timer(self.retransmit_after, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, _from: NodeId, msg: Self::Msg) {
+        match msg {
+            RaftMsg::Reply { seq, members, .. } => {
+                self.adopt_members(&members);
+                let Some((cur, _, _, first)) = self.inflight.clone() else {
+                    return;
+                };
+                if seq != cur {
+                    return;
+                }
+                let latency = ctx.now().since(first);
+                ctx.metrics()
+                    .observe("client.latency_us", latency.as_micros() as f64);
+                let now = ctx.now();
+                ctx.metrics().timeline_push("client.completes", now, 1.0);
+                self.inflight = None;
+                self.completed += 1;
+                self.issue_next(ctx);
+            }
+            RaftMsg::Redirect {
+                seq,
+                leader,
+                members,
+            } => {
+                self.adopt_members(&members);
+                let Some((cur, op, _, first)) = self.inflight.clone() else {
+                    return;
+                };
+                if seq != cur {
+                    return;
+                }
+                match leader {
+                    Some(l) if self.servers.contains(&l) && l != self.target => self.target = l,
+                    _ => self.rotate(),
+                }
+                self.inflight = Some((seq, op.clone(), ctx.now(), first));
+                ctx.send(self.target, RaftMsg::Request { seq, op });
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, _timer: Timer) {
+        if let Some((seq, op, sent, first)) = self.inflight.clone() {
+            if ctx.now().since(sent) >= self.retransmit_after {
+                self.rotate();
+                ctx.metrics().incr("client.retransmits", 1);
+                self.inflight = Some((seq, op.clone(), ctx.now(), first));
+                ctx.send(self.target, RaftMsg::Request { seq, op });
+            }
+        }
+        ctx.set_timer(self.retransmit_after, 0);
+    }
+}
+
+/// Drives scripted membership changes, decomposing an arbitrary target set
+/// into Raft-legal single-server steps (additions first, then removals).
+pub struct RaftAdmin<S: StateMachine> {
+    servers: Vec<NodeId>,
+    target: NodeId,
+    script: Vec<(SimTime, Vec<NodeId>)>,
+    step: usize,
+    /// When the current script step started (for latency measurement).
+    step_started: Option<SimTime>,
+    /// Members as last reported by the cluster.
+    known: Vec<NodeId>,
+    inflight: bool,
+    last_send: SimTime,
+    retry: SimDuration,
+    results: Vec<(SimTime, SimTime)>,
+    _marker: std::marker::PhantomData<S>,
+}
+
+impl<S: StateMachine> RaftAdmin<S> {
+    /// Creates an admin executing `script` against an initial member set.
+    pub fn new(initial: Vec<NodeId>, script: Vec<(SimTime, Vec<NodeId>)>) -> Self {
+        assert!(!initial.is_empty());
+        let target = initial[0];
+        RaftAdmin {
+            servers: initial.clone(),
+            target,
+            script,
+            step: 0,
+            step_started: None,
+            known: initial,
+            inflight: false,
+            last_send: SimTime::ZERO,
+            retry: SimDuration::from_millis(100),
+            results: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Completed script steps as `(started, finished)`.
+    pub fn results(&self) -> &[(SimTime, SimTime)] {
+        &self.results
+    }
+
+    /// True when the whole script has executed.
+    pub fn is_done(&self) -> bool {
+        self.step >= self.script.len()
+    }
+
+    /// The next single-server member set moving `known` toward `target`.
+    fn next_single_step(known: &[NodeId], target: &[NodeId]) -> Option<Vec<NodeId>> {
+        let cur: std::collections::BTreeSet<NodeId> = known.iter().copied().collect();
+        let tgt: std::collections::BTreeSet<NodeId> = target.iter().copied().collect();
+        if cur == tgt {
+            return None;
+        }
+        // Additions first: keeps quorums as large as possible mid-change.
+        if let Some(&add) = tgt.difference(&cur).next() {
+            let mut next = cur.clone();
+            next.insert(add);
+            return Some(next.into_iter().collect());
+        }
+        let &remove = cur.difference(&tgt).next().expect("sets differ");
+        let mut next = cur;
+        next.remove(&remove);
+        Some(next.into_iter().collect())
+    }
+
+    fn rotate(&mut self) {
+        let idx = self
+            .servers
+            .iter()
+            .position(|&s| s == self.target)
+            .unwrap_or(0);
+        self.target = self.servers[(idx + 1) % self.servers.len()];
+    }
+
+    fn pump(&mut self, ctx: &mut Context<'_, RaftMsg<S::Op, S::Output>>) {
+        if self.inflight || self.is_done() {
+            return;
+        }
+        let (at, target) = self.script[self.step].clone();
+        if ctx.now() < at {
+            return;
+        }
+        if self.step_started.is_none() {
+            self.step_started = Some(ctx.now());
+        }
+        match Self::next_single_step(&self.known, &target) {
+            None => {
+                // Target reached: record and move on.
+                let started = self.step_started.take().expect("step was started");
+                let finished = ctx.now();
+                self.results.push((started, finished));
+                ctx.metrics().observe(
+                    "admin.reconfig_latency_us",
+                    finished.since(started).as_micros() as f64,
+                );
+                self.step += 1;
+                self.pump(ctx);
+            }
+            Some(next_set) => {
+                self.inflight = true;
+                self.last_send = ctx.now();
+                ctx.send(self.target, RaftMsg::Reconfigure { members: next_set });
+            }
+        }
+    }
+}
+
+impl<S: StateMachine> Actor for RaftAdmin<S> {
+    type Msg = RaftMsg<S::Op, S::Output>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        self.pump(ctx);
+        ctx.set_timer(self.retry, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, _from: NodeId, msg: Self::Msg) {
+        if let RaftMsg::ReconfigureReply { ok, leader, members } = msg {
+            if !members.is_empty() {
+                self.known = members.clone();
+                self.servers = members;
+                if !self.servers.contains(&self.target) {
+                    self.target = self.servers[0];
+                }
+            }
+            self.inflight = false;
+            if !ok {
+                match leader {
+                    Some(l) if self.servers.contains(&l) => self.target = l,
+                    _ => self.rotate(),
+                }
+            }
+            self.pump(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, _timer: Timer) {
+        if self.inflight && ctx.now().since(self.last_send) >= self.retry * 3 {
+            // Lost request or crashed target: retry elsewhere.
+            self.inflight = false;
+            self.rotate();
+        }
+        self.pump(ctx);
+        ctx.set_timer(self.retry, 0);
+    }
+}

@@ -1,0 +1,1141 @@
+//! A sans-I/O Raft core with single-server membership changes.
+//!
+//! This is the "natively reconfigurable" comparator: instead of composing
+//! static instances, reconfiguration is woven into the replication protocol
+//! itself — configuration entries in the log, effective as soon as they are
+//! appended, changed one server at a time (§4.4 of the Raft dissertation).
+//! Log compaction and `InstallSnapshot` carry joining members.
+//!
+//! The core mirrors the structure of `consensus::MultiPaxos`: inputs are
+//! RPCs and clock ticks, outputs are [`RaftEffects`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use consensus::StaticConfig;
+use rsmr_core::command::Cmd;
+use simnet::{NodeId, SimDuration, SimTime};
+
+use super::msg::{Index, RaftRpc, Term};
+
+/// Timing and sizing knobs.
+#[derive(Clone, Debug)]
+pub struct RaftTunables {
+    /// Leader heartbeat interval.
+    pub heartbeat_interval: SimDuration,
+    /// Base election timeout.
+    pub election_timeout: SimDuration,
+    /// Maximum deterministic jitter added to the election timeout.
+    pub election_jitter: SimDuration,
+    /// Compact the log once this many applied entries accumulate.
+    pub compact_threshold: u64,
+    /// Maximum entries per `Append`.
+    pub batch: usize,
+}
+
+impl Default for RaftTunables {
+    fn default() -> Self {
+        RaftTunables {
+            heartbeat_interval: SimDuration::from_millis(20),
+            election_timeout: SimDuration::from_millis(150),
+            election_jitter: SimDuration::from_millis(150),
+            compact_threshold: 1024,
+            batch: 512,
+        }
+    }
+}
+
+/// The node's current role.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RaftRole {
+    /// Passive replica.
+    Follower,
+    /// Campaigning for leadership.
+    Candidate,
+    /// Serializes commands.
+    Leader,
+}
+
+/// What a [`RaftCore::propose`] did.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RaftPropose {
+    /// Appended at this index.
+    Appended(Index),
+    /// Not the leader; retry at the hint.
+    NotLeader(Option<NodeId>),
+    /// (Reconfigure only) refused: an uncommitted config change is pending
+    /// or the request changes more than one server.
+    BadReconfigure,
+}
+
+/// Effects of one core step.
+#[derive(Debug)]
+pub struct RaftEffects<O> {
+    /// RPCs to send.
+    pub outbound: Vec<(NodeId, RaftRpc<O>)>,
+    /// Newly committed entries, in log order, delivered exactly once.
+    pub committed: Vec<(Index, Cmd<O>)>,
+    /// A snapshot was installed: the host must restore its application
+    /// state from this payload (entries up to the snapshot never appear in
+    /// `committed`).
+    pub installed_snapshot: Option<Vec<u8>>,
+    /// This step made the node leader.
+    pub became_leader: bool,
+    /// This step demoted the node.
+    pub lost_leadership: bool,
+}
+
+impl<O> Default for RaftEffects<O> {
+    fn default() -> Self {
+        RaftEffects {
+            outbound: Vec::new(),
+            committed: Vec::new(),
+            installed_snapshot: None,
+            became_leader: false,
+            lost_leadership: false,
+        }
+    }
+}
+
+impl<O> RaftEffects<O> {
+    /// An empty effects value.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// One Raft replica's protocol state. `O` is the application operation.
+pub struct RaftCore<O: Clone + std::fmt::Debug + PartialEq + 'static> {
+    me: NodeId,
+    tun: RaftTunables,
+
+    term: Term,
+    voted_for: Option<NodeId>,
+    role: RaftRole,
+    leader_hint: Option<NodeId>,
+
+    /// Snapshot covering indices `..= snap_index`.
+    snap_index: Index,
+    snap_term: Term,
+    snap_data: Vec<u8>,
+    /// Configuration effective at `snap_index`.
+    snap_members: Vec<NodeId>,
+    /// Entries for indices `snap_index + 1 ..`.
+    log: Vec<(Term, Cmd<O>)>,
+    /// The configuration effective now (latest config entry in the log,
+    /// else the snapshot's) — maintained incrementally because scanning
+    /// the log per call is quadratic on the hot path.
+    cached_members: Vec<NodeId>,
+
+    commit: Index,
+    delivered: Index,
+
+    votes: BTreeSet<NodeId>,
+    next_index: BTreeMap<NodeId, Index>,
+    match_index: BTreeMap<NodeId, Index>,
+    /// When a snapshot was last shipped to each peer — at most one
+    /// outstanding snapshot per peer per interval, or a lagging follower
+    /// triggers an unbounded stream of full-state messages.
+    snap_sent_at: BTreeMap<NodeId, SimTime>,
+
+    last_heartbeat: SimTime,
+    election_deadline: SimTime,
+    election_attempt: u64,
+}
+
+impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
+    /// Creates a member of the initial cluster.
+    pub fn new(me: NodeId, initial: StaticConfig, now: SimTime, tun: RaftTunables) -> Self {
+        let mut c = Self::empty(me, tun);
+        c.snap_members = initial.members().to_vec();
+        c.cached_members = c.snap_members.clone();
+        c.reset_election_deadline(now);
+        c
+    }
+
+    /// Creates a member whose genesis state is a snapshot at index 1
+    /// carrying `data` (e.g. a pre-loaded application image). Blank joiners
+    /// added later are then bootstrapped through `InstallSnapshot`, which
+    /// is how a non-empty initial state reaches them.
+    pub fn with_genesis_snapshot(
+        me: NodeId,
+        initial: StaticConfig,
+        data: Vec<u8>,
+        now: SimTime,
+        tun: RaftTunables,
+    ) -> Self {
+        let mut c = Self::new(me, initial, now, tun);
+        c.snap_index = 1;
+        c.snap_term = 0;
+        c.snap_data = data;
+        c.commit = 1;
+        c.delivered = 1;
+        c
+    }
+
+    /// Creates a blank joining node: it has no configuration and will not
+    /// campaign; it learns everything from the leader's RPCs.
+    pub fn blank(me: NodeId, tun: RaftTunables) -> Self {
+        Self::empty(me, tun)
+    }
+
+    fn empty(me: NodeId, tun: RaftTunables) -> Self {
+        RaftCore {
+            me,
+            tun,
+            term: 0,
+            voted_for: None,
+            role: RaftRole::Follower,
+            leader_hint: None,
+            snap_index: 0,
+            snap_term: 0,
+            snap_data: Vec::new(),
+            snap_members: Vec::new(),
+            log: Vec::new(),
+            cached_members: Vec::new(),
+            commit: 0,
+            delivered: 0,
+            votes: BTreeSet::new(),
+            next_index: BTreeMap::new(),
+            match_index: BTreeMap::new(),
+            snap_sent_at: BTreeMap::new(),
+            last_heartbeat: SimTime::ZERO,
+            election_deadline: SimTime::MAX,
+            election_attempt: 0,
+        }
+    }
+
+    // --- Log geometry ------------------------------------------------------
+
+    fn last_index(&self) -> Index {
+        self.snap_index + self.log.len() as Index
+    }
+
+    fn term_at(&self, index: Index) -> Option<Term> {
+        if index == 0 {
+            return Some(0);
+        }
+        if index == self.snap_index {
+            return Some(self.snap_term);
+        }
+        if index < self.snap_index {
+            return None; // compacted away
+        }
+        self.log
+            .get((index - self.snap_index - 1) as usize)
+            .map(|(t, _)| *t)
+    }
+
+    fn entry_at(&self, index: Index) -> Option<&(Term, Cmd<O>)> {
+        if index <= self.snap_index {
+            return None;
+        }
+        self.log.get((index - self.snap_index - 1) as usize)
+    }
+
+    /// The configuration effective *now* (latest config entry anywhere in
+    /// the log, else the snapshot's).
+    pub fn current_members(&self) -> Vec<NodeId> {
+        self.cached_members.clone()
+    }
+
+    /// Appends an entry, keeping the members cache coherent.
+    fn push_entry(&mut self, term: Term, cmd: Cmd<O>) {
+        if let Cmd::Reconfigure { members } = &cmd {
+            self.cached_members = members.clone();
+        }
+        self.log.push((term, cmd));
+    }
+
+    /// Recomputes the members cache by scanning (used after truncation or
+    /// snapshot installation — rare events).
+    fn recompute_members(&mut self) {
+        for (_, cmd) in self.log.iter().rev() {
+            if let Cmd::Reconfigure { members } = cmd {
+                self.cached_members = members.clone();
+                return;
+            }
+        }
+        self.cached_members = self.snap_members.clone();
+    }
+
+    fn quorum(&self) -> usize {
+        self.cached_members.len() / 2 + 1
+    }
+
+    fn has_uncommitted_config(&self) -> bool {
+        let from = self.commit.max(self.snap_index);
+        ((from + 1)..=self.last_index()).any(|i| {
+            matches!(
+                self.entry_at(i),
+                Some((_, Cmd::Reconfigure { .. }))
+            )
+        })
+    }
+
+    // --- Accessors ---------------------------------------------------------
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current role.
+    pub fn role(&self) -> RaftRole {
+        self.role
+    }
+
+    /// True when leading.
+    pub fn is_leader(&self) -> bool {
+        self.role == RaftRole::Leader
+    }
+
+    /// Best-known leader.
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        if self.is_leader() {
+            Some(self.me)
+        } else {
+            self.leader_hint
+        }
+    }
+
+    /// Current term.
+    pub fn term(&self) -> Term {
+        self.term
+    }
+
+    /// Commit index.
+    pub fn commit_index(&self) -> Index {
+        self.commit
+    }
+
+    /// Entries applied (delivered) so far beyond the snapshot.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The highest index delivered through [`RaftEffects::committed`].
+    pub fn delivered_index(&self) -> Index {
+        self.delivered
+    }
+
+    /// The index covered by the current snapshot.
+    pub fn snapshot_index(&self) -> Index {
+        self.snap_index
+    }
+
+    /// Steps down voluntarily (used after committing a configuration entry
+    /// that removes this node). A node outside the configuration never
+    /// campaigns, so this is terminal until it is added back.
+    pub fn abdicate(&mut self) {
+        self.role = RaftRole::Follower;
+        self.votes.clear();
+    }
+
+    // --- Inputs -------------------------------------------------------------
+
+    /// Submits an application command.
+    pub fn propose(&mut self, cmd: Cmd<O>, now: SimTime) -> (RaftEffects<O>, RaftPropose) {
+        let mut fx = RaftEffects::new();
+        if self.role != RaftRole::Leader {
+            return (fx, RaftPropose::NotLeader(self.leader_hint));
+        }
+        if let Cmd::Reconfigure { members } = &cmd {
+            if self.has_uncommitted_config() || !Self::single_change(&self.current_members(), members) {
+                return (fx, RaftPropose::BadReconfigure);
+            }
+        }
+        self.push_entry(self.term, cmd);
+        let index = self.last_index();
+        self.replicate_all(now, &mut fx);
+        self.advance_commit(&mut fx);
+        (fx, RaftPropose::Appended(index))
+    }
+
+    /// True when `b` differs from `a` by at most one server.
+    pub fn single_change(a: &[NodeId], b: &[NodeId]) -> bool {
+        if b.is_empty() {
+            return false;
+        }
+        let sa: BTreeSet<_> = a.iter().collect();
+        let sb: BTreeSet<_> = b.iter().collect();
+        sa.symmetric_difference(&sb).count() <= 1
+    }
+
+    /// Handles one RPC.
+    pub fn on_message(&mut self, from: NodeId, rpc: RaftRpc<O>, now: SimTime) -> RaftEffects<O> {
+        let mut fx = RaftEffects::new();
+        match rpc {
+            RaftRpc::RequestVote {
+                term,
+                last_index,
+                last_term,
+            } => self.on_request_vote(from, term, last_index, last_term, now, &mut fx),
+            RaftRpc::VoteReply { term, granted } => {
+                self.on_vote_reply(from, term, granted, now, &mut fx)
+            }
+            RaftRpc::Append {
+                term,
+                prev_index,
+                prev_term,
+                entries,
+                commit,
+            } => self.on_append(from, term, prev_index, prev_term, entries, commit, now, &mut fx),
+            RaftRpc::AppendReply {
+                term,
+                success,
+                match_index,
+                hint_index,
+            } => self.on_append_reply(from, term, success, match_index, hint_index, now, &mut fx),
+            RaftRpc::InstallSnapshot {
+                term,
+                last_index,
+                last_term,
+                members,
+                data,
+            } => self.on_install_snapshot(from, term, last_index, last_term, members, data, now, &mut fx),
+            RaftRpc::SnapshotReply { term, last_index } => {
+                self.on_snapshot_reply(from, term, last_index, now, &mut fx)
+            }
+        }
+        fx
+    }
+
+    /// Advances timers: heartbeats (leader), elections (others).
+    pub fn tick(&mut self, now: SimTime) -> RaftEffects<O> {
+        let mut fx = RaftEffects::new();
+        match self.role {
+            RaftRole::Leader => {
+                if now.since(self.last_heartbeat) >= self.tun.heartbeat_interval {
+                    self.replicate_all(now, &mut fx);
+                }
+            }
+            _ => {
+                let members = self.current_members();
+                if members.contains(&self.me) && now >= self.election_deadline {
+                    self.start_election(now, &mut fx);
+                }
+            }
+        }
+        fx
+    }
+
+    /// Compacts the log through `upto` (which must be ≤ the delivered
+    /// index), storing `data` as the snapshot payload.
+    pub fn compact(&mut self, upto: Index, data: Vec<u8>) {
+        if upto <= self.snap_index || upto > self.delivered {
+            return;
+        }
+        // Fold configuration entries out of the compacted range.
+        let mut members = self.snap_members.clone();
+        for i in (self.snap_index + 1)..=upto {
+            if let Some((_, Cmd::Reconfigure { members: m })) = self.entry_at(i) {
+                members = m.clone();
+            }
+        }
+        let new_term = self.term_at(upto).expect("upto is within the log");
+        let drop = (upto - self.snap_index) as usize;
+        self.log.drain(..drop);
+        self.snap_index = upto;
+        self.snap_term = new_term;
+        self.snap_members = members;
+        self.snap_data = data;
+    }
+
+    // --- Elections ----------------------------------------------------------
+
+    fn election_timeout(&self) -> SimDuration {
+        let jitter_us = if self.tun.election_jitter.is_zero() {
+            0
+        } else {
+            mix64(self.me.0.wrapping_mul(131).wrapping_add(self.election_attempt))
+                % self.tun.election_jitter.as_micros()
+        };
+        self.tun.election_timeout + SimDuration::from_micros(jitter_us)
+    }
+
+    fn reset_election_deadline(&mut self, now: SimTime) {
+        self.election_deadline = now + self.election_timeout();
+    }
+
+    fn start_election(&mut self, now: SimTime, fx: &mut RaftEffects<O>) {
+        self.election_attempt += 1;
+        self.term += 1;
+        self.role = RaftRole::Candidate;
+        self.voted_for = Some(self.me);
+        self.votes.clear();
+        self.votes.insert(self.me);
+        self.reset_election_deadline(now);
+        let (last_index, last_term) = (self.last_index(), self.term_at(self.last_index()).unwrap_or(0));
+        for peer in self.peers() {
+            fx.outbound.push((
+                peer,
+                RaftRpc::RequestVote {
+                    term: self.term,
+                    last_index,
+                    last_term,
+                },
+            ));
+        }
+        self.check_votes(now, fx);
+    }
+
+    fn peers(&self) -> Vec<NodeId> {
+        self.cached_members
+            .iter()
+            .copied()
+            .filter(|&m| m != self.me)
+            .collect()
+    }
+
+    fn adopt_term(&mut self, term: Term, fx: &mut RaftEffects<O>) {
+        if term > self.term {
+            self.term = term;
+            self.voted_for = None;
+            if self.role == RaftRole::Leader {
+                fx.lost_leadership = true;
+            }
+            self.role = RaftRole::Follower;
+            self.votes.clear();
+        }
+    }
+
+    fn on_request_vote(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        last_index: Index,
+        last_term: Term,
+        now: SimTime,
+        fx: &mut RaftEffects<O>,
+    ) {
+        self.adopt_term(term, fx);
+        let my_last = self.last_index();
+        let my_last_term = self.term_at(my_last).unwrap_or(0);
+        let up_to_date =
+            last_term > my_last_term || (last_term == my_last_term && last_index >= my_last);
+        let granted = term == self.term
+            && up_to_date
+            && (self.voted_for.is_none() || self.voted_for == Some(from));
+        if granted {
+            self.voted_for = Some(from);
+            self.reset_election_deadline(now);
+        }
+        fx.outbound.push((
+            from,
+            RaftRpc::VoteReply {
+                term: self.term,
+                granted,
+            },
+        ));
+    }
+
+    fn on_vote_reply(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        granted: bool,
+        now: SimTime,
+        fx: &mut RaftEffects<O>,
+    ) {
+        self.adopt_term(term, fx);
+        if self.role != RaftRole::Candidate || term != self.term || !granted {
+            return;
+        }
+        self.votes.insert(from);
+        self.check_votes(now, fx);
+    }
+
+    fn check_votes(&mut self, now: SimTime, fx: &mut RaftEffects<O>) {
+        if self.role == RaftRole::Candidate && self.votes.len() >= self.quorum() {
+            self.role = RaftRole::Leader;
+            self.leader_hint = Some(self.me);
+            fx.became_leader = true;
+            self.next_index.clear();
+            self.match_index.clear();
+            let next = self.last_index() + 1;
+            for peer in self.peers() {
+                self.next_index.insert(peer, next);
+                self.match_index.insert(peer, 0);
+            }
+            // Commit barrier: a no-op from the new term.
+            self.push_entry(self.term, Cmd::Noop);
+            self.replicate_all(now, fx);
+        }
+    }
+
+    // --- Replication ----------------------------------------------------------
+
+    fn replicate_all(&mut self, now: SimTime, fx: &mut RaftEffects<O>) {
+        self.last_heartbeat = now;
+        for peer in self.peers() {
+            self.replicate_one(peer, now, fx);
+        }
+    }
+
+    /// Minimum spacing between full-snapshot sends to one peer.
+    const SNAPSHOT_RESEND: SimDuration = SimDuration::from_millis(500);
+
+    fn replicate_one(&mut self, peer: NodeId, now: SimTime, fx: &mut RaftEffects<O>) {
+        let next = *self.next_index.entry(peer).or_insert(self.snap_index + 1);
+        if next <= self.snap_index {
+            // Throttle: one outstanding snapshot per peer per interval.
+            let last_sent = self.snap_sent_at.get(&peer).copied();
+            if let Some(at) = last_sent {
+                if now.since(at) < Self::SNAPSHOT_RESEND {
+                    return;
+                }
+            }
+            self.snap_sent_at.insert(peer, now);
+            fx.outbound.push((
+                peer,
+                RaftRpc::InstallSnapshot {
+                    term: self.term,
+                    last_index: self.snap_index,
+                    last_term: self.snap_term,
+                    members: self.snap_members.clone(),
+                    data: self.snap_data.clone(),
+                },
+            ));
+            // Optimistically assume installation; a reply corrects this.
+            self.next_index.insert(peer, self.snap_index + 1);
+            return;
+        }
+        let prev_index = next - 1;
+        let Some(prev_term) = self.term_at(prev_index) else {
+            // prev fell behind the snapshot between checks.
+            self.next_index.insert(peer, self.snap_index);
+            return;
+        };
+        let from = next;
+        let to = self.last_index().min(from + self.tun.batch as Index - 1);
+        let entries: Vec<(Term, Cmd<O>)> = (from..=to)
+            .filter_map(|i| self.entry_at(i).cloned())
+            .collect();
+        // Pipelining: advance next_index optimistically so the next
+        // propose ships only new entries; failures rewind it via the
+        // reply's hint, losses via the follower's mismatch hint.
+        if !entries.is_empty() {
+            self.next_index.insert(peer, to + 1);
+        }
+        fx.outbound.push((
+            peer,
+            RaftRpc::Append {
+                term: self.term,
+                prev_index,
+                prev_term,
+                entries,
+                commit: self.commit,
+            },
+        ));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_append(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        prev_index: Index,
+        prev_term: Term,
+        entries: Vec<(Term, Cmd<O>)>,
+        commit: Index,
+        now: SimTime,
+        fx: &mut RaftEffects<O>,
+    ) {
+        self.adopt_term(term, fx);
+        if term < self.term {
+            fx.outbound.push((
+                from,
+                RaftRpc::AppendReply {
+                    term: self.term,
+                    success: false,
+                    match_index: 0,
+                    hint_index: self.last_index() + 1,
+                },
+            ));
+            return;
+        }
+        // A current-term Append asserts leadership.
+        if self.role != RaftRole::Follower {
+            if self.role == RaftRole::Leader {
+                fx.lost_leadership = true;
+            }
+            self.role = RaftRole::Follower;
+        }
+        self.leader_hint = Some(from);
+        self.reset_election_deadline(now);
+
+        // Consistency check. Indices at or below our snapshot are part of
+        // the committed prefix the snapshot covers, so they match by
+        // construction (the per-entry loop below skips them).
+        let ok = prev_index < self.snap_index
+            || match self.term_at(prev_index) {
+                Some(t) => t == prev_term,
+                None => false,
+            };
+        if !ok {
+            // Either our log is too short (prev beyond it) or the entry at
+            // prev conflicts; tell the leader where to resume.
+            let hint = (self.last_index() + 1)
+                .min(prev_index)
+                .max(self.snap_index + 1);
+            fx.outbound.push((
+                from,
+                RaftRpc::AppendReply {
+                    term: self.term,
+                    success: false,
+                    match_index: 0,
+                    hint_index: hint,
+                },
+            ));
+            return;
+        }
+        // Append, truncating conflicts.
+        let mut index = prev_index;
+        for (t, cmd) in entries {
+            index += 1;
+            if index <= self.snap_index {
+                continue; // covered by our snapshot
+            }
+            match self.term_at(index) {
+                Some(existing) if existing == t => continue, // already have it
+                Some(_) => {
+                    // Conflict: truncate from here (dropping any cached
+                    // config the suffix carried), then append.
+                    let keep = (index - self.snap_index - 1) as usize;
+                    self.log.truncate(keep);
+                    self.recompute_members();
+                    self.push_entry(t, cmd);
+                }
+                None => self.push_entry(t, cmd),
+            }
+        }
+        let match_index = index.max(self.last_index().min(prev_index));
+        let new_commit = commit.min(self.last_index());
+        if new_commit > self.commit {
+            self.commit = new_commit;
+            self.deliver(fx);
+        }
+        fx.outbound.push((
+            from,
+            RaftRpc::AppendReply {
+                term: self.term,
+                success: true,
+                match_index,
+                hint_index: 0,
+            },
+        ));
+    }
+
+    fn on_append_reply(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        success: bool,
+        match_index: Index,
+        hint_index: Index,
+        _now: SimTime,
+        fx: &mut RaftEffects<O>,
+    ) {
+        self.adopt_term(term, fx);
+        if self.role != RaftRole::Leader || term != self.term {
+            return;
+        }
+        if success {
+            let m = self.match_index.entry(from).or_insert(0);
+            *m = (*m).max(match_index);
+            let next = self.next_index.entry(from).or_insert(match_index + 1);
+            *next = (*next).max(match_index + 1);
+            self.advance_commit(fx);
+            // Keep streaming only if un-sent entries remain (pipelined
+            // batches in flight don't need re-sending).
+            if *self.next_index.get(&from).expect("just set") <= self.last_index() {
+                self.replicate_one(from, _now, fx);
+            }
+        } else {
+            // Rewind to the follower's hint (never forward).
+            let current = *self.next_index.entry(from).or_insert(self.snap_index + 1);
+            let next = hint_index.max(1).min(current).min(self.last_index() + 1);
+            self.next_index.insert(from, next);
+            self.replicate_one(from, _now, fx);
+        }
+    }
+
+    fn advance_commit(&mut self, fx: &mut RaftEffects<O>) {
+        let members = self.cached_members.clone();
+        let quorum = self.quorum();
+        let mut candidate = self.last_index();
+        while candidate > self.commit {
+            if self.term_at(candidate) == Some(self.term) {
+                let mut count = 0;
+                for m in &members {
+                    let matched = if *m == self.me {
+                        self.last_index()
+                    } else {
+                        self.match_index.get(m).copied().unwrap_or(0)
+                    };
+                    if matched >= candidate {
+                        count += 1;
+                    }
+                }
+                if count >= quorum {
+                    break;
+                }
+            }
+            candidate -= 1;
+        }
+        if candidate > self.commit {
+            self.commit = candidate;
+            self.deliver(fx);
+        }
+    }
+
+    fn deliver(&mut self, fx: &mut RaftEffects<O>) {
+        self.delivered = self.delivered.max(self.snap_index);
+        while self.delivered < self.commit {
+            let next = self.delivered + 1;
+            let Some((_, cmd)) = self.entry_at(next) else {
+                break;
+            };
+            fx.committed.push((next, cmd.clone()));
+            self.delivered = next;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_install_snapshot(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        last_index: Index,
+        last_term: Term,
+        members: Vec<NodeId>,
+        data: Vec<u8>,
+        now: SimTime,
+        fx: &mut RaftEffects<O>,
+    ) {
+        self.adopt_term(term, fx);
+        if term < self.term {
+            fx.outbound.push((
+                from,
+                RaftRpc::SnapshotReply {
+                    term: self.term,
+                    last_index: self.snap_index,
+                },
+            ));
+            return;
+        }
+        self.leader_hint = Some(from);
+        self.reset_election_deadline(now);
+        if last_index > self.commit {
+            self.snap_index = last_index;
+            self.snap_term = last_term;
+            self.snap_members = members;
+            self.snap_data = data.clone();
+            self.log.clear();
+            self.cached_members = self.snap_members.clone();
+            self.commit = last_index;
+            self.delivered = last_index;
+            fx.installed_snapshot = Some(data);
+        }
+        fx.outbound.push((
+            from,
+            RaftRpc::SnapshotReply {
+                term: self.term,
+                last_index: self.snap_index,
+            },
+        ));
+    }
+
+    fn on_snapshot_reply(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        last_index: Index,
+        now: SimTime,
+        fx: &mut RaftEffects<O>,
+    ) {
+        self.adopt_term(term, fx);
+        if self.role != RaftRole::Leader || term != self.term {
+            return;
+        }
+        // The peer answered: the outstanding-snapshot slot is free again.
+        self.snap_sent_at.remove(&from);
+        let next = self.next_index.entry(from).or_insert(last_index + 1);
+        *next = (*next).max(last_index + 1);
+        let m = self.match_index.entry(from).or_insert(0);
+        *m = (*m).max(last_index);
+        if *self.next_index.get(&from).expect("just set") <= self.last_index() {
+            self.replicate_one(from, now, fx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Lossless in-memory harness.
+    struct Net {
+        cores: BTreeMap<NodeId, RaftCore<u64>>,
+        inbox: VecDeque<(NodeId, NodeId, RaftRpc<u64>)>,
+        committed: BTreeMap<NodeId, Vec<(Index, Cmd<u64>)>>,
+        cut: BTreeSet<NodeId>,
+        now: SimTime,
+    }
+
+    impl Net {
+        fn new(n: u64) -> Self {
+            let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+            let cfg = StaticConfig::new(members.clone());
+            Net {
+                cores: members
+                    .iter()
+                    .map(|&m| {
+                        (
+                            m,
+                            RaftCore::new(m, cfg.clone(), SimTime::ZERO, RaftTunables::default()),
+                        )
+                    })
+                    .collect(),
+                inbox: VecDeque::new(),
+                committed: BTreeMap::new(),
+                cut: BTreeSet::new(),
+                now: SimTime::ZERO,
+            }
+        }
+
+        fn absorb(&mut self, from: NodeId, fx: RaftEffects<u64>) {
+            for (to, rpc) in fx.outbound {
+                self.inbox.push_back((from, to, rpc));
+            }
+            self.committed.entry(from).or_default().extend(fx.committed);
+        }
+
+        fn advance(&mut self, d: SimDuration) {
+            self.now += d;
+            let ids: Vec<NodeId> = self.cores.keys().copied().collect();
+            for id in ids {
+                if self.cut.contains(&id) {
+                    continue;
+                }
+                let fx = self.cores.get_mut(&id).unwrap().tick(self.now);
+                self.absorb(id, fx);
+            }
+            while let Some((from, to, rpc)) = self.inbox.pop_front() {
+                if self.cut.contains(&from) || self.cut.contains(&to) {
+                    continue;
+                }
+                if let Some(core) = self.cores.get_mut(&to) {
+                    let fx = core.on_message(from, rpc, self.now);
+                    self.absorb(to, fx);
+                }
+            }
+        }
+
+        fn elect(&mut self) -> NodeId {
+            for _ in 0..1000 {
+                self.advance(SimDuration::from_millis(10));
+                if let Some(l) = self.leader() {
+                    return l;
+                }
+            }
+            panic!("no raft leader");
+        }
+
+        fn leader(&self) -> Option<NodeId> {
+            self.cores
+                .iter()
+                .filter(|(id, c)| !self.cut.contains(id) && c.is_leader())
+                .map(|(&id, _)| id)
+                .next()
+        }
+
+        fn propose(&mut self, cmd: Cmd<u64>) -> RaftPropose {
+            let l = self.leader().expect("leader");
+            let (fx, res) = self.cores.get_mut(&l).unwrap().propose(cmd, self.now);
+            self.absorb(l, fx);
+            self.advance(SimDuration::from_millis(1));
+            res
+        }
+
+        fn app_values(&self, id: NodeId) -> Vec<u64> {
+            self.committed
+                .get(&id)
+                .map(|v| {
+                    v.iter()
+                        .filter_map(|(_, c)| match c {
+                            Cmd::App { op, .. } => Some(*op),
+                            _ => None,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        }
+    }
+
+    fn app(op: u64) -> Cmd<u64> {
+        Cmd::App {
+            client: NodeId(100),
+            seq: op,
+            op,
+        }
+    }
+
+    #[test]
+    fn elects_exactly_one_leader() {
+        let mut net = Net::new(3);
+        net.elect();
+        assert_eq!(net.cores.values().filter(|c| c.is_leader()).count(), 1);
+    }
+
+    #[test]
+    fn commits_in_order_on_all_replicas() {
+        let mut net = Net::new(3);
+        net.elect();
+        for i in 1..=5 {
+            assert!(matches!(net.propose(app(i)), RaftPropose::Appended(_)));
+        }
+        net.advance(SimDuration::from_millis(100));
+        for id in net.cores.keys().copied().collect::<Vec<_>>() {
+            assert_eq!(net.app_values(id), vec![1, 2, 3, 4, 5], "{id}");
+        }
+    }
+
+    #[test]
+    fn leader_crash_preserves_committed_prefix() {
+        let mut net = Net::new(3);
+        let l1 = net.elect();
+        for i in 1..=3 {
+            net.propose(app(i));
+        }
+        net.advance(SimDuration::from_millis(100));
+        net.cut.insert(l1);
+        let mut l2 = l1;
+        for _ in 0..500 {
+            net.advance(SimDuration::from_millis(10));
+            if let Some(l) = net.leader() {
+                l2 = l;
+                break;
+            }
+        }
+        assert_ne!(l2, l1);
+        net.propose(app(9));
+        net.advance(SimDuration::from_millis(200));
+        let vals = net.app_values(l2);
+        assert!(vals.starts_with(&[1, 2, 3]), "{vals:?}");
+        assert!(vals.contains(&9));
+    }
+
+    #[test]
+    fn single_change_rule() {
+        let a = [NodeId(1), NodeId(2), NodeId(3)];
+        assert!(RaftCore::<u64>::single_change(&a, &a));
+        assert!(RaftCore::<u64>::single_change(
+            &a,
+            &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        ));
+        assert!(RaftCore::<u64>::single_change(&a, &[NodeId(1), NodeId(2)]));
+        assert!(!RaftCore::<u64>::single_change(
+            &a,
+            &[NodeId(1), NodeId(4), NodeId(5)]
+        ));
+        assert!(!RaftCore::<u64>::single_change(&a, &[]));
+    }
+
+    #[test]
+    fn reconfigure_is_refused_while_one_is_pending() {
+        let mut net = Net::new(3);
+        let l = net.elect();
+        // Block replication so the config entry stays uncommitted.
+        let peers: Vec<NodeId> = net.cores.keys().copied().filter(|&n| n != l).collect();
+        for p in &peers {
+            net.cut.insert(*p);
+        }
+        let (fx, r1) = net.cores.get_mut(&l).unwrap().propose(
+            Cmd::Reconfigure {
+                members: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            },
+            net.now,
+        );
+        net.absorb(l, fx);
+        assert!(matches!(r1, RaftPropose::Appended(_)));
+        let (fx, r2) = net.cores.get_mut(&l).unwrap().propose(
+            Cmd::Reconfigure {
+                members: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(4)],
+            },
+            net.now,
+        );
+        net.absorb(l, fx);
+        assert_eq!(r2, RaftPropose::BadReconfigure);
+    }
+
+    #[test]
+    fn membership_add_takes_effect_and_commits() {
+        let mut net = Net::new(3);
+        net.elect();
+        // Add node 3.
+        let joiner = NodeId(3);
+        net.cores.insert(
+            joiner,
+            RaftCore::blank(joiner, RaftTunables::default()),
+        );
+        let res = net.propose(Cmd::Reconfigure {
+            members: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+        });
+        assert!(matches!(res, RaftPropose::Appended(_)));
+        net.advance(SimDuration::from_millis(200));
+        // The joiner received the log and knows the config.
+        let members = net.cores[&joiner].current_members();
+        assert!(members.contains(&joiner), "{members:?}");
+        // And further commands reach it.
+        net.propose(app(7));
+        net.advance(SimDuration::from_millis(200));
+        assert!(net.app_values(joiner).contains(&7));
+    }
+
+    #[test]
+    fn compaction_and_snapshot_install() {
+        let mut net = Net::new(3);
+        let l = net.elect();
+        for i in 1..=10 {
+            net.propose(app(i));
+        }
+        net.advance(SimDuration::from_millis(100));
+        // Compact the leader aggressively, then add a blank joiner: it must
+        // be brought up through InstallSnapshot.
+        {
+            let core = net.cores.get_mut(&l).unwrap();
+            let upto = core.delivered;
+            core.compact(upto, vec![9, 9, 9]);
+            assert!(core.log_len() < 10);
+        }
+        let joiner = NodeId(3);
+        net.cores.insert(joiner, RaftCore::blank(joiner, RaftTunables::default()));
+        net.propose(Cmd::Reconfigure {
+            members: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+        });
+        net.advance(SimDuration::from_millis(300));
+        let j = &net.cores[&joiner];
+        assert!(j.snap_index > 0, "snapshot must have been installed");
+        assert_eq!(j.snap_data, vec![9, 9, 9]);
+        assert!(j.current_members().contains(&joiner));
+    }
+
+    #[test]
+    fn blank_nodes_never_campaign() {
+        let mut net = Net::new(1);
+        let blank = NodeId(9);
+        net.cores.insert(blank, RaftCore::blank(blank, RaftTunables::default()));
+        net.advance(SimDuration::from_secs(5));
+        assert_eq!(net.cores[&blank].role(), RaftRole::Follower);
+        assert_eq!(net.cores[&blank].term(), net.cores[&blank].term());
+    }
+}

@@ -1,0 +1,202 @@
+//! Wire messages of the Raft baseline.
+
+use rsmr_core::command::Cmd;
+use simnet::{Message, NodeId};
+
+/// A term number.
+pub type Term = u64;
+/// A 1-based log index; 0 means "nothing".
+pub type Index = u64;
+
+/// Replica ↔ replica RPCs (the Raft protocol proper).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RaftRpc<O> {
+    /// Candidate → voter.
+    RequestVote {
+        /// Candidate's term.
+        term: Term,
+        /// Index of the candidate's last log entry.
+        last_index: Index,
+        /// Term of the candidate's last log entry.
+        last_term: Term,
+    },
+    /// Voter → candidate.
+    VoteReply {
+        /// Voter's current term.
+        term: Term,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader → follower: replicate entries / heartbeat.
+    Append {
+        /// Leader's term.
+        term: Term,
+        /// Index immediately preceding `entries`.
+        prev_index: Index,
+        /// Term of the entry at `prev_index`.
+        prev_term: Term,
+        /// Entries to append (empty for a pure heartbeat).
+        entries: Vec<(Term, Cmd<O>)>,
+        /// Leader's commit index.
+        commit: Index,
+    },
+    /// Follower → leader.
+    AppendReply {
+        /// Follower's current term.
+        term: Term,
+        /// Whether the consistency check passed and entries were stored.
+        success: bool,
+        /// On success, the follower's new last replicated index.
+        match_index: Index,
+        /// On failure, where the leader should try next.
+        hint_index: Index,
+    },
+    /// Leader → lagging follower: replace your state wholesale.
+    InstallSnapshot {
+        /// Leader's term.
+        term: Term,
+        /// Index covered by the snapshot.
+        last_index: Index,
+        /// Term at `last_index`.
+        last_term: Term,
+        /// Members effective at `last_index`.
+        members: Vec<NodeId>,
+        /// Opaque application payload (state machine + sessions).
+        data: Vec<u8>,
+    },
+    /// Follower → leader.
+    SnapshotReply {
+        /// Follower's current term.
+        term: Term,
+        /// The snapshot index now covered.
+        last_index: Index,
+    },
+}
+
+/// Messages of a Raft-replicated world (protocol + client/admin traffic).
+#[derive(Clone, Debug)]
+pub enum RaftMsg<O, R> {
+    /// Protocol RPCs.
+    Rpc(RaftRpc<O>),
+    /// Client → replica.
+    Request {
+        /// Client session sequence number.
+        seq: u64,
+        /// The operation.
+        op: O,
+    },
+    /// Replica → client.
+    Reply {
+        /// Echo of the sequence number.
+        seq: u64,
+        /// Operation output.
+        output: R,
+        /// Current cluster members.
+        members: Vec<NodeId>,
+    },
+    /// Replica → client: retry at `leader`.
+    Redirect {
+        /// Echo of the sequence number.
+        seq: u64,
+        /// Best-known leader.
+        leader: Option<NodeId>,
+        /// Current cluster members.
+        members: Vec<NodeId>,
+    },
+    /// Admin → replica: change membership to exactly this set. Must differ
+    /// from the current set by at most one server (Raft single-server
+    /// changes); the admin decomposes larger changes.
+    Reconfigure {
+        /// The requested member set.
+        members: Vec<NodeId>,
+    },
+    /// Replica → admin.
+    ReconfigureReply {
+        /// Whether the change was applied (committed).
+        ok: bool,
+        /// On refusal, where to retry.
+        leader: Option<NodeId>,
+        /// The cluster's current member set after the operation.
+        members: Vec<NodeId>,
+    },
+}
+
+impl<O, R> Message for RaftMsg<O, R>
+where
+    O: Clone + std::fmt::Debug + 'static,
+    R: Clone + std::fmt::Debug + 'static,
+{
+    fn label(&self) -> &'static str {
+        match self {
+            RaftMsg::Rpc(RaftRpc::RequestVote { .. }) => "raft.request_vote",
+            RaftMsg::Rpc(RaftRpc::VoteReply { .. }) => "raft.vote_reply",
+            RaftMsg::Rpc(RaftRpc::Append { .. }) => "raft.append",
+            RaftMsg::Rpc(RaftRpc::AppendReply { .. }) => "raft.append_reply",
+            RaftMsg::Rpc(RaftRpc::InstallSnapshot { .. }) => "raft.install_snapshot",
+            RaftMsg::Rpc(RaftRpc::SnapshotReply { .. }) => "raft.snapshot_reply",
+            RaftMsg::Request { .. } => "raft.request",
+            RaftMsg::Reply { .. } => "raft.reply",
+            RaftMsg::Redirect { .. } => "raft.redirect",
+            RaftMsg::Reconfigure { .. } => "raft.reconfigure",
+            RaftMsg::ReconfigureReply { .. } => "raft.reconfigure_reply",
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        match self {
+            RaftMsg::Rpc(RaftRpc::Append { entries, .. }) => 40 + entries.len() * 48,
+            RaftMsg::Rpc(RaftRpc::InstallSnapshot { data, members, .. }) => {
+                40 + members.len() * 8 + data.len()
+            }
+            RaftMsg::Rpc(_) => 32,
+            RaftMsg::Request { .. } => 48,
+            RaftMsg::Reply { members, .. } => 40 + members.len() * 8,
+            RaftMsg::Redirect { members, .. } => 32 + members.len() * 8,
+            RaftMsg::Reconfigure { members } => 16 + members.len() * 8,
+            RaftMsg::ReconfigureReply { members, .. } => 24 + members.len() * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let msgs: Vec<RaftMsg<u64, u64>> = vec![
+            RaftMsg::Rpc(RaftRpc::RequestVote { term: 1, last_index: 0, last_term: 0 }),
+            RaftMsg::Rpc(RaftRpc::VoteReply { term: 1, granted: true }),
+            RaftMsg::Rpc(RaftRpc::Append {
+                term: 1,
+                prev_index: 0,
+                prev_term: 0,
+                entries: vec![],
+                commit: 0,
+            }),
+            RaftMsg::Rpc(RaftRpc::AppendReply {
+                term: 1,
+                success: true,
+                match_index: 0,
+                hint_index: 0,
+            }),
+            RaftMsg::Rpc(RaftRpc::InstallSnapshot {
+                term: 1,
+                last_index: 0,
+                last_term: 0,
+                members: vec![],
+                data: vec![],
+            }),
+            RaftMsg::Rpc(RaftRpc::SnapshotReply { term: 1, last_index: 0 }),
+            RaftMsg::Request { seq: 0, op: 0 },
+            RaftMsg::Reply { seq: 0, output: 0, members: vec![] },
+            RaftMsg::Redirect { seq: 0, leader: None, members: vec![] },
+            RaftMsg::Reconfigure { members: vec![] },
+            RaftMsg::ReconfigureReply { ok: true, leader: None, members: vec![] },
+        ];
+        let mut labels: Vec<_> = msgs.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), msgs.len());
+    }
+}

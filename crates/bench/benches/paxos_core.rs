@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks of the sans-I/O Multi-Paxos core: raw
+//! propose→accept→commit cycles through an in-memory loopback (no
+//! simulator, no clock overhead).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use std::time::Duration;
+
+use consensus::{Effects, MultiPaxos, PaxosMsg, PaxosTunables, ProposeOutcome, StaticConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use simnet::{NodeId, SimDuration, SimTime};
+
+struct Loop {
+    cores: BTreeMap<NodeId, MultiPaxos<u64>>,
+    inbox: VecDeque<(NodeId, NodeId, PaxosMsg<u64>)>,
+    now: SimTime,
+}
+
+impl Loop {
+    fn new(n: u64) -> Self {
+        let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let cfg = StaticConfig::new(members.clone());
+        let mut l = Loop {
+            cores: members
+                .iter()
+                .map(|&m| (m, MultiPaxos::new(m, cfg.clone(), SimTime::ZERO, PaxosTunables::default())))
+                .collect(),
+            inbox: VecDeque::new(),
+            now: SimTime::ZERO,
+        };
+        // Elect a leader.
+        while l.leader().is_none() {
+            l.now = l.now + SimDuration::from_millis(10);
+            let ids: Vec<NodeId> = l.cores.keys().copied().collect();
+            for id in ids {
+                let fx = l.cores.get_mut(&id).unwrap().tick(l.now);
+                l.absorb(id, fx);
+            }
+            l.drain();
+        }
+        l
+    }
+
+    fn absorb(&mut self, from: NodeId, fx: Effects<u64>) {
+        for (to, m) in fx.outbound {
+            self.inbox.push_back((from, to, m));
+        }
+    }
+
+    fn drain(&mut self) {
+        while let Some((from, to, m)) = self.inbox.pop_front() {
+            let fx = self.cores.get_mut(&to).unwrap().on_message(from, m, self.now);
+            self.absorb(to, fx);
+        }
+    }
+
+    fn leader(&self) -> Option<NodeId> {
+        self.cores.values().find(|c| c.is_leader()).map(|c| c.me())
+    }
+
+    fn commit_one(&mut self, v: u64) {
+        let l = self.leader().expect("leader");
+        let (fx, out) = self.cores.get_mut(&l).unwrap().propose(v, self.now);
+        assert_eq!(out, ProposeOutcome::Accepted);
+        self.absorb(l, fx);
+        self.drain();
+    }
+}
+
+fn bench_commit_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paxos_core");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    for n in [3u64, 5, 7] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("commit_cycle_n{n}"), |b| {
+            b.iter_batched_ref(
+                || Loop::new(n),
+                |l| l.commit_one(42),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_sustained_commits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paxos_core");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("commit_1000_n3", |b| {
+        b.iter_batched_ref(
+            || Loop::new(3),
+            |l| {
+                for i in 1..=1000 {
+                    l.commit_one(i);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_cycle, bench_sustained_commits);
+criterion_main!(benches);

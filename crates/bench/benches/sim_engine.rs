@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the simulation substrate itself: event
+//! throughput and timer churn. These bound how large the experiments can
+//! be in wall time.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simnet::{Actor, Context, Message, NetConfig, NodeId, Sim, SimDuration, Timer};
+
+#[derive(Clone, Debug)]
+struct Ping(u64);
+impl Message for Ping {
+    fn label(&self) -> &'static str {
+        "ping"
+    }
+}
+
+struct Bouncer {
+    remaining: u64,
+}
+impl Actor for Bouncer {
+    type Msg = Ping;
+    fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: NodeId, msg: Ping) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(from, Ping(msg.0 + 1));
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Ping>, _t: Timer) {}
+}
+
+fn bench_message_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    const MSGS: u64 = 10_000;
+    group.throughput(Throughput::Elements(MSGS));
+    group.bench_function("deliver_10k_messages", |b| {
+        b.iter(|| {
+            let mut sim: Sim<Bouncer> = Sim::new(1, NetConfig::lan());
+            let a = sim.add_node(Bouncer { remaining: MSGS / 2 });
+            let bn = sim.add_node(Bouncer { remaining: MSGS / 2 });
+            sim.inject(a, bn, Ping(0));
+            sim.run_until_quiet(SimDuration::from_secs(3600));
+            assert!(sim.metrics().counter("net.delivered") >= MSGS);
+        });
+    });
+    group.finish();
+}
+
+struct TimerChurn;
+impl Actor for TimerChurn {
+    type Msg = Ping;
+    fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+        ctx.set_timer(SimDuration::from_micros(10), 0);
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_, Ping>, _f: NodeId, _m: Ping) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, Ping>, _t: Timer) {
+        ctx.set_timer(SimDuration::from_micros(10), 0);
+    }
+}
+
+fn bench_timer_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("fire_100k_timers", |b| {
+        b.iter(|| {
+            let mut sim: Sim<TimerChurn> = Sim::new(1, NetConfig::lan());
+            sim.add_node(TimerChurn);
+            sim.run_for(SimDuration::from_secs(1)); // 100k timer fires
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_message_throughput, bench_timer_churn);
+criterion_main!(benches);

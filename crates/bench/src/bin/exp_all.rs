@@ -1,0 +1,44 @@
+//! Regenerates every experiment table and figure (see `EXPERIMENTS.md`).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin exp_all            # all experiments
+//! cargo run --release -p bench --bin exp_all -- e2 e5   # a subset
+//! cargo run --release -p bench --bin exp_all -- --quick # trimmed sweeps
+//! ```
+
+use std::time::Instant;
+
+use bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let ids: Vec<&str> = if selected.is_empty() {
+        experiments::ALL.to_vec()
+    } else {
+        selected.iter().map(String::as_str).collect()
+    };
+
+    println!("# Reconfigurable SMR — experiment suite");
+    println!(
+        "# mode: {}; all measurements are in deterministic virtual time\n",
+        if quick { "quick" } else { "full" }
+    );
+    let total = Instant::now();
+    for id in ids {
+        let start = Instant::now();
+        match experiments::run_one(id, quick) {
+            Some(output) => {
+                print!("{output}");
+                eprintln!("[{id} done in {:.1}s wall]", start.elapsed().as_secs_f64());
+            }
+            None => eprintln!("unknown experiment id: {id} (valid: {:?})", experiments::ALL),
+        }
+    }
+    eprintln!("[suite done in {:.1}s wall]", total.elapsed().as_secs_f64());
+}

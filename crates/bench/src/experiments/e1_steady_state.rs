@@ -1,0 +1,103 @@
+//! **E1 (Table 1)** — steady-state overhead of the composition.
+//!
+//! Claim: wrapping the static block in the reconfigurable composition adds
+//! negligible steady-state cost; the natively reconfigurable design pays
+//! its own baseline price too. No reconfiguration occurs in this
+//! experiment — it isolates the composition tax.
+
+use simnet::SimTime;
+
+use crate::runner::{run as run_scenario, Scenario, SystemKind};
+use crate::table::Table;
+
+/// Runs E1 and renders Table 1.
+pub fn run_table(quick: bool) -> Table {
+    let sizes: &[u64] = if quick { &[3, 5] } else { &[3, 5, 7] };
+    let systems = [
+        SystemKind::Static,
+        SystemKind::Rsmr,
+        SystemKind::RsmrBatched,
+        SystemKind::Stw,
+        SystemKind::Raft,
+    ];
+    let mut table = Table::new(
+        "E1 / Table 1 — steady-state throughput and latency (no reconfiguration)",
+        &[
+            "system",
+            "n",
+            "throughput (op/s)",
+            "p50 (ms)",
+            "p99 (ms)",
+            "vs static",
+        ],
+    );
+    let horizon = if quick {
+        SimTime::from_secs(6)
+    } else {
+        SimTime::from_secs(12)
+    };
+    let measure_from = SimTime::from_secs(1);
+    let clients = if quick { 4 } else { 8 };
+    for &n in sizes {
+        let mut static_tput = 0.0;
+        for kind in systems {
+            let sc = Scenario::new(0xE1 + n)
+                .servers(n)
+                .clients(clients)
+                .until(horizon);
+            let mut out = run_scenario(kind, &sc);
+            let tput = out.throughput(measure_from, horizon);
+            if kind == SystemKind::Static {
+                static_tput = tput;
+            }
+            let rel = if static_tput > 0.0 {
+                format!("{:+.1}%", (tput / static_tput - 1.0) * 100.0)
+            } else {
+                "—".into()
+            };
+            table.row(&[
+                kind.name().into(),
+                n.to_string(),
+                format!("{tput:.0}"),
+                format!("{:.3}", out.latency_us(0.5) / 1000.0),
+                format!("{:.3}", out.latency_us(0.99) / 1000.0),
+                rel,
+            ]);
+        }
+    }
+    table
+}
+
+/// Renders E1.
+pub fn run(quick: bool) -> String {
+    let mut out = run_table(quick).render();
+    out.push_str(
+        "Shape expected from the paper: the composition (rsmr) tracks the bare \
+         static block within a few percent — with the same seed its runs are \
+         message-for-message identical to the block's, the strongest form of \
+         zero overhead (virtual time charges no CPU; execution cost is not \
+         modelled). The batching ablation shows group commit forming batches \
+         correctly but *losing* ~15% here: with a pipelined block on a LAN \
+         and few closed-loop clients, rounds are not the bottleneck, so \
+         batching only adds queueing — it pays off in round-limited settings \
+         (WAN, many clients). raft-lite is in the same band — \
+         reconfigurability costs nothing while idle.\n\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_produces_rows_for_every_system_and_size() {
+        let t = run_table(true);
+        let s = t.render();
+        assert!(s.contains("static-paxos"));
+        assert!(s.contains("rsmr (spec)"));
+        assert!(s.contains("raft-lite"));
+        // 4 systems × 2 sizes = 8 data rows + header + separator.
+        assert!(s.lines().filter(|l| l.starts_with('|')).count() >= 9);
+    }
+}

@@ -1,0 +1,36 @@
+//! The experiments (one module per table/figure of `EXPERIMENTS.md`).
+//!
+//! Every experiment is a pure function of its parameters — results are
+//! reproducible across machines because all measurements are in *virtual*
+//! time. `quick` trims sweep dimensions for CI.
+
+pub mod e1_steady_state;
+pub mod e2_timeline;
+pub mod e3_state_transfer;
+pub mod e4_latency_window;
+pub mod e5_churn;
+pub mod e6_faults;
+pub mod e7_messages;
+pub mod e8_scaling;
+pub mod e10_local_reads;
+pub mod e9_wan;
+
+/// Experiment ids in presentation order.
+pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+
+/// Runs one experiment by id, returning its rendered output.
+pub fn run_one(id: &str, quick: bool) -> Option<String> {
+    match id {
+        "e1" => Some(e1_steady_state::run(quick)),
+        "e2" => Some(e2_timeline::run(quick)),
+        "e3" => Some(e3_state_transfer::run(quick)),
+        "e4" => Some(e4_latency_window::run(quick)),
+        "e5" => Some(e5_churn::run(quick)),
+        "e6" => Some(e6_faults::run(quick)),
+        "e7" => Some(e7_messages::run(quick)),
+        "e8" => Some(e8_scaling::run(quick)),
+        "e9" => Some(e9_wan::run(quick)),
+        "e10" => Some(e10_local_reads::run(quick)),
+        _ => None,
+    }
+}

@@ -1,0 +1,705 @@
+//! Scenario definitions and per-system runners.
+
+use baselines::{
+    RaftAdmin, RaftClient, RaftNode, RaftTunables, RaftWorld, StwNode, StwTunables, StwWorld,
+};
+use consensus::actor::{ReplicaActor, SmrClient, SmrMsg};
+use consensus::{PaxosTunables, StaticConfig};
+use kvstore::{HistoryOp, KeyDist, KvOp, KvOutput, KvStore, WorkloadGen};
+use rsmr_core::harness::World;
+use rsmr_core::{AdminActor, RsmrClient, RsmrNode, RsmrTunables};
+use simnet::{Actor, Context, Metrics, NetConfig, NodeId, Sim, SimDuration, SimTime, Timer};
+
+/// Which system a scenario runs on.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SystemKind {
+    /// The bare static Multi-Paxos block (no reconfiguration support).
+    Static,
+    /// The composed reconfigurable machine, speculation on.
+    Rsmr,
+    /// The composition with speculative handoff disabled (ablation).
+    RsmrNoSpec,
+    /// The composition with leader-side batching (64 commands/entry).
+    RsmrBatched,
+    /// Stop-the-world composition baseline.
+    Stw,
+    /// Raft-lite (natively reconfigurable).
+    Raft,
+}
+
+impl SystemKind {
+    /// Short display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Static => "static-paxos",
+            SystemKind::Rsmr => "rsmr (spec)",
+            SystemKind::RsmrNoSpec => "rsmr (no-spec)",
+            SystemKind::RsmrBatched => "rsmr (batch=64)",
+            SystemKind::Stw => "stop-the-world",
+            SystemKind::Raft => "raft-lite",
+        }
+    }
+
+    /// Every reconfigurable system.
+    pub fn reconfigurable() -> [SystemKind; 4] {
+        [
+            SystemKind::Rsmr,
+            SystemKind::RsmrNoSpec,
+            SystemKind::Stw,
+            SystemKind::Raft,
+        ]
+    }
+}
+
+/// A parameterized experiment run. Construct with [`Scenario::new`] and
+/// chain the builder methods.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// RNG seed (a run is a pure function of the scenario).
+    pub seed: u64,
+    /// Genesis cluster size (ids `0..n_servers`).
+    pub n_servers: u64,
+    /// Ids of standby joiners to spawn (must appear in `script` targets).
+    pub joiners: Vec<u64>,
+    /// Number of closed-loop clients (ids `100..`).
+    pub n_clients: u64,
+    /// Per-client operation limit (`None` = run until the horizon).
+    pub ops_per_client: Option<u64>,
+    /// Virtual time at which clients are added.
+    pub client_start: SimTime,
+    /// Fraction of reads in the workload.
+    pub read_ratio: f64,
+    /// Value size for writes, bytes.
+    pub value_size: usize,
+    /// Keyspace size.
+    pub keyspace: usize,
+    /// Pre-filled application state `(keys, bytes_per_key)` — controls
+    /// state-transfer size.
+    pub filler: Option<(usize, usize)>,
+    /// Reconfiguration script: `(at, target member ids)`.
+    pub script: Vec<(SimTime, Vec<u64>)>,
+    /// Crash the current leader at this time, if set.
+    pub crash_leader_at: Option<SimTime>,
+    /// End of the run.
+    pub horizon: SimTime,
+    /// Record client histories (for linearizability checking).
+    pub record_history: bool,
+    /// Link bandwidth override in bytes/second (`None` keeps the LAN
+    /// default).
+    pub bandwidth: Option<u64>,
+    /// Use the wide-area network profile (20ms ± 4ms one-way, light loss)
+    /// instead of the datacenter LAN.
+    pub wan: bool,
+    /// Enable lease-based local reads on the composed machine (100ms
+    /// leases; only affects `Rsmr*` kinds).
+    pub local_reads: bool,
+}
+
+impl Scenario {
+    /// A 3-server, 4-client scenario with a 10s horizon.
+    pub fn new(seed: u64) -> Self {
+        Scenario {
+            seed,
+            n_servers: 3,
+            joiners: Vec::new(),
+            n_clients: 4,
+            ops_per_client: None,
+            client_start: SimTime::ZERO,
+            read_ratio: 0.5,
+            value_size: 64,
+            keyspace: 1024,
+            filler: None,
+            script: Vec::new(),
+            crash_leader_at: None,
+            horizon: SimTime::from_secs(10),
+            record_history: false,
+            bandwidth: None,
+            wan: false,
+            local_reads: false,
+        }
+    }
+
+    /// Sets the genesis cluster size.
+    pub fn servers(mut self, n: u64) -> Self {
+        self.n_servers = n;
+        self
+    }
+
+    /// Sets the client count.
+    pub fn clients(mut self, n: u64) -> Self {
+        self.n_clients = n;
+        self
+    }
+
+    /// Sets standby joiners.
+    pub fn joiners(mut self, ids: &[u64]) -> Self {
+        self.joiners = ids.to_vec();
+        self
+    }
+
+    /// Appends a reconfiguration step.
+    pub fn reconfigure_at(mut self, at: SimTime, target: &[u64]) -> Self {
+        self.script.push((at, target.to_vec()));
+        self
+    }
+
+    /// Sets the run horizon.
+    pub fn until(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Pre-fills the application state.
+    pub fn filler(mut self, keys: usize, bytes: usize) -> Self {
+        self.filler = Some((keys, bytes));
+        self
+    }
+
+    /// Overrides the link bandwidth (bytes/second).
+    pub fn bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.bandwidth = Some(bytes_per_sec);
+        self
+    }
+
+    /// Switches to the WAN profile, builder-style.
+    pub fn over_wan(mut self) -> Self {
+        self.wan = true;
+        self
+    }
+
+    fn net(&self) -> NetConfig {
+        let base = if self.wan {
+            NetConfig::wan()
+        } else {
+            NetConfig::lan()
+        };
+        match self.bandwidth {
+            Some(bw) => base.with_bandwidth(Some(bw)),
+            None => base,
+        }
+    }
+
+    fn initial_state(&self) -> KvStore {
+        match self.filler {
+            Some((n, sz)) => KvStore::with_filler(n, sz),
+            None => KvStore::new(),
+        }
+    }
+
+    fn server_ids(&self) -> Vec<NodeId> {
+        (0..self.n_servers).map(NodeId).collect()
+    }
+
+    fn client_ids(&self) -> Vec<NodeId> {
+        (0..self.n_clients).map(|c| NodeId(100 + c)).collect()
+    }
+
+    fn gen_for(&self, client_idx: u64) -> WorkloadGen {
+        WorkloadGen::new(
+            self.seed ^ (0xC11E57 + client_idx),
+            KeyDist::Uniform(self.keyspace),
+            self.read_ratio,
+            self.value_size,
+        )
+    }
+
+    fn admin_script(&self) -> Vec<(SimTime, Vec<NodeId>)> {
+        self.script
+            .iter()
+            .map(|(at, ids)| (*at, ids.iter().map(|&i| NodeId(i)).collect()))
+            .collect()
+    }
+}
+
+const ADMIN: NodeId = NodeId(99);
+
+/// Everything extracted from one run.
+pub struct RunOut {
+    /// Total client completions.
+    pub completed: u64,
+    /// The full metrics sink of the run.
+    pub metrics: Metrics,
+    /// Admin reconfiguration results as `(started, finished)`.
+    pub admin: Vec<(SimTime, SimTime)>,
+    /// The run's horizon.
+    pub horizon: SimTime,
+    /// Client histories (empty unless `record_history`).
+    pub histories: Vec<HistoryOp<KvOp, KvOutput>>,
+}
+
+impl RunOut {
+    /// Client-observed latency quantile, microseconds.
+    pub fn latency_us(&mut self, q: f64) -> f64 {
+        self.metrics
+            .histogram_mut("client.latency_us")
+            .map(|h| h.quantile(q))
+            .unwrap_or(0.0)
+    }
+
+    /// Mean client latency, microseconds.
+    pub fn latency_mean_us(&self) -> f64 {
+        self.metrics
+            .histogram("client.latency_us")
+            .map(|h| h.mean())
+            .unwrap_or(0.0)
+    }
+
+    /// Completions per second of virtual time over `[from, to)`.
+    pub fn throughput(&self, from: SimTime, to: SimTime) -> f64 {
+        let Some(t) = self.metrics.timeline("client.completes") else {
+            return 0.0;
+        };
+        let n: f64 = t
+            .points()
+            .iter()
+            .filter(|(at, _)| *at >= from && *at < to)
+            .map(|(_, v)| v)
+            .sum();
+        let span = to.since(from).as_secs_f64();
+        if span > 0.0 {
+            n / span
+        } else {
+            0.0
+        }
+    }
+
+    /// Completes summed into `bin`-wide buckets over the whole run.
+    pub fn completes_bins(&self, bin: SimDuration) -> Vec<f64> {
+        self.metrics
+            .timeline("client.completes")
+            .map(|t| {
+                t.binned(SimTime::ZERO, self.horizon, bin)
+                    .into_iter()
+                    .map(|(_, v)| v)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The longest run of empty `bin`-wide buckets within `[from, to)` —
+    /// the service-interruption window, in milliseconds.
+    pub fn longest_gap_ms(&self, from: SimTime, to: SimTime, bin: SimDuration) -> u64 {
+        self.metrics
+            .timeline("client.completes")
+            .map(|t| t.longest_gap_bins(from, to, bin) as u64 * bin.as_millis())
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Time from `at` until the first client completion after `at`, in
+    /// milliseconds — the service-recovery measure that stays meaningful
+    /// even when the workload ends before the horizon.
+    pub fn recovery_after_ms(&self, at: SimTime) -> Option<u64> {
+        let t = self.metrics.timeline("client.completes")?;
+        t.points()
+            .iter()
+            .find(|(when, _)| *when > at)
+            .map(|(when, _)| when.since(at).as_millis())
+    }
+
+    /// Total protocol messages sent whose label starts with `prefix`.
+    pub fn msgs_with_prefix(&self, prefix: &str) -> u64 {
+        self.metrics
+            .labels_with_prefix(prefix)
+            .iter()
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// The first admin reconfiguration's latency, microseconds.
+    pub fn reconfig_latency_us(&self) -> Option<u64> {
+        self.admin
+            .first()
+            .map(|(s, f)| f.since(*s).as_micros())
+    }
+}
+
+/// Runs `scenario` on `kind` and extracts the results.
+pub fn run(kind: SystemKind, sc: &Scenario) -> RunOut {
+    match kind {
+        SystemKind::Static => run_static(sc),
+        SystemKind::Rsmr => run_rsmr(sc, true, 0),
+        SystemKind::RsmrNoSpec => run_rsmr(sc, false, 0),
+        SystemKind::RsmrBatched => run_rsmr(sc, true, 64),
+        SystemKind::Stw => run_stw(sc),
+        SystemKind::Raft => run_raft(sc),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composed machine (speculation on/off)
+// ---------------------------------------------------------------------------
+
+fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
+    let mut tun = RsmrTunables {
+        fast_handoff,
+        batch_size,
+        local_reads: sc.local_reads,
+        ..RsmrTunables::default()
+    };
+    if sc.local_reads {
+        tun.paxos.lease_duration = Some(SimDuration::from_millis(100));
+    }
+    let mut sim: Sim<World<KvStore>> = Sim::new(sc.seed, sc.net());
+    let servers = sc.server_ids();
+    let genesis = StaticConfig::new(servers.clone());
+    for &s in &servers {
+        sim.add_node_with_id(
+            s,
+            World::server(RsmrNode::genesis_with(
+                s,
+                genesis.clone(),
+                tun.clone(),
+                sc.initial_state(),
+            )),
+        );
+    }
+    for &j in &sc.joiners {
+        sim.add_node_with_id(
+            NodeId(j),
+            World::server(RsmrNode::joining(NodeId(j), tun.clone())),
+        );
+    }
+    if !sc.script.is_empty() {
+        sim.add_node_with_id(
+            ADMIN,
+            World::admin(AdminActor::new(servers.clone(), sc.admin_script())),
+        );
+    }
+    sim.run_until(sc.client_start);
+    for (i, &c) in sc.client_ids().iter().enumerate() {
+        let mut client = RsmrClient::new(
+            servers.clone(),
+            sc.gen_for(i as u64).into_fn(),
+            sc.ops_per_client,
+        );
+        if sc.record_history {
+            client = client.with_history();
+        }
+        sim.add_node_with_id(c, World::client(client));
+    }
+    if let Some(at) = sc.crash_leader_at {
+        sim.run_until(at);
+        let leader = servers.iter().copied().find(|&s| {
+            sim.actor(s)
+                .and_then(World::as_server)
+                .map(|n| n.is_active_leader())
+                .unwrap_or(false)
+        });
+        if let Some(l) = leader {
+            sim.crash(l);
+        }
+    }
+    sim.run_until(sc.horizon);
+
+    let mut histories = Vec::new();
+    let mut completed = 0;
+    for &c in &sc.client_ids() {
+        if let Some(w) = sim.actor(c) {
+            completed += w.completed();
+            if let Some(cl) = w.as_client() {
+                for (_s, op, out, invoke, response) in cl.history() {
+                    histories.push(HistoryOp {
+                        process: c.0,
+                        invoke: *invoke,
+                        response: *response,
+                        input: op.clone(),
+                        output: out.clone(),
+                    });
+                }
+            }
+        }
+    }
+    let admin = sim
+        .actor(ADMIN)
+        .and_then(World::as_admin)
+        .map(|a| a.results().iter().map(|&(s, f, _)| (s, f)).collect())
+        .unwrap_or_default();
+    RunOut {
+        completed,
+        metrics: sim.metrics().clone(),
+        admin,
+        horizon: sc.horizon,
+        histories,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stop-the-world baseline
+// ---------------------------------------------------------------------------
+
+fn run_stw(sc: &Scenario) -> RunOut {
+    let tun = StwTunables::default();
+    let mut sim: Sim<StwWorld<KvStore>> = Sim::new(sc.seed, sc.net());
+    let servers = sc.server_ids();
+    let genesis = StaticConfig::new(servers.clone());
+    for &s in &servers {
+        sim.add_node_with_id(
+            s,
+            StwWorld::Server(StwNode::genesis_with(
+                s,
+                genesis.clone(),
+                tun.clone(),
+                sc.initial_state(),
+            )),
+        );
+    }
+    for &j in &sc.joiners {
+        sim.add_node_with_id(
+            NodeId(j),
+            StwWorld::Server(StwNode::joining(NodeId(j), tun.clone())),
+        );
+    }
+    if !sc.script.is_empty() {
+        sim.add_node_with_id(
+            ADMIN,
+            StwWorld::Admin(AdminActor::new(servers.clone(), sc.admin_script())),
+        );
+    }
+    sim.run_until(sc.client_start);
+    for (i, &c) in sc.client_ids().iter().enumerate() {
+        sim.add_node_with_id(
+            c,
+            StwWorld::Client(RsmrClient::new(
+                servers.clone(),
+                sc.gen_for(i as u64).into_fn(),
+                sc.ops_per_client,
+            )),
+        );
+    }
+    if let Some(at) = sc.crash_leader_at {
+        sim.run_until(at);
+        let leader = servers.iter().copied().find(|&s| {
+            sim.actor(s)
+                .and_then(StwWorld::as_server)
+                .map(|n| n.is_current_leader())
+                .unwrap_or(false)
+        });
+        if let Some(l) = leader {
+            sim.crash(l);
+        }
+    }
+    sim.run_until(sc.horizon);
+
+    let completed = sc
+        .client_ids()
+        .iter()
+        .filter_map(|&c| sim.actor(c).map(StwWorld::completed))
+        .sum();
+    let admin = sim
+        .actor(ADMIN)
+        .and_then(StwWorld::as_admin)
+        .map(|a| a.results().iter().map(|&(s, f, _)| (s, f)).collect())
+        .unwrap_or_default();
+    RunOut {
+        completed,
+        metrics: sim.metrics().clone(),
+        admin,
+        horizon: sc.horizon,
+        histories: Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raft baseline
+// ---------------------------------------------------------------------------
+
+fn run_raft(sc: &Scenario) -> RunOut {
+    let tun = RaftTunables::default();
+    let mut sim: Sim<RaftWorld<KvStore>> = Sim::new(sc.seed, sc.net());
+    let servers = sc.server_ids();
+    let genesis = StaticConfig::new(servers.clone());
+    for &s in &servers {
+        sim.add_node_with_id(
+            s,
+            RaftWorld::Server(RaftNode::with_state(
+                s,
+                genesis.clone(),
+                tun.clone(),
+                sc.initial_state(),
+            )),
+        );
+    }
+    for &j in &sc.joiners {
+        sim.add_node_with_id(
+            NodeId(j),
+            RaftWorld::Server(RaftNode::joining(NodeId(j), tun.clone())),
+        );
+    }
+    if !sc.script.is_empty() {
+        sim.add_node_with_id(
+            ADMIN,
+            RaftWorld::Admin(RaftAdmin::new(servers.clone(), sc.admin_script())),
+        );
+    }
+    sim.run_until(sc.client_start);
+    for (i, &c) in sc.client_ids().iter().enumerate() {
+        sim.add_node_with_id(
+            c,
+            RaftWorld::Client(RaftClient::new(
+                servers.clone(),
+                sc.gen_for(i as u64).into_fn(),
+                sc.ops_per_client,
+            )),
+        );
+    }
+    if let Some(at) = sc.crash_leader_at {
+        sim.run_until(at);
+        let leader = servers.iter().copied().find(|&s| {
+            sim.actor(s)
+                .and_then(RaftWorld::as_server)
+                .map(|n| n.core().is_leader())
+                .unwrap_or(false)
+        });
+        if let Some(l) = leader {
+            sim.crash(l);
+        }
+    }
+    sim.run_until(sc.horizon);
+
+    let completed = sc
+        .client_ids()
+        .iter()
+        .filter_map(|&c| sim.actor(c).map(RaftWorld::completed))
+        .sum();
+    let admin = sim
+        .actor(ADMIN)
+        .and_then(RaftWorld::as_admin)
+        .map(|a| a.results().to_vec())
+        .unwrap_or_default();
+    RunOut {
+        completed,
+        metrics: sim.metrics().clone(),
+        admin,
+        horizon: sc.horizon,
+        histories: Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static building block (non-reconfigurable, E1/E7/E8 reference)
+// ---------------------------------------------------------------------------
+
+/// World actor for the static system.
+pub enum StaticWorld {
+    /// A replica of the static block.
+    Server(ReplicaActor<u64>),
+    /// A closed-loop client.
+    Client(SmrClient<u64>),
+}
+
+impl Actor for StaticWorld {
+    type Msg = SmrMsg<u64>;
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            StaticWorld::Server(a) => a.on_start(ctx),
+            StaticWorld::Client(a) => a.on_start(ctx),
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg) {
+        match self {
+            StaticWorld::Server(a) => a.on_message(ctx, from, msg),
+            StaticWorld::Client(a) => a.on_message(ctx, from, msg),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, timer: Timer) {
+        match self {
+            StaticWorld::Server(a) => a.on_timer(ctx, timer),
+            StaticWorld::Client(a) => a.on_timer(ctx, timer),
+        }
+    }
+}
+
+fn run_static(sc: &Scenario) -> RunOut {
+    let mut sim: Sim<StaticWorld> = Sim::new(sc.seed, sc.net());
+    let servers = sc.server_ids();
+    let cfg = StaticConfig::new(servers.clone());
+    for &s in &servers {
+        sim.add_node_with_id(
+            s,
+            StaticWorld::Server(ReplicaActor::new(s, cfg.clone(), PaxosTunables::default())),
+        );
+    }
+    sim.run_until(sc.client_start);
+    for &c in &sc.client_ids() {
+        sim.add_node_with_id(
+            c,
+            StaticWorld::Client(SmrClient::new(servers.clone(), |i| i + 1, sc.ops_per_client)),
+        );
+    }
+    sim.run_until(sc.horizon);
+    let completed = sc
+        .client_ids()
+        .iter()
+        .filter_map(|&c| match sim.actor(c) {
+            Some(StaticWorld::Client(cl)) => Some(cl.completed()),
+            _ => None,
+        })
+        .sum();
+    RunOut {
+        completed,
+        metrics: sim.metrics().clone(),
+        admin: Vec::new(),
+        horizon: sc.horizon,
+        histories: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_system_completes_a_small_scenario() {
+        let sc = Scenario::new(1)
+            .clients(2)
+            .until(SimTime::from_secs(8));
+        let sc = Scenario {
+            ops_per_client: Some(50),
+            ..sc
+        };
+        for kind in [
+            SystemKind::Static,
+            SystemKind::Rsmr,
+            SystemKind::RsmrNoSpec,
+            SystemKind::Stw,
+            SystemKind::Raft,
+        ] {
+            let out = run(kind, &sc);
+            assert_eq!(out.completed, 100, "{} failed to finish", kind.name());
+        }
+    }
+
+    #[test]
+    fn reconfiguration_scenarios_complete_on_all_reconfigurable_systems() {
+        let sc = Scenario::new(2)
+            .clients(2)
+            .joiners(&[3])
+            .reconfigure_at(SimTime::from_millis(400), &[0, 1, 2, 3])
+            .until(SimTime::from_secs(20));
+        let sc = Scenario {
+            ops_per_client: Some(100),
+            ..sc
+        };
+        for kind in SystemKind::reconfigurable() {
+            let out = run(kind, &sc);
+            assert_eq!(out.completed, 200, "{}", kind.name());
+            assert_eq!(out.admin.len(), 1, "{}", kind.name());
+            assert!(out.reconfig_latency_us().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn run_out_helpers_produce_sane_numbers() {
+        let sc = Scenario::new(3).clients(2).until(SimTime::from_secs(5));
+        let mut out = run(SystemKind::Rsmr, &sc);
+        assert!(out.completed > 100);
+        assert!(out.throughput(SimTime::from_secs(1), SimTime::from_secs(5)) > 10.0);
+        assert!(out.latency_us(0.5) > 0.0);
+        assert!(out.latency_us(0.99) >= out.latency_us(0.5));
+        assert!(out.msgs_with_prefix("paxos.") > 0);
+        assert_eq!(
+            out.longest_gap_ms(SimTime::from_secs(1), SimTime::from_secs(5), SimDuration::from_millis(100)),
+            0
+        );
+    }
+}

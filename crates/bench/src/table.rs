@@ -1,0 +1,117 @@
+//! Minimal aligned-table rendering for experiment output.
+
+/// A simple left-aligned text table with a title and column headers.
+///
+/// ```
+/// use bench::Table;
+/// let mut t = Table::new("Demo", &["system", "value"]);
+/// t.row(&["rsmr".into(), format!("{:.1}", 1.5)]);
+/// let s = t.render();
+/// assert!(s.contains("rsmr"));
+/// ```
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; pads or truncates to the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.headers.len()).cloned().collect();
+        while row.len() < self.headers.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Renders an ASCII sparkline figure from binned values (one line per bin
+/// group is too verbose; this compresses to a fixed-width bar row).
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                ' '
+            } else if v <= 0.0 {
+                '·'
+            } else {
+                let idx = ((v / max) * 7.0).round() as usize;
+                GLYPHS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new("T", &["a", "long-header"]);
+        t.row(&["xxxxx".into(), "1".into()]);
+        t.row(&["y".into()]); // short row is padded
+        let s = t.render();
+        assert!(s.starts_with("## T"));
+        assert!(s.contains("| xxxxx | 1           |"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn sparkline_marks_gaps() {
+        let s = sparkline(&[10.0, 0.0, 5.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().nth(1), Some('·'));
+        assert_eq!(s.chars().next(), Some('█'));
+    }
+
+    #[test]
+    fn sparkline_of_zeroes_is_blank() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "  ".to_owned());
+    }
+}

@@ -1,0 +1,157 @@
+//! The fixed membership of one static SMR instance.
+
+use std::fmt;
+
+use simnet::wire::Wire;
+use simnet::NodeId;
+
+/// The (immutable) configuration of a static SMR instance: a set of members
+/// with majority quorums.
+///
+/// This type is deliberately frozen — the building block has no way to
+/// change it. Reconfiguration lives entirely in the composition layer, which
+/// replaces whole instances.
+///
+/// ```
+/// use consensus::StaticConfig;
+/// use simnet::NodeId;
+/// let cfg = StaticConfig::new(vec![NodeId(3), NodeId(1), NodeId(2), NodeId(1)]);
+/// assert_eq!(cfg.len(), 3);         // deduplicated
+/// assert_eq!(cfg.quorum(), 2);      // majority of 3
+/// assert!(cfg.contains(NodeId(2)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct StaticConfig {
+    members: Vec<NodeId>,
+}
+
+impl StaticConfig {
+    /// Builds a configuration from a member list (sorted and deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the member list is empty.
+    pub fn new(mut members: Vec<NodeId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        assert!(!members.is_empty(), "a configuration needs at least one member");
+        StaticConfig { members }
+    }
+
+    /// The members, sorted.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True only for the (disallowed) empty configuration; kept for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The majority quorum size: `⌊n/2⌋ + 1`.
+    pub fn quorum(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    /// True if `node` belongs to this configuration.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// The members other than `me`.
+    pub fn peers(&self, me: NodeId) -> Vec<NodeId> {
+        self.members.iter().copied().filter(|&n| n != me).collect()
+    }
+}
+
+impl fmt::Debug for StaticConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for StaticConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl Wire for StaticConfig {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.members.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let members = Vec::<NodeId>::decode(buf)?;
+        if members.is_empty() {
+            return None;
+        }
+        Some(StaticConfig::new(members))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::wire;
+
+    fn cfg(ids: &[u64]) -> StaticConfig {
+        StaticConfig::new(ids.iter().map(|&i| NodeId(i)).collect())
+    }
+
+    #[test]
+    fn quorum_sizes_are_majorities() {
+        assert_eq!(cfg(&[1]).quorum(), 1);
+        assert_eq!(cfg(&[1, 2]).quorum(), 2);
+        assert_eq!(cfg(&[1, 2, 3]).quorum(), 2);
+        assert_eq!(cfg(&[1, 2, 3, 4]).quorum(), 3);
+        assert_eq!(cfg(&[1, 2, 3, 4, 5]).quorum(), 3);
+        assert_eq!(cfg(&[1, 2, 3, 4, 5, 6, 7]).quorum(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_configuration_is_rejected() {
+        let _ = StaticConfig::new(vec![]);
+    }
+
+    #[test]
+    fn members_are_sorted_and_deduped() {
+        let c = cfg(&[5, 1, 3, 1, 5]);
+        assert_eq!(c.members(), &[NodeId(1), NodeId(3), NodeId(5)]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn peers_excludes_self() {
+        let c = cfg(&[1, 2, 3]);
+        assert_eq!(c.peers(NodeId(2)), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(c.peers(NodeId(9)).len(), 3);
+    }
+
+    #[test]
+    fn wire_round_trip_and_reject_empty() {
+        let c = cfg(&[4, 2]);
+        let bytes = wire::to_bytes(&c);
+        assert_eq!(wire::from_bytes::<StaticConfig>(&bytes), Some(c));
+        let empty = wire::to_bytes(&Vec::<NodeId>::new());
+        assert_eq!(wire::from_bytes::<StaticConfig>(&empty), None);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(cfg(&[1, 2]).to_string(), "{n1,n2}");
+    }
+}

@@ -1,0 +1,84 @@
+//! The output of one protocol-core step.
+
+use simnet::NodeId;
+
+use crate::msg::PaxosMsg;
+use crate::types::Slot;
+
+/// Everything a sans-I/O protocol step wants done by its host.
+///
+/// The host (a `simnet` actor, or the composition layer) applies the effects
+/// in order: persist first (write-ahead), then send, then hand committed
+/// entries to the application.
+#[derive(Debug)]
+pub struct Effects<C> {
+    /// Messages to send, as `(destination, message)`.
+    pub outbound: Vec<(NodeId, PaxosMsg<C>)>,
+    /// Log entries that became contiguously chosen during this step, in
+    /// slot order. Each entry is reported exactly once across the life of
+    /// the core.
+    pub committed: Vec<(Slot, C)>,
+    /// Key/value pairs to write to stable storage *before* sending.
+    pub persist: Vec<(String, Vec<u8>)>,
+    /// True if this step made the node the leader.
+    pub became_leader: bool,
+    /// True if this step demoted the node from leader.
+    pub lost_leadership: bool,
+}
+
+impl<C> Default for Effects<C> {
+    fn default() -> Self {
+        Effects {
+            outbound: Vec::new(),
+            committed: Vec::new(),
+            persist: Vec::new(),
+            became_leader: false,
+            lost_leadership: false,
+        }
+    }
+}
+
+impl<C> Effects<C> {
+    /// An empty effects value.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `other`'s effects after this one's.
+    pub fn merge(&mut self, other: Effects<C>) {
+        self.outbound.extend(other.outbound);
+        self.committed.extend(other.committed);
+        self.persist.extend(other.persist);
+        self.became_leader |= other.became_leader;
+        self.lost_leadership |= other.lost_leadership;
+    }
+
+    /// True when the step produced nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.outbound.is_empty()
+            && self.committed.is_empty()
+            && self.persist.is_empty()
+            && !self.became_leader
+            && !self.lost_leadership
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_concatenates_and_ors() {
+        let mut a: Effects<u64> = Effects::new();
+        assert!(a.is_empty());
+        a.committed.push((Slot(0), 1));
+        let mut b: Effects<u64> = Effects::new();
+        b.committed.push((Slot(1), 2));
+        b.became_leader = true;
+        a.merge(b);
+        assert_eq!(a.committed, vec![(Slot(0), 1), (Slot(1), 2)]);
+        assert!(a.became_leader);
+        assert!(!a.lost_leadership);
+        assert!(!a.is_empty());
+    }
+}

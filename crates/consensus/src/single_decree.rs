@@ -1,0 +1,317 @@
+//! The single-decree synod protocol, self-contained.
+//!
+//! This module exists for two reasons: it is the didactic core the
+//! multi-slot protocol generalizes, and it is small enough to property-test
+//! exhaustively under adversarial schedules (see the crate's proptest
+//! suite). It shares [`Ballot`] with the rest of the crate but is otherwise
+//! independent.
+
+use std::collections::BTreeSet;
+
+use simnet::NodeId;
+
+use crate::types::Ballot;
+
+/// Messages of the synod protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SynodMsg<V> {
+    /// Phase 1a.
+    Prepare(Ballot),
+    /// Phase 1b: promise plus the highest accepted proposal, if any.
+    Promise(Ballot, Option<(Ballot, V)>),
+    /// Phase 2a.
+    Accept(Ballot, V),
+    /// Phase 2b.
+    Accepted(Ballot),
+    /// Refusal carrying the conflicting promise.
+    Nack(Ballot),
+}
+
+/// A synod acceptor: promises ballots and accepts proposals.
+#[derive(Clone, Debug)]
+pub struct Acceptor<V> {
+    promised: Ballot,
+    accepted: Option<(Ballot, V)>,
+}
+
+impl<V: Clone> Default for Acceptor<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> Acceptor<V> {
+    /// Creates a fresh acceptor.
+    pub fn new() -> Self {
+        Acceptor {
+            promised: Ballot::ZERO,
+            accepted: None,
+        }
+    }
+
+    /// Phase 1: handles `Prepare(b)`, returning `Promise` or `Nack`.
+    pub fn on_prepare(&mut self, b: Ballot) -> SynodMsg<V> {
+        if b >= self.promised {
+            self.promised = b;
+            SynodMsg::Promise(b, self.accepted.clone())
+        } else {
+            SynodMsg::Nack(self.promised)
+        }
+    }
+
+    /// Phase 2: handles `Accept(b, v)`, returning `Accepted` or `Nack`.
+    pub fn on_accept(&mut self, b: Ballot, v: V) -> SynodMsg<V> {
+        if b >= self.promised {
+            self.promised = b;
+            self.accepted = Some((b, v));
+            SynodMsg::Accepted(b)
+        } else {
+            SynodMsg::Nack(self.promised)
+        }
+    }
+
+    /// The highest accepted proposal, if any.
+    pub fn accepted(&self) -> Option<&(Ballot, V)> {
+        self.accepted.as_ref()
+    }
+
+    /// The highest promised ballot.
+    pub fn promised(&self) -> Ballot {
+        self.promised
+    }
+}
+
+/// Proposer phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Preparing,
+    Accepting,
+    Decided,
+}
+
+/// A synod proposer driving one value to decision.
+#[derive(Clone, Debug)]
+pub struct Proposer<V> {
+    me: NodeId,
+    n_acceptors: usize,
+    ballot: Ballot,
+    /// The value this proposer *wants*; may be superseded by an adopted one.
+    initial: V,
+    /// The value actually proposed in phase 2.
+    proposing: Option<V>,
+    phase: Phase,
+    promises: BTreeSet<NodeId>,
+    best_accepted: Option<(Ballot, V)>,
+    accepts: BTreeSet<NodeId>,
+    decided: Option<V>,
+}
+
+impl<V: Clone> Proposer<V> {
+    /// Creates a proposer that wants to decide `value` among `n_acceptors`.
+    pub fn new(me: NodeId, n_acceptors: usize, value: V) -> Self {
+        Proposer {
+            me,
+            n_acceptors,
+            ballot: Ballot::ZERO,
+            initial: value,
+            proposing: None,
+            phase: Phase::Idle,
+            promises: BTreeSet::new(),
+            best_accepted: None,
+            accepts: BTreeSet::new(),
+            decided: None,
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.n_acceptors / 2 + 1
+    }
+
+    /// Starts (or restarts) a round with a ballot strictly above `above`.
+    /// Returns the `Prepare` to broadcast.
+    pub fn start_round(&mut self, above: Ballot) -> SynodMsg<V> {
+        self.ballot = Ballot::new(above.round.max(self.ballot.round) + 1, self.me);
+        self.phase = Phase::Preparing;
+        self.promises.clear();
+        self.accepts.clear();
+        self.best_accepted = None;
+        self.proposing = None;
+        SynodMsg::Prepare(self.ballot)
+    }
+
+    /// Handles a `Promise` from `from`. When a quorum forms, returns the
+    /// `Accept` to broadcast.
+    pub fn on_promise(
+        &mut self,
+        from: NodeId,
+        b: Ballot,
+        accepted: Option<(Ballot, V)>,
+    ) -> Option<SynodMsg<V>> {
+        if self.phase != Phase::Preparing || b != self.ballot {
+            return None;
+        }
+        self.promises.insert(from);
+        if let Some((ab, av)) = accepted {
+            let better = match &self.best_accepted {
+                Some((cur, _)) => ab > *cur,
+                None => true,
+            };
+            if better {
+                self.best_accepted = Some((ab, av));
+            }
+        }
+        if self.promises.len() >= self.quorum() {
+            self.phase = Phase::Accepting;
+            let v = self
+                .best_accepted
+                .take()
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| self.initial.clone());
+            self.proposing = Some(v.clone());
+            return Some(SynodMsg::Accept(self.ballot, v));
+        }
+        None
+    }
+
+    /// Handles an `Accepted` from `from`. Returns the decided value when a
+    /// quorum forms.
+    pub fn on_accepted(&mut self, from: NodeId, b: Ballot) -> Option<V> {
+        if self.phase != Phase::Accepting || b != self.ballot {
+            return None;
+        }
+        self.accepts.insert(from);
+        if self.accepts.len() >= self.quorum() {
+            self.phase = Phase::Decided;
+            self.decided = self.proposing.clone();
+            return self.decided.clone();
+        }
+        None
+    }
+
+    /// Handles a `Nack`; the caller should eventually call
+    /// [`Proposer::start_round`] with the returned ballot.
+    pub fn on_nack(&mut self, promised: Ballot) -> Ballot {
+        if self.phase == Phase::Preparing || self.phase == Phase::Accepting {
+            self.phase = Phase::Idle;
+        }
+        promised
+    }
+
+    /// The decided value, once known to this proposer.
+    pub fn decided(&self) -> Option<&V> {
+        self.decided.as_ref()
+    }
+
+    /// The current ballot.
+    pub fn ballot(&self) -> Ballot {
+        self.ballot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_decides_the_proposed_value() {
+        let mut acceptors: Vec<Acceptor<u32>> = (0..3).map(|_| Acceptor::new()).collect();
+        let mut p = Proposer::new(NodeId(0), 3, 42);
+        let SynodMsg::Prepare(b) = p.start_round(Ballot::ZERO) else {
+            panic!()
+        };
+        let mut accept = None;
+        for (i, a) in acceptors.iter_mut().enumerate() {
+            if let SynodMsg::Promise(pb, prev) = a.on_prepare(b) {
+                if let Some(msg) = p.on_promise(NodeId(i as u64), pb, prev) {
+                    accept = Some(msg);
+                }
+            }
+        }
+        let SynodMsg::Accept(b2, v) = accept.expect("quorum of promises") else {
+            panic!()
+        };
+        assert_eq!(v, 42);
+        let mut decided = None;
+        for (i, a) in acceptors.iter_mut().enumerate() {
+            if let SynodMsg::Accepted(ab) = a.on_accept(b2, v) {
+                if let Some(d) = p.on_accepted(NodeId(i as u64), ab) {
+                    decided = Some(d);
+                }
+            }
+        }
+        assert_eq!(decided, Some(42));
+        assert_eq!(p.decided(), Some(&42));
+    }
+
+    #[test]
+    fn later_proposer_adopts_possibly_chosen_value() {
+        // Acceptors 0 and 1 accept (b1, 7) — a quorum of 3, so 7 is chosen.
+        let mut acceptors: Vec<Acceptor<u32>> = (0..3).map(|_| Acceptor::new()).collect();
+        let b1 = Ballot::new(1, NodeId(0));
+        for a in acceptors.iter_mut().take(2) {
+            a.on_prepare(b1);
+            a.on_accept(b1, 7);
+        }
+        // A second proposer wanting 9 must still decide 7.
+        let mut p2 = Proposer::new(NodeId(1), 3, 9);
+        let SynodMsg::Prepare(b2) = p2.start_round(b1) else {
+            panic!()
+        };
+        let mut accept = None;
+        for (i, a) in acceptors.iter_mut().enumerate() {
+            if let SynodMsg::Promise(pb, prev) = a.on_prepare(b2) {
+                if let Some(m) = p2.on_promise(NodeId(i as u64), pb, prev) {
+                    accept = Some(m);
+                }
+            }
+        }
+        match accept.expect("quorum") {
+            SynodMsg::Accept(_, v) => assert_eq!(v, 7, "must adopt the chosen value"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_ballots_are_nacked() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        let high = Ballot::new(5, NodeId(2));
+        a.on_prepare(high);
+        match a.on_prepare(Ballot::new(1, NodeId(0))) {
+            SynodMsg::Nack(p) => assert_eq!(p, high),
+            other => panic!("unexpected {other:?}"),
+        }
+        match a.on_accept(Ballot::new(1, NodeId(0)), 3) {
+            SynodMsg::Nack(p) => assert_eq!(p, high),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(a.accepted().is_none());
+    }
+
+    #[test]
+    fn nack_resets_proposer_for_a_retry() {
+        let mut p = Proposer::new(NodeId(0), 3, 1);
+        p.start_round(Ballot::ZERO);
+        let higher = Ballot::new(9, NodeId(1));
+        let retry_above = p.on_nack(higher);
+        assert_eq!(retry_above, higher);
+        let SynodMsg::Prepare(b) = p.start_round(retry_above) else {
+            panic!()
+        };
+        assert!(b > higher);
+    }
+
+    #[test]
+    fn duplicate_promises_do_not_fake_a_quorum() {
+        let mut p = Proposer::new(NodeId(0), 5, 1);
+        let SynodMsg::Prepare(b) = p.start_round(Ballot::ZERO) else {
+            panic!()
+        };
+        // The same acceptor promising three times is still one promise.
+        assert!(p.on_promise(NodeId(1), b, None).is_none());
+        assert!(p.on_promise(NodeId(1), b, None).is_none());
+        assert!(p.on_promise(NodeId(1), b, None).is_none());
+        assert!(p.on_promise(NodeId(2), b, None).is_none());
+        assert!(p.on_promise(NodeId(3), b, None).is_some());
+    }
+}

@@ -1,0 +1,190 @@
+//! Fundamental consensus types: ballots, slots and the command contract.
+
+use std::fmt;
+
+use simnet::wire::Wire;
+use simnet::NodeId;
+
+/// A Paxos ballot number: a round counter tie-broken by proposer id, so no
+/// two proposers ever share a ballot.
+///
+/// ```
+/// use consensus::Ballot;
+/// use simnet::NodeId;
+/// let a = Ballot::new(3, NodeId(1));
+/// let b = Ballot::new(3, NodeId(2));
+/// assert!(a < b);
+/// assert!(b < Ballot::new(4, NodeId(0)));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ballot {
+    /// The round counter (major component).
+    pub round: u64,
+    /// The proposer owning the ballot (tie-breaker).
+    pub node: NodeId,
+}
+
+impl Ballot {
+    /// The null ballot, smaller than any real ballot.
+    pub const ZERO: Ballot = Ballot {
+        round: 0,
+        node: NodeId(0),
+    };
+
+    /// Creates a ballot.
+    pub fn new(round: u64, node: NodeId) -> Self {
+        Ballot { round, node }
+    }
+
+    /// The smallest ballot owned by `node` that is larger than `self`.
+    pub fn bump(self, node: NodeId) -> Ballot {
+        Ballot {
+            round: self.round + 1,
+            node,
+        }
+    }
+
+    /// True for any ballot other than [`Ballot::ZERO`].
+    pub fn is_real(self) -> bool {
+        self != Ballot::ZERO
+    }
+}
+
+impl fmt::Debug for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round, self.node.0)
+    }
+}
+
+impl Wire for Ballot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.round.encode(buf);
+        self.node.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(Ballot {
+            round: u64::decode(buf)?,
+            node: NodeId::decode(buf)?,
+        })
+    }
+}
+
+/// A position in the replicated log. The first slot is 0.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Slot(pub u64);
+
+impl Slot {
+    /// The first log position.
+    pub const ZERO: Slot = Slot(0);
+
+    /// The slot immediately after this one.
+    pub fn next(self) -> Slot {
+        Slot(self.0 + 1)
+    }
+
+    /// The slot immediately before this one, saturating at zero.
+    pub fn prev(self) -> Slot {
+        Slot(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl Wire for Slot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(Slot(u64::decode(buf)?))
+    }
+}
+
+/// The contract a replicated command type must satisfy.
+///
+/// Commands are carried in messages (hence `Clone`), persisted to stable
+/// storage (hence [`Wire`]), and the protocol must be able to fill log holes
+/// with a no-op (hence [`Command::noop`]).
+pub trait Command: Clone + fmt::Debug + PartialEq + Wire + 'static {
+    /// A command with no effect, used by new leaders to fill log holes.
+    fn noop() -> Self;
+
+    /// True if this command is the [`Command::noop`] filler.
+    fn is_noop(&self) -> bool {
+        *self == Self::noop()
+    }
+}
+
+/// `u64` commands for tests and micro-benchmarks; `0` is the no-op.
+impl Command for u64 {
+    fn noop() -> Self {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::wire;
+
+    #[test]
+    fn ballot_ordering_is_round_then_node() {
+        let b = |r, n| Ballot::new(r, NodeId(n));
+        assert!(b(1, 5) < b(2, 0));
+        assert!(b(2, 1) < b(2, 2));
+        assert_eq!(b(3, 3), b(3, 3));
+        assert!(Ballot::ZERO < b(0, 1));
+    }
+
+    #[test]
+    fn bump_produces_a_strictly_larger_ballot() {
+        let b = Ballot::new(7, NodeId(9));
+        let bumped = b.bump(NodeId(1));
+        assert!(bumped > b);
+        assert_eq!(bumped.round, 8);
+        assert_eq!(bumped.node, NodeId(1));
+    }
+
+    #[test]
+    fn zero_ballot_is_not_real() {
+        assert!(!Ballot::ZERO.is_real());
+        assert!(Ballot::new(0, NodeId(1)).is_real());
+    }
+
+    #[test]
+    fn slot_navigation() {
+        assert_eq!(Slot(3).next(), Slot(4));
+        assert_eq!(Slot(3).prev(), Slot(2));
+        assert_eq!(Slot::ZERO.prev(), Slot::ZERO);
+    }
+
+    #[test]
+    fn ballot_and_slot_wire_round_trip() {
+        let b = Ballot::new(42, NodeId(7));
+        assert_eq!(wire::from_bytes::<Ballot>(&wire::to_bytes(&b)), Some(b));
+        let s = Slot(99);
+        assert_eq!(wire::from_bytes::<Slot>(&wire::to_bytes(&s)), Some(s));
+    }
+
+    #[test]
+    fn u64_command_noop() {
+        assert!(0u64.is_noop());
+        assert!(!7u64.is_noop());
+        assert_eq!(u64::noop(), 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Property-based tests for the consensus building block.
+//!
+//! * Single-decree synod: agreement and validity hold under arbitrary
+//!   message schedules, drops and duplications.
+//! * Multi-Paxos: replicas never disagree on a chosen slot, across random
+//!   fault schedules (crashes with recovery, lossy links).
+
+use std::collections::BTreeMap;
+
+use consensus::actor::{ReplicaActor, SmrClient, SmrMsg, TaggedCmd};
+use consensus::single_decree::{Acceptor, Proposer, SynodMsg};
+use consensus::{Ballot, MultiPaxos, PaxosTunables, StaticConfig};
+use proptest::prelude::*;
+use simnet::{Actor, Context, NetConfig, NodeId, Sim, SimDuration, Timer};
+
+// ---------------------------------------------------------------------------
+// Single-decree synod under adversarial schedules
+// ---------------------------------------------------------------------------
+
+/// A network step chosen by proptest.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Deliver the i-th queued message (modulo queue length).
+    Deliver(usize),
+    /// Drop the i-th queued message.
+    Drop(usize),
+    /// Duplicate the i-th queued message.
+    Duplicate(usize),
+    /// Proposer `p` (mod #proposers) starts a new round.
+    Restart(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0usize..64).prop_map(Step::Deliver),
+        1 => (0usize..64).prop_map(Step::Drop),
+        1 => (0usize..64).prop_map(Step::Duplicate),
+        1 => (0usize..8).prop_map(Step::Restart),
+    ]
+}
+
+/// One in-flight synod message: (to_acceptor?, proposer, acceptor, msg).
+#[derive(Clone, Debug)]
+struct InFlight {
+    proposer: usize,
+    acceptor: usize,
+    to_acceptor: bool,
+    msg: SynodMsg<u32>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Agreement & validity: no matter the schedule, all decided values are
+    /// equal, and are one of the initially proposed values.
+    #[test]
+    fn synod_agreement_under_arbitrary_schedules(
+        steps in proptest::collection::vec(step_strategy(), 1..200),
+        n_acceptors in 1usize..=5,
+        n_proposers in 1usize..=3,
+    ) {
+        let mut acceptors: Vec<Acceptor<u32>> =
+            (0..n_acceptors).map(|_| Acceptor::new()).collect();
+        let proposed: Vec<u32> = (0..n_proposers as u32).map(|i| 100 + i).collect();
+        let mut proposers: Vec<Proposer<u32>> = proposed
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Proposer::new(NodeId(i as u64), n_acceptors, v))
+            .collect();
+        let mut queue: Vec<InFlight> = Vec::new();
+        let mut decided: Vec<u32> = Vec::new();
+
+        // Everyone starts a first round.
+        for (p, prop) in proposers.iter_mut().enumerate() {
+            let msg = prop.start_round(Ballot::ZERO);
+            for a in 0..n_acceptors {
+                queue.push(InFlight { proposer: p, acceptor: a, to_acceptor: true, msg: msg.clone() });
+            }
+        }
+
+        for step in steps {
+            match step {
+                Step::Drop(i) => {
+                    if !queue.is_empty() {
+                        queue.remove(i % queue.len());
+                    }
+                }
+                Step::Duplicate(i) => {
+                    if !queue.is_empty() {
+                        let m = queue[i % queue.len()].clone();
+                        queue.push(m);
+                    }
+                }
+                Step::Restart(p) => {
+                    let p = p % n_proposers;
+                    let above = proposers[p].ballot();
+                    let msg = proposers[p].start_round(above);
+                    for a in 0..n_acceptors {
+                        queue.push(InFlight { proposer: p, acceptor: a, to_acceptor: true, msg: msg.clone() });
+                    }
+                }
+                Step::Deliver(i) => {
+                    if queue.is_empty() {
+                        continue;
+                    }
+                    let m = queue.remove(i % queue.len());
+                    if m.to_acceptor {
+                        let reply = match m.msg {
+                            SynodMsg::Prepare(b) => Some(acceptors[m.acceptor].on_prepare(b)),
+                            SynodMsg::Accept(b, v) => Some(acceptors[m.acceptor].on_accept(b, v)),
+                            _ => None,
+                        };
+                        if let Some(reply) = reply {
+                            queue.push(InFlight {
+                                proposer: m.proposer,
+                                acceptor: m.acceptor,
+                                to_acceptor: false,
+                                msg: reply,
+                            });
+                        }
+                    } else {
+                        let p = &mut proposers[m.proposer];
+                        let from = NodeId(m.acceptor as u64);
+                        match m.msg {
+                            SynodMsg::Promise(b, prev) => {
+                                if let Some(accept) = p.on_promise(from, b, prev) {
+                                    for a in 0..n_acceptors {
+                                        queue.push(InFlight {
+                                            proposer: m.proposer,
+                                            acceptor: a,
+                                            to_acceptor: true,
+                                            msg: accept.clone(),
+                                        });
+                                    }
+                                }
+                            }
+                            SynodMsg::Accepted(b) => {
+                                if let Some(v) = p.on_accepted(from, b) {
+                                    decided.push(v);
+                                }
+                            }
+                            SynodMsg::Nack(promised) => {
+                                let _ = p.on_nack(promised);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+
+        // Validity: every decision is a proposed value.
+        for d in &decided {
+            prop_assert!(proposed.contains(d), "decided {d} was never proposed");
+        }
+        // Agreement: all decisions are equal.
+        if let Some(first) = decided.first() {
+            for d in &decided {
+                prop_assert_eq!(d, first, "two different values decided");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-Paxos log safety under faults, via simnet
+// ---------------------------------------------------------------------------
+
+enum Node {
+    Replica(ReplicaActor<u64>),
+    Client(SmrClient<u64>),
+}
+
+impl Actor for Node {
+    type Msg = SmrMsg<u64>;
+    fn on_start(&mut self, ctx: &mut Context<'_, SmrMsg<u64>>) {
+        match self {
+            Node::Replica(r) => r.on_start(ctx),
+            Node::Client(c) => c.on_start(ctx),
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, SmrMsg<u64>>, from: NodeId, msg: SmrMsg<u64>) {
+        match self {
+            Node::Replica(r) => r.on_message(ctx, from, msg),
+            Node::Client(c) => c.on_message(ctx, from, msg),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, SmrMsg<u64>>, timer: Timer) {
+        match self {
+            Node::Replica(r) => r.on_timer(ctx, timer),
+            Node::Client(c) => c.on_timer(ctx, timer),
+        }
+    }
+}
+
+fn chosen_logs(sim: &Sim<Node>, servers: &[NodeId]) -> BTreeMap<NodeId, Vec<(u64, TaggedCmd<u64>)>> {
+    let mut out = BTreeMap::new();
+    for &s in servers {
+        if let Some(Node::Replica(r)) = sim.actor(s) {
+            let core: &MultiPaxos<TaggedCmd<u64>> = r.core();
+            let mut log = Vec::new();
+            for i in 0..core.chosen_upto().0 {
+                log.push((
+                    i,
+                    core.chosen_entry(consensus::Slot(i)).expect("contiguous").clone(),
+                ));
+            }
+            out.insert(s, log);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under random loss and a random mid-run crash+recovery, no two
+    /// replicas ever disagree on a chosen slot, and the surviving majority
+    /// still serves clients.
+    #[test]
+    fn multipaxos_logs_never_diverge_under_faults(
+        seed in 0u64..10_000,
+        drop_permille in 0u64..150,
+        crash_victim in 0u64..3,
+        crash_at_ms in 100u64..1_500,
+    ) {
+        let drop_rate = drop_permille as f64 / 1000.0;
+        let mut sim: Sim<Node> = Sim::new(seed, NetConfig::lossy(drop_rate));
+        let servers: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let cfg = StaticConfig::new(servers.clone());
+        for &s in &servers {
+            sim.add_node_with_id(
+                s,
+                Node::Replica(ReplicaActor::new(s, cfg.clone(), PaxosTunables::default())),
+            );
+        }
+        let client = NodeId(100);
+        sim.add_node_with_id(
+            client,
+            Node::Client(SmrClient::new(servers.clone(), |i| i + 1, Some(150))),
+        );
+
+        let victim = NodeId(crash_victim);
+        sim.run_for(SimDuration::from_millis(crash_at_ms));
+        sim.crash(victim);
+        sim.run_for(SimDuration::from_secs(3));
+        let recovered = ReplicaActor::recover(
+            victim,
+            cfg.clone(),
+            PaxosTunables::default(),
+            sim.storage(victim),
+        );
+        sim.restart(victim, Node::Replica(recovered));
+        sim.run_for(SimDuration::from_secs(45));
+
+        // Safety: pairwise log agreement on the common prefix.
+        let logs = chosen_logs(&sim, &servers);
+        let vals: Vec<&Vec<(u64, TaggedCmd<u64>)>> = logs.values().collect();
+        for i in 0..vals.len() {
+            for j in (i + 1)..vals.len() {
+                let n = vals[i].len().min(vals[j].len());
+                prop_assert_eq!(&vals[i][..n], &vals[j][..n], "chosen logs diverge");
+            }
+        }
+
+        // Liveness (moderate loss only): the client finishes its workload.
+        if drop_rate < 0.05 {
+            let done = match sim.actor(client) {
+                Some(Node::Client(c)) => c.completed(),
+                _ => 0,
+            };
+            prop_assert_eq!(done, 150, "client starved under benign conditions");
+        }
+    }
+}

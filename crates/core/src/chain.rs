@@ -1,0 +1,242 @@
+//! Epochs and the agreed chain of configurations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use consensus::StaticConfig;
+use simnet::wire::Wire;
+
+/// A configuration epoch. Epoch `e+1`'s configuration is decided by a
+/// command committed in epoch `e`, so the chain is itself agreed upon.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The genesis epoch.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// The successor epoch.
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+
+    /// The predecessor epoch, saturating at genesis.
+    pub fn prev(self) -> Epoch {
+        Epoch(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl Wire for Epoch {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(Epoch(u64::decode(buf)?))
+    }
+}
+
+/// The agreed sequence of configurations, from genesis up to the newest
+/// known epoch.
+///
+/// The chain's key invariant — enforced by [`ConfigChain::append`] — is
+/// *contiguity*: configurations exist for every epoch from genesis to the
+/// latest, with no gaps, because each link is created by exactly one
+/// committed close command in the preceding epoch's log.
+///
+/// ```
+/// use consensus::StaticConfig;
+/// use rsmr_core::chain::{ConfigChain, Epoch};
+/// use simnet::NodeId;
+/// let mut chain = ConfigChain::genesis(StaticConfig::new(vec![NodeId(1), NodeId(2), NodeId(3)]));
+/// chain.append(Epoch(1), StaticConfig::new(vec![NodeId(2), NodeId(3), NodeId(4)]));
+/// assert_eq!(chain.latest_epoch(), Epoch(1));
+/// assert!(chain.config(Epoch(1)).unwrap().contains(NodeId(4)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigChain {
+    configs: BTreeMap<Epoch, StaticConfig>,
+}
+
+impl ConfigChain {
+    /// Starts a chain with the genesis configuration at [`Epoch::ZERO`].
+    pub fn genesis(cfg: StaticConfig) -> Self {
+        let mut configs = BTreeMap::new();
+        configs.insert(Epoch::ZERO, cfg);
+        ConfigChain { configs }
+    }
+
+    /// Appends the configuration decided for `epoch`.
+    ///
+    /// Appending an epoch already in the chain with the *same*
+    /// configuration is an idempotent no-op (replicas can learn a link
+    /// through multiple paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is not the successor of the latest epoch (a gap
+    /// would mean the chain agreement was violated), or if the epoch is
+    /// known with a *different* configuration.
+    pub fn append(&mut self, epoch: Epoch, cfg: StaticConfig) {
+        if let Some(existing) = self.configs.get(&epoch) {
+            assert_eq!(
+                existing, &cfg,
+                "configuration chain fork at {epoch}: {existing} vs {cfg}"
+            );
+            return;
+        }
+        let latest = self.latest_epoch();
+        assert_eq!(
+            epoch,
+            latest.next(),
+            "non-contiguous chain append: latest is {latest}, got {epoch}"
+        );
+        self.configs.insert(epoch, cfg);
+    }
+
+    /// The newest epoch in the chain.
+    pub fn latest_epoch(&self) -> Epoch {
+        *self.configs.keys().next_back().expect("chain is never empty")
+    }
+
+    /// The configuration of the newest epoch.
+    pub fn latest_config(&self) -> &StaticConfig {
+        self.configs
+            .get(&self.latest_epoch())
+            .expect("latest epoch present")
+    }
+
+    /// The configuration of `epoch`, if known.
+    pub fn config(&self, epoch: Epoch) -> Option<&StaticConfig> {
+        self.configs.get(&epoch)
+    }
+
+    /// Iterates over `(epoch, configuration)` links in epoch order.
+    pub fn iter(&self) -> impl Iterator<Item = (Epoch, &StaticConfig)> {
+        self.configs.iter().map(|(&e, c)| (e, c))
+    }
+
+    /// Number of links in the chain.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Always false — a chain has at least the genesis link.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Drops links for epochs before `keep_from` (they can no longer be
+    /// needed once every replica has moved past them), always retaining the
+    /// latest link.
+    pub fn compact(&mut self, keep_from: Epoch) {
+        let latest = self.latest_epoch();
+        self.configs.retain(|&e, _| e >= keep_from || e == latest);
+    }
+}
+
+impl Wire for ConfigChain {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let links: Vec<(Epoch, StaticConfig)> = self
+            .configs
+            .iter()
+            .map(|(&e, c)| (e, c.clone()))
+            .collect();
+        links.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let links = Vec::<(Epoch, StaticConfig)>::decode(buf)?;
+        if links.is_empty() {
+            return None;
+        }
+        let configs: BTreeMap<Epoch, StaticConfig> = links.into_iter().collect();
+        Some(ConfigChain { configs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::wire;
+    use simnet::NodeId;
+
+    fn cfg(ids: &[u64]) -> StaticConfig {
+        StaticConfig::new(ids.iter().map(|&i| NodeId(i)).collect())
+    }
+
+    #[test]
+    fn genesis_chain_has_one_link() {
+        let chain = ConfigChain::genesis(cfg(&[1, 2, 3]));
+        assert_eq!(chain.latest_epoch(), Epoch::ZERO);
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.config(Epoch(0)), Some(&cfg(&[1, 2, 3])));
+        assert_eq!(chain.config(Epoch(1)), None);
+    }
+
+    #[test]
+    fn append_extends_and_is_idempotent() {
+        let mut chain = ConfigChain::genesis(cfg(&[1, 2, 3]));
+        chain.append(Epoch(1), cfg(&[2, 3, 4]));
+        chain.append(Epoch(1), cfg(&[2, 3, 4])); // idempotent
+        assert_eq!(chain.latest_epoch(), Epoch(1));
+        assert_eq!(chain.latest_config(), &cfg(&[2, 3, 4]));
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-contiguous")]
+    fn gaps_are_rejected() {
+        let mut chain = ConfigChain::genesis(cfg(&[1]));
+        chain.append(Epoch(2), cfg(&[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "fork")]
+    fn forks_are_rejected() {
+        let mut chain = ConfigChain::genesis(cfg(&[1]));
+        chain.append(Epoch(1), cfg(&[2]));
+        chain.append(Epoch(1), cfg(&[3]));
+    }
+
+    #[test]
+    fn compaction_keeps_recent_links() {
+        let mut chain = ConfigChain::genesis(cfg(&[1]));
+        for e in 1..=5u64 {
+            chain.append(Epoch(e), cfg(&[e, e + 1]));
+        }
+        chain.compact(Epoch(4));
+        assert_eq!(chain.config(Epoch(3)), None);
+        assert!(chain.config(Epoch(4)).is_some());
+        assert_eq!(chain.latest_epoch(), Epoch(5));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let mut chain = ConfigChain::genesis(cfg(&[1, 2, 3]));
+        chain.append(Epoch(1), cfg(&[2, 3, 4]));
+        let bytes = wire::to_bytes(&chain);
+        assert_eq!(wire::from_bytes::<ConfigChain>(&bytes), Some(chain));
+        // An empty chain on the wire is malformed.
+        let empty = wire::to_bytes(&Vec::<(Epoch, StaticConfig)>::new());
+        assert_eq!(wire::from_bytes::<ConfigChain>(&empty), None);
+    }
+
+    #[test]
+    fn epoch_navigation_and_display() {
+        assert_eq!(Epoch(3).next(), Epoch(4));
+        assert_eq!(Epoch(3).prev(), Epoch(2));
+        assert_eq!(Epoch::ZERO.prev(), Epoch::ZERO);
+        assert_eq!(Epoch(7).to_string(), "e7");
+    }
+}

@@ -1,0 +1,134 @@
+//! The replicated command wrapper.
+
+use consensus::Command;
+use simnet::wire::Wire;
+use simnet::NodeId;
+
+/// What flows through an epoch's static log.
+///
+/// `O` is the application operation type (the [`crate::StateMachine`]'s
+/// input). The composition layer adds two non-application commands:
+/// protocol no-ops (hole fillers) and the epoch-closing `Reconfigure`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cmd<O> {
+    /// A hole-filling no-op; invisible to the application.
+    Noop,
+    /// An application command, tagged for exactly-once client sessions.
+    App {
+        /// The submitting client.
+        client: NodeId,
+        /// The client's session sequence number.
+        seq: u64,
+        /// The application operation.
+        op: O,
+    },
+    /// Closes the epoch and names the successor configuration's members.
+    Reconfigure {
+        /// Member ids of the next epoch's configuration.
+        members: Vec<NodeId>,
+    },
+    /// A leader-side batch of application commands, amortizing one
+    /// consensus round over many operations (E1's batching ablation).
+    /// Batches never contain `Reconfigure`s, so the close rule is
+    /// unaffected.
+    Batch {
+        /// The batched operations, in arrival order.
+        entries: Vec<(NodeId, u64, O)>,
+    },
+}
+
+impl<O> Cmd<O> {
+    /// True for the epoch-closing command.
+    pub fn is_reconfigure(&self) -> bool {
+        matches!(self, Cmd::Reconfigure { .. })
+    }
+}
+
+impl<O: Wire> Wire for Cmd<O> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Cmd::Noop => buf.push(0),
+            Cmd::App { client, seq, op } => {
+                buf.push(1);
+                client.encode(buf);
+                seq.encode(buf);
+                op.encode(buf);
+            }
+            Cmd::Reconfigure { members } => {
+                buf.push(2);
+                members.encode(buf);
+            }
+            Cmd::Batch { entries } => {
+                buf.push(3);
+                entries.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(Cmd::Noop),
+            1 => Some(Cmd::App {
+                client: NodeId::decode(buf)?,
+                seq: u64::decode(buf)?,
+                op: O::decode(buf)?,
+            }),
+            2 => Some(Cmd::Reconfigure {
+                members: Vec::<NodeId>::decode(buf)?,
+            }),
+            3 => Some(Cmd::Batch {
+                entries: Vec::<(NodeId, u64, O)>::decode(buf)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl<O: Clone + std::fmt::Debug + PartialEq + Wire + 'static> Command for Cmd<O> {
+    fn noop() -> Self {
+        Cmd::Noop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::wire;
+
+    #[test]
+    fn wire_round_trip_all_variants() {
+        let cases: Vec<Cmd<u64>> = vec![
+            Cmd::Noop,
+            Cmd::App {
+                client: NodeId(9),
+                seq: 3,
+                op: 1234,
+            },
+            Cmd::Reconfigure {
+                members: vec![NodeId(1), NodeId(2)],
+            },
+        ];
+        for c in cases {
+            let bytes = wire::to_bytes(&c);
+            assert_eq!(wire::from_bytes::<Cmd<u64>>(&bytes), Some(c));
+        }
+    }
+
+    #[test]
+    fn bad_discriminant_is_rejected() {
+        assert_eq!(wire::from_bytes::<Cmd<u64>>(&[9]), None);
+    }
+
+    #[test]
+    fn noop_contract() {
+        assert!(Cmd::<u64>::noop().is_noop());
+        assert!(!Cmd::<u64>::App {
+            client: NodeId(1),
+            seq: 0,
+            op: 0
+        }
+        .is_noop());
+        assert!(Cmd::<u64>::Reconfigure { members: vec![] }.is_reconfigure());
+        assert!(!Cmd::<u64>::Noop.is_reconfigure());
+    }
+}

@@ -1,0 +1,136 @@
+//! A ready-made world actor for deployments of the composed machine:
+//! servers, clients, paced clients and the admin in one `simnet` world.
+//!
+//! Examples, integration tests and the experiment harness all need the
+//! same enum-dispatch boilerplate; this module provides it once.
+//!
+//! ```
+//! use consensus::StaticConfig;
+//! use rsmr_core::harness::World;
+//! use rsmr_core::{CounterSm, RsmrClient, RsmrNode, RsmrTunables};
+//! use simnet::{NetConfig, NodeId, Sim, SimDuration};
+//!
+//! let mut sim: Sim<World<CounterSm>> = Sim::new(7, NetConfig::lan());
+//! let servers: Vec<NodeId> = (0..3).map(NodeId).collect();
+//! let cfg = StaticConfig::new(servers.clone());
+//! for &s in &servers {
+//!     sim.add_node_with_id(s, World::server(RsmrNode::genesis(s, cfg.clone(), RsmrTunables::default())));
+//! }
+//! let c = NodeId(100);
+//! sim.add_node_with_id(c, World::client(RsmrClient::new(servers, |_| 1, Some(10))));
+//! sim.run_for(SimDuration::from_secs(5));
+//! assert_eq!(sim.actor(c).unwrap().as_client().unwrap().completed(), 10);
+//! ```
+
+use simnet::{Actor, Context, NodeId, Timer};
+
+use crate::client::{AdminActor, OpenLoopClient, RsmrClient};
+use crate::messages::RsmrMsg;
+use crate::node::RsmrNode;
+use crate::state_machine::StateMachine;
+
+/// One node of a composed-machine world.
+pub enum World<S: StateMachine> {
+    /// A replica.
+    Server(RsmrNode<S>),
+    /// A closed-loop client.
+    Client(RsmrClient<S>),
+    /// A paced (open-loop-arrival) client.
+    Paced(OpenLoopClient<S>),
+    /// The reconfiguration admin.
+    Admin(AdminActor<S>),
+}
+
+impl<S: StateMachine> World<S> {
+    /// Wraps a server.
+    pub fn server(node: RsmrNode<S>) -> Self {
+        World::Server(node)
+    }
+
+    /// Wraps a closed-loop client.
+    pub fn client(client: RsmrClient<S>) -> Self {
+        World::Client(client)
+    }
+
+    /// Wraps a paced client.
+    pub fn paced(client: OpenLoopClient<S>) -> Self {
+        World::Paced(client)
+    }
+
+    /// Wraps an admin.
+    pub fn admin(admin: AdminActor<S>) -> Self {
+        World::Admin(admin)
+    }
+
+    /// The wrapped server, if this node is one.
+    pub fn as_server(&self) -> Option<&RsmrNode<S>> {
+        match self {
+            World::Server(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The wrapped closed-loop client, if this node is one.
+    pub fn as_client(&self) -> Option<&RsmrClient<S>> {
+        match self {
+            World::Client(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The wrapped paced client, if this node is one.
+    pub fn as_paced(&self) -> Option<&OpenLoopClient<S>> {
+        match self {
+            World::Paced(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The wrapped admin, if this node is one.
+    pub fn as_admin(&self) -> Option<&AdminActor<S>> {
+        match self {
+            World::Admin(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Requests completed, for either client flavour (0 otherwise).
+    pub fn completed(&self) -> u64 {
+        match self {
+            World::Client(c) => c.completed(),
+            World::Paced(c) => c.completed(),
+            _ => 0,
+        }
+    }
+}
+
+impl<S: StateMachine> Actor for World<S> {
+    type Msg = RsmrMsg<S::Op, S::Output>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            World::Server(a) => a.on_start(ctx),
+            World::Client(a) => a.on_start(ctx),
+            World::Paced(a) => a.on_start(ctx),
+            World::Admin(a) => a.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg) {
+        match self {
+            World::Server(a) => a.on_message(ctx, from, msg),
+            World::Client(a) => a.on_message(ctx, from, msg),
+            World::Paced(a) => a.on_message(ctx, from, msg),
+            World::Admin(a) => a.on_message(ctx, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, timer: Timer) {
+        match self {
+            World::Server(a) => a.on_timer(ctx, timer),
+            World::Client(a) => a.on_timer(ctx, timer),
+            World::Paced(a) => a.on_timer(ctx, timer),
+            World::Admin(a) => a.on_timer(ctx, timer),
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Wire messages of the composed reconfigurable machine.
+
+use consensus::PaxosMsg;
+use simnet::{Message, NodeId};
+
+use crate::chain::Epoch;
+use crate::command::Cmd;
+
+/// Messages of a reconfigurable-SMR world.
+///
+/// `O` is the application operation type, `R` the output type. Replica ↔
+/// replica protocol traffic is the building block's own [`PaxosMsg`],
+/// tagged with the epoch whose instance it belongs to — the composition
+/// layer is a pure router for it.
+#[derive(Clone, Debug)]
+pub enum RsmrMsg<O, R> {
+    /// Building-block traffic for one epoch's instance.
+    Paxos {
+        /// The instance this message belongs to.
+        epoch: Epoch,
+        /// The building block's own message.
+        inner: PaxosMsg<Cmd<O>>,
+    },
+    /// Client → replica: execute `op` under the client's session.
+    Request {
+        /// Per-client session sequence number.
+        seq: u64,
+        /// The application operation.
+        op: O,
+    },
+    /// Replica → client: `op` executed with this output.
+    Reply {
+        /// Echo of the request sequence number.
+        seq: u64,
+        /// The operation's output.
+        output: R,
+        /// The current configuration's members, so clients track
+        /// reconfigurations.
+        members: Vec<NodeId>,
+    },
+    /// Replica → client: submit to `leader` instead.
+    Redirect {
+        /// Echo of the request sequence number.
+        seq: u64,
+        /// Best-known leader, if any.
+        leader: Option<NodeId>,
+        /// Current configuration members.
+        members: Vec<NodeId>,
+    },
+    /// Admin → replica: reconfigure to exactly this member set.
+    Reconfigure {
+        /// The successor configuration's members.
+        members: Vec<NodeId>,
+    },
+    /// Replica → admin: outcome of a reconfiguration request.
+    ReconfigureReply {
+        /// On success, the new epoch now serving; on refusal, the epoch
+        /// that refused.
+        epoch: Epoch,
+        /// True once the new configuration is live.
+        ok: bool,
+        /// On refusal, where to retry.
+        leader: Option<NodeId>,
+    },
+    /// Finalized member of epoch `epoch - 1` → member of `epoch`: the
+    /// successor configuration exists; the sender can serve its base state.
+    Activate {
+        /// The successor epoch.
+        epoch: Epoch,
+        /// Its member set.
+        members: Vec<NodeId>,
+    },
+    /// Joining member → finalized member: send me the base state anchoring
+    /// `epoch`.
+    TransferRequest {
+        /// The epoch whose base is requested.
+        epoch: Epoch,
+    },
+    /// Response to [`RsmrMsg::TransferRequest`]. `base` is `None` when the
+    /// responder has not finalized the predecessor epoch yet (retry later).
+    TransferReply {
+        /// Echo of the requested epoch.
+        epoch: Epoch,
+        /// The encoded [`crate::BaseState`], if available.
+        base: Option<Vec<u8>>,
+    },
+    /// Acknowledges an installed base state. Unused by the speculative
+    /// composition (which pulls); the stop-the-world baseline pushes bases
+    /// and blocks on these acks.
+    TransferAck {
+        /// The epoch whose base was installed.
+        epoch: Epoch,
+    },
+    /// A leader that is *removed* by the epoch it just closed asks a
+    /// member of the successor configuration to campaign immediately —
+    /// extends the speculative handoff to leader-removal reconfigurations.
+    Nominate {
+        /// The successor epoch to campaign in.
+        epoch: Epoch,
+    },
+}
+
+impl<O, R> Message for RsmrMsg<O, R>
+where
+    O: Clone + std::fmt::Debug + 'static,
+    R: Clone + std::fmt::Debug + 'static,
+{
+    fn label(&self) -> &'static str {
+        match self {
+            RsmrMsg::Paxos { inner, .. } => inner.label(),
+            RsmrMsg::Request { .. } => "rsmr.request",
+            RsmrMsg::Reply { .. } => "rsmr.reply",
+            RsmrMsg::Redirect { .. } => "rsmr.redirect",
+            RsmrMsg::Reconfigure { .. } => "rsmr.reconfigure",
+            RsmrMsg::ReconfigureReply { .. } => "rsmr.reconfigure_reply",
+            RsmrMsg::Activate { .. } => "rsmr.activate",
+            RsmrMsg::TransferRequest { .. } => "rsmr.transfer_req",
+            RsmrMsg::TransferReply { .. } => "rsmr.transfer_reply",
+            RsmrMsg::TransferAck { .. } => "rsmr.transfer_ack",
+            RsmrMsg::Nominate { .. } => "rsmr.nominate",
+        }
+    }
+
+    fn size_hint(&self) -> usize {
+        match self {
+            RsmrMsg::Paxos { inner, .. } => 8 + inner.size_hint(),
+            RsmrMsg::Request { .. } => 48,
+            RsmrMsg::Reply { members, .. } => 40 + members.len() * 8,
+            RsmrMsg::Redirect { members, .. } => 32 + members.len() * 8,
+            RsmrMsg::Reconfigure { members } => 16 + members.len() * 8,
+            RsmrMsg::ReconfigureReply { .. } => 32,
+            RsmrMsg::Activate { members, .. } => 16 + members.len() * 8,
+            RsmrMsg::TransferRequest { .. } => 16,
+            RsmrMsg::TransferReply { base, .. } => {
+                16 + base.as_ref().map(Vec::len).unwrap_or(0)
+            }
+            RsmrMsg::TransferAck { .. } => 16,
+            RsmrMsg::Nominate { .. } => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus::Slot;
+
+    #[test]
+    fn labels_cover_every_variant() {
+        let msgs: Vec<RsmrMsg<u64, u64>> = vec![
+            RsmrMsg::Paxos {
+                epoch: Epoch(0),
+                inner: PaxosMsg::CatchupRequest { from_slot: Slot(0) },
+            },
+            RsmrMsg::Request { seq: 0, op: 0 },
+            RsmrMsg::Reply { seq: 0, output: 0, members: vec![] },
+            RsmrMsg::Redirect { seq: 0, leader: None, members: vec![] },
+            RsmrMsg::Reconfigure { members: vec![] },
+            RsmrMsg::ReconfigureReply { epoch: Epoch(0), ok: true, leader: None },
+            RsmrMsg::Activate { epoch: Epoch(1), members: vec![] },
+            RsmrMsg::TransferRequest { epoch: Epoch(1) },
+            RsmrMsg::TransferReply { epoch: Epoch(1), base: None },
+            RsmrMsg::TransferAck { epoch: Epoch(1) },
+            RsmrMsg::Nominate { epoch: Epoch(1) },
+        ];
+        let mut labels: Vec<_> = msgs.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), msgs.len());
+    }
+
+    #[test]
+    fn transfer_size_reflects_payload() {
+        let small: RsmrMsg<u64, u64> = RsmrMsg::TransferReply { epoch: Epoch(1), base: None };
+        let big: RsmrMsg<u64, u64> = RsmrMsg::TransferReply {
+            epoch: Epoch(1),
+            base: Some(vec![0; 4096]),
+        };
+        assert!(big.size_hint() >= small.size_hint() + 4096);
+    }
+}

@@ -1,0 +1,1376 @@
+//! The composed reconfigurable replica.
+//!
+//! [`RsmrNode`] glues the pieces together: it runs one static
+//! [`MultiPaxos`] instance per epoch, routes client traffic to the active
+//! instance, enforces the *close-at-first-`Reconfigure`* prefix rule,
+//! starts successor instances speculatively, serves and consumes state
+//! transfer, and externalizes application effects exactly once.
+//!
+//! ## Anchoring
+//!
+//! A replica's application state is always "anchored" at some `(epoch,
+//! next_slot)`: the state equals the composed history through every epoch
+//! before `epoch` plus `epoch`'s slots below `next_slot`. Committed entries
+//! for *later* epochs (or for an epoch whose base the replica does not have
+//! yet — a joining member) are buffered and drained in order by the apply
+//! pump once the anchor reaches them. The pump is also where the close
+//! rule lives: the first `Reconfigure` applied in slot order closes the
+//! epoch, everything buffered after it is discarded (with discarded client
+//! commands optionally re-proposed into the successor), and the anchor
+//! moves to the successor's slot 0.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use consensus::{MultiPaxos, PaxosTunables, ProposeOutcome, Slot, StaticConfig};
+use simnet::{Actor, Context, NodeId, SimDuration, SimTime, StableStore, Timer};
+
+use crate::chain::{ConfigChain, Epoch};
+use crate::command::Cmd;
+use crate::messages::RsmrMsg;
+use crate::session::{SessionDecision, SessionTable};
+use crate::state_machine::StateMachine;
+use crate::transfer::BaseState;
+
+/// Behaviour knobs of the composed replica.
+#[derive(Clone, Debug)]
+pub struct RsmrTunables {
+    /// Tunables for every embedded building-block instance.
+    pub paxos: PaxosTunables,
+    /// Speculative handoff: the closing epoch's leader campaigns in the
+    /// successor instance immediately, skipping the election timeout. This
+    /// is the headline optimization; experiment E2/E5 toggles it.
+    pub fast_handoff: bool,
+    /// Re-propose client commands discarded from a closed epoch's tail into
+    /// the successor (instead of waiting for client retransmission).
+    pub repropose_discarded: bool,
+    /// How often the node pumps instance timers.
+    pub tick: SimDuration,
+    /// Retry interval for state-transfer requests.
+    pub transfer_retry: SimDuration,
+    /// How long a closed epoch's instance keeps serving catch-up before it
+    /// is halted and dropped.
+    pub retire_grace: SimDuration,
+    /// Leader-side group commit: while a proposal is in flight, accumulate
+    /// up to this many client commands and propose them as one log entry
+    /// (flushed when the pipeline idles, the buffer fills, or at the next
+    /// tick). `0` disables batching.
+    pub batch_size: usize,
+    /// Serve pure reads (operations with a [`StateMachine::query`] answer)
+    /// locally at the leader under a read lease, skipping the log.
+    /// Requires `paxos.lease_duration` to be set; linearizable given the
+    /// lease-safety constraint documented there.
+    pub local_reads: bool,
+}
+
+impl Default for RsmrTunables {
+    fn default() -> Self {
+        RsmrTunables {
+            paxos: PaxosTunables::default(),
+            fast_handoff: true,
+            repropose_discarded: true,
+            tick: SimDuration::from_millis(5),
+            transfer_retry: SimDuration::from_millis(100),
+            retire_grace: SimDuration::from_secs(2),
+            batch_size: 0,
+            local_reads: false,
+        }
+    }
+}
+
+/// One epoch's embedded building block plus composition bookkeeping.
+struct Instance<O: CmdOp> {
+    paxos: MultiPaxos<Cmd<O>>,
+    /// Set when the apply pump hits this epoch's first `Reconfigure`:
+    /// `(close_slot, successor members)`.
+    closed: Option<(Slot, Vec<NodeId>)>,
+    /// When set, the instance is halted & dropped after this time.
+    retire_at: Option<SimTime>,
+}
+
+/// Shorthand for the operation-type bounds.
+trait CmdOp: Clone + std::fmt::Debug + PartialEq + simnet::wire::Wire + 'static {}
+impl<T: Clone + std::fmt::Debug + PartialEq + simnet::wire::Wire + 'static> CmdOp for T {}
+
+/// Where the application state currently sits.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct Anchor {
+    epoch: Epoch,
+    next_slot: Slot,
+}
+
+/// An in-flight reconfiguration this node proposed.
+#[derive(Clone, Debug)]
+struct Closing {
+    epoch: Epoch,
+    admin: NodeId,
+    proposed_at: SimTime,
+}
+
+const KEY_BASE: &str = "base/latest";
+const BASES_KEPT: usize = 4;
+
+/// The reconfigurable replica actor. See the module docs for the design.
+pub struct RsmrNode<S: StateMachine> {
+    me: NodeId,
+    tun: RsmrTunables,
+
+    /// The agreed configuration chain (`None` until a joining member
+    /// installs its first base state).
+    chain: Option<ConfigChain>,
+    instances: BTreeMap<Epoch, Instance<S::Op>>,
+
+    // --- Externalized application state ---
+    sm: S,
+    sessions: SessionTable<S::Output>,
+    anchor: Option<Anchor>,
+
+    /// Committed-but-not-yet-applied entries, per epoch.
+    buffers: BTreeMap<Epoch, BTreeMap<Slot, Cmd<S::Op>>>,
+    /// Encoded base states this node can serve, keyed by anchored epoch.
+    bases: BTreeMap<Epoch, Vec<u8>>,
+
+    /// Requests this node proposed and owes replies for.
+    waiting: BTreeMap<(NodeId, u64), ()>,
+    /// Requests parked while a reconfiguration this node proposed is in
+    /// flight; flushed into the successor epoch.
+    handoff: VecDeque<(NodeId, u64, S::Op)>,
+    /// The reconfiguration this node proposed, if unresolved.
+    closing: Option<Closing>,
+
+    /// Joining-member bootstrap: `(epoch, provider, last_request_time)`.
+    pending_transfer: Option<(Epoch, NodeId, SimTime)>,
+
+    /// Building-block messages for epochs whose instance does not exist
+    /// here yet (e.g. a speculative successor's `Prepare` racing ahead of
+    /// the `Activate` that announces the epoch). Replayed on instance
+    /// creation — without this, the speculative handoff's first campaign
+    /// can be lost and leadership waits out a full election timeout.
+    stashed: BTreeMap<Epoch, Vec<(NodeId, consensus::PaxosMsg<Cmd<S::Op>>)>>,
+
+    /// Leader-side batch accumulator (when `batch_size > 0`).
+    batch_buf: Vec<(NodeId, u64, S::Op)>,
+
+    /// Commands applied by this replica (for tests and metrics).
+    applied_count: u64,
+}
+
+impl<S: StateMachine + Default> RsmrNode<S> {
+    /// Creates a genesis member: a replica of the initial configuration
+    /// with a default-constructed application state.
+    pub fn genesis(me: NodeId, initial: StaticConfig, tun: RsmrTunables) -> Self {
+        Self::genesis_with(me, initial, tun, S::default())
+    }
+}
+
+impl<S: StateMachine> RsmrNode<S> {
+    /// Creates a genesis member with an explicit initial application state.
+    pub fn genesis_with(me: NodeId, initial: StaticConfig, tun: RsmrTunables, sm: S) -> Self {
+        assert!(initial.contains(me), "{me} is not in the genesis config");
+        let chain = ConfigChain::genesis(initial.clone());
+        let mut node = RsmrNode {
+            me,
+            tun: tun.clone(),
+            chain: Some(chain),
+            instances: BTreeMap::new(),
+            sm,
+            sessions: SessionTable::new(),
+            anchor: Some(Anchor {
+                epoch: Epoch::ZERO,
+                next_slot: Slot::ZERO,
+            }),
+            buffers: BTreeMap::new(),
+            bases: BTreeMap::new(),
+            waiting: BTreeMap::new(),
+            handoff: VecDeque::new(),
+            closing: None,
+            pending_transfer: None,
+            stashed: BTreeMap::new(),
+            batch_buf: Vec::new(),
+            applied_count: 0,
+        };
+        node.instances.insert(
+            Epoch::ZERO,
+            Instance {
+                paxos: MultiPaxos::new(me, initial, SimTime::ZERO, tun.paxos),
+                closed: None,
+                retire_at: None,
+            },
+        );
+        node.bases
+            .insert(Epoch::ZERO, node.capture_base(Epoch::ZERO).encode_bytes());
+        node
+    }
+
+    /// Creates a **joining** replica: it knows nothing and waits for an
+    /// [`RsmrMsg::Activate`] naming it a member of some epoch, then pulls
+    /// the base state.
+    pub fn joining(me: NodeId, tun: RsmrTunables) -> Self
+    where
+        S: Default,
+    {
+        Self::joining_with(me, tun, S::default())
+    }
+
+    /// Creates a joining replica with an explicit placeholder state (which
+    /// is replaced wholesale when the base state arrives).
+    pub fn joining_with(me: NodeId, tun: RsmrTunables, placeholder: S) -> Self {
+        RsmrNode {
+            me,
+            tun,
+            chain: None,
+            instances: BTreeMap::new(),
+            sm: placeholder,
+            sessions: SessionTable::new(),
+            anchor: None,
+            buffers: BTreeMap::new(),
+            bases: BTreeMap::new(),
+            waiting: BTreeMap::new(),
+            handoff: VecDeque::new(),
+            closing: None,
+            pending_transfer: None,
+            stashed: BTreeMap::new(),
+            batch_buf: Vec::new(),
+            applied_count: 0,
+        }
+    }
+
+    /// Rebuilds a replica after a crash from its stable storage: the last
+    /// persisted base state plus the building block's persisted acceptor
+    /// state. The log since the base is re-learned from peers via catch-up
+    /// and replayed (sessions make replay exactly-once).
+    pub fn recover(me: NodeId, tun: RsmrTunables, store: &StableStore) -> Option<Self> {
+        let base_bytes = store.get(KEY_BASE)?.to_vec();
+        let base = BaseState::<S::Output>::decode_bytes(&base_bytes)?;
+        let sm = S::restore(&base.app)?;
+        let anchor_epoch = base.epoch;
+        let chain = base.chain.clone();
+        let mut node = RsmrNode {
+            me,
+            tun: tun.clone(),
+            chain: Some(chain.clone()),
+            instances: BTreeMap::new(),
+            sm,
+            sessions: base.sessions.clone(),
+            anchor: Some(Anchor {
+                epoch: anchor_epoch,
+                next_slot: Slot::ZERO,
+            }),
+            buffers: BTreeMap::new(),
+            bases: BTreeMap::new(),
+            waiting: BTreeMap::new(),
+            handoff: VecDeque::new(),
+            closing: None,
+            pending_transfer: None,
+            stashed: BTreeMap::new(),
+            batch_buf: Vec::new(),
+            applied_count: 0,
+        };
+        node.bases.insert(anchor_epoch, base_bytes);
+        // Rebuild instances (from the anchored epoch onward) whose acceptor
+        // state was persisted and whose configuration we know.
+        for (epoch, cfg) in chain.iter() {
+            if epoch < anchor_epoch || !cfg.contains(me) {
+                continue;
+            }
+            let prefix = px_prefix(epoch);
+            let items: Vec<(String, Vec<u8>)> = store
+                .keys_with_prefix(&prefix)
+                .map(|k| {
+                    (
+                        k[prefix.len()..].to_owned(),
+                        store.get(k).expect("listed").to_vec(),
+                    )
+                })
+                .collect();
+            node.instances.insert(
+                epoch,
+                Instance {
+                    paxos: MultiPaxos::recover(
+                        me,
+                        cfg.clone(),
+                        SimTime::ZERO,
+                        tun.paxos.clone(),
+                        items,
+                    ),
+                    closed: None,
+                    retire_at: None,
+                },
+            );
+        }
+        Some(node)
+    }
+
+    // --- Introspection (used by tests, examples and experiments) ---------
+
+    /// This replica's id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The epoch the application state is anchored in, if anchored.
+    pub fn anchored_epoch(&self) -> Option<Epoch> {
+        self.anchor.map(|a| a.epoch)
+    }
+
+    /// The newest epoch this replica runs an instance for.
+    pub fn active_epoch(&self) -> Option<Epoch> {
+        self.instances.keys().next_back().copied()
+    }
+
+    /// True if this replica leads the active epoch's instance.
+    pub fn is_active_leader(&self) -> bool {
+        self.active_epoch()
+            .and_then(|e| self.instances.get(&e))
+            .map(|i| i.paxos.is_leader())
+            .unwrap_or(false)
+    }
+
+    /// The configuration chain, if installed.
+    pub fn chain(&self) -> Option<&ConfigChain> {
+        self.chain.as_ref()
+    }
+
+    /// Read access to the application state machine.
+    pub fn state_machine(&self) -> &S {
+        &self.sm
+    }
+
+    /// Commands applied (externalized) by this replica.
+    pub fn applied_count(&self) -> u64 {
+        self.applied_count
+    }
+
+    /// The client session table.
+    pub fn sessions(&self) -> &SessionTable<S::Output> {
+        &self.sessions
+    }
+
+    // --- Internals --------------------------------------------------------
+
+    fn capture_base(&self, epoch: Epoch) -> BaseState<S::Output> {
+        BaseState {
+            epoch,
+            app: self.sm.snapshot(),
+            sessions: self.sessions.clone(),
+            chain: self.chain.clone().expect("anchored nodes have a chain"),
+        }
+    }
+
+    fn current_members(&self) -> Vec<NodeId> {
+        self.chain
+            .as_ref()
+            .map(|c| c.latest_config().members().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Routes one instance's effects into the world and pumps the apply
+    /// loop.
+    fn process_effects(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        epoch: Epoch,
+        fx: consensus::Effects<Cmd<S::Op>>,
+    ) {
+        for (key, value) in fx.persist {
+            ctx.storage().put(&format!("{}{key}", px_prefix(epoch)), value);
+        }
+        for (to, inner) in fx.outbound {
+            ctx.send(to, RsmrMsg::Paxos { epoch, inner });
+        }
+        if fx.became_leader {
+            ctx.metrics().incr("rsmr.leader_elections", 1);
+        }
+        if !fx.committed.is_empty() {
+            let buf = self.buffers.entry(epoch).or_default();
+            for (slot, cmd) in fx.committed {
+                buf.insert(slot, cmd);
+            }
+            self.pump_apply(ctx);
+        }
+        // Group commit: a completed round frees the pipeline — flush the
+        // commands that accumulated while it was in flight.
+        if self.tun.batch_size > 0 && !self.batch_buf.is_empty() {
+            if let Some(active) = self.active_epoch() {
+                let idle = self
+                    .instances
+                    .get(&active)
+                    .map(|i| i.paxos.is_leader() && i.paxos.inflight_len() == 0)
+                    .unwrap_or(false);
+                if idle {
+                    self.flush_batch(ctx, active);
+                }
+            }
+        }
+    }
+
+    /// Drains applicable committed entries in composed order, handling
+    /// epoch closes and finalization. The heart of the composition.
+    fn pump_apply(&mut self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>) {
+        loop {
+            let Some(anchor) = self.anchor else { return };
+            let epoch = anchor.epoch;
+
+            // Finalize the epoch once the close command has been applied.
+            if let Some(inst) = self.instances.get(&epoch) {
+                if let Some((close_slot, _)) = inst.closed {
+                    if anchor.next_slot > close_slot {
+                        self.finalize_epoch(ctx, epoch);
+                        continue;
+                    }
+                }
+            }
+
+            let Some(cmd) = self
+                .buffers
+                .get_mut(&epoch)
+                .and_then(|b| b.remove(&anchor.next_slot))
+            else {
+                return;
+            };
+            let slot = anchor.next_slot;
+            self.anchor = Some(Anchor {
+                epoch,
+                next_slot: slot.next(),
+            });
+
+            match cmd {
+                Cmd::Noop => {}
+                Cmd::App { client, seq, op } => self.apply_app(ctx, client, seq, &op),
+                Cmd::Batch { entries } => {
+                    for (client, seq, op) in entries {
+                        self.apply_app(ctx, client, seq, &op);
+                    }
+                }
+                Cmd::Reconfigure { members } => self.close_epoch(ctx, epoch, slot, members),
+            }
+        }
+    }
+
+    fn apply_app(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        client: NodeId,
+        seq: u64,
+        op: &S::Op,
+    ) {
+        let output = match self.sessions.check(client, seq) {
+            SessionDecision::Fresh => {
+                let out = self.sm.apply(op);
+                self.sessions.record(client, seq, out.clone());
+                self.applied_count += 1;
+                ctx.metrics().incr("rsmr.applied", 1);
+                let now = ctx.now();
+                ctx.metrics().timeline_push("rsmr.commits", now, 1.0);
+                out
+            }
+            SessionDecision::Duplicate(out) => {
+                ctx.metrics().incr("rsmr.dedup_hits", 1);
+                out
+            }
+            SessionDecision::Stale => {
+                self.waiting.remove(&(client, seq));
+                return;
+            }
+        };
+        if self.waiting.remove(&(client, seq)).is_some() {
+            let members = self.current_members();
+            ctx.send(
+                client,
+                RsmrMsg::Reply {
+                    seq,
+                    output,
+                    members,
+                },
+            );
+        }
+    }
+
+    /// The apply pump hit the first `Reconfigure` of `epoch`, at `slot`.
+    fn close_epoch(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        epoch: Epoch,
+        slot: Slot,
+        members: Vec<NodeId>,
+    ) {
+        let successor = epoch.next();
+        let cfg = StaticConfig::new(members.clone());
+        self.chain
+            .as_mut()
+            .expect("anchored")
+            .append(successor, cfg);
+        if let Some(inst) = self.instances.get_mut(&epoch) {
+            inst.closed = Some((slot, members));
+        }
+        let now = ctx.now();
+        ctx.metrics().incr("rsmr.epochs_closed", 1);
+        ctx.metrics()
+            .timeline_push("rsmr.epoch_closed", now, epoch.0 as f64);
+        ctx.trace(|| format!("closed {epoch} at {slot}"));
+        // Finalization (and successor creation) happens in the pump's next
+        // iteration, via the `closed` marker.
+    }
+
+    /// The anchor has applied everything through `epoch`'s close: move to
+    /// the successor.
+    fn finalize_epoch(&mut self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>, epoch: Epoch) {
+        let successor = epoch.next();
+        let (was_leader, close_slot) = {
+            let inst = self.instances.get(&epoch).expect("closing instance exists");
+            (
+                inst.paxos.is_leader(),
+                inst.closed.as_ref().expect("closed").0,
+            )
+        };
+
+        // Anchor moves first so the captured base reflects exactly the
+        // closed prefix.
+        self.anchor = Some(Anchor {
+            epoch: successor,
+            next_slot: Slot::ZERO,
+        });
+        let base = self.capture_base(successor);
+        let base_bytes = base.encode_bytes();
+        ctx.storage().put(KEY_BASE, base_bytes.clone());
+        self.bases.insert(successor, base_bytes);
+        while self.bases.len() > BASES_KEPT {
+            let oldest = *self.bases.keys().next().expect("non-empty");
+            self.bases.remove(&oldest);
+        }
+
+        // Collect the discarded tail (entries the block committed past the
+        // close point) for optional re-proposal.
+        let discarded: Vec<(NodeId, u64, S::Op)> = self
+            .buffers
+            .remove(&epoch)
+            .map(|tail| {
+                tail.into_iter()
+                    .filter(|(s, _)| *s > close_slot)
+                    .flat_map(|(_, cmd)| match cmd {
+                        Cmd::App { client, seq, op } => vec![(client, seq, op)],
+                        Cmd::Batch { entries } => entries,
+                        _ => Vec::new(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        ctx.metrics()
+            .incr("rsmr.discarded_tail", discarded.len() as u64);
+
+        let successor_cfg = self
+            .chain
+            .as_ref()
+            .expect("anchored")
+            .config(successor)
+            .expect("appended at close")
+            .clone();
+
+        // Retire the closed instance after a catch-up grace period.
+        let retire_at = ctx.now() + self.tun.retire_grace;
+        if let Some(inst) = self.instances.get_mut(&epoch) {
+            inst.retire_at = Some(inst.retire_at.unwrap_or(retire_at).min(retire_at));
+        }
+
+        // Speculative successor startup.
+        if successor_cfg.contains(self.me) {
+            self.ensure_instance(ctx, successor, &successor_cfg);
+            if was_leader && self.tun.fast_handoff {
+                let fx = self
+                    .instances
+                    .get_mut(&successor)
+                    .expect("just ensured")
+                    .paxos
+                    .campaign(ctx.now());
+                ctx.metrics().incr("rsmr.fast_handoffs", 1);
+                self.process_effects(ctx, successor, fx);
+            }
+            // Re-propose discarded tail commands and flush parked handoff
+            // requests into the successor.
+            if self.tun.repropose_discarded {
+                for (client, seq, op) in discarded {
+                    if self.waiting.contains_key(&(client, seq)) {
+                        self.submit_to_instance(ctx, successor, client, seq, op);
+                    }
+                }
+            }
+            let parked: Vec<(NodeId, u64, S::Op)> = self.handoff.drain(..).collect();
+            for (client, seq, op) in parked {
+                self.submit_to_instance(ctx, successor, client, seq, op);
+            }
+        } else {
+            // Removed from the configuration: serve transfer during the
+            // grace period, then this node is done. If this node *led* the
+            // closed epoch, nominate a successor member to campaign
+            // immediately — otherwise the new epoch waits out a full
+            // election timeout (the leader-removal variant of speculative
+            // handoff).
+            ctx.metrics().incr("rsmr.removed_self", 1);
+            let nominee = successor_cfg.members().first().copied();
+            if was_leader && self.tun.fast_handoff {
+                if let Some(n) = nominee {
+                    ctx.metrics().incr("rsmr.nominations", 1);
+                    ctx.send(n, RsmrMsg::Nominate { epoch: successor });
+                }
+            }
+            // Point parked and in-flight clients at the successor right
+            // away — silently dropping them would cost each a full
+            // retransmission timeout.
+            let members = successor_cfg.members().to_vec();
+            for (client, seq, _) in discarded {
+                if self.waiting.remove(&(client, seq)).is_some() {
+                    ctx.send(
+                        client,
+                        RsmrMsg::Redirect {
+                            seq,
+                            leader: nominee,
+                            members: members.clone(),
+                        },
+                    );
+                }
+            }
+            let parked: Vec<(NodeId, u64, S::Op)> = self.handoff.drain(..).collect();
+            for (client, seq, _) in parked {
+                ctx.send(
+                    client,
+                    RsmrMsg::Redirect {
+                        seq,
+                        leader: nominee,
+                        members: members.clone(),
+                    },
+                );
+            }
+            let waiting: Vec<(NodeId, u64)> = self.waiting.keys().copied().collect();
+            for (client, seq) in waiting {
+                ctx.send(
+                    client,
+                    RsmrMsg::Redirect {
+                        seq,
+                        leader: nominee,
+                        members: members.clone(),
+                    },
+                );
+            }
+            self.waiting.clear();
+        }
+
+        // Tell every successor member the new epoch exists and that this
+        // node can serve its base.
+        for &m in successor_cfg.members() {
+            if m != self.me {
+                ctx.send(
+                    m,
+                    RsmrMsg::Activate {
+                        epoch: successor,
+                        members: successor_cfg.members().to_vec(),
+                    },
+                );
+            }
+        }
+
+        // Resolve an admin reconfiguration this node proposed.
+        if let Some(closing) = self.closing.take() {
+            if closing.epoch == epoch {
+                ctx.send(
+                    closing.admin,
+                    RsmrMsg::ReconfigureReply {
+                        epoch: successor,
+                        ok: true,
+                        leader: None,
+                    },
+                );
+            } else {
+                self.closing = Some(closing);
+            }
+        }
+
+        let now = ctx.now();
+        ctx.metrics().incr("rsmr.epochs_finalized", 1);
+        ctx.metrics()
+            .timeline_push("rsmr.epoch_finalized", now, successor.0 as f64);
+        ctx.trace(|| format!("finalized {epoch}; anchored at {successor}"));
+    }
+
+    fn ensure_instance(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        epoch: Epoch,
+        cfg: &StaticConfig,
+    ) {
+        if self.instances.contains_key(&epoch) || !cfg.contains(self.me) {
+            return;
+        }
+        self.instances.insert(
+            epoch,
+            Instance {
+                paxos: MultiPaxos::new(self.me, cfg.clone(), ctx.now(), self.tun.paxos.clone()),
+                closed: None,
+                retire_at: None,
+            },
+        );
+        ctx.metrics().incr("rsmr.instances_created", 1);
+        // Replay protocol messages that arrived before the instance did.
+        if let Some(stash) = self.stashed.remove(&epoch) {
+            for (from, inner) in stash {
+                if let Some(inst) = self.instances.get_mut(&epoch) {
+                    let fx = inst.paxos.on_message(from, inner, ctx.now());
+                    self.process_effects(ctx, epoch, fx);
+                }
+            }
+        }
+    }
+
+    fn submit_to_instance(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        epoch: Epoch,
+        client: NodeId,
+        seq: u64,
+        op: S::Op,
+    ) {
+        let Some(inst) = self.instances.get_mut(&epoch) else {
+            return;
+        };
+        let (fx, outcome) = inst.paxos.propose(
+            Cmd::App {
+                client,
+                seq,
+                op,
+            },
+            ctx.now(),
+        );
+        match outcome {
+            ProposeOutcome::Accepted => {
+                self.waiting.insert((client, seq), ());
+            }
+            ProposeOutcome::NotLeader(leader) => {
+                let members = self.current_members();
+                ctx.send(
+                    client,
+                    RsmrMsg::Redirect {
+                        seq,
+                        leader,
+                        members,
+                    },
+                );
+            }
+        }
+        self.process_effects(ctx, epoch, fx);
+    }
+
+    fn handle_request(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        client: NodeId,
+        seq: u64,
+        op: S::Op,
+    ) {
+        // Session fast path: an already-applied command is answered from
+        // the cache without re-proposing.
+        match self.sessions.check(client, seq) {
+            SessionDecision::Duplicate(output) => {
+                let members = self.current_members();
+                ctx.send(
+                    client,
+                    RsmrMsg::Reply {
+                        seq,
+                        output,
+                        members,
+                    },
+                );
+                return;
+            }
+            SessionDecision::Stale => return,
+            SessionDecision::Fresh => {}
+        }
+        let Some(active) = self.active_epoch() else {
+            // A joining node that is not yet participating: the client will
+            // retransmit elsewhere.
+            return;
+        };
+        // Lease-based local read: the leader of the active epoch answers
+        // pure reads from its applied state while it holds a quorum lease
+        // and is fully anchored (nothing committed-but-unapplied).
+        if self.tun.local_reads && self.anchor.map(|a| a.epoch) == Some(active) {
+            if let Some(output) = self.sm.query(&op) {
+                let leased = self
+                    .instances
+                    .get(&active)
+                    .map(|i| i.paxos.is_leader() && i.paxos.lease_valid(ctx.now()))
+                    .unwrap_or(false);
+                let fully_applied = self
+                    .buffers
+                    .get(&active)
+                    .map(|b| b.is_empty())
+                    .unwrap_or(true);
+                if leased && fully_applied && self.closing.is_none() {
+                    ctx.metrics().incr("rsmr.local_reads", 1);
+                    let members = self.current_members();
+                    ctx.send(
+                        client,
+                        RsmrMsg::Reply {
+                            seq,
+                            output,
+                            members,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+
+        // A node removed from the latest configuration no longer serves;
+        // send the client straight to the successor's members.
+        if let Some(chain) = &self.chain {
+            let latest = chain.latest_config();
+            if !latest.contains(self.me) {
+                ctx.send(
+                    client,
+                    RsmrMsg::Redirect {
+                        seq,
+                        leader: latest.members().first().copied(),
+                        members: latest.members().to_vec(),
+                    },
+                );
+                return;
+            }
+        }
+        // While a reconfiguration this node proposed is in flight, park new
+        // requests for the successor instead of feeding the closing log.
+        if self.closing.is_some() {
+            self.handoff.push_back((client, seq, op));
+            return;
+        }
+        // Adaptive batching (group commit): the leader accumulates while a
+        // proposal is in flight and flushes the moment the pipeline is idle
+        // or the batch is full — unloaded latency is unchanged, loaded
+        // throughput amortizes consensus rounds.
+        if self.tun.batch_size > 0 {
+            let (is_leader, inflight) = self
+                .instances
+                .get(&active)
+                .map(|i| (i.paxos.is_leader(), i.paxos.inflight_len()))
+                .unwrap_or((false, 0));
+            if is_leader {
+                self.batch_buf.push((client, seq, op));
+                if self.batch_buf.len() >= self.tun.batch_size || inflight == 0 {
+                    self.flush_batch(ctx, active);
+                }
+                return;
+            }
+        }
+        self.submit_to_instance(ctx, active, client, seq, op);
+    }
+
+    /// Proposes the accumulated batch as one log entry.
+    fn flush_batch(&mut self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>, epoch: Epoch) {
+        if self.batch_buf.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.batch_buf);
+        let Some(inst) = self.instances.get_mut(&epoch) else {
+            // Instance vanished between accumulation and flush: the
+            // clients retransmit.
+            return;
+        };
+        let keys: Vec<(NodeId, u64)> = entries.iter().map(|(c, s, _)| (*c, *s)).collect();
+        let (fx, outcome) = inst.paxos.propose(Cmd::Batch { entries }, ctx.now());
+        match outcome {
+            ProposeOutcome::Accepted => {
+                ctx.metrics().incr("rsmr.batches_proposed", 1);
+                ctx.metrics().incr("rsmr.batched_cmds", keys.len() as u64);
+                for key in keys {
+                    self.waiting.insert(key, ());
+                }
+            }
+            ProposeOutcome::NotLeader(leader) => {
+                let members = self.current_members();
+                for (client, seq) in keys {
+                    ctx.send(
+                        client,
+                        RsmrMsg::Redirect {
+                            seq,
+                            leader,
+                            members: members.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        self.process_effects(ctx, epoch, fx);
+    }
+
+    fn handle_reconfigure(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        admin: NodeId,
+        members: Vec<NodeId>,
+    ) {
+        let Some(active) = self.active_epoch() else {
+            return;
+        };
+        let refuse = |this: &Self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>, leader| {
+            ctx.send(
+                admin,
+                RsmrMsg::ReconfigureReply {
+                    epoch: active,
+                    ok: false,
+                    leader,
+                },
+            );
+            let _ = this;
+        };
+        if members.is_empty() {
+            refuse(self, ctx, None);
+            return;
+        }
+        // Idempotence: asking for the configuration we already have (e.g. an
+        // admin retrying after its `ok` reply was lost) succeeds immediately.
+        let requested = StaticConfig::new(members.clone());
+        if self
+            .chain
+            .as_ref()
+            .map(|c| c.latest_config() == &requested)
+            .unwrap_or(false)
+        {
+            let epoch = self.chain.as_ref().expect("checked").latest_epoch();
+            ctx.send(
+                admin,
+                RsmrMsg::ReconfigureReply {
+                    epoch,
+                    ok: true,
+                    leader: None,
+                },
+            );
+            return;
+        }
+        if self.closing.is_some() {
+            refuse(self, ctx, Some(self.me));
+            return;
+        }
+        let inst = self.instances.get_mut(&active).expect("active exists");
+        if !inst.paxos.is_leader() {
+            let hint = inst.paxos.leader_hint();
+            refuse(self, ctx, hint);
+            return;
+        }
+        let (fx, outcome) = inst
+            .paxos
+            .propose(Cmd::Reconfigure { members }, ctx.now());
+        match outcome {
+            ProposeOutcome::Accepted => {
+                self.closing = Some(Closing {
+                    epoch: active,
+                    admin,
+                    proposed_at: ctx.now(),
+                });
+                let now = ctx.now();
+                ctx.metrics().incr("rsmr.reconfigs_proposed", 1);
+                ctx.metrics()
+                    .timeline_push("rsmr.reconfig_proposed", now, active.0 as f64);
+            }
+            ProposeOutcome::NotLeader(leader) => {
+                ctx.send(
+                    admin,
+                    RsmrMsg::ReconfigureReply {
+                        epoch: active,
+                        ok: false,
+                        leader,
+                    },
+                );
+            }
+        }
+        self.process_effects(ctx, active, fx);
+    }
+
+    fn handle_activate(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        from: NodeId,
+        epoch: Epoch,
+        members: Vec<NodeId>,
+    ) {
+        let cfg = StaticConfig::new(members);
+        match (&mut self.chain, self.anchor) {
+            (Some(chain), Some(anchor)) => {
+                // An existing member learning about the successor (possibly
+                // before its own pump closes the predecessor).
+                if chain.config(epoch).is_none() {
+                    if chain.latest_epoch().next() == epoch {
+                        chain.append(epoch, cfg.clone());
+                    } else if epoch > chain.latest_epoch() {
+                        // Too far behind to extend the chain contiguously:
+                        // jump via state transfer.
+                        self.request_transfer(ctx, epoch, from);
+                        return;
+                    } else {
+                        return; // stale activate for an old epoch
+                    }
+                }
+                self.ensure_instance(ctx, epoch, &cfg);
+                // If our anchor can no longer reach `epoch` locally (the
+                // predecessor instance is gone from the network), fall back
+                // to transfer. Detected lazily in tick; nothing to do here.
+                let _ = anchor;
+            }
+            _ => {
+                // A joining member: participate immediately (buffer
+                // commits), pull the base state.
+                self.ensure_instance(ctx, epoch, &cfg);
+                self.request_transfer(ctx, epoch, from);
+            }
+        }
+    }
+
+    fn request_transfer(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        epoch: Epoch,
+        provider: NodeId,
+    ) {
+        // Never regress: only transfer forward of the current anchor.
+        if let Some(anchor) = self.anchor {
+            if anchor.epoch >= epoch {
+                return;
+            }
+        }
+        match self.pending_transfer {
+            Some((e, _, _)) if e > epoch => return,
+            _ => {}
+        }
+        self.pending_transfer = Some((epoch, provider, ctx.now()));
+        ctx.metrics().incr("rsmr.transfer_requests", 1);
+        ctx.send(provider, RsmrMsg::TransferRequest { epoch });
+    }
+
+    fn handle_transfer_request(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        from: NodeId,
+        epoch: Epoch,
+    ) {
+        let base = self.bases.get(&epoch).cloned();
+        if base.is_some() {
+            ctx.metrics().incr("rsmr.transfers_served", 1);
+            ctx.metrics().incr(
+                "rsmr.transfer_bytes",
+                base.as_ref().map(Vec::len).unwrap_or(0) as u64,
+            );
+        }
+        ctx.send(from, RsmrMsg::TransferReply { epoch, base });
+    }
+
+    fn handle_transfer_reply(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        epoch: Epoch,
+        base: Option<Vec<u8>>,
+    ) {
+        let Some((pending_epoch, _, _)) = self.pending_transfer else {
+            return;
+        };
+        if pending_epoch != epoch {
+            return;
+        }
+        let Some(bytes) = base else {
+            return; // provider not ready; the tick timer will retry
+        };
+        let Some(base) = BaseState::<S::Output>::decode_bytes(&bytes) else {
+            ctx.metrics().incr("rsmr.transfer_decode_failures", 1);
+            return;
+        };
+        let Some(sm) = S::restore(&base.app) else {
+            ctx.metrics().incr("rsmr.transfer_decode_failures", 1);
+            return;
+        };
+        // Never regress the anchor.
+        if let Some(anchor) = self.anchor {
+            if anchor.epoch >= epoch {
+                self.pending_transfer = None;
+                return;
+            }
+        }
+        self.pending_transfer = None;
+        self.sm = sm;
+        self.sessions = base.sessions.clone();
+        self.chain = Some(base.chain.clone());
+        self.anchor = Some(Anchor {
+            epoch,
+            next_slot: Slot::ZERO,
+        });
+        ctx.storage().put(KEY_BASE, bytes.clone());
+        self.bases.insert(epoch, bytes);
+        // Drop buffers and instances for epochs we jumped over.
+        self.buffers.retain(|&e, _| e >= epoch);
+        let stale: Vec<Epoch> = self
+            .instances
+            .keys()
+            .copied()
+            .filter(|&e| e < epoch)
+            .collect();
+        for e in stale {
+            if let Some(mut inst) = self.instances.remove(&e) {
+                inst.paxos.halt();
+            }
+        }
+        // Make sure we participate in the anchored epoch.
+        let cfg = base.chain.config(epoch).expect("validated by decode").clone();
+        self.ensure_instance(ctx, epoch, &cfg);
+        let now = ctx.now();
+        ctx.metrics().incr("rsmr.transfers_installed", 1);
+        ctx.metrics()
+            .timeline_push("rsmr.anchored", now, epoch.0 as f64);
+        ctx.trace(|| format!("installed base for {epoch}"));
+        self.pump_apply(ctx);
+    }
+
+    fn tick_everything(&mut self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>) {
+        let now = ctx.now();
+
+        // Pump every instance's timers.
+        let epochs: Vec<Epoch> = self.instances.keys().copied().collect();
+        for epoch in epochs {
+            let fx = {
+                let Some(inst) = self.instances.get_mut(&epoch) else {
+                    continue;
+                };
+                // A retired instance is halted and dropped.
+                if let Some(at) = inst.retire_at {
+                    if now >= at {
+                        inst.paxos.halt();
+                        let prefix = px_prefix(epoch);
+                        let keys: Vec<String> = ctx
+                            .storage()
+                            .keys_with_prefix(&prefix)
+                            .map(str::to_owned)
+                            .collect();
+                        for k in keys {
+                            ctx.storage().remove(&k);
+                        }
+                        self.instances.remove(&epoch);
+                        self.buffers.remove(&epoch);
+                        ctx.metrics().incr("rsmr.instances_retired", 1);
+                        continue;
+                    }
+                }
+                inst.paxos.tick(now)
+            };
+            self.process_effects(ctx, epoch, fx);
+        }
+
+        // Flush an accumulated batch (at most one tick of added latency).
+        if !self.batch_buf.is_empty() {
+            if let Some(active) = self.active_epoch() {
+                self.flush_batch(ctx, active);
+            }
+        }
+
+        // Drop stashes for epochs that can no longer matter.
+        if let Some(anchor) = self.anchor {
+            self.stashed.retain(|&e, _| e >= anchor.epoch);
+        }
+
+        // Retry a pending state transfer, rotating providers.
+        if let Some((epoch, provider, last)) = self.pending_transfer {
+            if now.since(last) >= self.tun.transfer_retry {
+                let next_provider = self.pick_transfer_provider(epoch, provider);
+                self.pending_transfer = Some((epoch, next_provider, now));
+                ctx.metrics().incr("rsmr.transfer_retries", 1);
+                ctx.send(next_provider, RsmrMsg::TransferRequest { epoch });
+            }
+        }
+
+        // A reconfiguration proposal that lost its leader will never
+        // finalize here: release parked clients so they retry elsewhere.
+        if let Some(closing) = self.closing.clone() {
+            let still_leading = self
+                .instances
+                .get(&closing.epoch)
+                .map(|i| i.paxos.is_leader())
+                .unwrap_or(false);
+            let timed_out =
+                now.since(closing.proposed_at) >= self.tun.paxos.election_timeout * 4;
+            if !still_leading || timed_out {
+                self.closing = None;
+                let members = self.current_members();
+                let parked: Vec<(NodeId, u64, S::Op)> = self.handoff.drain(..).collect();
+                for (client, seq, _) in parked {
+                    ctx.send(
+                        client,
+                        RsmrMsg::Redirect {
+                            seq,
+                            leader: None,
+                            members: members.clone(),
+                        },
+                    );
+                }
+                ctx.send(
+                    closing.admin,
+                    RsmrMsg::ReconfigureReply {
+                        epoch: closing.epoch,
+                        ok: false,
+                        leader: None,
+                    },
+                );
+            }
+        }
+    }
+
+    fn pick_transfer_provider(&mut self, epoch: Epoch, previous: NodeId) -> NodeId {
+        // Rotate deterministically through the successor's member set (any
+        // finalized member can serve); fall back to the previous provider.
+        let members: Vec<NodeId> = self
+            .chain
+            .as_ref()
+            .and_then(|c| c.config(epoch))
+            .map(|c| c.peers(self.me))
+            .unwrap_or_default();
+        if members.is_empty() {
+            return previous;
+        }
+        let idx = members.iter().position(|&m| m == previous);
+        match idx {
+            Some(i) => members[(i + 1) % members.len()],
+            None => members[0],
+        }
+    }
+}
+
+fn px_prefix(epoch: Epoch) -> String {
+    format!("px/{:08x}/", epoch.0)
+}
+
+impl<S: StateMachine> Actor for RsmrNode<S> {
+    type Msg = RsmrMsg<S::Op, S::Output>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        // Persist the genesis base so crash recovery always has one.
+        if let Some(anchor) = self.anchor {
+            if ctx.storage().get(KEY_BASE).is_none() {
+                if let Some(bytes) = self.bases.get(&anchor.epoch) {
+                    ctx.storage().put(KEY_BASE, bytes.clone());
+                }
+            }
+        }
+        ctx.set_timer(self.tun.tick, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg) {
+        match msg {
+            RsmrMsg::Paxos { epoch, inner } => {
+                if let Some(inst) = self.instances.get_mut(&epoch) {
+                    let fx = inst.paxos.on_message(from, inner, ctx.now());
+                    self.process_effects(ctx, epoch, fx);
+                } else if self
+                    .chain
+                    .as_ref()
+                    .map(|c| c.config(epoch).map(|cfg| cfg.contains(self.me)).unwrap_or(false))
+                    .unwrap_or(false)
+                {
+                    // Known epoch we should participate in (e.g. a lost
+                    // Activate): create the instance, then deliver.
+                    let cfg = self
+                        .chain
+                        .as_ref()
+                        .and_then(|c| c.config(epoch))
+                        .expect("checked")
+                        .clone();
+                    self.ensure_instance(ctx, epoch, &cfg);
+                    if let Some(inst) = self.instances.get_mut(&epoch) {
+                        let fx = inst.paxos.on_message(from, inner, ctx.now());
+                        self.process_effects(ctx, epoch, fx);
+                    }
+                } else {
+                    // An epoch we have not learned about yet: stash the
+                    // message (bounded) and replay it when the instance is
+                    // created; drop only clearly-stale traffic.
+                    let stale = self
+                        .anchor
+                        .map(|a| epoch < a.epoch)
+                        .unwrap_or(false);
+                    if stale {
+                        ctx.metrics().incr("rsmr.unroutable_paxos", 1);
+                    } else {
+                        let stash = self.stashed.entry(epoch).or_default();
+                        if stash.len() < 256 {
+                            stash.push((from, inner));
+                            ctx.metrics().incr("rsmr.stashed_paxos", 1);
+                        } else {
+                            ctx.metrics().incr("rsmr.unroutable_paxos", 1);
+                        }
+                    }
+                }
+            }
+            RsmrMsg::Request { seq, op } => self.handle_request(ctx, from, seq, op),
+            RsmrMsg::Reconfigure { members } => self.handle_reconfigure(ctx, from, members),
+            RsmrMsg::Activate { epoch, members } => {
+                self.handle_activate(ctx, from, epoch, members)
+            }
+            RsmrMsg::TransferRequest { epoch } => self.handle_transfer_request(ctx, from, epoch),
+            RsmrMsg::TransferReply { epoch, base } => {
+                self.handle_transfer_reply(ctx, epoch, base)
+            }
+            RsmrMsg::Nominate { epoch } => {
+                // Campaign in the named epoch if we participate in it and
+                // no leader is known yet (otherwise the nomination is
+                // stale and ignored).
+                if let Some(inst) = self.instances.get_mut(&epoch) {
+                    if inst.paxos.leader_hint().is_none() {
+                        let fx = inst.paxos.campaign(ctx.now());
+                        ctx.metrics().incr("rsmr.nominated_campaigns", 1);
+                        self.process_effects(ctx, epoch, fx);
+                    }
+                }
+            }
+            RsmrMsg::Reply { .. }
+            | RsmrMsg::Redirect { .. }
+            | RsmrMsg::ReconfigureReply { .. }
+            | RsmrMsg::TransferAck { .. } => {
+                // Client/admin-bound traffic (or baseline-only messages)
+                // mis-delivered to a replica.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, _timer: Timer) {
+        self.tick_everything(ctx);
+        ctx.set_timer(self.tun.tick, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state_machine::CounterSm;
+
+    #[test]
+    fn genesis_node_is_anchored_and_has_one_instance() {
+        let cfg = StaticConfig::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let node: RsmrNode<CounterSm> =
+            RsmrNode::genesis(NodeId(0), cfg, RsmrTunables::default());
+        assert_eq!(node.anchored_epoch(), Some(Epoch::ZERO));
+        assert_eq!(node.active_epoch(), Some(Epoch::ZERO));
+        assert_eq!(node.applied_count(), 0);
+        assert!(node.chain().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the genesis config")]
+    fn genesis_requires_membership() {
+        let cfg = StaticConfig::new(vec![NodeId(1)]);
+        let _: RsmrNode<CounterSm> = RsmrNode::genesis(NodeId(0), cfg, RsmrTunables::default());
+    }
+
+    #[test]
+    fn joining_node_is_unanchored() {
+        let node: RsmrNode<CounterSm> = RsmrNode::joining(NodeId(9), RsmrTunables::default());
+        assert_eq!(node.anchored_epoch(), None);
+        assert_eq!(node.active_epoch(), None);
+        assert!(node.chain().is_none());
+    }
+
+    #[test]
+    fn recover_requires_a_persisted_base() {
+        let store = StableStore::new();
+        assert!(RsmrNode::<CounterSm>::recover(NodeId(0), RsmrTunables::default(), &store).is_none());
+    }
+}

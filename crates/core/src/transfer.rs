@@ -1,0 +1,138 @@
+//! Base-state snapshots: the unit of state transfer between epochs.
+
+use simnet::wire::{self, Wire};
+
+use crate::chain::{ConfigChain, Epoch};
+use crate::session::SessionTable;
+
+/// Everything a replica needs to start executing epoch `epoch` from its
+/// log's slot 0: the application state and client sessions as of the
+/// *previous* epoch's close, plus the configuration chain.
+///
+/// Captured by every member at the instant it finalizes an epoch (before
+/// applying any successor command), served to joining members over
+/// `TransferRequest`/`TransferReply`, and persisted for crash recovery.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaseState<R> {
+    /// The epoch this base state anchors (its log applies on top).
+    pub epoch: Epoch,
+    /// Application snapshot at the predecessor's close.
+    pub app: Vec<u8>,
+    /// Client session table at the predecessor's close.
+    pub sessions: SessionTable<R>,
+    /// The configuration chain through `epoch`.
+    pub chain: ConfigChain,
+}
+
+impl<R: Wire + Clone> BaseState<R> {
+    /// Serializes the base state for the wire or stable storage.
+    pub fn encode_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.epoch.encode(&mut buf);
+        self.app.len().encode(&mut buf);
+        buf.extend_from_slice(&self.app);
+        self.sessions.encode(&mut buf);
+        self.chain.encode(&mut buf);
+        buf
+    }
+
+    /// Deserializes a base state; `None` on malformed input.
+    pub fn decode_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut buf = bytes;
+        let epoch = Epoch::decode(&mut buf)?;
+        let app_len = usize::decode(&mut buf)?;
+        if buf.len() < app_len {
+            return None;
+        }
+        let (app, rest) = buf.split_at(app_len);
+        let mut buf = rest;
+        let sessions = SessionTable::<R>::decode(&mut buf)?;
+        let chain = ConfigChain::decode(&mut buf)?;
+        if !buf.is_empty() {
+            return None;
+        }
+        // The chain must actually cover the anchored epoch.
+        if chain.config(epoch).is_none() {
+            return None;
+        }
+        Some(BaseState {
+            epoch,
+            app: app.to_vec(),
+            sessions,
+            chain,
+        })
+    }
+
+    /// Size of the encoded base state, dominating state-transfer cost.
+    pub fn byte_size(&self) -> usize {
+        self.encode_bytes().len()
+    }
+}
+
+/// Convenience re-export for callers who need raw wire helpers.
+pub use wire::{from_bytes, to_bytes};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus::StaticConfig;
+    use simnet::NodeId;
+
+    fn sample() -> BaseState<u64> {
+        let mut chain = ConfigChain::genesis(StaticConfig::new(vec![NodeId(1), NodeId(2)]));
+        chain.append(
+            Epoch(1),
+            StaticConfig::new(vec![NodeId(2), NodeId(3)]),
+        );
+        let mut sessions = SessionTable::new();
+        sessions.record(NodeId(100), 4, 44);
+        BaseState {
+            epoch: Epoch(1),
+            app: vec![1, 2, 3, 4, 5],
+            sessions,
+            chain,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let b = sample();
+        let bytes = b.encode_bytes();
+        assert_eq!(BaseState::<u64>::decode_bytes(&bytes), Some(b));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = sample().encode_bytes();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert_eq!(
+                BaseState::<u64>::decode_bytes(&bytes[..cut]),
+                None,
+                "accepted truncated input at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample().encode_bytes();
+        bytes.push(0);
+        assert_eq!(BaseState::<u64>::decode_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn chain_must_cover_the_epoch() {
+        let mut b = sample();
+        b.epoch = Epoch(9); // chain only covers e0..e1
+        let bytes = b.encode_bytes();
+        assert_eq!(BaseState::<u64>::decode_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn byte_size_tracks_app_payload() {
+        let mut b = sample();
+        let small = b.byte_size();
+        b.app = vec![0; 10_000];
+        assert!(b.byte_size() > small + 9_000);
+    }
+}

@@ -1,0 +1,202 @@
+//! Adversarial scenarios for the composed machine: lossy networks,
+//! partitions across reconfigurations, racing admins, and randomized churn.
+
+use consensus::StaticConfig;
+use proptest::prelude::*;
+use rsmr_core::harness::World;
+use rsmr_core::{AdminActor, CounterSm, Epoch, RsmrClient, RsmrNode, RsmrTunables};
+use simnet::{NetConfig, NodeId, Sim, SimDuration, SimTime};
+
+const ADMIN: NodeId = NodeId(99);
+const ADMIN2: NodeId = NodeId(98);
+
+fn world(seed: u64, n: u64, net: NetConfig) -> (Sim<World<CounterSm>>, Vec<NodeId>) {
+    let mut sim: Sim<World<CounterSm>> = Sim::new(seed, net);
+    let servers: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let genesis = StaticConfig::new(servers.clone());
+    for &s in &servers {
+        sim.add_node_with_id(
+            s,
+            World::server(RsmrNode::genesis(s, genesis.clone(), RsmrTunables::default())),
+        );
+    }
+    (sim, servers)
+}
+
+#[test]
+fn reconfiguration_completes_on_a_lossy_network() {
+    let (mut sim, servers) = world(1, 3, NetConfig::lossy(0.03));
+    sim.add_node_with_id(
+        NodeId(3),
+        World::server(RsmrNode::joining(NodeId(3), RsmrTunables::default())),
+    );
+    let client = NodeId(100);
+    sim.add_node_with_id(
+        client,
+        World::client(RsmrClient::new(servers.clone(), |_| 1, Some(300))),
+    );
+    sim.add_node_with_id(
+        ADMIN,
+        World::admin(AdminActor::new(
+            servers,
+            vec![(
+                SimTime::from_millis(400),
+                vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            )],
+        )),
+    );
+    sim.run_for(SimDuration::from_secs(90));
+    assert_eq!(sim.actor(client).unwrap().completed(), 300);
+    let admin = sim.actor(ADMIN).unwrap().as_admin().unwrap();
+    assert_eq!(admin.results().len(), 1, "reconfig must survive loss");
+    let joiner = sim.actor(NodeId(3)).unwrap().as_server().unwrap();
+    assert_eq!(joiner.state_machine().value(), 300);
+}
+
+#[test]
+fn partition_of_the_minority_does_not_block_reconfiguration() {
+    let (mut sim, servers) = world(2, 5, NetConfig::lan());
+    let client = NodeId(100);
+    sim.add_node_with_id(
+        client,
+        World::client(RsmrClient::new(servers.clone(), |_| 1, Some(400))),
+    );
+    // Cut two nodes off, then reconfigure to exactly the majority side.
+    sim.run_for(SimDuration::from_millis(300));
+    sim.partition(&[NodeId(3), NodeId(4)], &[NodeId(0), NodeId(1), NodeId(2)]);
+    sim.add_node_with_id(
+        ADMIN,
+        World::admin(AdminActor::new(
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![(
+                sim.now() + SimDuration::from_millis(100),
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+            )],
+        )),
+    );
+    sim.run_for(SimDuration::from_secs(30));
+    assert_eq!(sim.actor(client).unwrap().completed(), 400);
+    let admin = sim.actor(ADMIN).unwrap().as_admin().unwrap();
+    assert_eq!(admin.results().len(), 1);
+    // The majority side finalized epoch 1 and keeps serving.
+    for id in [0u64, 1, 2] {
+        let s = sim.actor(NodeId(id)).unwrap().as_server().unwrap();
+        assert_eq!(s.anchored_epoch(), Some(Epoch(1)), "n{id}");
+    }
+    // The partitioned minority never saw the new epoch.
+    for id in [3u64, 4] {
+        let s = sim.actor(NodeId(id)).unwrap().as_server().unwrap();
+        assert_eq!(s.anchored_epoch(), Some(Epoch(0)), "n{id}");
+    }
+}
+
+#[test]
+fn racing_admins_yield_a_linear_configuration_chain() {
+    let (mut sim, servers) = world(3, 3, NetConfig::lan());
+    let client = NodeId(100);
+    sim.add_node_with_id(
+        client,
+        World::client(RsmrClient::new(servers.clone(), |_| 1, Some(400))),
+    );
+    for id in [3u64, 4] {
+        sim.add_node_with_id(
+            NodeId(id),
+            World::server(RsmrNode::joining(NodeId(id), RsmrTunables::default())),
+        );
+    }
+    // Two admins fire conflicting reconfigurations at the same instant.
+    sim.add_node_with_id(
+        ADMIN,
+        World::admin(AdminActor::new(
+            servers.clone(),
+            vec![(
+                SimTime::from_millis(500),
+                vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            )],
+        )),
+    );
+    sim.add_node_with_id(
+        ADMIN2,
+        World::admin(AdminActor::new(
+            servers.clone(),
+            vec![(
+                SimTime::from_millis(500),
+                vec![NodeId(0), NodeId(1), NodeId(2), NodeId(4)],
+            )],
+        )),
+    );
+    sim.run_for(SimDuration::from_secs(40));
+
+    assert_eq!(sim.actor(client).unwrap().completed(), 400);
+    // Both admins eventually succeed (their targets are applied in *some*
+    // order), and every replica agrees on one linear chain.
+    let a1 = sim.actor(ADMIN).unwrap().as_admin().unwrap().results().len();
+    let a2 = sim.actor(ADMIN2).unwrap().as_admin().unwrap().results().len();
+    assert_eq!(a1 + a2, 2, "both reconfigurations must land");
+    let mut chains = Vec::new();
+    for id in 0..3u64 {
+        let s = sim.actor(NodeId(id)).unwrap().as_server().unwrap();
+        if let Some(chain) = s.chain() {
+            chains.push(
+                chain
+                    .iter()
+                    .map(|(e, c)| (e, c.members().to_vec()))
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
+    // All replicas that still track the chain agree on its latest link.
+    let latest: Vec<_> = chains.iter().filter_map(|c| c.last().cloned()).collect();
+    assert!(
+        latest.windows(2).all(|w| w[0] == w[1]),
+        "chain fork observed: {latest:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random churn schedules preserve exactly-once application: the
+    /// counter's final value equals the number of completed increments.
+    #[test]
+    fn exactly_once_under_random_churn(
+        seed in 0u64..50_000,
+        n_reconfigs in 1usize..4,
+        spacing_ms in 300u64..900,
+    ) {
+        let (mut sim, servers) = world(seed, 3, NetConfig::lan());
+        let client = NodeId(100);
+        sim.add_node_with_id(
+            client,
+            World::client(RsmrClient::new(servers.clone(), |_| 1, Some(500))),
+        );
+        sim.add_node_with_id(
+            NodeId(3),
+            World::server(RsmrNode::joining(NodeId(3), RsmrTunables::default())),
+        );
+        let script: Vec<(SimTime, Vec<NodeId>)> = (0..n_reconfigs)
+            .map(|i| {
+                let at = SimTime::from_millis(400) + SimDuration::from_millis(spacing_ms) * i as u64;
+                let members = if i % 2 == 0 {
+                    vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+                } else {
+                    vec![NodeId(0), NodeId(1), NodeId(2)]
+                };
+                (at, members)
+            })
+            .collect();
+        sim.add_node_with_id(ADMIN, World::admin(AdminActor::new(servers, script)));
+        sim.run_for(SimDuration::from_secs(45));
+
+        prop_assert_eq!(sim.actor(client).unwrap().completed(), 500);
+        let admin_done = sim.actor(ADMIN).unwrap().as_admin().unwrap().results().len();
+        prop_assert_eq!(admin_done, n_reconfigs, "seed={}", seed);
+        // Exactly-once: whatever nodes still serve agree on value 500.
+        for id in 0..3u64 {
+            let s = sim.actor(NodeId(id)).unwrap().as_server().unwrap();
+            if s.anchored_epoch() == Some(Epoch(n_reconfigs as u64)) {
+                prop_assert_eq!(s.state_machine().value(), 500, "n{} seed={}", id, seed);
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! A replicated key-value store: the application state machine used by the
+//! examples, experiments and linearizability tests.
+
+use std::collections::BTreeMap;
+
+use rsmr_core::state_machine::StateMachine;
+use simnet::wire::{self, Wire};
+
+/// Operations the store supports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read a key.
+    Get(String),
+    /// Write a key.
+    Put(String, Vec<u8>),
+    /// Remove a key.
+    Delete(String),
+    /// Compare-and-swap: set `key` to `new` iff its current value equals
+    /// `expect` (`None` = key absent).
+    Cas {
+        /// The key.
+        key: String,
+        /// Expected current value.
+        expect: Option<Vec<u8>>,
+        /// New value on match.
+        new: Vec<u8>,
+    },
+    /// Append bytes to a key (creating it if absent).
+    Append(String, Vec<u8>),
+}
+
+/// Operation results.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOutput {
+    /// `Get`: the value, if present.
+    Value(Option<Vec<u8>>),
+    /// `Put` / `Append`: acknowledged.
+    Written,
+    /// `Delete`: whether the key existed.
+    Deleted(bool),
+    /// `Cas`: whether the swap happened.
+    Swapped(bool),
+}
+
+impl Wire for KvOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            KvOp::Get(k) => {
+                buf.push(0);
+                k.encode(buf);
+            }
+            KvOp::Put(k, v) => {
+                buf.push(1);
+                k.encode(buf);
+                v.encode(buf);
+            }
+            KvOp::Delete(k) => {
+                buf.push(2);
+                k.encode(buf);
+            }
+            KvOp::Cas { key, expect, new } => {
+                buf.push(3);
+                key.encode(buf);
+                expect.encode(buf);
+                new.encode(buf);
+            }
+            KvOp::Append(k, v) => {
+                buf.push(4);
+                k.encode(buf);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(KvOp::Get(String::decode(buf)?)),
+            1 => Some(KvOp::Put(String::decode(buf)?, Vec::decode(buf)?)),
+            2 => Some(KvOp::Delete(String::decode(buf)?)),
+            3 => Some(KvOp::Cas {
+                key: String::decode(buf)?,
+                expect: Option::decode(buf)?,
+                new: Vec::decode(buf)?,
+            }),
+            4 => Some(KvOp::Append(String::decode(buf)?, Vec::decode(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for KvOutput {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            KvOutput::Value(v) => {
+                buf.push(0);
+                v.encode(buf);
+            }
+            KvOutput::Written => buf.push(1),
+            KvOutput::Deleted(b) => {
+                buf.push(2);
+                b.encode(buf);
+            }
+            KvOutput::Swapped(b) => {
+                buf.push(3);
+                b.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(KvOutput::Value(Option::decode(buf)?)),
+            1 => Some(KvOutput::Written),
+            2 => Some(KvOutput::Deleted(bool::decode(buf)?)),
+            3 => Some(KvOutput::Swapped(bool::decode(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+/// The deterministic key-value state machine.
+///
+/// ```
+/// use kvstore::{KvOp, KvOutput, KvStore};
+/// use rsmr_core::StateMachine;
+/// let mut kv = KvStore::default();
+/// kv.apply(&KvOp::Put("k".into(), b"v".to_vec()));
+/// assert_eq!(kv.apply(&KvOp::Get("k".into())), KvOutput::Value(Some(b"v".to_vec())));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvStore {
+    map: BTreeMap<String, Vec<u8>>,
+    ops_applied: u64,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store pre-filled with `n` keys of `value_size` bytes each
+    /// (`fill/000000`…), used by the state-transfer experiments to control
+    /// snapshot size.
+    pub fn with_filler(n: usize, value_size: usize) -> Self {
+        let mut kv = Self::new();
+        for i in 0..n {
+            kv.map
+                .insert(format!("fill/{i:06}"), vec![0xAB; value_size]);
+        }
+        kv
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Operations applied since genesis/restore.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// Direct read access (for tests/examples).
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+}
+
+impl StateMachine for KvStore {
+    type Op = KvOp;
+    type Output = KvOutput;
+
+    fn apply(&mut self, op: &KvOp) -> KvOutput {
+        self.ops_applied += 1;
+        match op {
+            KvOp::Get(k) => KvOutput::Value(self.map.get(k).cloned()),
+            KvOp::Put(k, v) => {
+                self.map.insert(k.clone(), v.clone());
+                KvOutput::Written
+            }
+            KvOp::Delete(k) => KvOutput::Deleted(self.map.remove(k).is_some()),
+            KvOp::Cas { key, expect, new } => {
+                let current = self.map.get(key);
+                let matches = match (current, expect) {
+                    (None, None) => true,
+                    (Some(c), Some(e)) => c == e,
+                    _ => false,
+                };
+                if matches {
+                    self.map.insert(key.clone(), new.clone());
+                }
+                KvOutput::Swapped(matches)
+            }
+            KvOp::Append(k, v) => {
+                self.map.entry(k.clone()).or_default().extend_from_slice(v);
+                KvOutput::Written
+            }
+        }
+    }
+
+    fn query(&self, op: &KvOp) -> Option<KvOutput> {
+        match op {
+            KvOp::Get(k) => Some(KvOutput::Value(self.map.get(k).cloned())),
+            _ => None,
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let entries: Vec<(String, Vec<u8>)> = self
+            .map
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        wire::to_bytes(&(entries, self.ops_applied))
+    }
+
+    fn restore(bytes: &[u8]) -> Option<Self> {
+        let (entries, ops_applied) =
+            wire::from_bytes::<(Vec<(String, Vec<u8>)>, u64)>(bytes)?;
+        Some(KvStore {
+            map: entries.into_iter().collect(),
+            ops_applied,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_cycle() {
+        let mut kv = KvStore::new();
+        assert_eq!(kv.apply(&KvOp::Get("a".into())), KvOutput::Value(None));
+        assert_eq!(
+            kv.apply(&KvOp::Put("a".into(), vec![1])),
+            KvOutput::Written
+        );
+        assert_eq!(
+            kv.apply(&KvOp::Get("a".into())),
+            KvOutput::Value(Some(vec![1]))
+        );
+        assert_eq!(kv.apply(&KvOp::Delete("a".into())), KvOutput::Deleted(true));
+        assert_eq!(kv.apply(&KvOp::Delete("a".into())), KvOutput::Deleted(false));
+        assert_eq!(kv.ops_applied(), 5);
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let mut kv = KvStore::new();
+        // CAS on an absent key with expect=None creates it.
+        assert_eq!(
+            kv.apply(&KvOp::Cas {
+                key: "x".into(),
+                expect: None,
+                new: vec![1]
+            }),
+            KvOutput::Swapped(true)
+        );
+        // Wrong expectation fails and leaves the value alone.
+        assert_eq!(
+            kv.apply(&KvOp::Cas {
+                key: "x".into(),
+                expect: Some(vec![9]),
+                new: vec![2]
+            }),
+            KvOutput::Swapped(false)
+        );
+        assert_eq!(kv.get("x"), Some(&[1u8][..]));
+        // Correct expectation swaps.
+        assert_eq!(
+            kv.apply(&KvOp::Cas {
+                key: "x".into(),
+                expect: Some(vec![1]),
+                new: vec![2]
+            }),
+            KvOutput::Swapped(true)
+        );
+        assert_eq!(kv.get("x"), Some(&[2u8][..]));
+    }
+
+    #[test]
+    fn append_creates_and_extends() {
+        let mut kv = KvStore::new();
+        kv.apply(&KvOp::Append("log".into(), vec![1, 2]));
+        kv.apply(&KvOp::Append("log".into(), vec![3]));
+        assert_eq!(kv.get("log"), Some(&[1u8, 2, 3][..]));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut kv = KvStore::with_filler(10, 32);
+        kv.apply(&KvOp::Put("user/1".into(), b"alice".to_vec()));
+        let snap = kv.snapshot();
+        let restored = KvStore::restore(&snap).unwrap();
+        assert_eq!(restored, kv);
+        assert_eq!(KvStore::restore(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn filler_controls_snapshot_size() {
+        let small = KvStore::with_filler(10, 16).snapshot().len();
+        let big = KvStore::with_filler(100, 1024).snapshot().len();
+        assert!(big > 100 * 1024);
+        assert!(small < 10 * 1024);
+    }
+
+    #[test]
+    fn ops_and_outputs_round_trip_the_wire() {
+        let ops = vec![
+            KvOp::Get("k".into()),
+            KvOp::Put("k".into(), vec![1, 2]),
+            KvOp::Delete("k".into()),
+            KvOp::Cas {
+                key: "k".into(),
+                expect: Some(vec![1]),
+                new: vec![2],
+            },
+            KvOp::Append("k".into(), vec![3]),
+        ];
+        for op in ops {
+            let bytes = wire::to_bytes(&op);
+            assert_eq!(wire::from_bytes::<KvOp>(&bytes), Some(op));
+        }
+        let outs = vec![
+            KvOutput::Value(None),
+            KvOutput::Value(Some(vec![1])),
+            KvOutput::Written,
+            KvOutput::Deleted(true),
+            KvOutput::Swapped(false),
+        ];
+        for out in outs {
+            let bytes = wire::to_bytes(&out);
+            assert_eq!(wire::from_bytes::<KvOutput>(&bytes), Some(out));
+        }
+    }
+
+    #[test]
+    fn determinism_across_replicas() {
+        let script = vec![
+            KvOp::Put("a".into(), vec![1]),
+            KvOp::Append("a".into(), vec![2]),
+            KvOp::Cas {
+                key: "a".into(),
+                expect: Some(vec![1, 2]),
+                new: vec![9],
+            },
+            KvOp::Get("a".into()),
+        ];
+        let run = || {
+            let mut kv = KvStore::new();
+            script.iter().map(|op| kv.apply(op)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

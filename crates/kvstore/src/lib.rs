@@ -1,0 +1,25 @@
+//! # kvstore — the replicated application, workloads and correctness oracle
+//!
+//! Three pieces used throughout the examples and experiments:
+//!
+//! * [`KvStore`] — a deterministic key-value [`StateMachine`] (get / put /
+//!   delete / compare-and-swap / append) with snapshot support, replicated
+//!   by any of the workspace's SMR systems;
+//! * [`WorkloadGen`] / [`KeyDist`] — deterministic operation-mix generators
+//!   (uniform and Zipf key popularity, configurable read ratio and value
+//!   size);
+//! * [`lincheck`] — a Wing & Gong linearizability checker, turning "the
+//!   composed machine is linearizable across reconfigurations" into a
+//!   machine-checked property.
+//!
+//! [`StateMachine`]: rsmr_core::StateMachine
+
+pub mod kv;
+pub mod lincheck;
+pub mod locksvc;
+pub mod workload;
+
+pub use kv::{KvOp, KvOutput, KvStore};
+pub use locksvc::{LockOp, LockOutput, LockService};
+pub use lincheck::{linearizable, HistoryOp, Model};
+pub use workload::{KeyDist, KeySampler, WorkloadGen};

@@ -1,0 +1,353 @@
+//! A linearizability checker (Wing & Gong's algorithm with memoization).
+//!
+//! Given a *complete* concurrent history — every operation has both an
+//! invocation and a response time — the checker searches for a legal
+//! sequential witness that respects real-time order. States already proven
+//! fruitless (same model fingerprint, same set of completed operations) are
+//! memoized, which is what makes realistic histories tractable.
+//!
+//! The composed machine's headline safety claim — *the reconfigurable
+//! machine is linearizable across epoch changes* — is tested by feeding
+//! client-recorded histories from reconfiguration runs through this
+//! checker (see the crate's integration tests and the E6 experiment).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use simnet::SimTime;
+
+use crate::kv::{KvOp, KvOutput, KvStore};
+
+/// A sequential specification against which histories are checked.
+pub trait Model: Clone {
+    /// Operation input.
+    type In: Clone;
+    /// Operation output.
+    type Out: PartialEq;
+
+    /// Applies one operation sequentially.
+    fn step(&mut self, input: &Self::In) -> Self::Out;
+
+    /// A collision-resistant-enough digest of the current state, used for
+    /// memoization.
+    fn fingerprint(&self) -> u64;
+}
+
+/// One completed operation of the concurrent history.
+#[derive(Clone, Debug)]
+pub struct HistoryOp<I, O> {
+    /// The sequential process (client) that issued the operation.
+    pub process: u64,
+    /// Invocation time.
+    pub invoke: SimTime,
+    /// Response time.
+    pub response: SimTime,
+    /// Operation input.
+    pub input: I,
+    /// Observed output.
+    pub output: O,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct DoneSet(Vec<u64>);
+
+impl DoneSet {
+    fn new(n: usize) -> Self {
+        DoneSet(vec![0; n.div_ceil(64)])
+    }
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+    fn clear(&mut self, i: usize) {
+        self.0[i / 64] &= !(1 << (i % 64));
+    }
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+}
+
+/// Checks whether `history` is linearizable with respect to `initial`.
+///
+/// Operations of the same `process` must already be non-overlapping (the
+/// session clients guarantee this). Returns `true` iff a linearization
+/// exists.
+///
+/// The DFS recurses once per operation; long histories are checked on a
+/// dedicated thread with a history-proportional stack.
+pub fn linearizable<M: Model>(initial: M, history: &[HistoryOp<M::In, M::Out>]) -> bool
+where
+    M: Send,
+    M::In: Sync,
+    M::Out: Sync,
+{
+    if history.is_empty() {
+        return true;
+    }
+    let run = |initial: M, history: &[HistoryOp<M::In, M::Out>]| {
+        let n = history.len();
+        let mut done = DoneSet::new(n);
+        let mut memo: HashSet<(u64, DoneSet)> = HashSet::new();
+        search(&initial, history, &mut done, 0, &mut memo)
+    };
+    // ~2KB of stack per recursion level, with a sane floor.
+    let stack = (history.len() * 2048).max(8 << 20);
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .stack_size(stack)
+            .spawn_scoped(scope, || run(initial, history))
+            .expect("spawning the checker thread")
+            .join()
+            .expect("the checker does not panic")
+    })
+}
+
+fn search<M: Model>(
+    state: &M,
+    history: &[HistoryOp<M::In, M::Out>],
+    done: &mut DoneSet,
+    n_done: usize,
+    memo: &mut HashSet<(u64, DoneSet)>,
+) -> bool {
+    let n = history.len();
+    if n_done == n {
+        return true;
+    }
+    let key = (state.fingerprint(), done.clone());
+    if !memo.insert(key) {
+        return false; // already explored fruitlessly
+    }
+    // Minimal operations: pending ops whose invocation precedes every
+    // pending response — only those may linearize next.
+    let min_response = history
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !done.get(*i))
+        .map(|(_, op)| op.response)
+        .min()
+        .expect("there are pending ops");
+    for i in 0..n {
+        if done.get(i) {
+            continue;
+        }
+        let op = &history[i];
+        if op.invoke > min_response {
+            continue;
+        }
+        let mut next = state.clone();
+        let out = next.step(&op.input);
+        if out != op.output {
+            continue;
+        }
+        done.set(i);
+        if search(&next, history, done, n_done + 1, memo) {
+            return true;
+        }
+        done.clear(i);
+    }
+    false
+}
+
+impl Model for KvStore {
+    type In = KvOp;
+    type Out = KvOutput;
+
+    fn step(&mut self, input: &KvOp) -> KvOutput {
+        use rsmr_core::StateMachine;
+        self.apply(input)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        use rsmr_core::StateMachine;
+        let mut h = DefaultHasher::new();
+        self.snapshot().hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(
+        process: u64,
+        invoke: u64,
+        response: u64,
+        input: KvOp,
+        output: KvOutput,
+    ) -> HistoryOp<KvOp, KvOutput> {
+        HistoryOp {
+            process,
+            invoke: SimTime::from_micros(invoke),
+            response: SimTime::from_micros(response),
+            input,
+            output,
+        }
+    }
+
+    fn put(k: &str, v: u8) -> KvOp {
+        KvOp::Put(k.into(), vec![v])
+    }
+
+    fn get(k: &str) -> KvOp {
+        KvOp::Get(k.into())
+    }
+
+    fn val(v: u8) -> KvOutput {
+        KvOutput::Value(Some(vec![v]))
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(linearizable(KvStore::new(), &[]));
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let h = vec![
+            op(1, 0, 10, put("a", 1), KvOutput::Written),
+            op(1, 20, 30, get("a"), val(1)),
+        ];
+        assert!(linearizable(KvStore::new(), &h));
+    }
+
+    #[test]
+    fn stale_read_after_write_completes_is_not_linearizable() {
+        // Write of 1 completes at t=10; a later read (t=20..30) returning
+        // the initial absence is illegal.
+        let h = vec![
+            op(1, 0, 10, put("a", 1), KvOutput::Written),
+            op(2, 20, 30, get("a"), KvOutput::Value(None)),
+        ];
+        assert!(!linearizable(KvStore::new(), &h));
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_side_of_a_write() {
+        // Read overlaps the write: both outcomes are legal.
+        let h_old = vec![
+            op(1, 0, 100, put("a", 1), KvOutput::Written),
+            op(2, 10, 90, get("a"), KvOutput::Value(None)),
+        ];
+        let h_new = vec![
+            op(1, 0, 100, put("a", 1), KvOutput::Written),
+            op(2, 10, 90, get("a"), val(1)),
+        ];
+        assert!(linearizable(KvStore::new(), &h_old));
+        assert!(linearizable(KvStore::new(), &h_new));
+    }
+
+    #[test]
+    fn reads_cannot_go_backwards() {
+        // A read of 2 completing before a read of 1 starts, with the write
+        // of 2 after the write of 1, is a cycle: not linearizable.
+        let h = vec![
+            op(1, 0, 10, put("a", 1), KvOutput::Written),
+            op(1, 20, 30, put("a", 2), KvOutput::Written),
+            op(2, 40, 50, get("a"), val(2)),
+            op(2, 60, 70, get("a"), val(1)),
+        ];
+        assert!(!linearizable(KvStore::new(), &h));
+    }
+
+    #[test]
+    fn cas_outcomes_constrain_the_order() {
+        // Two concurrent CAS from None: exactly one may succeed.
+        let cas = |new: u8| KvOp::Cas {
+            key: "k".into(),
+            expect: None,
+            new: vec![new],
+        };
+        let both_win = vec![
+            op(1, 0, 100, cas(1), KvOutput::Swapped(true)),
+            op(2, 0, 100, cas(2), KvOutput::Swapped(true)),
+        ];
+        assert!(!linearizable(KvStore::new(), &both_win));
+        let one_wins = vec![
+            op(1, 0, 100, cas(1), KvOutput::Swapped(true)),
+            op(2, 0, 100, cas(2), KvOutput::Swapped(false)),
+        ];
+        assert!(linearizable(KvStore::new(), &one_wins));
+    }
+
+    #[test]
+    fn interleaved_processes_with_a_witness() {
+        // p1: put a=1 [0,10]; p2: put a=2 [5,15]; p1: get → 2 [20,30];
+        // witness: put1 < put2 < get.
+        let h = vec![
+            op(1, 0, 10, put("a", 1), KvOutput::Written),
+            op(2, 5, 15, put("a", 2), KvOutput::Written),
+            op(1, 20, 30, get("a"), val(2)),
+        ];
+        assert!(linearizable(KvStore::new(), &h));
+    }
+
+    /// Brute-force reference: try every permutation consistent with
+    /// real-time order.
+    fn brute_force(initial: KvStore, h: &[HistoryOp<KvOp, KvOutput>]) -> bool {
+        let n = h.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        permute(&mut idx, 0, &|order: &[usize]| {
+            // Real-time order respected?
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let (a, b) = (&h[order[i]], &h[order[j]]);
+                    if b.response < a.invoke {
+                        return false;
+                    }
+                }
+            }
+            let mut m = initial.clone();
+            order.iter().all(|&k| m.step(&h[k].input) == h[k].output)
+        })
+    }
+
+    fn permute(idx: &mut Vec<usize>, k: usize, check: &dyn Fn(&[usize]) -> bool) -> bool {
+        if k == idx.len() {
+            return check(idx);
+        }
+        for i in k..idx.len() {
+            idx.swap(k, i);
+            if permute(idx, k + 1, check) {
+                idx.swap(k, i);
+                return true;
+            }
+            idx.swap(k, i);
+        }
+        false
+    }
+
+    #[test]
+    fn checker_agrees_with_brute_force_on_random_histories() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for case in 0..200 {
+            let n = rng.gen_range(1..=6);
+            let mut h = Vec::new();
+            for i in 0..n {
+                let invoke = rng.gen_range(0..50);
+                let response = invoke + rng.gen_range(1..30);
+                let input = if rng.gen_bool(0.5) {
+                    put("k", rng.gen_range(1..4))
+                } else {
+                    get("k")
+                };
+                let output = match &input {
+                    KvOp::Put(..) => KvOutput::Written,
+                    _ => {
+                        if rng.gen_bool(0.3) {
+                            KvOutput::Value(None)
+                        } else {
+                            val(rng.gen_range(1..4))
+                        }
+                    }
+                };
+                h.push(op(i as u64, invoke, response, input, output));
+            }
+            let fast = linearizable(KvStore::new(), &h);
+            let slow = brute_force(KvStore::new(), &h);
+            assert_eq!(fast, slow, "case {case} disagrees: {h:?}");
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Workload generators: key distributions and operation mixes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kv::KvOp;
+
+/// How keys are drawn from the keyspace.
+#[derive(Clone, Debug)]
+pub enum KeyDist {
+    /// Uniform over `n` keys.
+    Uniform(usize),
+    /// Zipf over `n` keys with skew `theta` (larger = more skewed;
+    /// `theta ≈ 0.99` is the YCSB default).
+    Zipf {
+        /// Keyspace size.
+        n: usize,
+        /// Skew exponent.
+        theta: f64,
+    },
+}
+
+/// A sampler for a [`KeyDist`].
+pub struct KeySampler {
+    dist: KeyDist,
+    /// Cumulative probabilities for Zipf (empty for Uniform).
+    cdf: Vec<f64>,
+}
+
+impl KeySampler {
+    /// Builds a sampler (precomputing the Zipf CDF).
+    pub fn new(dist: KeyDist) -> Self {
+        let cdf = match &dist {
+            KeyDist::Uniform(_) => Vec::new(),
+            KeyDist::Zipf { n, theta } => {
+                assert!(*n > 0, "keyspace must be non-empty");
+                let mut weights: Vec<f64> =
+                    (1..=*n).map(|k| 1.0 / (k as f64).powf(*theta)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in weights.iter_mut() {
+                    acc += *w / total;
+                    *w = acc;
+                }
+                weights
+            }
+        };
+        KeySampler { dist, cdf }
+    }
+
+    /// Draws a key index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        match &self.dist {
+            KeyDist::Uniform(n) => rng.gen_range(0..*n),
+            KeyDist::Zipf { .. } => {
+                let r: f64 = rng.gen_range(0.0..1.0);
+                match self
+                    .cdf
+                    .binary_search_by(|p| p.partial_cmp(&r).expect("no NaN"))
+                {
+                    Ok(i) => i,
+                    Err(i) => i.min(self.cdf.len() - 1),
+                }
+            }
+        }
+    }
+
+    /// The keyspace size.
+    pub fn keyspace(&self) -> usize {
+        match &self.dist {
+            KeyDist::Uniform(n) => *n,
+            KeyDist::Zipf { n, .. } => *n,
+        }
+    }
+}
+
+/// A deterministic operation-mix generator, usable as the `gen` closure of
+/// the clients: `read_ratio` of operations are `Get`s, the rest `Put`s of
+/// `value_size` bytes.
+///
+/// ```
+/// use kvstore::{KeyDist, WorkloadGen};
+/// let mut gen = WorkloadGen::new(7, KeyDist::Uniform(100), 0.5, 16);
+/// let _op = gen.next_op(0);
+/// ```
+pub struct WorkloadGen {
+    rng: StdRng,
+    sampler: KeySampler,
+    read_ratio: f64,
+    value_size: usize,
+}
+
+impl WorkloadGen {
+    /// Creates a generator with its own seeded RNG.
+    pub fn new(seed: u64, dist: KeyDist, read_ratio: f64, value_size: usize) -> Self {
+        assert!((0.0..=1.0).contains(&read_ratio));
+        WorkloadGen {
+            rng: StdRng::seed_from_u64(seed),
+            sampler: KeySampler::new(dist),
+            read_ratio,
+            value_size,
+        }
+    }
+
+    /// Produces the operation for sequence number `seq`.
+    pub fn next_op(&mut self, seq: u64) -> KvOp {
+        let key = format!("key/{:08}", self.sampler.sample(&mut self.rng));
+        if self.rng.gen_bool(self.read_ratio) {
+            KvOp::Get(key)
+        } else {
+            let mut value = vec![0u8; self.value_size];
+            // Stamp the sequence number so values are distinguishable.
+            let stamp = seq.to_le_bytes();
+            let n = stamp.len().min(value.len());
+            value[..n].copy_from_slice(&stamp[..n]);
+            KvOp::Put(key, value)
+        }
+    }
+
+    /// Converts the generator into a boxed closure for the client actors.
+    pub fn into_fn(mut self) -> impl FnMut(u64) -> KvOp {
+        move |seq| self.next_op(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn uniform_covers_the_keyspace() {
+        let s = KeySampler::new(KeyDist::Uniform(10));
+        let mut seen = [false; 10];
+        let mut r = rng();
+        for _ in 0..1000 {
+            seen[s.sample(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_indices() {
+        let s = KeySampler::new(KeyDist::Zipf { n: 1000, theta: 0.99 });
+        let mut r = rng();
+        let mut head = 0usize;
+        const SAMPLES: usize = 10_000;
+        for _ in 0..SAMPLES {
+            if s.sample(&mut r) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the top-10 of 1000 keys carries ~30% of the mass;
+        // uniform would give 1%.
+        assert!(
+            head > SAMPLES / 10,
+            "zipf head mass too small: {head}/{SAMPLES}"
+        );
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range() {
+        let s = KeySampler::new(KeyDist::Zipf { n: 7, theta: 1.2 });
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(s.sample(&mut r) < 7);
+        }
+    }
+
+    #[test]
+    fn read_ratio_is_respected() {
+        let mut g = WorkloadGen::new(3, KeyDist::Uniform(100), 0.8, 8);
+        let mut reads = 0;
+        for seq in 0..1000 {
+            if matches!(g.next_op(seq), KvOp::Get(_)) {
+                reads += 1;
+            }
+        }
+        assert!((700..900).contains(&reads), "reads={reads}");
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut g = WorkloadGen::new(seed, KeyDist::Zipf { n: 50, theta: 1.0 }, 0.5, 8);
+            (0..50).map(|s| g.next_op(s)).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10));
+    }
+
+    #[test]
+    fn put_values_have_the_requested_size() {
+        let mut g = WorkloadGen::new(4, KeyDist::Uniform(10), 0.0, 64);
+        match g.next_op(5) {
+            KvOp::Put(_, v) => assert_eq!(v.len(), 64),
+            other => panic!("expected a put, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Counters, histograms and timelines for experiments.
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+
+/// A raw-sample histogram with quantile queries.
+///
+/// Samples are stored verbatim (simulation scale makes this cheap) and
+/// sorted lazily on query.
+///
+/// ```
+/// use simnet::Histogram;
+/// let mut h = Histogram::default();
+/// for v in 0..=100 { h.observe(v as f64); }
+/// assert_eq!(h.quantile(0.5), 50.0);
+/// assert_eq!(h.max(), 100.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&mut self, value: f64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) using nearest-rank interpolation, or 0
+    /// when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("histogram samples must not be NaN"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[idx]
+    }
+
+    /// The raw samples, unsorted.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A time-stamped series of values (e.g. commits per bin during a run).
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl Timeline {
+    /// Appends a point. Points are expected in nondecreasing time order (the
+    /// simulator's clock guarantees this for in-callback pushes).
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        self.points.push((t, v));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Sums point values into fixed-width bins over `[start, end)`; returns
+    /// `(bin_start, sum)` for every bin, including empty ones.
+    pub fn binned(&self, start: SimTime, end: SimTime, bin: crate::SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!bin.is_zero(), "bin width must be positive");
+        let width = bin.as_micros();
+        let span = end.since(start).as_micros();
+        let nbins = (span / width + u64::from(span % width != 0)) as usize;
+        let mut out: Vec<(SimTime, f64)> = (0..nbins)
+            .map(|i| (start + bin * i as u64, 0.0))
+            .collect();
+        for &(t, v) in &self.points {
+            if t < start || t >= end {
+                continue;
+            }
+            let idx = (t.since(start).as_micros() / width) as usize;
+            out[idx].1 += v;
+        }
+        out
+    }
+
+    /// The longest contiguous run of zero-valued bins, in bins, over
+    /// `[start, end)` — the "service interruption window" measurement.
+    pub fn longest_gap_bins(&self, start: SimTime, end: SimTime, bin: crate::SimDuration) -> usize {
+        let bins = self.binned(start, end, bin);
+        let mut longest = 0usize;
+        let mut current = 0usize;
+        for (_, v) in bins {
+            if v == 0.0 {
+                current += 1;
+                longest = longest.max(current);
+            } else {
+                current = 0;
+            }
+        }
+        longest
+    }
+}
+
+/// The network counters every simulation updates on the per-message fast
+/// path; stored as plain fields to avoid map lookups.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct NetCounters {
+    pub(crate) sent: u64,
+    pub(crate) delivered: u64,
+    pub(crate) bytes: u64,
+    pub(crate) dropped: u64,
+    pub(crate) partitioned: u64,
+    pub(crate) dropped_down: u64,
+    pub(crate) dropped_unknown: u64,
+}
+
+/// The global metrics sink shared by every node in a simulation.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    /// Per-message-label counters, keyed by the `'static` label — the
+    /// allocation-free fast path for the per-message accounting.
+    labels: BTreeMap<&'static str, u64>,
+    pub(crate) net: NetCounters,
+    histograms: BTreeMap<String, Histogram>,
+    timelines: BTreeMap<String, Timeline>,
+}
+
+impl Metrics {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at zero if absent. The
+    /// `net.*` counters are backed by dedicated fields (the per-message
+    /// fast path) but remain addressable by name.
+    pub fn incr(&mut self, name: &str, n: u64) {
+        match name {
+            "net.sent" => self.net.sent += n,
+            "net.delivered" => self.net.delivered += n,
+            "net.bytes" => self.net.bytes += n,
+            "net.dropped" => self.net.dropped += n,
+            "net.partitioned" => self.net.partitioned += n,
+            "net.dropped_down" => self.net.dropped_down += n,
+            "net.dropped_unknown" => self.net.dropped_unknown += n,
+            _ => {
+                if let Some(v) = self.counters.get_mut(name) {
+                    *v += n;
+                } else {
+                    self.counters.insert(name.to_owned(), n);
+                }
+            }
+        }
+    }
+
+    /// Adds `n` to a static-label counter (used for per-message-kind
+    /// accounting; avoids allocating a key per event).
+    pub fn incr_label(&mut self, label: &'static str, n: u64) {
+        *self.labels.entry(label).or_insert(0) += n;
+    }
+
+    /// Value of a static-label counter.
+    pub fn label_count(&self, label: &str) -> u64 {
+        self.labels.get(label).copied().unwrap_or(0)
+    }
+
+    /// All static-label counters whose label starts with `prefix`.
+    pub fn labels_with_prefix(&self, prefix: &str) -> Vec<(&'static str, u64)> {
+        self.labels
+            .iter()
+            .filter(|(l, _)| l.starts_with(prefix))
+            .map(|(&l, &v)| (l, v))
+            .collect()
+    }
+
+    /// Current value of the named counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        match name {
+            "net.sent" => self.net.sent,
+            "net.delivered" => self.net.delivered,
+            "net.bytes" => self.net.bytes,
+            "net.dropped" => self.net.dropped,
+            "net.partitioned" => self.net.partitioned,
+            "net.dropped_down" => self.net.dropped_down,
+            "net.dropped_unknown" => self.net.dropped_unknown,
+            _ => self.counters.get(name).copied().unwrap_or(0),
+        }
+    }
+
+    /// All counters whose name starts with `prefix`, in name order
+    /// (including the field-backed `net.*` counters, when nonzero).
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        let net = [
+            ("net.bytes", self.net.bytes),
+            ("net.delivered", self.net.delivered),
+            ("net.dropped", self.net.dropped),
+            ("net.dropped_down", self.net.dropped_down),
+            ("net.dropped_unknown", self.net.dropped_unknown),
+            ("net.partitioned", self.net.partitioned),
+            ("net.sent", self.net.sent),
+        ];
+        for (name, v) in net {
+            if v > 0 && name.starts_with(prefix) {
+                out.push((name.to_owned(), v));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Records a sample in the named histogram.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(value);
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Mutable access (needed for quantile queries, which sort lazily).
+    pub fn histogram_mut(&mut self, name: &str) -> Option<&mut Histogram> {
+        self.histograms.get_mut(name)
+    }
+
+    /// Appends a point to the named timeline.
+    pub fn timeline_push(&mut self, name: &str, t: SimTime, v: f64) {
+        self.timelines
+            .entry(name.to_owned())
+            .or_default()
+            .push(t, v);
+    }
+
+    /// The named timeline, if any points were recorded.
+    pub fn timeline(&self, name: &str) -> Option<&Timeline> {
+        self.timelines.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn counters_accumulate_and_scan_by_prefix() {
+        let mut m = Metrics::new();
+        m.incr("net.sent", 2);
+        m.incr("net.sent", 3);
+        m.incr("net.dropped", 1);
+        m.incr("app.commit", 9);
+        assert_eq!(m.counter("net.sent"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        let net = m.counters_with_prefix("net.");
+        assert_eq!(
+            net,
+            vec![("net.dropped".into(), 1), ("net.sent".into(), 5)]
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_on_known_data() {
+        let mut h = Histogram::default();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.5), 3.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let mut h = Histogram::default();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn timeline_binning_sums_and_pads() {
+        let mut t = Timeline::default();
+        t.push(SimTime::from_millis(1), 1.0);
+        t.push(SimTime::from_millis(2), 1.0);
+        t.push(SimTime::from_millis(25), 4.0);
+        let bins = t.binned(
+            SimTime::ZERO,
+            SimTime::from_millis(30),
+            SimDuration::from_millis(10),
+        );
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[0], (SimTime::ZERO, 2.0));
+        assert_eq!(bins[1], (SimTime::from_millis(10), 0.0));
+        assert_eq!(bins[2], (SimTime::from_millis(20), 4.0));
+    }
+
+    #[test]
+    fn longest_gap_finds_the_interruption_window() {
+        let mut t = Timeline::default();
+        t.push(SimTime::from_millis(5), 1.0);
+        // bins 1..=3 empty
+        t.push(SimTime::from_millis(45), 1.0);
+        t.push(SimTime::from_millis(55), 1.0);
+        let gap = t.longest_gap_bins(
+            SimTime::ZERO,
+            SimTime::from_millis(60),
+            SimDuration::from_millis(10),
+        );
+        assert_eq!(gap, 3);
+    }
+
+    #[test]
+    fn out_of_range_points_are_ignored_by_binning() {
+        let mut t = Timeline::default();
+        t.push(SimTime::from_millis(100), 7.0);
+        let bins = t.binned(
+            SimTime::ZERO,
+            SimTime::from_millis(50),
+            SimDuration::from_millis(10),
+        );
+        assert!(bins.iter().all(|&(_, v)| v == 0.0));
+    }
+}

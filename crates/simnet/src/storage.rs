@@ -1,0 +1,119 @@
+//! Simulated stable storage: a per-node key/value blob store that survives
+//! crashes and restarts.
+
+use std::collections::BTreeMap;
+
+/// Per-node durable storage.
+///
+/// Protocols persist their recovery state here (promised ballots, accepted
+/// entries, snapshots, …). When a node crashes the simulator drops the actor
+/// but keeps its `StableStore`; the restart factory rebuilds the actor from
+/// it, exactly as a real process recovers from disk.
+///
+/// ```
+/// use simnet::StableStore;
+/// let mut s = StableStore::default();
+/// s.put_u64("promised", 7);
+/// assert_eq!(s.get_u64("promised"), Some(7));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StableStore {
+    map: BTreeMap<String, Vec<u8>>,
+}
+
+impl StableStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores raw bytes under `key`, replacing any previous value.
+    pub fn put(&mut self, key: &str, value: Vec<u8>) {
+        self.map.insert(key.to_owned(), value);
+    }
+
+    /// Reads the bytes stored under `key`.
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+
+    /// Removes `key`, returning its previous value.
+    pub fn remove(&mut self, key: &str) -> Option<Vec<u8>> {
+        self.map.remove(key)
+    }
+
+    /// Stores a `u64` under `key` (little-endian).
+    pub fn put_u64(&mut self, key: &str, value: u64) {
+        self.put(key, value.to_le_bytes().to_vec());
+    }
+
+    /// Reads a `u64` stored with [`StableStore::put_u64`]. Returns `None` if
+    /// the key is missing or malformed.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        let bytes = self.get(key)?;
+        let arr: [u8; 8] = bytes.try_into().ok()?;
+        Some(u64::from_le_bytes(arr))
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total bytes stored across all values (a proxy for disk footprint).
+    pub fn byte_size(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Iterates over keys with the given prefix, in lexicographic order.
+    pub fn keys_with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.map
+            .range(prefix.to_owned()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let mut s = StableStore::new();
+        assert!(s.is_empty());
+        s.put("a", vec![1, 2, 3]);
+        assert_eq!(s.get("a"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.byte_size(), 3);
+        assert_eq!(s.remove("a"), Some(vec![1, 2, 3]));
+        assert!(s.get("a").is_none());
+    }
+
+    #[test]
+    fn u64_helpers_reject_malformed_values() {
+        let mut s = StableStore::new();
+        s.put("short", vec![1, 2]);
+        assert_eq!(s.get_u64("short"), None);
+        assert_eq!(s.get_u64("missing"), None);
+        s.put_u64("x", u64::MAX);
+        assert_eq!(s.get_u64("x"), Some(u64::MAX));
+    }
+
+    #[test]
+    fn prefix_scan_is_ordered_and_bounded() {
+        let mut s = StableStore::new();
+        s.put("log/000001", vec![]);
+        s.put("log/000003", vec![]);
+        s.put("log/000002", vec![]);
+        s.put("meta", vec![]);
+        let keys: Vec<_> = s.keys_with_prefix("log/").collect();
+        assert_eq!(keys, vec!["log/000001", "log/000002", "log/000003"]);
+        assert_eq!(s.keys_with_prefix("zzz").count(), 0);
+    }
+}

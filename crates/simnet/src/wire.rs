@@ -1,0 +1,245 @@
+//! A tiny deterministic binary framing layer.
+//!
+//! Protocol crates persist recovery state and ship snapshots as byte blobs;
+//! this module provides the encoding. It is deliberately minimal — fixed
+//! little-endian integers and length-prefixed sequences — so encoded bytes
+//! are stable across runs and easy to reason about in tests.
+//!
+//! ```
+//! use simnet::wire::{self, Wire};
+//! let mut buf = Vec::new();
+//! (7u64, "hello".to_owned()).encode(&mut buf);
+//! let mut slice = buf.as_slice();
+//! let decoded = <(u64, String)>::decode(&mut slice).unwrap();
+//! assert_eq!(decoded, (7, "hello".to_owned()));
+//! assert!(slice.is_empty());
+//! ```
+
+use crate::sim::NodeId;
+
+/// Types that can be framed to and from bytes.
+///
+/// `decode` consumes from the front of the slice and returns `None` on
+/// malformed or truncated input (never panics).
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `buf`, advancing it past the
+    /// consumed bytes. Returns `None` on malformed input.
+    fn decode(buf: &mut &[u8]) -> Option<Self>;
+}
+
+/// Encodes a value into a fresh buffer.
+pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::new();
+    value.encode(&mut buf);
+    buf
+}
+
+/// Decodes a value from a buffer, requiring that every byte is consumed.
+pub fn from_bytes<T: Wire>(mut bytes: &[u8]) -> Option<T> {
+    let v = T::decode(&mut bytes)?;
+    if bytes.is_empty() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if buf.len() < n {
+        return None;
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Some(head)
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(buf: &mut &[u8]) -> Option<Self> {
+                let bytes = take(buf, std::mem::size_of::<$t>())?;
+                Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+wire_int!(u8, u16, u32, u64, i64);
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (*self as u64).encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        usize::try_from(u64::decode(buf)?).ok()
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.len().encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let len = usize::decode(buf)?;
+        let bytes = take(buf, len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.len().encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let len = usize::decode(buf)?;
+        // Guard against hostile lengths: cap the preallocation.
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Some(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+impl Wire for NodeId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(NodeId(u64::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        assert_eq!(from_bytes::<T>(&bytes), Some(v));
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u8::MAX);
+        round_trip(u16::MAX);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(i64::MIN);
+        round_trip(true);
+        round_trip(false);
+        round_trip(usize::MAX);
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        round_trip(String::from("héllo, wörld"));
+        round_trip(String::new());
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u64>::new());
+        round_trip(Some(42u32));
+        round_trip(Option::<u32>::None);
+        round_trip((7u64, String::from("x")));
+        round_trip((1u8, 2u16, vec![NodeId(3)]));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = to_bytes(&12345u64);
+        assert_eq!(from_bytes::<u64>(&bytes[..7]), None);
+        let s = to_bytes(&String::from("abcdef"));
+        assert_eq!(from_bytes::<String>(&s[..s.len() - 1]), None);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = to_bytes(&1u64);
+        bytes.push(0xFF);
+        assert_eq!(from_bytes::<u64>(&bytes), None);
+    }
+
+    #[test]
+    fn invalid_discriminants_are_rejected() {
+        assert_eq!(from_bytes::<bool>(&[2]), None);
+        assert_eq!(from_bytes::<Option<u8>>(&[9, 1]), None);
+    }
+
+    #[test]
+    fn hostile_length_does_not_allocate_the_moon() {
+        let mut bytes = Vec::new();
+        (u64::MAX).encode(&mut bytes); // declared length
+        assert_eq!(from_bytes::<Vec<u64>>(&bytes), None);
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut bytes = Vec::new();
+        2usize.encode(&mut bytes);
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(from_bytes::<String>(&bytes), None);
+    }
+}

@@ -1,0 +1,103 @@
+//! Elastic scaling: grow the cluster 3 → 5 → 7, then shrink back to 3,
+//! under continuous load, and print a live throughput timeline. This is
+//! the elastic-services scenario that motivated the protocol (FRAPPE).
+//!
+//! ```sh
+//! cargo run --release --example elastic_scaling
+//! ```
+
+use reconfigurable_smr::consensus::StaticConfig;
+use reconfigurable_smr::kvstore::{KeyDist, KvStore, WorkloadGen};
+use reconfigurable_smr::rsmr::harness::World;
+use reconfigurable_smr::rsmr::{AdminActor, OpenLoopClient, RsmrNode, RsmrTunables};
+use reconfigurable_smr::simnet::{NetConfig, NodeId, Sim, SimDuration, SimTime};
+
+fn ids(v: &[u64]) -> Vec<NodeId> {
+    v.iter().map(|&i| NodeId(i)).collect()
+}
+
+fn main() {
+    let mut sim: Sim<World<KvStore>> = Sim::new(7, NetConfig::lan());
+    let genesis_ids = ids(&[0, 1, 2]);
+    let genesis = StaticConfig::new(genesis_ids.clone());
+    for &s in &genesis_ids {
+        sim.add_node_with_id(
+            s,
+            World::server(RsmrNode::genesis(s, genesis.clone(), RsmrTunables::default())),
+        );
+    }
+    // Standby nodes that will join later.
+    for id in 3..7u64 {
+        sim.add_node_with_id(
+            NodeId(id),
+            World::server(RsmrNode::joining(NodeId(id), RsmrTunables::default())),
+        );
+    }
+
+    // Eight paced clients, ~4000 ops/s aggregate.
+    for c in 0..8u64 {
+        let gen = WorkloadGen::new(100 + c, KeyDist::Zipf { n: 1000, theta: 0.99 }, 0.5, 64);
+        sim.add_node_with_id(
+            NodeId(100 + c),
+            World::paced(OpenLoopClient::new(
+                genesis_ids.clone(),
+                gen.into_fn(),
+                SimDuration::from_millis(2),
+                None,
+            )),
+        );
+    }
+
+    // The scaling script: grow, grow, shrink, shrink.
+    let script = vec![
+        (SimTime::from_secs(2), ids(&[0, 1, 2, 3, 4])),
+        (SimTime::from_secs(4), ids(&[0, 1, 2, 3, 4, 5, 6])),
+        (SimTime::from_secs(6), ids(&[0, 1, 2, 3, 4])),
+        (SimTime::from_secs(8), ids(&[0, 1, 2])),
+    ];
+    sim.add_node_with_id(NodeId(99), World::admin(AdminActor::new(genesis_ids, script)));
+
+    let horizon = SimTime::from_secs(10);
+    sim.run_until(horizon);
+
+    // Print the completes-per-100ms timeline with reconfiguration marks.
+    let timeline = sim
+        .metrics()
+        .timeline("client.completes")
+        .expect("clients completed operations");
+    let bins = timeline.binned(SimTime::ZERO, horizon, SimDuration::from_millis(100));
+    let marks: Vec<SimTime> = sim
+        .actor(NodeId(99))
+        .unwrap()
+        .as_admin()
+        .unwrap()
+        .results()
+        .iter()
+        .map(|&(_, finished, _)| finished)
+        .collect();
+
+    println!("time(s)  ops/100ms  (each # ≈ 5 ops; R marks a completed reconfiguration)");
+    for (t, v) in &bins {
+        let reconfigured = marks
+            .iter()
+            .any(|m| *m >= *t && *m < *t + SimDuration::from_millis(100));
+        let bar = "#".repeat((*v / 5.0).round() as usize);
+        println!(
+            "{:7.1}  {:9} {} {}",
+            t.as_secs_f64(),
+            *v as u64,
+            if reconfigured { "R" } else { " " },
+            bar
+        );
+    }
+
+    let admin = sim.actor(NodeId(99)).unwrap().as_admin().unwrap();
+    println!("\ncompleted {} reconfigurations:", admin.results().len());
+    for (started, finished, epoch) in admin.results() {
+        println!("  → {epoch} in {}", *finished - *started);
+    }
+    let total: f64 = bins.iter().map(|(_, v)| v).sum();
+    println!("total operations completed: {total}");
+    let gap = timeline.longest_gap_bins(SimTime::ZERO, horizon, SimDuration::from_millis(100));
+    println!("longest service gap: {} x 100ms bins", gap);
+}

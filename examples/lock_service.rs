@@ -1,0 +1,116 @@
+//! A replicated lock service with fencing tokens — a second application on
+//! the same reconfigurable machine, demonstrating that the composition is
+//! generic over the `StateMachine` contract.
+//!
+//! Three clients contend for one lock while the cluster is reconfigured
+//! under them; fencing tokens observed by the clients must be strictly
+//! increasing in acquisition order.
+//!
+//! ```sh
+//! cargo run --release --example lock_service
+//! ```
+
+use reconfigurable_smr::consensus::StaticConfig;
+use reconfigurable_smr::kvstore::{LockOp, LockOutput, LockService};
+use reconfigurable_smr::rsmr::harness::World;
+use reconfigurable_smr::rsmr::{AdminActor, RsmrClient, RsmrNode, RsmrTunables};
+use reconfigurable_smr::simnet::{NetConfig, NodeId, Sim, SimDuration, SimTime};
+
+fn main() {
+    let mut sim: Sim<World<LockService>> = Sim::new(77, NetConfig::lan());
+    let servers: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let genesis = StaticConfig::new(servers.clone());
+    for &s in &servers {
+        sim.add_node_with_id(
+            s,
+            World::server(RsmrNode::genesis(s, genesis.clone(), RsmrTunables::default())),
+        );
+    }
+    sim.add_node_with_id(
+        NodeId(3),
+        World::server(RsmrNode::joining(NodeId(3), RsmrTunables::default())),
+    );
+
+    // Each client alternates TryAcquire / Release on the same lock.
+    let clients: Vec<NodeId> = (0..3).map(|c| NodeId(100 + c)).collect();
+    for (i, &c) in clients.iter().enumerate() {
+        let owner = i as u64 + 1;
+        sim.add_node_with_id(
+            c,
+            World::client(
+                RsmrClient::new(
+                    servers.clone(),
+                    move |seq| {
+                        if seq % 2 == 0 {
+                            LockOp::Acquire {
+                                lock: "leader-election".into(),
+                                owner,
+                            }
+                        } else {
+                            LockOp::Release {
+                                lock: "leader-election".into(),
+                                owner,
+                            }
+                        }
+                    },
+                    Some(200),
+                )
+                .with_history(),
+            ),
+        );
+    }
+    sim.add_node_with_id(
+        NodeId(99),
+        World::admin(AdminActor::new(
+            servers.clone(),
+            vec![(
+                SimTime::from_millis(300),
+                vec![NodeId(1), NodeId(2), NodeId(3)],
+            )],
+        )),
+    );
+
+    sim.run_for(SimDuration::from_secs(20));
+
+    // Collect every successful acquisition, ordered by response time.
+    let mut acquisitions: Vec<(SimTime, u64, u64)> = Vec::new(); // (when, owner, token)
+    for (i, &c) in clients.iter().enumerate() {
+        let cl = sim.actor(c).unwrap().as_client().unwrap();
+        assert_eq!(cl.completed(), 200, "client {c} must finish");
+        for (_seq, op, out, _invoke, response) in cl.history() {
+            if let (LockOp::Acquire { .. }, LockOutput::Acquired { token }) = (op, out) {
+                acquisitions.push((*response, i as u64 + 1, *token));
+            }
+        }
+    }
+    acquisitions.sort();
+    println!(
+        "{} successful acquisitions across {} clients (with one reconfiguration)",
+        acquisitions.len(),
+        clients.len()
+    );
+
+    // Fencing property (as observed): each *newly issued* token exceeds
+    // every token issued before it. Re-entrant acquisitions repeat the
+    // same token, so we check the running maximum of first-sightings.
+    let mut seen_max = 0u64;
+    let mut violations = 0;
+    for &(_, _, token) in &acquisitions {
+        if token > seen_max {
+            if token != seen_max + 1 {
+                // tokens may appear out of response order only for
+                // re-entrant repeats; fresh tokens are sequential
+                violations += 1;
+            }
+            seen_max = token;
+        }
+    }
+    println!("highest fencing token issued: {seen_max}; sequence violations: {violations}");
+    assert_eq!(violations, 0, "fencing tokens must be issued sequentially");
+
+    // The joiner's lock table matches the old members'.
+    let reference = sim.actor(NodeId(1)).unwrap().as_server().unwrap().state_machine().clone();
+    let joiner_sm = sim.actor(NodeId(3)).unwrap().as_server().unwrap().state_machine();
+    assert_eq!(joiner_sm, &reference, "joiner lock table diverged");
+    println!("joiner n3 lock table matches the cluster ({} locks held)", reference.held_count());
+}

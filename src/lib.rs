@@ -1,0 +1,26 @@
+//! # reconfigurable-smr
+//!
+//! A reproduction of the PODC 2012 brief announcement *"Reconfigurable state
+//! machine replication from non-reconfigurable building blocks"* (Bortnikov,
+//! Chockler, Perelman, Roytman, Shachor, Shnayderman).
+//!
+//! This façade crate re-exports the workspace's public API:
+//!
+//! * [`simnet`] — the deterministic discrete-event simulation substrate;
+//! * [`consensus`] — the static (non-reconfigurable) Multi-Paxos building
+//!   block;
+//! * [`rsmr`] — the paper's contribution: a reconfigurable replicated state
+//!   machine composed from static instances;
+//! * [`baselines`] — stop-the-world reconfiguration and a Raft-style
+//!   natively reconfigurable SMR, for comparison;
+//! * [`kvstore`] — a replicated key-value store application, workload
+//!   generators and a linearizability checker.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the architecture, and
+//! `EXPERIMENTS.md` for the reproduced evaluation.
+
+pub use baselines;
+pub use consensus;
+pub use kvstore;
+pub use rsmr_core as rsmr;
+pub use simnet;

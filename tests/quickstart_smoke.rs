@@ -1,0 +1,70 @@
+//! Mirrors the README / `examples/quickstart.rs` flow as an assertion-only
+//! test, so documentation rot shows up in CI.
+
+use reconfigurable_smr::consensus::StaticConfig;
+use reconfigurable_smr::kvstore::{KvOp, KvOutput, KvStore};
+use reconfigurable_smr::rsmr::harness::World;
+use reconfigurable_smr::rsmr::{AdminActor, Epoch, RsmrClient, RsmrNode, RsmrTunables};
+use reconfigurable_smr::simnet::{NetConfig, NodeId, Sim, SimDuration};
+
+#[test]
+fn quickstart_flow_works_as_documented() {
+    let mut sim: Sim<World<KvStore>> = Sim::new(42, NetConfig::lan());
+    let servers: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let genesis = StaticConfig::new(servers.clone());
+    for &s in &servers {
+        sim.add_node_with_id(
+            s,
+            World::server(RsmrNode::genesis(s, genesis.clone(), RsmrTunables::default())),
+        );
+    }
+
+    let client = NodeId(100);
+    let script = vec![
+        KvOp::Put("greeting".into(), b"hello".to_vec()),
+        KvOp::Append("greeting".into(), b", world".to_vec()),
+        KvOp::Get("greeting".into()),
+    ];
+    let len = script.len() as u64;
+    sim.add_node_with_id(
+        client,
+        World::client(RsmrClient::new(
+            servers.clone(),
+            move |seq| script[seq as usize % script.len()].clone(),
+            Some(len),
+        )),
+    );
+    sim.run_for(SimDuration::from_secs(2));
+    let c = sim.actor(client).unwrap().as_client().unwrap();
+    assert_eq!(c.completed(), 3);
+    assert_eq!(
+        c.last_output(),
+        Some(&KvOutput::Value(Some(b"hello, world".to_vec())))
+    );
+
+    // Live reconfiguration: add a brand-new member.
+    let joiner = NodeId(3);
+    sim.add_node_with_id(
+        joiner,
+        World::server(RsmrNode::joining(joiner, RsmrTunables::default())),
+    );
+    sim.add_node_with_id(
+        NodeId(99),
+        World::admin(AdminActor::new(
+            servers,
+            vec![(
+                sim.now() + SimDuration::from_millis(100),
+                vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            )],
+        )),
+    );
+    sim.run_for(SimDuration::from_secs(10));
+
+    let admin = sim.actor(NodeId(99)).unwrap().as_admin().unwrap();
+    assert_eq!(admin.results().len(), 1);
+    assert_eq!(admin.results()[0].2, Epoch(1));
+
+    let j = sim.actor(joiner).unwrap().as_server().unwrap();
+    assert_eq!(j.anchored_epoch(), Some(Epoch(1)));
+    assert_eq!(j.state_machine().get("greeting"), Some(&b"hello, world"[..]));
+}
