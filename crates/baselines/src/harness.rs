@@ -11,6 +11,10 @@ use crate::stw::StwNode;
 
 /// One node of a stop-the-world world. STW speaks the composed machine's
 /// wire language, so the clients and admin are `rsmr-core`'s own.
+///
+/// One `StwWorld` per node, stored once in the sim's slot table, so the
+/// replica/client size imbalance is harmless.
+#[allow(clippy::large_enum_variant)]
 pub enum StwWorld<S: StateMachine> {
     /// A replica.
     Server(StwNode<S>),
@@ -78,7 +82,9 @@ impl<S: StateMachine> Actor for StwWorld<S> {
     }
 }
 
-/// One node of a Raft world.
+/// One node of a Raft world. Unboxed for the same reason as
+/// [`StwWorld`].
+#[allow(clippy::large_enum_variant)]
 pub enum RaftWorld<S: StateMachine> {
     /// A replica.
     Server(RaftNode<S>),

@@ -97,8 +97,7 @@ impl<S: StateMachine> RaftNode<S> {
     }
 
     fn restore_payload(&mut self, data: &[u8]) -> bool {
-        let Some((app, sessions)) =
-            wire::from_bytes::<(Vec<u8>, SessionTable<S::Output>)>(data)
+        let Some((app, sessions)) = wire::from_bytes::<(Vec<u8>, SessionTable<S::Output>)>(data)
         else {
             return false;
         };
@@ -129,12 +128,12 @@ impl<S: StateMachine> RaftNode<S> {
             }
         }
         for (index, cmd) in fx.committed {
-            match cmd {
+            match &*cmd {
                 Cmd::Noop => {}
-                Cmd::App { client, seq, op } => self.apply_app(ctx, client, seq, &op),
+                Cmd::App { client, seq, op } => self.apply_app(ctx, *client, *seq, op),
                 Cmd::Batch { entries } => {
                     for (client, seq, op) in entries {
-                        self.apply_app(ctx, client, seq, &op);
+                        self.apply_app(ctx, *client, *seq, op);
                     }
                 }
                 Cmd::Reconfigure { .. } => {
@@ -292,9 +291,7 @@ impl<S: StateMachine> Actor for RaftNode<S> {
                     );
                     return;
                 }
-                let (fx, res) = self
-                    .core
-                    .propose(Cmd::Reconfigure { members }, ctx.now());
+                let (fx, res) = self.core.propose(Cmd::Reconfigure { members }, ctx.now());
                 match res {
                     RaftPropose::Appended(index) => {
                         self.pending_admin = Some((from, index));
@@ -316,7 +313,8 @@ impl<S: StateMachine> Actor for RaftNode<S> {
                 }
                 self.process_effects(ctx, fx);
             }
-            RaftMsg::Reply { .. } | RaftMsg::Redirect { .. } | RaftMsg::ReconfigureReply { .. } => {}
+            RaftMsg::Reply { .. } | RaftMsg::Redirect { .. } | RaftMsg::ReconfigureReply { .. } => {
+            }
         }
     }
 
@@ -578,7 +576,12 @@ impl<S: StateMachine> Actor for RaftAdmin<S> {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, _from: NodeId, msg: Self::Msg) {
-        if let RaftMsg::ReconfigureReply { ok, leader, members } = msg {
+        if let RaftMsg::ReconfigureReply {
+            ok,
+            leader,
+            members,
+        } = msg
+        {
             if !members.is_empty() {
                 self.known = members.clone();
                 self.servers = members;

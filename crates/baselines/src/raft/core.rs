@@ -10,6 +10,7 @@
 //! RPCs and clock ticks, outputs are [`RaftEffects`].
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use consensus::StaticConfig;
 use rsmr_core::command::Cmd;
@@ -73,7 +74,7 @@ pub struct RaftEffects<O> {
     /// RPCs to send.
     pub outbound: Vec<(NodeId, RaftRpc<O>)>,
     /// Newly committed entries, in log order, delivered exactly once.
-    pub committed: Vec<(Index, Cmd<O>)>,
+    pub committed: Vec<(Index, Arc<Cmd<O>>)>,
     /// A snapshot was installed: the host must restore its application
     /// state from this payload (entries up to the snapshot never appear in
     /// `committed`).
@@ -127,7 +128,7 @@ pub struct RaftCore<O: Clone + std::fmt::Debug + PartialEq + 'static> {
     /// Configuration effective at `snap_index`.
     snap_members: Vec<NodeId>,
     /// Entries for indices `snap_index + 1 ..`.
-    log: Vec<(Term, Cmd<O>)>,
+    log: Vec<(Term, Arc<Cmd<O>>)>,
     /// The configuration effective now (latest config entry in the log,
     /// else the snapshot's) — maintained incrementally because scanning
     /// the log per call is quadratic on the hot path.
@@ -232,7 +233,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
             .map(|(t, _)| *t)
     }
 
-    fn entry_at(&self, index: Index) -> Option<&(Term, Cmd<O>)> {
+    fn entry_at(&self, index: Index) -> Option<&(Term, Arc<Cmd<O>>)> {
         if index <= self.snap_index {
             return None;
         }
@@ -246,8 +247,8 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
     }
 
     /// Appends an entry, keeping the members cache coherent.
-    fn push_entry(&mut self, term: Term, cmd: Cmd<O>) {
-        if let Cmd::Reconfigure { members } = &cmd {
+    fn push_entry(&mut self, term: Term, cmd: Arc<Cmd<O>>) {
+        if let Cmd::Reconfigure { members } = &*cmd {
             self.cached_members = members.clone();
         }
         self.log.push((term, cmd));
@@ -257,7 +258,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
     /// snapshot installation — rare events).
     fn recompute_members(&mut self) {
         for (_, cmd) in self.log.iter().rev() {
-            if let Cmd::Reconfigure { members } = cmd {
+            if let Cmd::Reconfigure { members } = &**cmd {
                 self.cached_members = members.clone();
                 return;
             }
@@ -274,7 +275,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         ((from + 1)..=self.last_index()).any(|i| {
             matches!(
                 self.entry_at(i),
-                Some((_, Cmd::Reconfigure { .. }))
+                Some((_, c)) if matches!(&**c, Cmd::Reconfigure { .. })
             )
         })
     }
@@ -347,11 +348,13 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
             return (fx, RaftPropose::NotLeader(self.leader_hint));
         }
         if let Cmd::Reconfigure { members } = &cmd {
-            if self.has_uncommitted_config() || !Self::single_change(&self.current_members(), members) {
+            if self.has_uncommitted_config()
+                || !Self::single_change(&self.current_members(), members)
+            {
                 return (fx, RaftPropose::BadReconfigure);
             }
         }
-        self.push_entry(self.term, cmd);
+        self.push_entry(self.term, Arc::new(cmd));
         let index = self.last_index();
         self.replicate_all(now, &mut fx);
         self.advance_commit(&mut fx);
@@ -386,7 +389,9 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
                 prev_term,
                 entries,
                 commit,
-            } => self.on_append(from, term, prev_index, prev_term, entries, commit, now, &mut fx),
+            } => self.on_append(
+                from, term, prev_index, prev_term, entries, commit, now, &mut fx,
+            ),
             RaftRpc::AppendReply {
                 term,
                 success,
@@ -399,7 +404,9 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
                 last_term,
                 members,
                 data,
-            } => self.on_install_snapshot(from, term, last_index, last_term, members, data, now, &mut fx),
+            } => self.on_install_snapshot(
+                from, term, last_index, last_term, members, data, now, &mut fx,
+            ),
             RaftRpc::SnapshotReply { term, last_index } => {
                 self.on_snapshot_reply(from, term, last_index, now, &mut fx)
             }
@@ -435,8 +442,10 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         // Fold configuration entries out of the compacted range.
         let mut members = self.snap_members.clone();
         for i in (self.snap_index + 1)..=upto {
-            if let Some((_, Cmd::Reconfigure { members: m })) = self.entry_at(i) {
-                members = m.clone();
+            if let Some((_, c)) = self.entry_at(i) {
+                if let Cmd::Reconfigure { members: m } = &**c {
+                    members = m.clone();
+                }
             }
         }
         let new_term = self.term_at(upto).expect("upto is within the log");
@@ -454,8 +463,12 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         let jitter_us = if self.tun.election_jitter.is_zero() {
             0
         } else {
-            mix64(self.me.0.wrapping_mul(131).wrapping_add(self.election_attempt))
-                % self.tun.election_jitter.as_micros()
+            mix64(
+                self.me
+                    .0
+                    .wrapping_mul(131)
+                    .wrapping_add(self.election_attempt),
+            ) % self.tun.election_jitter.as_micros()
         };
         self.tun.election_timeout + SimDuration::from_micros(jitter_us)
     }
@@ -472,7 +485,10 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         self.votes.clear();
         self.votes.insert(self.me);
         self.reset_election_deadline(now);
-        let (last_index, last_term) = (self.last_index(), self.term_at(self.last_index()).unwrap_or(0));
+        let (last_index, last_term) = (
+            self.last_index(),
+            self.term_at(self.last_index()).unwrap_or(0),
+        );
         for peer in self.peers() {
             fx.outbound.push((
                 peer,
@@ -565,7 +581,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
                 self.match_index.insert(peer, 0);
             }
             // Commit barrier: a no-op from the new term.
-            self.push_entry(self.term, Cmd::Noop);
+            self.push_entry(self.term, Arc::new(Cmd::Noop));
             self.replicate_all(now, fx);
         }
     }
@@ -615,7 +631,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         };
         let from = next;
         let to = self.last_index().min(from + self.tun.batch as Index - 1);
-        let entries: Vec<(Term, Cmd<O>)> = (from..=to)
+        let entries: Vec<(Term, Arc<Cmd<O>>)> = (from..=to)
             .filter_map(|i| self.entry_at(i).cloned())
             .collect();
         // Pipelining: advance next_index optimistically so the next
@@ -643,7 +659,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         term: Term,
         prev_index: Index,
         prev_term: Term,
-        entries: Vec<(Term, Cmd<O>)>,
+        entries: Vec<(Term, Arc<Cmd<O>>)>,
         commit: Index,
         now: SimTime,
         fx: &mut RaftEffects<O>,
@@ -733,6 +749,8 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         ));
     }
 
+    // The arguments mirror the `AppendReply` wire fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
     fn on_append_reply(
         &mut self,
         from: NodeId,
@@ -882,11 +900,14 @@ mod tests {
     use super::*;
     use std::collections::VecDeque;
 
+    /// One node's committed prefix as observed by the harness.
+    type CommitLog = Vec<(Index, Arc<Cmd<u64>>)>;
+
     /// Lossless in-memory harness.
     struct Net {
         cores: BTreeMap<NodeId, RaftCore<u64>>,
         inbox: VecDeque<(NodeId, NodeId, RaftRpc<u64>)>,
-        committed: BTreeMap<NodeId, Vec<(Index, Cmd<u64>)>>,
+        committed: BTreeMap<NodeId, CommitLog>,
         cut: BTreeSet<NodeId>,
         now: SimTime,
     }
@@ -971,7 +992,7 @@ mod tests {
                 .get(&id)
                 .map(|v| {
                     v.iter()
-                        .filter_map(|(_, c)| match c {
+                        .filter_map(|(_, c)| match &**c {
                             Cmd::App { op, .. } => Some(*op),
                             _ => None,
                         })
@@ -1083,10 +1104,8 @@ mod tests {
         net.elect();
         // Add node 3.
         let joiner = NodeId(3);
-        net.cores.insert(
-            joiner,
-            RaftCore::blank(joiner, RaftTunables::default()),
-        );
+        net.cores
+            .insert(joiner, RaftCore::blank(joiner, RaftTunables::default()));
         let res = net.propose(Cmd::Reconfigure {
             members: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
         });
@@ -1118,7 +1137,8 @@ mod tests {
             assert!(core.log_len() < 10);
         }
         let joiner = NodeId(3);
-        net.cores.insert(joiner, RaftCore::blank(joiner, RaftTunables::default()));
+        net.cores
+            .insert(joiner, RaftCore::blank(joiner, RaftTunables::default()));
         net.propose(Cmd::Reconfigure {
             members: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
         });
@@ -1133,7 +1153,8 @@ mod tests {
     fn blank_nodes_never_campaign() {
         let mut net = Net::new(1);
         let blank = NodeId(9);
-        net.cores.insert(blank, RaftCore::blank(blank, RaftTunables::default()));
+        net.cores
+            .insert(blank, RaftCore::blank(blank, RaftTunables::default()));
         net.advance(SimDuration::from_secs(5));
         assert_eq!(net.cores[&blank].role(), RaftRole::Follower);
         assert_eq!(net.cores[&blank].term(), net.cores[&blank].term());

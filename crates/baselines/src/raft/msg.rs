@@ -1,5 +1,7 @@
 //! Wire messages of the Raft baseline.
 
+use std::sync::Arc;
+
 use rsmr_core::command::Cmd;
 use simnet::{Message, NodeId};
 
@@ -36,7 +38,7 @@ pub enum RaftRpc<O> {
         /// Term of the entry at `prev_index`.
         prev_term: Term,
         /// Entries to append (empty for a pure heartbeat).
-        entries: Vec<(Term, Cmd<O>)>,
+        entries: Vec<(Term, Arc<Cmd<O>>)>,
         /// Leader's commit index.
         commit: Index,
     },
@@ -165,8 +167,15 @@ mod tests {
     #[test]
     fn labels_are_distinct() {
         let msgs: Vec<RaftMsg<u64, u64>> = vec![
-            RaftMsg::Rpc(RaftRpc::RequestVote { term: 1, last_index: 0, last_term: 0 }),
-            RaftMsg::Rpc(RaftRpc::VoteReply { term: 1, granted: true }),
+            RaftMsg::Rpc(RaftRpc::RequestVote {
+                term: 1,
+                last_index: 0,
+                last_term: 0,
+            }),
+            RaftMsg::Rpc(RaftRpc::VoteReply {
+                term: 1,
+                granted: true,
+            }),
             RaftMsg::Rpc(RaftRpc::Append {
                 term: 1,
                 prev_index: 0,
@@ -187,12 +196,27 @@ mod tests {
                 members: vec![],
                 data: vec![],
             }),
-            RaftMsg::Rpc(RaftRpc::SnapshotReply { term: 1, last_index: 0 }),
+            RaftMsg::Rpc(RaftRpc::SnapshotReply {
+                term: 1,
+                last_index: 0,
+            }),
             RaftMsg::Request { seq: 0, op: 0 },
-            RaftMsg::Reply { seq: 0, output: 0, members: vec![] },
-            RaftMsg::Redirect { seq: 0, leader: None, members: vec![] },
+            RaftMsg::Reply {
+                seq: 0,
+                output: 0,
+                members: vec![],
+            },
+            RaftMsg::Redirect {
+                seq: 0,
+                leader: None,
+                members: vec![],
+            },
             RaftMsg::Reconfigure { members: vec![] },
-            RaftMsg::ReconfigureReply { ok: true, leader: None, members: vec![] },
+            RaftMsg::ReconfigureReply {
+                ok: true,
+                leader: None,
+                members: vec![],
+            },
         ];
         let mut labels: Vec<_> = msgs.iter().map(|m| m.label()).collect();
         labels.sort_unstable();

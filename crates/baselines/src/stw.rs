@@ -22,6 +22,7 @@
 //! systems unchanged.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use consensus::{MultiPaxos, PaxosTunables, ProposeOutcome, Slot, StaticConfig};
 use rsmr_core::chain::{ConfigChain, Epoch};
@@ -86,7 +87,7 @@ pub struct StwNode<S: StateMachine> {
     applied_next: Slot,
     /// Committed-but-unapplied entries of `current` (out-of-creation-order
     /// arrivals after a switch).
-    buffer: BTreeMap<Slot, Cmd<S::Op>>,
+    buffer: BTreeMap<Slot, Arc<Cmd<S::Op>>>,
     waiting: BTreeMap<(NodeId, u64), ()>,
     /// Leader-side: reconfiguration accepted, draining before proposing.
     draining: Option<(Vec<NodeId>, NodeId)>,
@@ -217,15 +218,16 @@ impl<S: StateMachine> StwNode<S> {
     fn drain_applies(&mut self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>) {
         while let Some(cmd) = self.buffer.remove(&self.applied_next) {
             self.applied_next = self.applied_next.next();
-            match cmd {
+            match &*cmd {
                 Cmd::Noop => {}
-                Cmd::App { client, seq, op } => self.apply_app(ctx, client, seq, &op),
+                Cmd::App { client, seq, op } => self.apply_app(ctx, *client, *seq, op),
                 Cmd::Batch { entries } => {
                     for (client, seq, op) in entries {
-                        self.apply_app(ctx, client, seq, &op);
+                        self.apply_app(ctx, *client, *seq, op);
                     }
                 }
                 Cmd::Reconfigure { members } => {
+                    let members = members.clone();
                     self.on_close(ctx, members);
                     // Prefix rule: nothing after the first close is applied.
                     self.buffer.clear();
@@ -340,7 +342,8 @@ impl<S: StateMachine> StwNode<S> {
             {
                 handoff.last_push = ctx.now();
                 for &m in handoff.awaiting.iter() {
-                    ctx.metrics().incr("rsmr.transfer_bytes", handoff.base.len() as u64);
+                    ctx.metrics()
+                        .incr("rsmr.transfer_bytes", handoff.base.len() as u64);
                     ctx.send(
                         m,
                         RsmrMsg::TransferReply {
@@ -455,14 +458,7 @@ impl<S: StateMachine> StwNode<S> {
             return;
         };
         let inst = self.instances.get_mut(&current).expect("current exists");
-        let (fx, outcome) = inst.paxos.propose(
-            Cmd::App {
-                client,
-                seq,
-                op,
-            },
-            ctx.now(),
-        );
+        let (fx, outcome) = inst.paxos.propose(Cmd::App { client, seq, op }, ctx.now());
         match outcome {
             ProposeOutcome::Accepted => {
                 self.waiting.insert((client, seq), ());
@@ -569,9 +565,7 @@ impl<S: StateMachine> StwNode<S> {
             return;
         }
         let inst = self.instances.get_mut(&current).expect("current exists");
-        let (fx, outcome) = inst
-            .paxos
-            .propose(Cmd::Reconfigure { members }, ctx.now());
+        let (fx, outcome) = inst.paxos.propose(Cmd::Reconfigure { members }, ctx.now());
         if let ProposeOutcome::NotLeader(_) = outcome {
             // Lost leadership between checks; the admin will retry.
             self.draining = None;
@@ -645,7 +639,9 @@ impl<S: StateMachine> StwNode<S> {
             let Some(base) = BaseState::<S::Output>::decode_bytes(&bytes) else {
                 return;
             };
-            let Some(sm) = S::restore(&base.app) else { return };
+            let Some(sm) = S::restore(&base.app) else {
+                return;
+            };
             self.sm = sm;
             self.sessions = base.sessions.clone();
             self.chain = Some(base.chain.clone());
@@ -655,7 +651,12 @@ impl<S: StateMachine> StwNode<S> {
         ctx.send(from, RsmrMsg::TransferAck { epoch });
     }
 
-    fn handle_ack(&mut self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>, from: NodeId, epoch: Epoch) {
+    fn handle_ack(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        from: NodeId,
+        epoch: Epoch,
+    ) {
         if let Some(h) = &mut self.handoff {
             if h.epoch == epoch {
                 h.awaiting.remove(&from);

@@ -13,6 +13,7 @@ use simnet::{Actor, Context, NetConfig, NodeId, Sim, SimDuration, SimTime, Timer
 
 type SMsg = RsmrMsg<u64, u64>;
 
+#[allow(clippy::large_enum_variant)] // one value per node, stored once
 enum SNode {
     Server(StwNode<CounterSm>),
     Client(RsmrClient<CounterSm>),
@@ -85,7 +86,10 @@ fn stw_add_member_blocks_then_recovers() {
         );
     }
     let joiner = NodeId(3);
-    sim.add_node_with_id(joiner, SNode::Server(StwNode::joining(joiner, StwTunables::default())));
+    sim.add_node_with_id(
+        joiner,
+        SNode::Server(StwNode::joining(joiner, StwTunables::default())),
+    );
     let client = NodeId(100);
     sim.add_node_with_id(
         client,
@@ -186,6 +190,7 @@ fn stw_full_replacement() {
 
 type RMsg = RaftMsg<u64, u64>;
 
+#[allow(clippy::large_enum_variant)] // one value per node, stored once
 enum RNode {
     Server(RaftNode<CounterSm>),
     Client(RaftClient<CounterSm>),

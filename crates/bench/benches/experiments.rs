@@ -1,30 +1,31 @@
-//! Criterion wall-time benchmarks of representative end-to-end runs: how
-//! expensive regenerating the experiment suite is, plus the cost of the
+//! Wall-time benchmarks of representative end-to-end runs: how expensive
+//! regenerating the experiment suite is, plus the cost of the
 //! linearizability checker on realistic histories.
 
-use std::time::Duration;
-
+use bench::microbench::bench;
 use bench::runner::{run, Scenario, SystemKind};
-use criterion::{criterion_group, criterion_main, Criterion};
 use kvstore::{linearizable, KvStore};
 use simnet::SimTime;
 
-fn bench_end_to_end_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(8));
+fn main() {
     for kind in [SystemKind::Static, SystemKind::Rsmr, SystemKind::Raft] {
-        group.bench_function(format!("3s_run_{}", kind.name().replace(' ', "_")), |b| {
-            b.iter(|| {
+        bench(
+            &format!("3s_run_{}", kind.name().replace(' ', "_")),
+            1,
+            || (),
+            |_| {
                 let sc = Scenario::new(1).clients(4).until(SimTime::from_secs(3));
                 let out = run(kind, &sc);
                 assert!(out.completed > 0);
-            });
-        });
+            },
+        );
     }
-    group.bench_function("3s_run_with_reconfig_rsmr", |b| {
-        b.iter(|| {
+
+    bench(
+        "3s_run_with_reconfig_rsmr",
+        1,
+        || (),
+        |_| {
             let sc = Scenario::new(1)
                 .clients(4)
                 .joiners(&[3])
@@ -32,16 +33,9 @@ fn bench_end_to_end_runs(c: &mut Criterion) {
                 .until(SimTime::from_secs(3));
             let out = run(SystemKind::Rsmr, &sc);
             assert_eq!(out.admin.len(), 1);
-        });
-    });
-    group.finish();
-}
+        },
+    );
 
-fn bench_lincheck(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lincheck");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(5));
     // A realistic history: contended clients across a reconfiguration.
     let mut sc = Scenario::new(5)
         .clients(3)
@@ -52,11 +46,10 @@ fn bench_lincheck(c: &mut Criterion) {
     sc.record_history = true;
     let out = run(SystemKind::Rsmr, &sc);
     assert!(!out.histories.is_empty());
-    group.bench_function(format!("check_{}_ops", out.histories.len()), |b| {
-        b.iter(|| assert!(linearizable(KvStore::new(), &out.histories)));
-    });
-    group.finish();
+    bench(
+        &format!("lincheck_{}_ops", out.histories.len()),
+        out.histories.len() as u64,
+        || (),
+        |_| assert!(linearizable(KvStore::new(), &out.histories)),
+    );
 }
-
-criterion_group!(benches, bench_end_to_end_runs, bench_lincheck);
-criterion_main!(benches);

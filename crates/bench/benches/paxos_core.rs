@@ -1,36 +1,42 @@
-//! Criterion micro-benchmarks of the sans-I/O Multi-Paxos core: raw
+//! Micro-benchmarks of the sans-I/O Multi-Paxos core: raw
 //! propose→accept→commit cycles through an in-memory loopback (no
 //! simulator, no clock overhead).
 
 use std::collections::{BTreeMap, VecDeque};
 
-use std::time::Duration;
-
-use consensus::{Effects, MultiPaxos, PaxosMsg, PaxosTunables, ProposeOutcome, StaticConfig};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use bench::microbench::bench;
+use consensus::{
+    Command, Effects, MultiPaxos, PaxosMsg, PaxosTunables, ProposeOutcome, StaticConfig,
+};
+use simnet::wire::Wire;
 use simnet::{NodeId, SimDuration, SimTime};
 
-struct Loop {
-    cores: BTreeMap<NodeId, MultiPaxos<u64>>,
-    inbox: VecDeque<(NodeId, NodeId, PaxosMsg<u64>)>,
+struct Loop<C: Command> {
+    cores: BTreeMap<NodeId, MultiPaxos<C>>,
+    inbox: VecDeque<(NodeId, NodeId, PaxosMsg<C>)>,
     now: SimTime,
 }
 
-impl Loop {
+impl<C: Command> Loop<C> {
     fn new(n: u64) -> Self {
         let members: Vec<NodeId> = (0..n).map(NodeId).collect();
         let cfg = StaticConfig::new(members.clone());
         let mut l = Loop {
             cores: members
                 .iter()
-                .map(|&m| (m, MultiPaxos::new(m, cfg.clone(), SimTime::ZERO, PaxosTunables::default())))
+                .map(|&m| {
+                    (
+                        m,
+                        MultiPaxos::new(m, cfg.clone(), SimTime::ZERO, PaxosTunables::default()),
+                    )
+                })
                 .collect(),
             inbox: VecDeque::new(),
             now: SimTime::ZERO,
         };
         // Elect a leader.
         while l.leader().is_none() {
-            l.now = l.now + SimDuration::from_millis(10);
+            l.now += SimDuration::from_millis(10);
             let ids: Vec<NodeId> = l.cores.keys().copied().collect();
             for id in ids {
                 let fx = l.cores.get_mut(&id).unwrap().tick(l.now);
@@ -41,7 +47,7 @@ impl Loop {
         l
     }
 
-    fn absorb(&mut self, from: NodeId, fx: Effects<u64>) {
+    fn absorb(&mut self, from: NodeId, fx: Effects<C>) {
         for (to, m) in fx.outbound {
             self.inbox.push_back((from, to, m));
         }
@@ -49,7 +55,11 @@ impl Loop {
 
     fn drain(&mut self) {
         while let Some((from, to, m)) = self.inbox.pop_front() {
-            let fx = self.cores.get_mut(&to).unwrap().on_message(from, m, self.now);
+            let fx = self
+                .cores
+                .get_mut(&to)
+                .unwrap()
+                .on_message(from, m, self.now);
             self.absorb(to, fx);
         }
     }
@@ -58,7 +68,7 @@ impl Loop {
         self.cores.values().find(|c| c.is_leader()).map(|c| c.me())
     }
 
-    fn commit_one(&mut self, v: u64) {
+    fn commit_one(&mut self, v: C) {
         let l = self.leader().expect("leader");
         let (fx, out) = self.cores.get_mut(&l).unwrap().propose(v, self.now);
         assert_eq!(out, ProposeOutcome::Accepted);
@@ -67,42 +77,65 @@ impl Loop {
     }
 }
 
-fn bench_commit_cycle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paxos_core");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(5));
-    for n in [3u64, 5, 7] {
-        group.throughput(Throughput::Elements(1));
-        group.bench_function(format!("commit_cycle_n{n}"), |b| {
-            b.iter_batched_ref(
-                || Loop::new(n),
-                |l| l.commit_one(42),
-                BatchSize::SmallInput,
-            );
-        });
+/// A command with a protocol-sized payload, so commit benches exercise the
+/// payload-copy path (Accept/Chosen fan-out, log storage, catch-up).
+#[derive(Clone, Debug, PartialEq)]
+struct Blob(Vec<u8>);
+
+impl Wire for Blob {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
     }
-    group.finish();
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Vec::<u8>::decode(buf).map(Blob)
+    }
 }
 
-fn bench_sustained_commits(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paxos_core");
-    group.sample_size(20);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(5));
-    group.throughput(Throughput::Elements(1000));
-    group.bench_function("commit_1000_n3", |b| {
-        b.iter_batched_ref(
-            || Loop::new(3),
+impl Command for Blob {
+    fn noop() -> Self {
+        Blob(Vec::new())
+    }
+    fn is_noop(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+fn main() {
+    const BATCH: u64 = 100;
+    for n in [3u64, 5, 7] {
+        bench(
+            &format!("commit_{BATCH}_n{n}"),
+            BATCH,
+            || Loop::<u64>::new(n),
             |l| {
-                for i in 1..=1000 {
+                for i in 1..=BATCH {
                     l.commit_one(i);
                 }
             },
-            BatchSize::SmallInput,
         );
-    });
-    group.finish();
-}
+    }
 
-criterion_group!(benches, bench_commit_cycle, bench_sustained_commits);
-criterion_main!(benches);
+    bench(
+        "commit_1000_n3",
+        1000,
+        || Loop::<u64>::new(3),
+        |l| {
+            for i in 1..=1000 {
+                l.commit_one(i);
+            }
+        },
+    );
+
+    // Same sustained-commit loop, but every command carries a 1 KiB payload:
+    // the cost the Arc'd message payloads are meant to collapse.
+    bench(
+        "commit_100_n5_1k_payload",
+        100,
+        || Loop::<Blob>::new(5),
+        |l| {
+            for i in 1..=100u8 {
+                l.commit_one(Blob(vec![i; 1024]));
+            }
+        },
+    );
+}

@@ -1,10 +1,12 @@
-//! Criterion micro-benchmarks of the simulation substrate itself: event
-//! throughput and timer churn. These bound how large the experiments can
-//! be in wall time.
+//! Micro-benchmarks of the simulation substrate itself: event throughput,
+//! timer churn, broadcast fan-out and duplicate delivery. These bound how
+//! large the experiments can be in wall time.
+//!
+//! The fan-out and duplicate-delivery benches carry a 1 KiB payload through
+//! the same clone-per-peer / clone-per-delivery paths the protocol messages
+//! take, so the cost of payload copying is measurable in-repo.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::microbench::bench;
 use simnet::{Actor, Context, Message, NetConfig, NodeId, Sim, SimDuration, Timer};
 
 #[derive(Clone, Debug)]
@@ -29,26 +31,6 @@ impl Actor for Bouncer {
     fn on_timer(&mut self, _ctx: &mut Context<'_, Ping>, _t: Timer) {}
 }
 
-fn bench_message_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_engine");
-    group.sample_size(20);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(5));
-    const MSGS: u64 = 10_000;
-    group.throughput(Throughput::Elements(MSGS));
-    group.bench_function("deliver_10k_messages", |b| {
-        b.iter(|| {
-            let mut sim: Sim<Bouncer> = Sim::new(1, NetConfig::lan());
-            let a = sim.add_node(Bouncer { remaining: MSGS / 2 });
-            let bn = sim.add_node(Bouncer { remaining: MSGS / 2 });
-            sim.inject(a, bn, Ping(0));
-            sim.run_until_quiet(SimDuration::from_secs(3600));
-            assert!(sim.metrics().counter("net.delivered") >= MSGS);
-        });
-    });
-    group.finish();
-}
-
 struct TimerChurn;
 impl Actor for TimerChurn {
     type Msg = Ping;
@@ -61,21 +43,172 @@ impl Actor for TimerChurn {
     }
 }
 
-fn bench_timer_churn(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_engine");
-    group.sample_size(20);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(5));
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("fire_100k_timers", |b| {
-        b.iter(|| {
+/// A message with a protocol-sized payload. Like the consensus messages
+/// (`PaxosMsg`, Raft `AppendEntries`), the payload rides in an `Arc`, so the
+/// per-peer broadcast clone and the per-delivery duplication clone are
+/// refcount bumps instead of buffer copies.
+#[derive(Clone, Debug)]
+struct Blob {
+    data: std::sync::Arc<Vec<u8>>,
+}
+impl Message for Blob {
+    fn label(&self) -> &'static str {
+        "blob"
+    }
+    fn size_hint(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// The root broadcasts a payload to every peer on each timer tick; peers
+/// discard it.
+struct Broadcaster {
+    peers: Vec<NodeId>,
+    payload: std::sync::Arc<Vec<u8>>,
+    rounds: u64,
+}
+impl Actor for Broadcaster {
+    type Msg = Blob;
+    fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+        if !self.peers.is_empty() {
+            ctx.set_timer(SimDuration::from_micros(10), 0);
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_, Blob>, _f: NodeId, _m: Blob) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, Blob>, _t: Timer) {
+        if self.rounds == 0 {
+            return;
+        }
+        self.rounds -= 1;
+        ctx.broadcast(
+            &self.peers,
+            Blob {
+                data: std::sync::Arc::clone(&self.payload),
+            },
+        );
+        ctx.set_timer(SimDuration::from_micros(10), 0);
+    }
+}
+
+/// Fires all payload sends at a sink up front over a duplicating link, so
+/// the measured cost is pure routing + (duplicate) delivery with no timer
+/// pacing in the way.
+struct Duplicator {
+    sink: NodeId,
+    payload: std::sync::Arc<Vec<u8>>,
+    rounds: u64,
+}
+impl Actor for Duplicator {
+    type Msg = Blob;
+    fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+        for _ in 0..self.rounds {
+            ctx.send(
+                self.sink,
+                Blob {
+                    data: std::sync::Arc::clone(&self.payload),
+                },
+            );
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_, Blob>, _f: NodeId, _m: Blob) {}
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Blob>, _t: Timer) {}
+}
+
+fn main() {
+    const MSGS: u64 = 10_000;
+    bench(
+        "deliver_10k_messages",
+        MSGS,
+        || (),
+        |_| {
+            let mut sim: Sim<Bouncer> = Sim::new(1, NetConfig::lan());
+            let a = sim.add_node(Bouncer {
+                remaining: MSGS / 2,
+            });
+            let bn = sim.add_node(Bouncer {
+                remaining: MSGS / 2,
+            });
+            sim.inject(a, bn, Ping(0));
+            sim.run_until_quiet(SimDuration::from_secs(3600));
+            assert!(sim.metrics().counter("net.delivered") >= MSGS);
+        },
+    );
+
+    bench(
+        "fire_100k_timers",
+        100_000,
+        || (),
+        |_| {
             let mut sim: Sim<TimerChurn> = Sim::new(1, NetConfig::lan());
             sim.add_node(TimerChurn);
             sim.run_for(SimDuration::from_secs(1)); // 100k timer fires
-        });
-    });
-    group.finish();
-}
+        },
+    );
 
-criterion_group!(benches, bench_message_throughput, bench_timer_churn);
-criterion_main!(benches);
+    // 1000 rounds × 9 peers of a 1 KiB payload: the per-peer broadcast clone
+    // plus the per-delivery enqueue clone.
+    const ROUNDS: u64 = 1_000;
+    const PEERS: u64 = 9;
+    bench(
+        "broadcast_1k_payload_9_peers",
+        ROUNDS * PEERS,
+        || (),
+        |_| {
+            let mut sim: Sim<Broadcaster> = Sim::new(1, NetConfig::lan());
+            let peers: Vec<NodeId> = (1..=PEERS).map(NodeId).collect();
+            sim.add_node_with_id(
+                NodeId(0),
+                Broadcaster {
+                    peers: peers.clone(),
+                    payload: std::sync::Arc::new(vec![0xAB; 1024]),
+                    rounds: ROUNDS,
+                },
+            );
+            for &p in &peers {
+                sim.add_node_with_id(
+                    p,
+                    Broadcaster {
+                        peers: vec![],
+                        payload: std::sync::Arc::new(vec![]),
+                        rounds: 0,
+                    },
+                );
+            }
+            sim.run_until_quiet(SimDuration::from_secs(3600));
+            assert!(sim.metrics().counter("net.delivered") >= ROUNDS * PEERS);
+        },
+    );
+
+    // 5000 sends of a 1 KiB payload over a link that duplicates ~90% of
+    // them: the duplicate-delivery clone in the event queue.
+    const DUP_SENDS: u64 = 5_000;
+    bench(
+        "duplicate_delivery_1k_payload",
+        DUP_SENDS,
+        || (),
+        |_| {
+            let mut net = NetConfig::lan();
+            net.duplicate_rate = 0.9;
+            let mut sim: Sim<Duplicator> = Sim::new(1, net);
+            let sink = NodeId(1);
+            sim.add_node_with_id(
+                NodeId(0),
+                Duplicator {
+                    sink,
+                    payload: std::sync::Arc::new(vec![0xCD; 1024]),
+                    rounds: DUP_SENDS,
+                },
+            );
+            sim.add_node_with_id(
+                sink,
+                Duplicator {
+                    sink: NodeId(0),
+                    payload: std::sync::Arc::new(vec![]),
+                    rounds: 0,
+                },
+            );
+            sim.run_until_quiet(SimDuration::from_secs(3600));
+            assert!(sim.metrics().counter("net.delivered") > DUP_SENDS);
+        },
+    );
+}

@@ -10,6 +10,9 @@ use std::time::Instant;
 
 use bench::experiments;
 
+/// One experiment's rendered output (if the id was known) and wall seconds.
+type Slot = std::sync::Mutex<Option<(Option<String>, f64)>>;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -30,14 +33,48 @@ fn main() {
         if quick { "quick" } else { "full" }
     );
     let total = Instant::now();
-    for id in ids {
-        let start = Instant::now();
-        match experiments::run_one(id, quick) {
+    // Experiments are independent of one another (each builds its own
+    // simulations from fixed seeds), so fan them across the available cores
+    // — bounded by `available_parallelism` so a small box is not thrashed —
+    // and print the finished outputs in presentation order.
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(ids.len().max(1));
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<Slot> = ids.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&id) = ids.get(i) else { break };
+                let start = Instant::now();
+                let out = experiments::run_one(id, quick);
+                *slots[i].lock().expect("result slot") = Some((out, start.elapsed().as_secs_f64()));
+            });
+        }
+    });
+    let results: Vec<(&str, Option<String>, f64)> = ids
+        .iter()
+        .zip(slots)
+        .map(|(&id, slot)| {
+            let (out, secs) = slot
+                .into_inner()
+                .expect("unpoisoned")
+                .expect("worker filled every slot");
+            (id, out, secs)
+        })
+        .collect();
+    for (id, output, secs) in results {
+        match output {
             Some(output) => {
                 print!("{output}");
-                eprintln!("[{id} done in {:.1}s wall]", start.elapsed().as_secs_f64());
+                eprintln!("[{id} done in {secs:.1}s wall]");
             }
-            None => eprintln!("unknown experiment id: {id} (valid: {:?})", experiments::ALL),
+            None => eprintln!(
+                "unknown experiment id: {id} (valid: {:?})",
+                experiments::ALL
+            ),
         }
     }
     eprintln!("[suite done in {:.1}s wall]", total.elapsed().as_secs_f64());

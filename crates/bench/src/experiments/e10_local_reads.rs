@@ -27,7 +27,11 @@ pub struct Row {
 
 /// Runs the sweep.
 pub fn run_rows(quick: bool) -> Vec<Row> {
-    let ratios: &[f64] = if quick { &[0.5, 0.95] } else { &[0.1, 0.5, 0.9, 0.99] };
+    let ratios: &[f64] = if quick {
+        &[0.5, 0.95]
+    } else {
+        &[0.1, 0.5, 0.9, 0.99]
+    };
     let horizon = SimTime::from_secs(if quick { 6 } else { 10 });
     let mut rows = Vec::new();
     for &read_ratio in ratios {

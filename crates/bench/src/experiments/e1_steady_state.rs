@@ -7,7 +7,7 @@
 
 use simnet::SimTime;
 
-use crate::runner::{run as run_scenario, Scenario, SystemKind};
+use crate::runner::{run_many, Scenario, SystemKind};
 use crate::table::Table;
 
 /// Runs E1 and renders Table 1.
@@ -38,14 +38,25 @@ pub fn run_table(quick: bool) -> Table {
     };
     let measure_from = SimTime::from_secs(1);
     let clients = if quick { 4 } else { 8 };
+    // Every (size, system) cell is an independent simulation; fan the whole
+    // sweep across cores and render from the ordered results.
+    let jobs: Vec<(SystemKind, Scenario)> = sizes
+        .iter()
+        .flat_map(|&n| {
+            systems.map(|kind| {
+                let sc = Scenario::new(0xE1 + n)
+                    .servers(n)
+                    .clients(clients)
+                    .until(horizon);
+                (kind, sc)
+            })
+        })
+        .collect();
+    let mut outs = run_many(jobs).into_iter();
     for &n in sizes {
         let mut static_tput = 0.0;
         for kind in systems {
-            let sc = Scenario::new(0xE1 + n)
-                .servers(n)
-                .clients(clients)
-                .until(horizon);
-            let mut out = run_scenario(kind, &sc);
+            let mut out = outs.next().expect("one result per job");
             let tput = out.throughput(measure_from, horizon);
             if kind == SystemKind::Static {
                 static_tput = tput;

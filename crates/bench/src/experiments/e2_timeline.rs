@@ -73,11 +73,7 @@ pub fn run(quick: bool) -> String {
     let last_bin = ((reconfig_at.as_millis() + 2000) / BIN.as_millis()) as usize;
     for s in &series {
         let window = &s.bins[first_bin.min(s.bins.len())..last_bin.min(s.bins.len())];
-        out.push_str(&format!(
-            "{:>15} |{}|\n",
-            s.kind.name(),
-            sparkline(window)
-        ));
+        out.push_str(&format!("{:>15} |{}|\n", s.kind.name(), sparkline(window)));
     }
     out.push('\n');
     let mut t = Table::new(

@@ -120,10 +120,7 @@ mod tests {
             .filter(|r| r.kind == SystemKind::Rsmr)
             .map(|r| r.gap_ms)
             .collect();
-        let (min, max) = (
-            *gaps.iter().min().unwrap(),
-            *gaps.iter().max().unwrap(),
-        );
+        let (min, max) = (*gaps.iter().min().unwrap(), *gaps.iter().max().unwrap());
         assert!(
             max.saturating_sub(min) <= 200,
             "rsmr gap should stay flat across state sizes: {gaps:?}"

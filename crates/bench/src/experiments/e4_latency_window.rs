@@ -107,7 +107,10 @@ mod tests {
     fn e4_stw_tail_is_worse_than_rsmr() {
         let rows = run_rows(true);
         let max_of = |k: SystemKind| {
-            rows.iter().find(|r| r.kind == k).map(|r| r.quantiles.3).unwrap()
+            rows.iter()
+                .find(|r| r.kind == k)
+                .map(|r| r.quantiles.3)
+                .unwrap()
         };
         assert!(
             max_of(SystemKind::Rsmr) <= max_of(SystemKind::Stw),

@@ -56,7 +56,10 @@ pub fn run_rows(quick: bool) -> Vec<Row> {
     let mut rows = Vec::new();
     for kind in systems {
         // One churn-free control run per system, shared by every k.
-        let base_sc = Scenario::new(0xE5).clients(clients).joiners(&[3]).until(horizon);
+        let base_sc = Scenario::new(0xE5)
+            .clients(clients)
+            .joiners(&[3])
+            .until(horizon);
         let baseline = run_scenario(kind, &base_sc).completed;
         for &k in ks {
             let mut sc = base_sc.clone();

@@ -87,7 +87,9 @@ pub fn run(quick: bool) -> String {
         t.row(&[
             r.kind.name().into(),
             if r.all_completed { "yes" } else { "NO" }.into(),
-            r.recovery_ms.map(|m| m.to_string()).unwrap_or_else(|| "∞".into()),
+            r.recovery_ms
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "∞".into()),
             if r.reconfig_done { "yes" } else { "NO" }.into(),
             match r.linearizable {
                 Some(true) => "PASS".into(),

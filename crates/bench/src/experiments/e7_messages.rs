@@ -35,7 +35,11 @@ pub fn run_steady(quick: bool) -> Vec<SteadyRow> {
         .map(|kind| {
             let sc = Scenario::new(0xE7).clients(4).until(horizon);
             let out = run_scenario(kind, &sc);
-            let prefix = if kind == SystemKind::Raft { "raft." } else { "paxos." };
+            let prefix = if kind == SystemKind::Raft {
+                "raft."
+            } else {
+                "paxos."
+            };
             let msgs = out.msgs_with_prefix(prefix);
             SteadyRow {
                 kind,

@@ -6,7 +6,7 @@
 
 use simnet::SimTime;
 
-use crate::runner::{run as run_scenario, Scenario, SystemKind};
+use crate::runner::{run_many, Scenario, SystemKind};
 use crate::table::Table;
 
 /// One measurement row.
@@ -27,24 +27,29 @@ pub struct Row {
 pub fn run_rows(quick: bool) -> Vec<Row> {
     let sizes: &[u64] = if quick { &[3, 7] } else { &[3, 5, 7, 9] };
     let horizon = SimTime::from_secs(if quick { 6 } else { 10 });
-    let mut rows = Vec::new();
-    for &n in sizes {
-        for kind in [SystemKind::Static, SystemKind::Rsmr] {
-            let sc = Scenario::new(0xE8 + n)
-                .servers(n)
-                .clients(4)
-                .until(horizon);
-            let mut out = run_scenario(kind, &sc);
-            rows.push(Row {
-                kind,
-                n,
-                tput: out.throughput(SimTime::from_secs(1), horizon),
-                p50_ms: out.latency_us(0.5) / 1000.0,
-                p99_ms: out.latency_us(0.99) / 1000.0,
-            });
-        }
-    }
-    rows
+    // Independent runs: fan the (n, system) grid across cores.
+    let cells: Vec<(SystemKind, u64)> = sizes
+        .iter()
+        .flat_map(|&n| [(SystemKind::Static, n), (SystemKind::Rsmr, n)])
+        .collect();
+    let jobs: Vec<(SystemKind, Scenario)> = cells
+        .iter()
+        .map(|&(kind, n)| {
+            let sc = Scenario::new(0xE8 + n).servers(n).clients(4).until(horizon);
+            (kind, sc)
+        })
+        .collect();
+    run_many(jobs)
+        .into_iter()
+        .zip(cells)
+        .map(|(mut out, (kind, n))| Row {
+            kind,
+            n,
+            tput: out.throughput(SimTime::from_secs(1), horizon),
+            p50_ms: out.latency_us(0.5) / 1000.0,
+            p99_ms: out.latency_us(0.99) / 1000.0,
+        })
+        .collect()
 }
 
 /// Renders E8.

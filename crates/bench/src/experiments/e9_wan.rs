@@ -99,7 +99,12 @@ mod tests {
             assert!(r.reconfig_ms > 0.0, "{}", r.kind.name());
             assert!(r.total > 100, "{} starved", r.kind.name());
             // WAN p50 must reflect the RTT (sanity that the profile is on).
-            assert!(r.p50_ms > 20.0, "{} p50 {} looks like a LAN", r.kind.name(), r.p50_ms);
+            assert!(
+                r.p50_ms > 20.0,
+                "{} p50 {} looks like a LAN",
+                r.kind.name(),
+                r.p50_ms
+            );
         }
         let gap = |k: SystemKind| rows.iter().find(|r| r.kind == k).map(|r| r.gap_ms).unwrap();
         assert!(

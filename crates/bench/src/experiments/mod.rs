@@ -4,6 +4,7 @@
 //! reproducible across machines because all measurements are in *virtual*
 //! time. `quick` trims sweep dimensions for CI.
 
+pub mod e10_local_reads;
 pub mod e1_steady_state;
 pub mod e2_timeline;
 pub mod e3_state_transfer;
@@ -12,7 +13,6 @@ pub mod e5_churn;
 pub mod e6_faults;
 pub mod e7_messages;
 pub mod e8_scaling;
-pub mod e10_local_reads;
 pub mod e9_wan;
 
 /// Experiment ids in presentation order.

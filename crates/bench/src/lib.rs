@@ -15,6 +15,7 @@
 //! Run everything with `cargo run --release -p bench --bin exp_all`.
 
 pub mod experiments;
+pub mod microbench;
 pub mod runner;
 pub mod table;
 

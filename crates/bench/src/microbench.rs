@@ -1,0 +1,75 @@
+//! A minimal micro-benchmark harness.
+//!
+//! `cargo bench` invokes bench binaries with `--bench`, in which case each
+//! benchmark runs a warm-up plus a fixed number of timed samples and prints
+//! the median. Under `cargo test` (no `--bench` flag) every benchmark runs
+//! exactly once as a smoke test, so the bench targets stay cheap in the
+//! tier-1 gate.
+
+use std::time::{Duration, Instant};
+
+/// True when invoked by `cargo bench` (full measurement requested).
+pub fn full_run() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// One benchmark's measured result.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name as printed.
+    pub name: String,
+    /// Median wall time of one routine invocation.
+    pub median: Duration,
+    /// Work items per routine invocation (for the per-element rate).
+    pub elements: u64,
+}
+
+impl BenchResult {
+    /// Median nanoseconds per element.
+    pub fn ns_per_element(&self) -> f64 {
+        self.median.as_nanos() as f64 / self.elements.max(1) as f64
+    }
+}
+
+/// Runs `routine` over fresh `setup()` state, timing only the routine, and
+/// prints the median sample. `elements` is how many logical work items one
+/// routine invocation performs.
+pub fn bench<T>(
+    name: &str,
+    elements: u64,
+    mut setup: impl FnMut() -> T,
+    mut routine: impl FnMut(&mut T),
+) -> BenchResult {
+    let samples = if full_run() { 10 } else { 1 };
+    if full_run() {
+        // Warm-up: one untimed invocation.
+        let mut state = setup();
+        routine(&mut state);
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut state = setup();
+        let start = Instant::now();
+        routine(&mut state);
+        times.push(start.elapsed());
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    let result = BenchResult {
+        name: name.to_owned(),
+        median,
+        elements,
+    };
+    let rate = if median.as_nanos() > 0 {
+        elements as f64 / median.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "{name:<40} median {:>12.3?}   {:>10.1} ns/elem   {:>12.0} elem/s",
+        median,
+        result.ns_per_element(),
+        rate,
+    );
+    result
+}

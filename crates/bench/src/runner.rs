@@ -93,6 +93,9 @@ pub struct Scenario {
     /// Enable lease-based local reads on the composed machine (100ms
     /// leases; only affects `Rsmr*` kinds).
     pub local_reads: bool,
+    /// Record the event trace (for determinism digests). Off by default —
+    /// tracing allocates a line per event.
+    pub record_trace: bool,
 }
 
 impl Scenario {
@@ -116,6 +119,7 @@ impl Scenario {
             bandwidth: None,
             wan: false,
             local_reads: false,
+            record_trace: false,
         }
     }
 
@@ -225,6 +229,8 @@ pub struct RunOut {
     pub horizon: SimTime,
     /// Client histories (empty unless `record_history`).
     pub histories: Vec<HistoryOp<KvOp, KvOutput>>,
+    /// FNV-1a digest of the event trace (0 unless `record_trace`).
+    pub trace_digest: u64,
 }
 
 impl RunOut {
@@ -307,9 +313,13 @@ impl RunOut {
 
     /// The first admin reconfiguration's latency, microseconds.
     pub fn reconfig_latency_us(&self) -> Option<u64> {
-        self.admin
-            .first()
-            .map(|(s, f)| f.since(*s).as_micros())
+        self.admin.first().map(|(s, f)| f.since(*s).as_micros())
+    }
+
+    /// FNV-1a fingerprint of the run's entire metrics state. Two runs of
+    /// the same scenario must produce equal fingerprints.
+    pub fn metrics_fingerprint(&self) -> u64 {
+        self.metrics.fingerprint()
     }
 }
 
@@ -340,6 +350,9 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
         tun.paxos.lease_duration = Some(SimDuration::from_millis(100));
     }
     let mut sim: Sim<World<KvStore>> = Sim::new(sc.seed, sc.net());
+    if sc.record_trace {
+        sim.enable_trace();
+    }
     let servers = sc.server_ids();
     let genesis = StaticConfig::new(servers.clone());
     for &s in &servers {
@@ -420,6 +433,7 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
         admin,
         horizon: sc.horizon,
         histories,
+        trace_digest: sim.trace().digest(),
     }
 }
 
@@ -430,6 +444,9 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
 fn run_stw(sc: &Scenario) -> RunOut {
     let tun = StwTunables::default();
     let mut sim: Sim<StwWorld<KvStore>> = Sim::new(sc.seed, sc.net());
+    if sc.record_trace {
+        sim.enable_trace();
+    }
     let servers = sc.server_ids();
     let genesis = StaticConfig::new(servers.clone());
     for &s in &servers {
@@ -496,6 +513,7 @@ fn run_stw(sc: &Scenario) -> RunOut {
         admin,
         horizon: sc.horizon,
         histories: Vec::new(),
+        trace_digest: sim.trace().digest(),
     }
 }
 
@@ -506,6 +524,9 @@ fn run_stw(sc: &Scenario) -> RunOut {
 fn run_raft(sc: &Scenario) -> RunOut {
     let tun = RaftTunables::default();
     let mut sim: Sim<RaftWorld<KvStore>> = Sim::new(sc.seed, sc.net());
+    if sc.record_trace {
+        sim.enable_trace();
+    }
     let servers = sc.server_ids();
     let genesis = StaticConfig::new(servers.clone());
     for &s in &servers {
@@ -572,6 +593,7 @@ fn run_raft(sc: &Scenario) -> RunOut {
         admin,
         horizon: sc.horizon,
         histories: Vec::new(),
+        trace_digest: sim.trace().digest(),
     }
 }
 
@@ -579,7 +601,9 @@ fn run_raft(sc: &Scenario) -> RunOut {
 // Static building block (non-reconfigurable, E1/E7/E8 reference)
 // ---------------------------------------------------------------------------
 
-/// World actor for the static system.
+/// World actor for the static system. Unboxed like the other worlds:
+/// one value per node, stored once in the sim's slot table.
+#[allow(clippy::large_enum_variant)]
 pub enum StaticWorld {
     /// A replica of the static block.
     Server(ReplicaActor<u64>),
@@ -611,6 +635,9 @@ impl Actor for StaticWorld {
 
 fn run_static(sc: &Scenario) -> RunOut {
     let mut sim: Sim<StaticWorld> = Sim::new(sc.seed, sc.net());
+    if sc.record_trace {
+        sim.enable_trace();
+    }
     let servers = sc.server_ids();
     let cfg = StaticConfig::new(servers.clone());
     for &s in &servers {
@@ -623,7 +650,11 @@ fn run_static(sc: &Scenario) -> RunOut {
     for &c in &sc.client_ids() {
         sim.add_node_with_id(
             c,
-            StaticWorld::Client(SmrClient::new(servers.clone(), |i| i + 1, sc.ops_per_client)),
+            StaticWorld::Client(SmrClient::new(
+                servers.clone(),
+                |i| i + 1,
+                sc.ops_per_client,
+            )),
         );
     }
     sim.run_until(sc.horizon);
@@ -641,7 +672,50 @@ fn run_static(sc: &Scenario) -> RunOut {
         admin: Vec::new(),
         horizon: sc.horizon,
         histories: Vec::new(),
+        trace_digest: sim.trace().digest(),
     }
+}
+
+/// Runs every `(kind, scenario)` job, fanning out across cores, and returns
+/// the outputs **in input order**.
+///
+/// Each simulation is single-threaded and deterministic in its scenario, so
+/// running jobs concurrently cannot change any individual result — the
+/// parallelism is purely wall-clock. Worker threads claim jobs through an
+/// atomic cursor (no per-thread job partitioning, so one slow scenario
+/// doesn't strand the rest behind it).
+pub fn run_many(jobs: Vec<(SystemKind, Scenario)>) -> Vec<RunOut> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = jobs.len();
+    if n <= 1 {
+        return jobs.into_iter().map(|(k, sc)| run(k, &sc)).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunOut>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some((kind, sc)) = jobs.get(i) else { break };
+                let out = run(*kind, sc);
+                *slots[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("unpoisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -650,9 +724,7 @@ mod tests {
 
     #[test]
     fn every_system_completes_a_small_scenario() {
-        let sc = Scenario::new(1)
-            .clients(2)
-            .until(SimTime::from_secs(8));
+        let sc = Scenario::new(1).clients(2).until(SimTime::from_secs(8));
         let sc = Scenario {
             ops_per_client: Some(50),
             ..sc
@@ -698,7 +770,11 @@ mod tests {
         assert!(out.latency_us(0.99) >= out.latency_us(0.5));
         assert!(out.msgs_with_prefix("paxos.") > 0);
         assert_eq!(
-            out.longest_gap_ms(SimTime::from_secs(1), SimTime::from_secs(5), SimDuration::from_millis(100)),
+            out.longest_gap_ms(
+                SimTime::from_secs(1),
+                SimTime::from_secs(5),
+                SimDuration::from_millis(100)
+            ),
             0
         );
     }

@@ -1,0 +1,95 @@
+//! Same-seed determinism regression tests.
+//!
+//! The perf work on the hot path (shared `Arc` payloads, the dense slot
+//! table, `'static` metric keys, the parallel experiment driver) is only
+//! admissible because it provably does not change simulation outcomes. These
+//! tests pin that down: a scenario is a pure function of its seed, so two
+//! runs must agree *bit for bit* — same metrics fingerprint, same event
+//! trace digest — whether they execute serially or on worker threads.
+
+use bench::runner::{run, run_many, Scenario, SystemKind};
+use simnet::SimTime;
+
+/// A mid-size scenario exercising every hot path at once: elections,
+/// steady-state commits, a reconfiguration with a joiner, and client
+/// histories.
+fn scenario() -> Scenario {
+    let mut sc = Scenario::new(0xD37E_2817)
+        .servers(5)
+        .clients(4)
+        .joiners(&[5])
+        .reconfigure_at(SimTime::from_secs(1), &[0, 1, 2, 3, 5])
+        .until(SimTime::from_secs(2));
+    sc.record_trace = true;
+    sc
+}
+
+/// Systems covered by the determinism check (all of them).
+const SYSTEMS: [SystemKind; 6] = [
+    SystemKind::Static,
+    SystemKind::Rsmr,
+    SystemKind::RsmrNoSpec,
+    SystemKind::RsmrBatched,
+    SystemKind::Stw,
+    SystemKind::Raft,
+];
+
+#[test]
+fn same_seed_same_fingerprint_and_trace() {
+    for kind in SYSTEMS {
+        let sc = scenario();
+        let a = run(kind, &sc);
+        let b = run(kind, &sc);
+        assert!(a.completed > 0, "{}: no completed ops", kind.name());
+        assert_ne!(a.trace_digest, 0, "{}: trace not recorded", kind.name());
+        assert_eq!(
+            a.metrics_fingerprint(),
+            b.metrics_fingerprint(),
+            "{}: metrics diverge across same-seed runs",
+            kind.name()
+        );
+        assert_eq!(
+            a.trace_digest,
+            b.trace_digest,
+            "{}: event traces diverge across same-seed runs",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn parallel_driver_matches_serial_runs() {
+    let serial: Vec<_> = SYSTEMS.iter().map(|&k| run(k, &scenario())).collect();
+    let jobs: Vec<(SystemKind, Scenario)> = SYSTEMS.iter().map(|&k| (k, scenario())).collect();
+    let parallel = run_many(jobs);
+    assert_eq!(serial.len(), parallel.len());
+    for ((kind, s), p) in SYSTEMS.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(
+            s.metrics_fingerprint(),
+            p.metrics_fingerprint(),
+            "{}: parallel driver changed the metrics",
+            kind.name()
+        );
+        assert_eq!(
+            s.trace_digest,
+            p.trace_digest,
+            "{}: parallel driver changed the event order",
+            kind.name()
+        );
+        assert_eq!(s.completed, p.completed);
+    }
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    // Guard against a degenerate fingerprint (e.g. hashing nothing): two
+    // different seeds must not collide on both digests.
+    let a = run(SystemKind::Rsmr, &scenario());
+    let mut sc = scenario();
+    sc.seed ^= 0x5EED;
+    let b = run(SystemKind::Rsmr, &sc);
+    assert!(
+        a.metrics_fingerprint() != b.metrics_fingerprint() || a.trace_digest != b.trace_digest,
+        "different seeds produced identical fingerprints and traces"
+    );
+}

@@ -416,7 +416,12 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Context<'_, SmrMsg<u64>>) {
             (**self).start(ctx)
         }
-        fn on_message(&mut self, ctx: &mut Context<'_, SmrMsg<u64>>, from: NodeId, msg: SmrMsg<u64>) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, SmrMsg<u64>>,
+            from: NodeId,
+            msg: SmrMsg<u64>,
+        ) {
             (**self).message(ctx, from, msg)
         }
         fn on_timer(&mut self, ctx: &mut Context<'_, SmrMsg<u64>>, timer: Timer) {
@@ -424,14 +429,23 @@ mod tests {
         }
     }
 
-    fn build_world(n: u64, n_clients: u64, limit: u64, seed: u64) -> (World, Vec<NodeId>, Vec<NodeId>) {
+    fn build_world(
+        n: u64,
+        n_clients: u64,
+        limit: u64,
+        seed: u64,
+    ) -> (World, Vec<NodeId>, Vec<NodeId>) {
         let mut sim: World = Sim::new(seed, NetConfig::lan());
         let servers: Vec<NodeId> = (0..n).map(NodeId).collect();
         let cfg = StaticConfig::new(servers.clone());
         for &s in &servers {
             sim.add_node_with_id(
                 s,
-                Box::new(ReplicaActor::<u64>::new(s, cfg.clone(), PaxosTunables::default())),
+                Box::new(ReplicaActor::<u64>::new(
+                    s,
+                    cfg.clone(),
+                    PaxosTunables::default(),
+                )),
             );
         }
         let mut clients = Vec::new();
@@ -490,8 +504,12 @@ mod tests {
         sim.crash(victim);
         sim.run_for(SimDuration::from_secs(2));
         let cfg = StaticConfig::new(servers.clone());
-        let recovered =
-            ReplicaActor::<u64>::recover(victim, cfg, PaxosTunables::default(), sim.storage(victim));
+        let recovered = ReplicaActor::<u64>::recover(
+            victim,
+            cfg,
+            PaxosTunables::default(),
+            sim.storage(victim),
+        );
         sim.restart(victim, Box::new(recovered));
         sim.run_for(SimDuration::from_secs(20));
         assert_eq!(sim.actor(clients[0]).unwrap().completed(), 300);

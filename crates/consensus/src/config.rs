@@ -34,7 +34,10 @@ impl StaticConfig {
     pub fn new(mut members: Vec<NodeId>) -> Self {
         members.sort_unstable();
         members.dedup();
-        assert!(!members.is_empty(), "a configuration needs at least one member");
+        assert!(
+            !members.is_empty(),
+            "a configuration needs at least one member"
+        );
         StaticConfig { members }
     }
 

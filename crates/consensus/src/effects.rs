@@ -1,5 +1,7 @@
 //! The output of one protocol-core step.
 
+use std::sync::Arc;
+
 use simnet::NodeId;
 
 use crate::msg::PaxosMsg;
@@ -16,8 +18,8 @@ pub struct Effects<C> {
     pub outbound: Vec<(NodeId, PaxosMsg<C>)>,
     /// Log entries that became contiguously chosen during this step, in
     /// slot order. Each entry is reported exactly once across the life of
-    /// the core.
-    pub committed: Vec<(Slot, C)>,
+    /// the core. Commands are shared with the core's log (`Arc`).
+    pub committed: Vec<(Slot, Arc<C>)>,
     /// Key/value pairs to write to stable storage *before* sending.
     pub persist: Vec<(String, Vec<u8>)>,
     /// True if this step made the node the leader.
@@ -71,12 +73,15 @@ mod tests {
     fn merge_concatenates_and_ors() {
         let mut a: Effects<u64> = Effects::new();
         assert!(a.is_empty());
-        a.committed.push((Slot(0), 1));
+        a.committed.push((Slot(0), Arc::new(1)));
         let mut b: Effects<u64> = Effects::new();
-        b.committed.push((Slot(1), 2));
+        b.committed.push((Slot(1), Arc::new(2)));
         b.became_leader = true;
         a.merge(b);
-        assert_eq!(a.committed, vec![(Slot(0), 1), (Slot(1), 2)]);
+        assert_eq!(
+            a.committed,
+            vec![(Slot(0), Arc::new(1)), (Slot(1), Arc::new(2))]
+        );
         assert!(a.became_leader);
         assert!(!a.lost_leadership);
         assert!(!a.is_empty());

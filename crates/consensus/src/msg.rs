@@ -1,4 +1,10 @@
 //! The wire protocol of the static Multi-Paxos block.
+//!
+//! Command payloads are carried behind [`Arc`], so fanning one proposal out
+//! to every peer (and re-delivering duplicates) bumps a refcount instead of
+//! deep-copying the command.
+
+use std::sync::Arc;
 
 use simnet::Message;
 
@@ -26,7 +32,7 @@ pub enum PaxosMsg<C> {
         /// Echo of the request's first slot.
         from_slot: Slot,
         /// Previously accepted `(slot, ballot, command)` triples.
-        accepted: Vec<(Slot, Ballot, C)>,
+        accepted: Vec<(Slot, Ballot, Arc<C>)>,
         /// The sender's contiguous-chosen watermark, a catch-up hint.
         chosen_upto: Slot,
     },
@@ -37,7 +43,7 @@ pub enum PaxosMsg<C> {
         /// The log position being filled.
         slot: Slot,
         /// The proposed command.
-        cmd: C,
+        cmd: Arc<C>,
     },
     /// Phase 2b: an acceptor accepted the proposal.
     Accepted {
@@ -59,7 +65,7 @@ pub enum PaxosMsg<C> {
         /// The decided slot.
         slot: Slot,
         /// The decided command.
-        cmd: C,
+        cmd: Arc<C>,
     },
     /// Leader liveness + commit watermark, sent periodically.
     Heartbeat {
@@ -87,7 +93,7 @@ pub enum PaxosMsg<C> {
     /// Response to [`PaxosMsg::CatchupRequest`]: a batch of chosen entries.
     CatchupReply {
         /// Chosen `(slot, command)` pairs, in slot order.
-        entries: Vec<(Slot, C)>,
+        entries: Vec<(Slot, Arc<C>)>,
         /// The responder's contiguous-chosen watermark.
         chosen_upto: Slot,
     },
@@ -135,16 +141,47 @@ mod tests {
     fn labels_are_distinct_per_variant() {
         let b = Ballot::new(1, NodeId(1));
         let msgs: Vec<PaxosMsg<u64>> = vec![
-            PaxosMsg::Prepare { ballot: b, from_slot: Slot(0) },
-            PaxosMsg::Promise { ballot: b, from_slot: Slot(0), accepted: vec![], chosen_upto: Slot(0) },
-            PaxosMsg::Accept { ballot: b, slot: Slot(0), cmd: 1 },
-            PaxosMsg::Accepted { ballot: b, slot: Slot(0) },
-            PaxosMsg::Reject { ballot: b, promised: b },
-            PaxosMsg::Chosen { slot: Slot(0), cmd: 1 },
-            PaxosMsg::Heartbeat { ballot: b, chosen_upto: Slot(0), sent_at: simnet::SimTime::ZERO },
-            PaxosMsg::HeartbeatAck { ballot: b, sent_at: simnet::SimTime::ZERO },
+            PaxosMsg::Prepare {
+                ballot: b,
+                from_slot: Slot(0),
+            },
+            PaxosMsg::Promise {
+                ballot: b,
+                from_slot: Slot(0),
+                accepted: vec![],
+                chosen_upto: Slot(0),
+            },
+            PaxosMsg::Accept {
+                ballot: b,
+                slot: Slot(0),
+                cmd: Arc::new(1),
+            },
+            PaxosMsg::Accepted {
+                ballot: b,
+                slot: Slot(0),
+            },
+            PaxosMsg::Reject {
+                ballot: b,
+                promised: b,
+            },
+            PaxosMsg::Chosen {
+                slot: Slot(0),
+                cmd: Arc::new(1),
+            },
+            PaxosMsg::Heartbeat {
+                ballot: b,
+                chosen_upto: Slot(0),
+                sent_at: simnet::SimTime::ZERO,
+            },
+            PaxosMsg::HeartbeatAck {
+                ballot: b,
+                sent_at: simnet::SimTime::ZERO,
+            },
             PaxosMsg::CatchupRequest { from_slot: Slot(0) },
-            PaxosMsg::CatchupReply { entries: vec![], chosen_upto: Slot(0) },
+            PaxosMsg::CatchupReply {
+                entries: vec![],
+                chosen_upto: Slot(0),
+            },
         ];
         let mut labels: Vec<_> = msgs.iter().map(|m| m.label()).collect();
         labels.sort_unstable();
@@ -154,9 +191,12 @@ mod tests {
 
     #[test]
     fn size_hints_grow_with_payload() {
-        let small: PaxosMsg<u64> = PaxosMsg::CatchupReply { entries: vec![], chosen_upto: Slot(0) };
+        let small: PaxosMsg<u64> = PaxosMsg::CatchupReply {
+            entries: vec![],
+            chosen_upto: Slot(0),
+        };
         let big: PaxosMsg<u64> = PaxosMsg::CatchupReply {
-            entries: (0..10).map(|i| (Slot(i), i)).collect(),
+            entries: (0..10).map(|i| (Slot(i), Arc::new(i))).collect(),
             chosen_upto: Slot(10),
         };
         assert!(big.size_hint() > small.size_hint());

@@ -32,6 +32,7 @@
 //!   which the composition layer does via its applied-index watermark).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use simnet::wire;
 use simnet::{NodeId, SimDuration, SimTime};
@@ -99,7 +100,7 @@ pub enum ProposeOutcome {
 }
 
 struct Proposal<C> {
-    cmd: C,
+    cmd: Arc<C>,
     acks: BTreeSet<NodeId>,
     last_sent: SimTime,
 }
@@ -112,10 +113,10 @@ pub struct MultiPaxos<C: Command> {
 
     // --- Acceptor state (persisted) ---
     promised: Ballot,
-    accepted: BTreeMap<Slot, (Ballot, C)>,
+    accepted: BTreeMap<Slot, (Ballot, Arc<C>)>,
 
     // --- Learner state ---
-    chosen: BTreeMap<Slot, C>,
+    chosen: BTreeMap<Slot, Arc<C>>,
     /// First slot *not* in the contiguous chosen prefix.
     contig: Slot,
     /// First slot not yet reported through [`Effects::committed`].
@@ -125,11 +126,11 @@ pub struct MultiPaxos<C: Command> {
     role: Role,
     ballot: Ballot,
     leader_hint: Option<NodeId>,
-    promises: BTreeMap<NodeId, Vec<(Slot, Ballot, C)>>,
+    promises: BTreeMap<NodeId, Vec<(Slot, Ballot, Arc<C>)>>,
     phase1_from: Slot,
     next_slot: Slot,
     proposals: BTreeMap<Slot, Proposal<C>>,
-    pending: VecDeque<C>,
+    pending: VecDeque<Arc<C>>,
     election_attempt: u64,
 
     // --- Timing ---
@@ -212,7 +213,7 @@ impl<C: Command> MultiPaxos<C> {
             } else if let Some(hex) = key.strip_prefix("acc/") {
                 if let (Ok(slot), Some(entry)) = (
                     u64::from_str_radix(hex, 16),
-                    wire::from_bytes::<(Ballot, C)>(&value),
+                    wire::from_bytes::<(Ballot, Arc<C>)>(&value),
                 ) {
                     mp.accepted.insert(Slot(slot), entry);
                 }
@@ -264,7 +265,7 @@ impl<C: Command> MultiPaxos<C> {
 
     /// The chosen command at `slot`, if known.
     pub fn chosen_entry(&self, slot: Slot) -> Option<&C> {
-        self.chosen.get(&slot)
+        self.chosen.get(&slot).map(|c| &**c)
     }
 
     /// Number of commands queued while an election is pending.
@@ -333,6 +334,9 @@ impl<C: Command> MultiPaxos<C> {
         if self.halted {
             return (fx, ProposeOutcome::NotLeader(None));
         }
+        // One allocation per command; every subsequent fan-out, retry and
+        // commit shares it by refcount.
+        let cmd = Arc::new(cmd);
         match self.role {
             Role::Leader => {
                 let slot = self.next_slot;
@@ -462,8 +466,12 @@ impl<C: Command> MultiPaxos<C> {
         let jitter_us = if self.tun.election_jitter.is_zero() {
             0
         } else {
-            mix64(self.me.0.wrapping_mul(31).wrapping_add(self.election_attempt))
-                % self.tun.election_jitter.as_micros()
+            mix64(
+                self.me
+                    .0
+                    .wrapping_mul(31)
+                    .wrapping_add(self.election_attempt),
+            ) % self.tun.election_jitter.as_micros()
         };
         self.tun.election_timeout
             + SimDuration::from_micros(jitter_us)
@@ -497,7 +505,7 @@ impl<C: Command> MultiPaxos<C> {
         self.check_quorum_of_promises(now, fx);
     }
 
-    fn accepted_at_or_after(&self, from: Slot) -> Vec<(Slot, Ballot, C)> {
+    fn accepted_at_or_after(&self, from: Slot) -> Vec<(Slot, Ballot, Arc<C>)> {
         self.accepted
             .range(from..)
             .map(|(&s, (b, c))| (s, *b, c.clone()))
@@ -542,7 +550,7 @@ impl<C: Command> MultiPaxos<C> {
         &mut self,
         from: NodeId,
         ballot: Ballot,
-        accepted: Vec<(Slot, Ballot, C)>,
+        accepted: Vec<(Slot, Ballot, Arc<C>)>,
         chosen_upto: Slot,
         now: SimTime,
         fx: &mut Effects<C>,
@@ -574,7 +582,7 @@ impl<C: Command> MultiPaxos<C> {
         fx.became_leader = true;
 
         // Merge the highest-ballot accepted value per slot across promises.
-        let mut merged: BTreeMap<Slot, (Ballot, C)> = BTreeMap::new();
+        let mut merged: BTreeMap<Slot, (Ballot, Arc<C>)> = BTreeMap::new();
         for entries in self.promises.values() {
             for (slot, b, cmd) in entries {
                 if *slot < self.phase1_from {
@@ -602,7 +610,7 @@ impl<C: Command> MultiPaxos<C> {
                 let cmd = merged
                     .get(&slot)
                     .map(|(_, c)| c.clone())
-                    .unwrap_or_else(C::noop);
+                    .unwrap_or_else(|| Arc::new(C::noop()));
                 self.propose_at(slot, cmd, now, fx);
                 slot = slot.next();
             }
@@ -610,7 +618,7 @@ impl<C: Command> MultiPaxos<C> {
         self.next_slot = slot;
 
         // Queued client commands go straight into the pipeline.
-        let queued: Vec<C> = self.pending.drain(..).collect();
+        let queued: Vec<Arc<C>> = self.pending.drain(..).collect();
         for cmd in queued {
             let s = self.next_slot;
             self.next_slot = self.next_slot.next();
@@ -646,7 +654,7 @@ impl<C: Command> MultiPaxos<C> {
 
     // --- Phase 2 ---------------------------------------------------------
 
-    fn propose_at(&mut self, slot: Slot, cmd: C, now: SimTime, fx: &mut Effects<C>) {
+    fn propose_at(&mut self, slot: Slot, cmd: Arc<C>, now: SimTime, fx: &mut Effects<C>) {
         debug_assert_eq!(self.role, Role::Leader);
         let mut acks = BTreeSet::new();
         acks.insert(self.me);
@@ -682,7 +690,7 @@ impl<C: Command> MultiPaxos<C> {
         from: NodeId,
         ballot: Ballot,
         slot: Slot,
-        cmd: C,
+        cmd: Arc<C>,
         now: SimTime,
         fx: &mut Effects<C>,
     ) {
@@ -800,7 +808,7 @@ impl<C: Command> MultiPaxos<C> {
     }
 
     fn handle_catchup_request(&mut self, from: NodeId, from_slot: Slot, fx: &mut Effects<C>) {
-        let entries: Vec<(Slot, C)> = self
+        let entries: Vec<(Slot, Arc<C>)> = self
             .chosen
             .range(from_slot..)
             .take(self.tun.catchup_batch)
@@ -817,7 +825,7 @@ impl<C: Command> MultiPaxos<C> {
 
     // --- Learning --------------------------------------------------------
 
-    fn learn(&mut self, slot: Slot, cmd: C, fx: &mut Effects<C>) {
+    fn learn(&mut self, slot: Slot, cmd: Arc<C>, fx: &mut Effects<C>) {
         if let Some(existing) = self.chosen.get(&slot) {
             debug_assert_eq!(
                 *existing, cmd,
@@ -925,7 +933,7 @@ mod tests {
             self.committed
                 .entry(from)
                 .or_default()
-                .extend(fx.committed);
+                .extend(fx.committed.into_iter().map(|(s, c)| (s, *c)));
         }
 
         fn tick_all(&mut self) {
@@ -966,10 +974,7 @@ mod tests {
         }
 
         fn leader(&self) -> Option<NodeId> {
-            self.cores
-                .values()
-                .find(|c| c.is_leader())
-                .map(|c| c.me())
+            self.cores.values().find(|c| c.is_leader()).map(|c| c.me())
         }
 
         fn propose_at_leader(&mut self, cmd: u64) {
@@ -1141,7 +1146,11 @@ mod tests {
         c.absorb(l, fx);
         c.advance(SimDuration::from_millis(40));
         // The isolated leader must not have committed 42.
-        assert!(c.committed.get(&l).map(|v| !v.iter().any(|&(_, x)| x == 42)).unwrap_or(true));
+        assert!(c
+            .committed
+            .get(&l)
+            .map(|v| !v.iter().any(|&(_, x)| x == 42))
+            .unwrap_or(true));
     }
 
     #[test]
@@ -1183,7 +1192,11 @@ mod tests {
         let (fx, out) = c.cores.get_mut(&l).unwrap().propose(1, c.now);
         assert!(fx.is_empty());
         assert_eq!(out, ProposeOutcome::NotLeader(None));
-        let fx = c.cores.get_mut(&l).unwrap().tick(c.now + SimDuration::from_secs(10));
+        let fx = c
+            .cores
+            .get_mut(&l)
+            .unwrap()
+            .tick(c.now + SimDuration::from_secs(10));
         assert!(fx.is_empty());
     }
 
@@ -1223,7 +1236,7 @@ mod tests {
         let (fx, _) = c.cores.get_mut(&l1).unwrap().propose(12, c.now);
         c.absorb(l1, fx);
         c.drain(); // messages to others are cut
-        // New leader emerges among the rest and commits something.
+                   // New leader emerges among the rest and commits something.
         for _ in 0..500 {
             c.advance(SimDuration::from_millis(10));
             if c.cores.values().any(|x| x.me() != l1 && x.is_leader()) {
@@ -1272,8 +1285,10 @@ mod tests {
         };
         let mut c = Cluster::new(3);
         for &m in &members {
-            c.cores
-                .insert(m, MultiPaxos::new(m, cfg.clone(), SimTime::ZERO, tun.clone()));
+            c.cores.insert(
+                m,
+                MultiPaxos::new(m, cfg.clone(), SimTime::ZERO, tun.clone()),
+            );
         }
         let l = c.elect();
         // Heartbeats + acks flow during advance; the lease becomes valid.
@@ -1310,8 +1325,10 @@ mod tests {
         };
         let mut c = Cluster::new(3);
         for &m in &members {
-            c.cores
-                .insert(m, MultiPaxos::new(m, cfg.clone(), SimTime::ZERO, tun.clone()));
+            c.cores.insert(
+                m,
+                MultiPaxos::new(m, cfg.clone(), SimTime::ZERO, tun.clone()),
+            );
         }
         let l = c.elect();
         c.advance(SimDuration::from_millis(30));

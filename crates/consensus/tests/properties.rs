@@ -1,23 +1,25 @@
-//! Property-based tests for the consensus building block.
+//! Property-style tests for the consensus building block.
 //!
 //! * Single-decree synod: agreement and validity hold under arbitrary
 //!   message schedules, drops and duplications.
 //! * Multi-Paxos: replicas never disagree on a chosen slot, across random
 //!   fault schedules (crashes with recovery, lossy links).
+//!
+//! Schedules are generated from a seeded [`SimRng`]; every failure is
+//! reproducible from the fixed seed.
 
 use std::collections::BTreeMap;
 
 use consensus::actor::{ReplicaActor, SmrClient, SmrMsg, TaggedCmd};
 use consensus::single_decree::{Acceptor, Proposer, SynodMsg};
 use consensus::{Ballot, MultiPaxos, PaxosTunables, StaticConfig};
-use proptest::prelude::*;
-use simnet::{Actor, Context, NetConfig, NodeId, Sim, SimDuration, Timer};
+use simnet::{Actor, Context, NetConfig, NodeId, Sim, SimDuration, SimRng, Timer};
 
 // ---------------------------------------------------------------------------
 // Single-decree synod under adversarial schedules
 // ---------------------------------------------------------------------------
 
-/// A network step chosen by proptest.
+/// A randomly chosen network step.
 #[derive(Clone, Debug)]
 enum Step {
     /// Deliver the i-th queued message (modulo queue length).
@@ -30,13 +32,15 @@ enum Step {
     Restart(usize),
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        4 => (0usize..64).prop_map(Step::Deliver),
-        1 => (0usize..64).prop_map(Step::Drop),
-        1 => (0usize..64).prop_map(Step::Duplicate),
-        1 => (0usize..8).prop_map(Step::Restart),
-    ]
+fn random_step(gen: &mut SimRng) -> Step {
+    // Deliveries weighted 4:1 against each fault kind, as in the original
+    // proptest strategy.
+    match gen.gen_range(0u32..7) {
+        0..=3 => Step::Deliver(gen.gen_range(0usize..64)),
+        4 => Step::Drop(gen.gen_range(0usize..64)),
+        5 => Step::Duplicate(gen.gen_range(0usize..64)),
+        _ => Step::Restart(gen.gen_range(0usize..8)),
+    }
 }
 
 /// One in-flight synod message: (to_acceptor?, proposer, acceptor, msg).
@@ -48,19 +52,20 @@ struct InFlight {
     msg: SynodMsg<u32>,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Agreement & validity: no matter the schedule, all decided values are
+/// equal, and are one of the initially proposed values.
+#[test]
+fn synod_agreement_under_arbitrary_schedules() {
+    let mut gen = SimRng::seed_from_u64(0x5151);
+    for case in 0..256 {
+        let steps: Vec<Step> = {
+            let n = gen.gen_range(1usize..200);
+            (0..n).map(|_| random_step(&mut gen)).collect()
+        };
+        let n_acceptors = gen.gen_range(1usize..=5);
+        let n_proposers = gen.gen_range(1usize..=3);
 
-    /// Agreement & validity: no matter the schedule, all decided values are
-    /// equal, and are one of the initially proposed values.
-    #[test]
-    fn synod_agreement_under_arbitrary_schedules(
-        steps in proptest::collection::vec(step_strategy(), 1..200),
-        n_acceptors in 1usize..=5,
-        n_proposers in 1usize..=3,
-    ) {
-        let mut acceptors: Vec<Acceptor<u32>> =
-            (0..n_acceptors).map(|_| Acceptor::new()).collect();
+        let mut acceptors: Vec<Acceptor<u32>> = (0..n_acceptors).map(|_| Acceptor::new()).collect();
         let proposed: Vec<u32> = (0..n_proposers as u32).map(|i| 100 + i).collect();
         let mut proposers: Vec<Proposer<u32>> = proposed
             .iter()
@@ -74,7 +79,12 @@ proptest! {
         for (p, prop) in proposers.iter_mut().enumerate() {
             let msg = prop.start_round(Ballot::ZERO);
             for a in 0..n_acceptors {
-                queue.push(InFlight { proposer: p, acceptor: a, to_acceptor: true, msg: msg.clone() });
+                queue.push(InFlight {
+                    proposer: p,
+                    acceptor: a,
+                    to_acceptor: true,
+                    msg: msg.clone(),
+                });
             }
         }
 
@@ -96,7 +106,12 @@ proptest! {
                     let above = proposers[p].ballot();
                     let msg = proposers[p].start_round(above);
                     for a in 0..n_acceptors {
-                        queue.push(InFlight { proposer: p, acceptor: a, to_acceptor: true, msg: msg.clone() });
+                        queue.push(InFlight {
+                            proposer: p,
+                            acceptor: a,
+                            to_acceptor: true,
+                            msg: msg.clone(),
+                        });
                     }
                 }
                 Step::Deliver(i) => {
@@ -151,12 +166,15 @@ proptest! {
 
         // Validity: every decision is a proposed value.
         for d in &decided {
-            prop_assert!(proposed.contains(d), "decided {d} was never proposed");
+            assert!(
+                proposed.contains(d),
+                "case {case}: decided {d} was never proposed"
+            );
         }
         // Agreement: all decisions are equal.
         if let Some(first) = decided.first() {
             for d in &decided {
-                prop_assert_eq!(d, first, "two different values decided");
+                assert_eq!(d, first, "case {case}: two different values decided");
             }
         }
     }
@@ -166,6 +184,7 @@ proptest! {
 // Multi-Paxos log safety under faults, via simnet
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::large_enum_variant)] // one value per node, stored once
 enum Node {
     Replica(ReplicaActor<u64>),
     Client(SmrClient<u64>),
@@ -193,7 +212,10 @@ impl Actor for Node {
     }
 }
 
-fn chosen_logs(sim: &Sim<Node>, servers: &[NodeId]) -> BTreeMap<NodeId, Vec<(u64, TaggedCmd<u64>)>> {
+fn chosen_logs(
+    sim: &Sim<Node>,
+    servers: &[NodeId],
+) -> BTreeMap<NodeId, Vec<(u64, TaggedCmd<u64>)>> {
     let mut out = BTreeMap::new();
     for &s in servers {
         if let Some(Node::Replica(r)) = sim.actor(s) {
@@ -202,7 +224,9 @@ fn chosen_logs(sim: &Sim<Node>, servers: &[NodeId]) -> BTreeMap<NodeId, Vec<(u64
             for i in 0..core.chosen_upto().0 {
                 log.push((
                     i,
-                    core.chosen_entry(consensus::Slot(i)).expect("contiguous").clone(),
+                    core.chosen_entry(consensus::Slot(i))
+                        .expect("contiguous")
+                        .clone(),
                 ));
             }
             out.insert(s, log);
@@ -211,19 +235,18 @@ fn chosen_logs(sim: &Sim<Node>, servers: &[NodeId]) -> BTreeMap<NodeId, Vec<(u64
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Under random loss and a random mid-run crash+recovery, no two replicas
+/// ever disagree on a chosen slot, and the surviving majority still serves
+/// clients.
+#[test]
+fn multipaxos_logs_never_diverge_under_faults() {
+    let mut gen = SimRng::seed_from_u64(0xFA175);
+    for case in 0..24 {
+        let seed = gen.gen_range(0u64..10_000);
+        let drop_permille = gen.gen_range(0u64..150);
+        let crash_victim = gen.gen_range(0u64..3);
+        let crash_at_ms = gen.gen_range(100u64..1_500);
 
-    /// Under random loss and a random mid-run crash+recovery, no two
-    /// replicas ever disagree on a chosen slot, and the surviving majority
-    /// still serves clients.
-    #[test]
-    fn multipaxos_logs_never_diverge_under_faults(
-        seed in 0u64..10_000,
-        drop_permille in 0u64..150,
-        crash_victim in 0u64..3,
-        crash_at_ms in 100u64..1_500,
-    ) {
         let drop_rate = drop_permille as f64 / 1000.0;
         let mut sim: Sim<Node> = Sim::new(seed, NetConfig::lossy(drop_rate));
         let servers: Vec<NodeId> = (0..3).map(NodeId).collect();
@@ -259,7 +282,11 @@ proptest! {
         for i in 0..vals.len() {
             for j in (i + 1)..vals.len() {
                 let n = vals[i].len().min(vals[j].len());
-                prop_assert_eq!(&vals[i][..n], &vals[j][..n], "chosen logs diverge");
+                assert_eq!(
+                    &vals[i][..n],
+                    &vals[j][..n],
+                    "case {case}: chosen logs diverge"
+                );
             }
         }
 
@@ -269,7 +296,10 @@ proptest! {
                 Some(Node::Client(c)) => c.completed(),
                 _ => 0,
             };
-            prop_assert_eq!(done, 150, "client starved under benign conditions");
+            assert_eq!(
+                done, 150,
+                "case {case}: client starved under benign conditions"
+            );
         }
     }
 }

@@ -107,7 +107,11 @@ impl ConfigChain {
 
     /// The newest epoch in the chain.
     pub fn latest_epoch(&self) -> Epoch {
-        *self.configs.keys().next_back().expect("chain is never empty")
+        *self
+            .configs
+            .keys()
+            .next_back()
+            .expect("chain is never empty")
     }
 
     /// The configuration of the newest epoch.
@@ -148,11 +152,8 @@ impl ConfigChain {
 
 impl Wire for ConfigChain {
     fn encode(&self, buf: &mut Vec<u8>) {
-        let links: Vec<(Epoch, StaticConfig)> = self
-            .configs
-            .iter()
-            .map(|(&e, c)| (e, c.clone()))
-            .collect();
+        let links: Vec<(Epoch, StaticConfig)> =
+            self.configs.iter().map(|(&e, c)| (e, c.clone())).collect();
         links.encode(buf);
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {

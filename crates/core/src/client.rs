@@ -163,7 +163,9 @@ impl<S: StateMachine> Actor for RsmrClient<S> {
                 members,
             } => {
                 self.adopt_members(&members);
-                let Some(inflight) = &self.inflight else { return };
+                let Some(inflight) = &self.inflight else {
+                    return;
+                };
                 if seq != inflight.seq {
                     return; // stale duplicate reply
                 }
@@ -194,7 +196,9 @@ impl<S: StateMachine> Actor for RsmrClient<S> {
                 members,
             } => {
                 self.adopt_members(&members);
-                let Some(inflight) = &self.inflight else { return };
+                let Some(inflight) = &self.inflight else {
+                    return;
+                };
                 if seq != inflight.seq {
                     return;
                 }
@@ -453,8 +457,7 @@ mod tests {
 
     #[test]
     fn client_tracks_member_updates() {
-        let mut c: RsmrClient<CounterSm> =
-            RsmrClient::new(vec![NodeId(1), NodeId(2)], |_| 1, None);
+        let mut c: RsmrClient<CounterSm> = RsmrClient::new(vec![NodeId(1), NodeId(2)], |_| 1, None);
         assert_eq!(c.known_servers(), &[NodeId(1), NodeId(2)]);
         c.adopt_members(&[NodeId(2), NodeId(3)]);
         assert_eq!(c.known_servers(), &[NodeId(2), NodeId(3)]);

@@ -30,6 +30,11 @@ use crate::node::RsmrNode;
 use crate::state_machine::StateMachine;
 
 /// One node of a composed-machine world.
+///
+/// Variant sizes are deliberately unboxed: exactly one `World` lives per
+/// node, stored once in the simulator's slot table, so the size imbalance
+/// between a replica and a client costs nothing per message.
+#[allow(clippy::large_enum_variant)]
 pub enum World<S: StateMachine> {
     /// A replica.
     Server(RsmrNode<S>),

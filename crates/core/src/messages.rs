@@ -131,9 +131,7 @@ where
             RsmrMsg::ReconfigureReply { .. } => 32,
             RsmrMsg::Activate { members, .. } => 16 + members.len() * 8,
             RsmrMsg::TransferRequest { .. } => 16,
-            RsmrMsg::TransferReply { base, .. } => {
-                16 + base.as_ref().map(Vec::len).unwrap_or(0)
-            }
+            RsmrMsg::TransferReply { base, .. } => 16 + base.as_ref().map(Vec::len).unwrap_or(0),
             RsmrMsg::TransferAck { .. } => 16,
             RsmrMsg::Nominate { .. } => 16,
         }
@@ -153,13 +151,31 @@ mod tests {
                 inner: PaxosMsg::CatchupRequest { from_slot: Slot(0) },
             },
             RsmrMsg::Request { seq: 0, op: 0 },
-            RsmrMsg::Reply { seq: 0, output: 0, members: vec![] },
-            RsmrMsg::Redirect { seq: 0, leader: None, members: vec![] },
+            RsmrMsg::Reply {
+                seq: 0,
+                output: 0,
+                members: vec![],
+            },
+            RsmrMsg::Redirect {
+                seq: 0,
+                leader: None,
+                members: vec![],
+            },
             RsmrMsg::Reconfigure { members: vec![] },
-            RsmrMsg::ReconfigureReply { epoch: Epoch(0), ok: true, leader: None },
-            RsmrMsg::Activate { epoch: Epoch(1), members: vec![] },
+            RsmrMsg::ReconfigureReply {
+                epoch: Epoch(0),
+                ok: true,
+                leader: None,
+            },
+            RsmrMsg::Activate {
+                epoch: Epoch(1),
+                members: vec![],
+            },
             RsmrMsg::TransferRequest { epoch: Epoch(1) },
-            RsmrMsg::TransferReply { epoch: Epoch(1), base: None },
+            RsmrMsg::TransferReply {
+                epoch: Epoch(1),
+                base: None,
+            },
             RsmrMsg::TransferAck { epoch: Epoch(1) },
             RsmrMsg::Nominate { epoch: Epoch(1) },
         ];
@@ -171,7 +187,10 @@ mod tests {
 
     #[test]
     fn transfer_size_reflects_payload() {
-        let small: RsmrMsg<u64, u64> = RsmrMsg::TransferReply { epoch: Epoch(1), base: None };
+        let small: RsmrMsg<u64, u64> = RsmrMsg::TransferReply {
+            epoch: Epoch(1),
+            base: None,
+        };
         let big: RsmrMsg<u64, u64> = RsmrMsg::TransferReply {
             epoch: Epoch(1),
             base: Some(vec![0; 4096]),

@@ -20,6 +20,7 @@
 //! moves to the successor's slot 0.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use consensus::{MultiPaxos, PaxosTunables, ProposeOutcome, Slot, StaticConfig};
 use simnet::{Actor, Context, NodeId, SimDuration, SimTime, StableStore, Timer};
@@ -109,6 +110,12 @@ struct Closing {
 const KEY_BASE: &str = "base/latest";
 const BASES_KEPT: usize = 4;
 
+/// One epoch's committed-but-unapplied entries, by slot.
+type SlotBuffer<Op> = BTreeMap<Slot, Arc<Cmd<Op>>>;
+/// Building-block messages parked for an epoch whose instance does not
+/// exist yet.
+type Stash<Op> = Vec<(NodeId, consensus::PaxosMsg<Cmd<Op>>)>;
+
 /// The reconfigurable replica actor. See the module docs for the design.
 pub struct RsmrNode<S: StateMachine> {
     me: NodeId,
@@ -125,7 +132,7 @@ pub struct RsmrNode<S: StateMachine> {
     anchor: Option<Anchor>,
 
     /// Committed-but-not-yet-applied entries, per epoch.
-    buffers: BTreeMap<Epoch, BTreeMap<Slot, Cmd<S::Op>>>,
+    buffers: BTreeMap<Epoch, SlotBuffer<S::Op>>,
     /// Encoded base states this node can serve, keyed by anchored epoch.
     bases: BTreeMap<Epoch, Vec<u8>>,
 
@@ -145,7 +152,7 @@ pub struct RsmrNode<S: StateMachine> {
     /// the `Activate` that announces the epoch). Replayed on instance
     /// creation — without this, the speculative handoff's first campaign
     /// can be lost and leadership waits out a full election timeout.
-    stashed: BTreeMap<Epoch, Vec<(NodeId, consensus::PaxosMsg<Cmd<S::Op>>)>>,
+    stashed: BTreeMap<Epoch, Stash<S::Op>>,
 
     /// Leader-side batch accumulator (when `batch_size > 0`).
     batch_buf: Vec<(NodeId, u64, S::Op)>,
@@ -372,7 +379,8 @@ impl<S: StateMachine> RsmrNode<S> {
         fx: consensus::Effects<Cmd<S::Op>>,
     ) {
         for (key, value) in fx.persist {
-            ctx.storage().put(&format!("{}{key}", px_prefix(epoch)), value);
+            ctx.storage()
+                .put(&format!("{}{key}", px_prefix(epoch)), value);
         }
         for (to, inner) in fx.outbound {
             ctx.send(to, RsmrMsg::Paxos { epoch, inner });
@@ -433,15 +441,18 @@ impl<S: StateMachine> RsmrNode<S> {
                 next_slot: slot.next(),
             });
 
-            match cmd {
+            match &*cmd {
                 Cmd::Noop => {}
-                Cmd::App { client, seq, op } => self.apply_app(ctx, client, seq, &op),
+                Cmd::App { client, seq, op } => self.apply_app(ctx, *client, *seq, op),
                 Cmd::Batch { entries } => {
                     for (client, seq, op) in entries {
-                        self.apply_app(ctx, client, seq, &op);
+                        self.apply_app(ctx, *client, *seq, op);
                     }
                 }
-                Cmd::Reconfigure { members } => self.close_epoch(ctx, epoch, slot, members),
+                Cmd::Reconfigure { members } => {
+                    let members = members.clone();
+                    self.close_epoch(ctx, epoch, slot, members)
+                }
             }
         }
     }
@@ -546,9 +557,9 @@ impl<S: StateMachine> RsmrNode<S> {
             .map(|tail| {
                 tail.into_iter()
                     .filter(|(s, _)| *s > close_slot)
-                    .flat_map(|(_, cmd)| match cmd {
-                        Cmd::App { client, seq, op } => vec![(client, seq, op)],
-                        Cmd::Batch { entries } => entries,
+                    .flat_map(|(_, cmd)| match &*cmd {
+                        Cmd::App { client, seq, op } => vec![(*client, *seq, op.clone())],
+                        Cmd::Batch { entries } => entries.clone(),
                         _ => Vec::new(),
                     })
                     .collect()
@@ -730,14 +741,7 @@ impl<S: StateMachine> RsmrNode<S> {
         let Some(inst) = self.instances.get_mut(&epoch) else {
             return;
         };
-        let (fx, outcome) = inst.paxos.propose(
-            Cmd::App {
-                client,
-                seq,
-                op,
-            },
-            ctx.now(),
-        );
+        let (fx, outcome) = inst.paxos.propose(Cmd::App { client, seq, op }, ctx.now());
         match outcome {
             ProposeOutcome::Accepted => {
                 self.waiting.insert((client, seq), ());
@@ -953,9 +957,7 @@ impl<S: StateMachine> RsmrNode<S> {
             refuse(self, ctx, hint);
             return;
         }
-        let (fx, outcome) = inst
-            .paxos
-            .propose(Cmd::Reconfigure { members }, ctx.now());
+        let (fx, outcome) = inst.paxos.propose(Cmd::Reconfigure { members }, ctx.now());
         match outcome {
             ProposeOutcome::Accepted => {
                 self.closing = Some(Closing {
@@ -1113,7 +1115,11 @@ impl<S: StateMachine> RsmrNode<S> {
             }
         }
         // Make sure we participate in the anchored epoch.
-        let cfg = base.chain.config(epoch).expect("validated by decode").clone();
+        let cfg = base
+            .chain
+            .config(epoch)
+            .expect("validated by decode")
+            .clone();
         self.ensure_instance(ctx, epoch, &cfg);
         let now = ctx.now();
         ctx.metrics().incr("rsmr.transfers_installed", 1);
@@ -1187,8 +1193,7 @@ impl<S: StateMachine> RsmrNode<S> {
                 .get(&closing.epoch)
                 .map(|i| i.paxos.is_leader())
                 .unwrap_or(false);
-            let timed_out =
-                now.since(closing.proposed_at) >= self.tun.paxos.election_timeout * 4;
+            let timed_out = now.since(closing.proposed_at) >= self.tun.paxos.election_timeout * 4;
             if !still_leading || timed_out {
                 self.closing = None;
                 let members = self.current_members();
@@ -1263,7 +1268,11 @@ impl<S: StateMachine> Actor for RsmrNode<S> {
                 } else if self
                     .chain
                     .as_ref()
-                    .map(|c| c.config(epoch).map(|cfg| cfg.contains(self.me)).unwrap_or(false))
+                    .map(|c| {
+                        c.config(epoch)
+                            .map(|cfg| cfg.contains(self.me))
+                            .unwrap_or(false)
+                    })
                     .unwrap_or(false)
                 {
                     // Known epoch we should participate in (e.g. a lost
@@ -1283,10 +1292,7 @@ impl<S: StateMachine> Actor for RsmrNode<S> {
                     // An epoch we have not learned about yet: stash the
                     // message (bounded) and replay it when the instance is
                     // created; drop only clearly-stale traffic.
-                    let stale = self
-                        .anchor
-                        .map(|a| epoch < a.epoch)
-                        .unwrap_or(false);
+                    let stale = self.anchor.map(|a| epoch < a.epoch).unwrap_or(false);
                     if stale {
                         ctx.metrics().incr("rsmr.unroutable_paxos", 1);
                     } else {
@@ -1302,13 +1308,9 @@ impl<S: StateMachine> Actor for RsmrNode<S> {
             }
             RsmrMsg::Request { seq, op } => self.handle_request(ctx, from, seq, op),
             RsmrMsg::Reconfigure { members } => self.handle_reconfigure(ctx, from, members),
-            RsmrMsg::Activate { epoch, members } => {
-                self.handle_activate(ctx, from, epoch, members)
-            }
+            RsmrMsg::Activate { epoch, members } => self.handle_activate(ctx, from, epoch, members),
             RsmrMsg::TransferRequest { epoch } => self.handle_transfer_request(ctx, from, epoch),
-            RsmrMsg::TransferReply { epoch, base } => {
-                self.handle_transfer_reply(ctx, epoch, base)
-            }
+            RsmrMsg::TransferReply { epoch, base } => self.handle_transfer_reply(ctx, epoch, base),
             RsmrMsg::Nominate { epoch } => {
                 // Campaign in the named epoch if we participate in it and
                 // no leader is known yet (otherwise the nomination is
@@ -1345,8 +1347,7 @@ mod tests {
     #[test]
     fn genesis_node_is_anchored_and_has_one_instance() {
         let cfg = StaticConfig::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
-        let node: RsmrNode<CounterSm> =
-            RsmrNode::genesis(NodeId(0), cfg, RsmrTunables::default());
+        let node: RsmrNode<CounterSm> = RsmrNode::genesis(NodeId(0), cfg, RsmrTunables::default());
         assert_eq!(node.anchored_epoch(), Some(Epoch::ZERO));
         assert_eq!(node.active_epoch(), Some(Epoch::ZERO));
         assert_eq!(node.applied_count(), 0);
@@ -1371,6 +1372,8 @@ mod tests {
     #[test]
     fn recover_requires_a_persisted_base() {
         let store = StableStore::new();
-        assert!(RsmrNode::<CounterSm>::recover(NodeId(0), RsmrTunables::default(), &store).is_none());
+        assert!(
+            RsmrNode::<CounterSm>::recover(NodeId(0), RsmrTunables::default(), &store).is_none()
+        );
     }
 }

@@ -52,9 +52,7 @@ impl<R: Wire + Clone> BaseState<R> {
             return None;
         }
         // The chain must actually cover the anchored epoch.
-        if chain.config(epoch).is_none() {
-            return None;
-        }
+        chain.config(epoch)?;
         Some(BaseState {
             epoch,
             app: app.to_vec(),
@@ -80,10 +78,7 @@ mod tests {
 
     fn sample() -> BaseState<u64> {
         let mut chain = ConfigChain::genesis(StaticConfig::new(vec![NodeId(1), NodeId(2)]));
-        chain.append(
-            Epoch(1),
-            StaticConfig::new(vec![NodeId(2), NodeId(3)]),
-        );
+        chain.append(Epoch(1), StaticConfig::new(vec![NodeId(2), NodeId(3)]));
         let mut sessions = SessionTable::new();
         sessions.record(NodeId(100), 4, 44);
         BaseState {

@@ -12,6 +12,7 @@ use simnet::{Actor, Context, NetConfig, NodeId, Sim, SimDuration, SimTime, Timer
 type Msg = RsmrMsg<u64, u64>;
 
 /// One world actor: server, client, paced client or admin.
+#[allow(clippy::large_enum_variant)] // one value per node, stored once
 enum Node {
     Server(RsmrNode<CounterSm>),
     Client(RsmrClient<CounterSm>),
@@ -63,7 +64,11 @@ impl World {
         for &s in &servers {
             sim.add_node_with_id(
                 s,
-                Node::Server(RsmrNode::genesis(s, genesis.clone(), RsmrTunables::default())),
+                Node::Server(RsmrNode::genesis(
+                    s,
+                    genesis.clone(),
+                    RsmrTunables::default(),
+                )),
             );
         }
         World { sim, servers }
@@ -154,7 +159,11 @@ fn add_one_member_under_load() {
 
     w.sim.run_for(SimDuration::from_secs(20));
 
-    assert_eq!(w.completed(c), 600, "client must finish across the reconfig");
+    assert_eq!(
+        w.completed(c),
+        600,
+        "client must finish across the reconfig"
+    );
     let results = w.admin_results();
     assert_eq!(results.len(), 1, "reconfiguration must complete");
     assert_eq!(results[0].2, Epoch(1));
@@ -204,7 +213,11 @@ fn replace_the_entire_configuration() {
 
     w.sim.run_for(SimDuration::from_secs(30));
 
-    assert_eq!(w.completed(c), 800, "client must finish across full replacement");
+    assert_eq!(
+        w.completed(c),
+        800,
+        "client must finish across full replacement"
+    );
     assert_eq!(w.admin_results().len(), 1);
     for id in [3u64, 4, 5] {
         let s = w.server(NodeId(id)).unwrap();
@@ -240,7 +253,11 @@ fn back_to_back_reconfigurations() {
 
     assert_eq!(w.completed(c), 1000);
     let results = w.admin_results();
-    assert_eq!(results.len(), 3, "all three reconfigs must land: {results:?}");
+    assert_eq!(
+        results.len(),
+        3,
+        "all three reconfigs must land: {results:?}"
+    );
     assert_eq!(results[2].2, Epoch(3));
     for id in [4u64, 5, 6] {
         let s = w.server(NodeId(id)).unwrap();

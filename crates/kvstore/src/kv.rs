@@ -219,8 +219,7 @@ impl StateMachine for KvStore {
     }
 
     fn restore(bytes: &[u8]) -> Option<Self> {
-        let (entries, ops_applied) =
-            wire::from_bytes::<(Vec<(String, Vec<u8>)>, u64)>(bytes)?;
+        let (entries, ops_applied) = wire::from_bytes::<(Vec<(String, Vec<u8>)>, u64)>(bytes)?;
         Some(KvStore {
             map: entries.into_iter().collect(),
             ops_applied,
@@ -236,16 +235,16 @@ mod tests {
     fn put_get_delete_cycle() {
         let mut kv = KvStore::new();
         assert_eq!(kv.apply(&KvOp::Get("a".into())), KvOutput::Value(None));
-        assert_eq!(
-            kv.apply(&KvOp::Put("a".into(), vec![1])),
-            KvOutput::Written
-        );
+        assert_eq!(kv.apply(&KvOp::Put("a".into(), vec![1])), KvOutput::Written);
         assert_eq!(
             kv.apply(&KvOp::Get("a".into())),
             KvOutput::Value(Some(vec![1]))
         );
         assert_eq!(kv.apply(&KvOp::Delete("a".into())), KvOutput::Deleted(true));
-        assert_eq!(kv.apply(&KvOp::Delete("a".into())), KvOutput::Deleted(false));
+        assert_eq!(
+            kv.apply(&KvOp::Delete("a".into())),
+            KvOutput::Deleted(false)
+        );
         assert_eq!(kv.ops_applied(), 5);
     }
 
@@ -341,7 +340,7 @@ mod tests {
 
     #[test]
     fn determinism_across_replicas() {
-        let script = vec![
+        let script = [
             KvOp::Put("a".into(), vec![1]),
             KvOp::Append("a".into(), vec![2]),
             KvOp::Cas {

@@ -20,6 +20,6 @@ pub mod locksvc;
 pub mod workload;
 
 pub use kv::{KvOp, KvOutput, KvStore};
-pub use locksvc::{LockOp, LockOutput, LockService};
 pub use lincheck::{linearizable, HistoryOp, Model};
+pub use locksvc::{LockOp, LockOutput, LockService};
 pub use workload::{KeyDist, KeySampler, WorkloadGen};

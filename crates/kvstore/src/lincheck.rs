@@ -75,9 +75,9 @@ impl DoneSet {
 ///
 /// The DFS recurses once per operation; long histories are checked on a
 /// dedicated thread with a history-proportional stack.
-pub fn linearizable<M: Model>(initial: M, history: &[HistoryOp<M::In, M::Out>]) -> bool
+pub fn linearizable<M>(initial: M, history: &[HistoryOp<M::In, M::Out>]) -> bool
 where
-    M: Send,
+    M: Model + Send,
     M::In: Sync,
     M::Out: Sync,
 {
@@ -319,17 +319,16 @@ mod tests {
 
     #[test]
     fn checker_agrees_with_brute_force_on_random_histories() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(99);
+        use simnet::SimRng;
+        let mut rng = SimRng::seed_from_u64(99);
         for case in 0..200 {
-            let n = rng.gen_range(1..=6);
+            let n = rng.gen_range(1u32..=6);
             let mut h = Vec::new();
             for i in 0..n {
-                let invoke = rng.gen_range(0..50);
-                let response = invoke + rng.gen_range(1..30);
+                let invoke = rng.gen_range(0u64..50);
+                let response = invoke + rng.gen_range(1u64..30);
                 let input = if rng.gen_bool(0.5) {
-                    put("k", rng.gen_range(1..4))
+                    put("k", rng.gen_range(1u8..4))
                 } else {
                     get("k")
                 };
@@ -339,7 +338,7 @@ mod tests {
                         if rng.gen_bool(0.3) {
                             KvOutput::Value(None)
                         } else {
-                            val(rng.gen_range(1..4))
+                            val(rng.gen_range(1u8..4))
                         }
                     }
                 };

@@ -191,11 +191,8 @@ impl StateMachine for LockService {
     }
 
     fn snapshot(&self) -> Vec<u8> {
-        let held: Vec<(String, (u64, u64))> = self
-            .held
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
-            .collect();
+        let held: Vec<(String, (u64, u64))> =
+            self.held.iter().map(|(k, v)| (k.clone(), *v)).collect();
         let tokens: Vec<(String, u64)> = self
             .next_token
             .iter()
@@ -264,7 +261,10 @@ mod tests {
             svc.apply(&rel("hot", owner));
         }
         // Independent locks have independent counters.
-        assert_eq!(svc.apply(&acq("cold", 9)), LockOutput::Acquired { token: 1 });
+        assert_eq!(
+            svc.apply(&acq("cold", 9)),
+            LockOutput::Acquired { token: 1 }
+        );
     }
 
     #[test]
@@ -292,7 +292,10 @@ mod tests {
         assert_eq!(restored, svc);
         // Token counter survives: next acquisition continues the sequence.
         restored.apply(&rel("a", 2));
-        assert_eq!(restored.apply(&acq("a", 9)), LockOutput::Acquired { token: 3 });
+        assert_eq!(
+            restored.apply(&acq("a", 9)),
+            LockOutput::Acquired { token: 3 }
+        );
         assert_eq!(LockService::restore(&[0xFF]), None);
     }
 

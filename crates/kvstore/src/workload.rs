@@ -1,7 +1,6 @@
 //! Workload generators: key distributions and operation mixes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use simnet::SimRng;
 
 use crate::kv::KvOp;
 
@@ -49,7 +48,7 @@ impl KeySampler {
     }
 
     /// Draws a key index.
-    pub fn sample(&self, rng: &mut StdRng) -> usize {
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
         match &self.dist {
             KeyDist::Uniform(n) => rng.gen_range(0..*n),
             KeyDist::Zipf { .. } => {
@@ -84,7 +83,7 @@ impl KeySampler {
 /// let _op = gen.next_op(0);
 /// ```
 pub struct WorkloadGen {
-    rng: StdRng,
+    rng: SimRng,
     sampler: KeySampler,
     read_ratio: f64,
     value_size: usize,
@@ -95,7 +94,7 @@ impl WorkloadGen {
     pub fn new(seed: u64, dist: KeyDist, read_ratio: f64, value_size: usize) -> Self {
         assert!((0.0..=1.0).contains(&read_ratio));
         WorkloadGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             sampler: KeySampler::new(dist),
             read_ratio,
             value_size,
@@ -127,8 +126,8 @@ impl WorkloadGen {
 mod tests {
     use super::*;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(1)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1)
     }
 
     #[test]
@@ -144,7 +143,10 @@ mod tests {
 
     #[test]
     fn zipf_is_skewed_toward_low_indices() {
-        let s = KeySampler::new(KeyDist::Zipf { n: 1000, theta: 0.99 });
+        let s = KeySampler::new(KeyDist::Zipf {
+            n: 1000,
+            theta: 0.99,
+        });
         let mut r = rng();
         let mut head = 0usize;
         const SAMPLES: usize = 10_000;

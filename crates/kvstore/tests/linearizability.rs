@@ -5,12 +5,12 @@
 
 use consensus::StaticConfig;
 use kvstore::{linearizable, HistoryOp, KvOp, KvOutput, KvStore};
-use proptest::prelude::*;
 use rsmr_core::{AdminActor, RsmrClient, RsmrMsg, RsmrNode, RsmrTunables};
-use simnet::{Actor, Context, NetConfig, NodeId, Sim, SimDuration, SimTime, Timer};
+use simnet::{Actor, Context, NetConfig, NodeId, Sim, SimDuration, SimRng, SimTime, Timer};
 
 type Msg = RsmrMsg<KvOp, KvOutput>;
 
+#[allow(clippy::large_enum_variant)] // one value per node, stored once
 enum Node {
     Server(RsmrNode<KvStore>),
     Client(RsmrClient<KvStore>),
@@ -119,8 +119,12 @@ fn run_world(
         sim.add_node_with_id(
             c,
             Node::Client(
-                RsmrClient::new(servers.clone(), contended_gen(i as u64), Some(ops_per_client))
-                    .with_history(),
+                RsmrClient::new(
+                    servers.clone(),
+                    contended_gen(i as u64),
+                    Some(ops_per_client),
+                )
+                .with_history(),
             ),
         );
     }
@@ -138,9 +142,10 @@ fn run_world(
     }
 
     let find_leader = |sim: &Sim<Node>| {
-        servers.iter().copied().find(|&s| {
-            matches!(sim.actor(s), Some(Node::Server(n)) if n.is_active_leader())
-        })
+        servers
+            .iter()
+            .copied()
+            .find(|&s| matches!(sim.actor(s), Some(Node::Server(n)) if n.is_active_leader()))
     };
     if let Some(at) = faults.crash_leader_at_ms {
         sim.run_for(SimDuration::from_millis(at));
@@ -151,11 +156,7 @@ fn run_world(
     if let Some(at) = faults.partition_leader_at_ms {
         sim.run_for(SimDuration::from_millis(at));
         if let Some(l) = find_leader(&sim) {
-            let rest: Vec<NodeId> = sim
-                .node_ids()
-                .into_iter()
-                .filter(|&n| n != l)
-                .collect();
+            let rest: Vec<NodeId> = sim.node_ids().into_iter().filter(|&n| n != l).collect();
             sim.partition(&[l], &rest);
             sim.run_for(SimDuration::from_millis(500));
             sim.heal_all();
@@ -197,7 +198,16 @@ fn linearizable_in_steady_state() {
 
 #[test]
 fn linearizable_across_a_membership_change() {
-    let r = run_world(2, 3, 4, 40, 0.0, Some((400, vec![0, 1, 2, 3])), Faults::default(), 40);
+    let r = run_world(
+        2,
+        3,
+        4,
+        40,
+        0.0,
+        Some((400, vec![0, 1, 2, 3])),
+        Faults::default(),
+        40,
+    );
     assert!(r.all_completed, "clients must finish");
     assert!(
         linearizable(KvStore::new(), &r.histories),
@@ -207,7 +217,16 @@ fn linearizable_across_a_membership_change() {
 
 #[test]
 fn linearizable_across_full_replacement() {
-    let r = run_world(3, 3, 3, 40, 0.0, Some((400, vec![3, 4, 5])), Faults::default(), 40);
+    let r = run_world(
+        3,
+        3,
+        3,
+        40,
+        0.0,
+        Some((400, vec![3, 4, 5])),
+        Faults::default(),
+        40,
+    );
     assert!(r.all_completed);
     assert!(linearizable(KvStore::new(), &r.histories));
 }
@@ -233,7 +252,16 @@ fn linearizable_with_leader_crash_during_reconfig() {
 
 #[test]
 fn linearizable_on_a_lossy_network() {
-    let r = run_world(5, 3, 3, 25, 0.02, Some((400, vec![0, 1, 2, 3])), Faults::default(), 60);
+    let r = run_world(
+        5,
+        3,
+        3,
+        25,
+        0.02,
+        Some((400, vec![0, 1, 2, 3])),
+        Faults::default(),
+        60,
+    );
     // Completion is best-effort under loss; the *completed* prefix must
     // still be linearizable.
     assert!(!r.histories.is_empty());
@@ -307,23 +335,23 @@ fn linearizable_with_local_reads_despite_a_partitioned_leaseholder() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Randomized schedules: seeds, loss, reconfiguration timing and target,
+/// optional leader crash — the history must always check out. Cases come
+/// from a seeded generator so every failure is reproducible.
+#[test]
+fn linearizable_under_random_faults() {
+    let mut gen = SimRng::seed_from_u64(0x11EA12);
+    for _case in 0..12 {
+        let seed = gen.gen_range(0u64..100_000);
+        let drop_permille = gen.gen_range(0u64..30);
+        let reconfig_at = gen.gen_range(200u64..1_000);
+        let target_kind = gen.gen_range(0usize..3);
+        let crash = gen.gen_bool(0.5);
 
-    /// Randomized schedules: seeds, loss, reconfiguration timing and
-    /// target, optional leader crash — the history must always check out.
-    #[test]
-    fn linearizable_under_random_faults(
-        seed in 0u64..100_000,
-        drop_permille in 0u64..30,
-        reconfig_at in 200u64..1_000,
-        target_kind in 0usize..3,
-        crash in proptest::bool::ANY,
-    ) {
         let target = match target_kind {
-            0 => vec![0, 1, 2, 3],      // add one
-            1 => vec![0, 1],            // remove one
-            _ => vec![1, 2, 3],         // rotate one
+            0 => vec![0, 1, 2, 3], // add one
+            1 => vec![0, 1],       // remove one
+            _ => vec![1, 2, 3],    // rotate one
         };
         let r = run_world(
             seed,
@@ -338,12 +366,12 @@ proptest! {
             },
             90,
         );
-        prop_assert!(
+        assert!(
             linearizable(KvStore::new(), &r.histories),
             "non-linearizable history with seed={seed}"
         );
         if drop_permille == 0 && !crash {
-            prop_assert!(r.all_completed, "benign run must complete");
+            assert!(r.all_completed, "benign run must complete, seed={seed}");
         }
     }
 }

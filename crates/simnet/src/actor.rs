@@ -3,9 +3,8 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-
 use crate::metrics::Metrics;
+use crate::rng::SimRng;
 use crate::sim::NodeId;
 use crate::storage::StableStore;
 use crate::time::{SimDuration, SimTime};
@@ -76,7 +75,7 @@ pub(crate) enum Emit<M> {
 pub struct Context<'a, M> {
     pub(crate) node: NodeId,
     pub(crate) now: SimTime,
-    pub(crate) rng: &'a mut StdRng,
+    pub(crate) rng: &'a mut SimRng,
     pub(crate) out: &'a mut Vec<Emit<M>>,
     pub(crate) storage: &'a mut StableStore,
     pub(crate) metrics: &'a mut Metrics,
@@ -102,12 +101,25 @@ impl<'a, M: Message> Context<'a, M> {
         self.out.push(Emit::Send { to, msg });
     }
 
-    /// Sends `msg` to every node in `to`, skipping this node itself.
+    /// Sends `msg` to every node in `to`, skipping this node itself. The
+    /// last recipient takes ownership of `msg`, so an `n`-peer fan-out costs
+    /// `n - 1` clones (and for `Arc`-backed payloads a clone is a refcount
+    /// bump).
     pub fn broadcast(&mut self, to: &[NodeId], msg: M) {
+        let n = to.iter().filter(|&&p| p != self.node).count();
+        let mut msg = Some(msg);
+        let mut sent = 0;
         for &peer in to {
-            if peer != self.node {
-                self.send(peer, msg.clone());
+            if peer == self.node {
+                continue;
             }
+            sent += 1;
+            let m = if sent == n {
+                msg.take().expect("one message per fan-out")
+            } else {
+                msg.as_ref().expect("still owned").clone()
+            };
+            self.send(peer, m);
         }
     }
 
@@ -133,7 +145,7 @@ impl<'a, M: Message> Context<'a, M> {
     }
 
     /// The node's deterministic random source.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
 

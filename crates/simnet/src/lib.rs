@@ -53,6 +53,7 @@ mod actor;
 mod event;
 mod metrics;
 mod net;
+pub mod rng;
 mod sim;
 mod storage;
 mod time;
@@ -62,6 +63,7 @@ pub mod wire;
 pub use actor::{Actor, Context, Message, Timer, TimerId};
 pub use metrics::{Histogram, Metrics, Timeline};
 pub use net::{LatencyModel, NetConfig};
+pub use rng::SimRng;
 pub use sim::{NodeId, Sim};
 pub use storage::StableStore;
 pub use time::{SimDuration, SimTime};

@@ -55,7 +55,10 @@ impl Histogram {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The `q`-quantile (`0 ≤ q ≤ 1`) using nearest-rank interpolation, or 0
@@ -100,14 +103,18 @@ impl Timeline {
 
     /// Sums point values into fixed-width bins over `[start, end)`; returns
     /// `(bin_start, sum)` for every bin, including empty ones.
-    pub fn binned(&self, start: SimTime, end: SimTime, bin: crate::SimDuration) -> Vec<(SimTime, f64)> {
+    pub fn binned(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        bin: crate::SimDuration,
+    ) -> Vec<(SimTime, f64)> {
         assert!(!bin.is_zero(), "bin width must be positive");
         let width = bin.as_micros();
         let span = end.since(start).as_micros();
-        let nbins = (span / width + u64::from(span % width != 0)) as usize;
-        let mut out: Vec<(SimTime, f64)> = (0..nbins)
-            .map(|i| (start + bin * i as u64, 0.0))
-            .collect();
+        let nbins = (span / width + u64::from(!span.is_multiple_of(width))) as usize;
+        let mut out: Vec<(SimTime, f64)> =
+            (0..nbins).map(|i| (start + bin * i as u64, 0.0)).collect();
         for &(t, v) in &self.points {
             if t < start || t >= end {
                 continue;
@@ -150,15 +157,19 @@ pub(crate) struct NetCounters {
 }
 
 /// The global metrics sink shared by every node in a simulation.
+///
+/// Every metric name in the workspace is a string literal, so all maps are
+/// keyed by `&'static str`: recording a counter, sample or timeline point
+/// never allocates. Lookups still accept any `&str`.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
+    counters: BTreeMap<&'static str, u64>,
     /// Per-message-label counters, keyed by the `'static` label — the
     /// allocation-free fast path for the per-message accounting.
     labels: BTreeMap<&'static str, u64>,
     pub(crate) net: NetCounters,
-    histograms: BTreeMap<String, Histogram>,
-    timelines: BTreeMap<String, Timeline>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    timelines: BTreeMap<&'static str, Timeline>,
 }
 
 impl Metrics {
@@ -170,7 +181,7 @@ impl Metrics {
     /// Adds `n` to the named counter, creating it at zero if absent. The
     /// `net.*` counters are backed by dedicated fields (the per-message
     /// fast path) but remain addressable by name.
-    pub fn incr(&mut self, name: &str, n: u64) {
+    pub fn incr(&mut self, name: &'static str, n: u64) {
         match name {
             "net.sent" => self.net.sent += n,
             "net.delivered" => self.net.delivered += n,
@@ -179,13 +190,7 @@ impl Metrics {
             "net.partitioned" => self.net.partitioned += n,
             "net.dropped_down" => self.net.dropped_down += n,
             "net.dropped_unknown" => self.net.dropped_unknown += n,
-            _ => {
-                if let Some(v) = self.counters.get_mut(name) {
-                    *v += n;
-                } else {
-                    self.counters.insert(name.to_owned(), n);
-                }
-            }
+            _ => *self.counters.entry(name).or_insert(0) += n,
         }
     }
 
@@ -225,13 +230,12 @@ impl Metrics {
 
     /// All counters whose name starts with `prefix`, in name order
     /// (including the field-backed `net.*` counters, when nonzero).
+    ///
+    /// Both sources are already sorted — the map by key, the `net.*` fields
+    /// listed in name order — so this is a single ordered merge with no
+    /// re-sort. `incr` routes `net.*` names to the fields, so the two
+    /// sequences never share a key.
     pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
-        let mut out: Vec<(String, u64)> = self
-            .counters
-            .iter()
-            .filter(|(k, _)| k.starts_with(prefix))
-            .map(|(k, v)| (k.clone(), *v))
-            .collect();
         let net = [
             ("net.bytes", self.net.bytes),
             ("net.delivered", self.net.delivered),
@@ -241,21 +245,37 @@ impl Metrics {
             ("net.partitioned", self.net.partitioned),
             ("net.sent", self.net.sent),
         ];
-        for (name, v) in net {
-            if v > 0 && name.starts_with(prefix) {
-                out.push((name.to_owned(), v));
-            }
+        let mut dynamic = self
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(&k, &v)| (k, v))
+            .peekable();
+        let mut fixed = net
+            .into_iter()
+            .filter(|&(k, v)| v > 0 && k.starts_with(prefix))
+            .peekable();
+        let mut out = Vec::new();
+        loop {
+            let take_dynamic = match (dynamic.peek(), fixed.peek()) {
+                (Some(&(ka, _)), Some(&(kb, _))) => ka <= kb,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (k, v) = if take_dynamic {
+                dynamic.next().unwrap()
+            } else {
+                fixed.next().unwrap()
+            };
+            out.push((k.to_owned(), v));
         }
-        out.sort();
         out
     }
 
     /// Records a sample in the named histogram.
-    pub fn observe(&mut self, name: &str, value: f64) {
-        self.histograms
-            .entry(name.to_owned())
-            .or_default()
-            .observe(value);
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.histograms.entry(name).or_default().observe(value);
     }
 
     /// The named histogram, if any samples were recorded.
@@ -269,16 +289,59 @@ impl Metrics {
     }
 
     /// Appends a point to the named timeline.
-    pub fn timeline_push(&mut self, name: &str, t: SimTime, v: f64) {
-        self.timelines
-            .entry(name.to_owned())
-            .or_default()
-            .push(t, v);
+    pub fn timeline_push(&mut self, name: &'static str, t: SimTime, v: f64) {
+        self.timelines.entry(name).or_default().push(t, v);
     }
 
     /// The named timeline, if any points were recorded.
     pub fn timeline(&self, name: &str) -> Option<&Timeline> {
         self.timelines.get(name)
+    }
+
+    /// An FNV-1a digest over every counter, label, net field, histogram
+    /// sample and timeline point, in deterministic order. Two runs with the
+    /// same seed must produce identical fingerprints — the determinism
+    /// regression tests rely on this.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h = (h ^ u64::from(*b)).wrapping_mul(0x100000001b3);
+            }
+        };
+        for (k, v) in &self.counters {
+            eat(k.as_bytes());
+            eat(&v.to_le_bytes());
+        }
+        for (k, v) in &self.labels {
+            eat(k.as_bytes());
+            eat(&v.to_le_bytes());
+        }
+        for v in [
+            self.net.sent,
+            self.net.delivered,
+            self.net.bytes,
+            self.net.dropped,
+            self.net.partitioned,
+            self.net.dropped_down,
+            self.net.dropped_unknown,
+        ] {
+            eat(&v.to_le_bytes());
+        }
+        for (k, hist) in &self.histograms {
+            eat(k.as_bytes());
+            for s in hist.samples() {
+                eat(&s.to_bits().to_le_bytes());
+            }
+        }
+        for (k, tl) in &self.timelines {
+            eat(k.as_bytes());
+            for &(t, v) in tl.points() {
+                eat(&t.as_micros().to_le_bytes());
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+        h
     }
 }
 
@@ -297,10 +360,7 @@ mod tests {
         assert_eq!(m.counter("net.sent"), 5);
         assert_eq!(m.counter("missing"), 0);
         let net = m.counters_with_prefix("net.");
-        assert_eq!(
-            net,
-            vec![("net.dropped".into(), 1), ("net.sent".into(), 5)]
-        );
+        assert_eq!(net, vec![("net.dropped".into(), 1), ("net.sent".into(), 5)]);
     }
 
     #[test]

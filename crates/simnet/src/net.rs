@@ -3,9 +3,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
+use crate::rng::SimRng;
 use crate::sim::NodeId;
 use crate::time::SimDuration;
 
@@ -30,7 +28,7 @@ pub enum LatencyModel {
 
 impl LatencyModel {
     /// Samples a one-way delay from the model.
-    pub fn sample(&self, rng: &mut StdRng) -> SimDuration {
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
         match *self {
             LatencyModel::Fixed(d) => d,
             LatencyModel::Uniform(min, max) => {
@@ -134,10 +132,13 @@ impl Default for NetConfig {
 }
 
 /// What the network decided to do with one message.
+///
+/// The delivery delays are inline (primary plus optional duplicate) so the
+/// per-message fast path never allocates.
 pub(crate) enum Fate {
-    /// Deliver after each of these delays (one entry normally, two when
-    /// duplicated).
-    Deliver(Vec<SimDuration>),
+    /// Deliver after the first delay; when the link duplicated the message,
+    /// deliver a second copy after the second delay.
+    Deliver(SimDuration, Option<SimDuration>),
     /// Drop silently.
     Drop,
     /// The link is cut by a partition.
@@ -211,7 +212,7 @@ impl NetworkState {
     }
 
     /// Decides the fate of a `size`-byte message from `from` to `to`.
-    pub(crate) fn route(&self, from: NodeId, to: NodeId, size: usize, rng: &mut StdRng) -> Fate {
+    pub(crate) fn route(&self, from: NodeId, to: NodeId, size: usize, rng: &mut SimRng) -> Fate {
         if self.is_cut(from, to) {
             return Fate::Partitioned;
         }
@@ -225,21 +226,22 @@ impl NetworkState {
             }
             _ => SimDuration::ZERO,
         };
-        let mut delays = vec![cfg.latency.sample(rng) + serialization];
-        if cfg.duplicate_rate > 0.0 && rng.gen_bool(cfg.duplicate_rate.clamp(0.0, 1.0)) {
-            delays.push(cfg.latency.sample(rng) + serialization);
-        }
-        Fate::Deliver(delays)
+        let first = cfg.latency.sample(rng) + serialization;
+        let dup = if cfg.duplicate_rate > 0.0 && rng.gen_bool(cfg.duplicate_rate.clamp(0.0, 1.0)) {
+            Some(cfg.latency.sample(rng) + serialization)
+        } else {
+            None
+        };
+        Fate::Deliver(first, dup)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(7)
     }
 
     #[test]
@@ -302,7 +304,7 @@ mod tests {
         }
         net.set_default(NetConfig::lan());
         match net.route(NodeId(1), NodeId(2), 0, &mut r) {
-            Fate::Deliver(d) => assert_eq!(d.len(), 1),
+            Fate::Deliver(_, dup) => assert!(dup.is_none()),
             _ => panic!("expected delivery"),
         }
     }
@@ -317,7 +319,7 @@ mod tests {
         assert!(matches!(net.route(b, a, 0, &mut r), Fate::Drop));
         assert!(matches!(
             net.route(a, NodeId(3), 0, &mut r),
-            Fate::Deliver(_)
+            Fate::Deliver(..)
         ));
     }
 }

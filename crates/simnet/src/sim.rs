@@ -1,24 +1,19 @@
 //! The simulation driver.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::actor::{Actor, Context, Emit, Message, Timer, TimerId};
 use crate::event::{Ev, EventQueue};
 use crate::metrics::Metrics;
 use crate::net::{Fate, NetConfig, NetworkState};
+use crate::rng::SimRng;
 use crate::storage::StableStore;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 
 /// Identifies a node (server or client) in a simulation.
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u64);
 
 impl NodeId {
@@ -59,13 +54,20 @@ struct Slot<A> {
 pub struct Sim<A: Actor> {
     time: SimTime,
     queue: EventQueue<A::Msg>,
-    nodes: BTreeMap<NodeId, Slot<A>>,
-    rng: StdRng,
+    // Dense slot table indexed by `NodeId.0`: node ids are small and
+    // contiguous-ish (servers from 0, admin/clients in the low hundreds), so
+    // the per-event lookup in `step` is a bounds check + index instead of a
+    // tree walk. `NodeId::EXTERNAL` never owns a slot.
+    nodes: Vec<Option<Slot<A>>>,
+    rng: SimRng,
     net: NetworkState,
     metrics: Metrics,
     trace: Trace,
     next_timer_id: u64,
     next_node_id: u64,
+    // Reused across callbacks so the per-event emit collection never
+    // allocates once it has warmed up.
+    emit_scratch: Vec<Emit<A::Msg>>,
 }
 
 impl<A: Actor> Sim<A> {
@@ -75,14 +77,23 @@ impl<A: Actor> Sim<A> {
         Sim {
             time: SimTime::ZERO,
             queue: EventQueue::new(),
-            nodes: BTreeMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            nodes: Vec::new(),
+            rng: SimRng::seed_from_u64(seed),
             net: NetworkState::new(net),
             metrics: Metrics::new(),
             trace: Trace::default(),
             next_timer_id: 0,
             next_node_id: 0,
+            emit_scratch: Vec::new(),
         }
+    }
+
+    fn slot(&self, id: NodeId) -> Option<&Slot<A>> {
+        self.nodes.get(id.0 as usize)?.as_ref()
+    }
+
+    fn slot_mut(&mut self, id: NodeId) -> Option<&mut Slot<A>> {
+        self.nodes.get_mut(id.0 as usize)?.as_mut()
     }
 
     /// The current virtual time.
@@ -107,39 +118,41 @@ impl<A: Actor> Sim<A> {
     /// Panics if `id` is already present or is [`NodeId::EXTERNAL`].
     pub fn add_node_with_id(&mut self, id: NodeId, actor: A) {
         assert!(id != NodeId::EXTERNAL, "the external id is reserved");
-        assert!(
-            !self.nodes.contains_key(&id),
-            "node {id} already exists"
-        );
+        let idx = id.0 as usize;
+        if idx >= self.nodes.len() {
+            self.nodes.resize_with(idx + 1, || None);
+        }
+        assert!(self.nodes[idx].is_none(), "node {id} already exists");
         self.next_node_id = self.next_node_id.max(id.0 + 1);
-        self.nodes.insert(
-            id,
-            Slot {
-                actor: Some(actor),
-                up: true,
-                storage: StableStore::new(),
-                incarnation: 0,
-                cancelled: BTreeSet::new(),
-            },
-        );
+        self.nodes[idx] = Some(Slot {
+            actor: Some(actor),
+            up: true,
+            storage: StableStore::new(),
+            incarnation: 0,
+            cancelled: BTreeSet::new(),
+        });
         self.run_callback(id, |actor, ctx| actor.on_start(ctx));
     }
 
     /// All node ids, in order.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.keys().copied().collect()
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| NodeId(i as u64)))
+            .collect()
     }
 
     /// True if the node exists and is currently up.
     pub fn is_up(&self, id: NodeId) -> bool {
-        self.nodes.get(&id).map(|s| s.up).unwrap_or(false)
+        self.slot(id).map(|s| s.up).unwrap_or(false)
     }
 
     /// Crashes a node: its volatile state (the actor) is dropped, pending
     /// timers die, and in-flight messages to it will be discarded on
     /// arrival. Stable storage is retained for [`Sim::restart`].
     pub fn crash(&mut self, id: NodeId) {
-        let slot = self.nodes.get_mut(&id).expect("unknown node");
+        let slot = self.slot_mut(id).expect("unknown node");
         slot.up = false;
         slot.actor = None;
         slot.cancelled.clear();
@@ -153,7 +166,7 @@ impl<A: Actor> Sim<A> {
     ///
     /// Panics if the node is unknown or still up.
     pub fn restart(&mut self, id: NodeId, actor: A) {
-        let slot = self.nodes.get_mut(&id).expect("unknown node");
+        let slot = self.slot_mut(id).expect("unknown node");
         assert!(!slot.up, "node {id} is already up");
         slot.up = true;
         slot.actor = Some(actor);
@@ -165,7 +178,7 @@ impl<A: Actor> Sim<A> {
     /// Read access to a node's stable storage (e.g. to rebuild an actor for
     /// [`Sim::restart`]).
     pub fn storage(&self, id: NodeId) -> &StableStore {
-        &self.nodes.get(&id).expect("unknown node").storage
+        &self.slot(id).expect("unknown node").storage
     }
 
     /// Severs all links between the two groups.
@@ -200,7 +213,7 @@ impl<A: Actor> Sim<A> {
 
     /// Injects a message into the network as if `from` had sent it.
     pub fn inject(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
-        self.apply_emits(from, vec![Emit::Send { to, msg }]);
+        self.apply_emits(from, &mut vec![Emit::Send { to, msg }]);
     }
 
     /// Runs a closure against a node with a full [`Context`], applying any
@@ -223,7 +236,7 @@ impl<A: Actor> Sim<A> {
 
     /// Immutable access to a node's actor (down nodes yield `None`).
     pub fn actor(&self, id: NodeId) -> Option<&A> {
-        self.nodes.get(&id).and_then(|s| s.actor.as_ref())
+        self.slot(id).and_then(|s| s.actor.as_ref())
     }
 
     /// The global metrics sink.
@@ -248,7 +261,7 @@ impl<A: Actor> Sim<A> {
 
     /// The simulation's RNG, for harness-level randomness that must stay
     /// deterministic.
-    pub fn rng_mut(&mut self) -> &mut StdRng {
+    pub fn rng_mut(&mut self) -> &mut SimRng {
         &mut self.rng
     }
 
@@ -304,7 +317,7 @@ impl<A: Actor> Sim<A> {
     fn dispatch(&mut self, ev: Ev<A::Msg>) {
         match ev {
             Ev::Deliver { to, from, msg } => {
-                let Some(slot) = self.nodes.get(&to) else {
+                let Some(slot) = self.slot(to) else {
                     self.metrics.net.dropped_unknown += 1;
                     return;
                 };
@@ -321,7 +334,7 @@ impl<A: Actor> Sim<A> {
                 kind,
                 incarnation,
             } => {
-                let Some(slot) = self.nodes.get_mut(&node) else {
+                let Some(slot) = self.slot_mut(node) else {
                     return;
                 };
                 if !slot.up || slot.incarnation != incarnation {
@@ -337,20 +350,19 @@ impl<A: Actor> Sim<A> {
 
     /// Runs `f` as a callback on node `id` with a context, then applies the
     /// emitted effects. No-op if the node is down or missing.
-    fn run_callback(
-        &mut self,
-        id: NodeId,
-        f: impl FnOnce(&mut A, &mut Context<'_, A::Msg>),
-    ) {
-        let mut out: Vec<Emit<A::Msg>> = Vec::new();
+    fn run_callback(&mut self, id: NodeId, f: impl FnOnce(&mut A, &mut Context<'_, A::Msg>)) {
+        let mut out = std::mem::take(&mut self.emit_scratch);
         {
-            let Some(slot) = self.nodes.get_mut(&id) else {
+            let Some(slot) = self.nodes.get_mut(id.0 as usize).and_then(|s| s.as_mut()) else {
+                self.emit_scratch = out;
                 return;
             };
             if !slot.up {
+                self.emit_scratch = out;
                 return;
             }
             let Some(actor) = slot.actor.as_mut() else {
+                self.emit_scratch = out;
                 return;
             };
             let mut ctx = Context {
@@ -365,11 +377,12 @@ impl<A: Actor> Sim<A> {
             };
             f(actor, &mut ctx);
         }
-        self.apply_emits(id, out);
+        self.apply_emits(id, &mut out);
+        self.emit_scratch = out;
     }
 
-    fn apply_emits(&mut self, origin: NodeId, emits: Vec<Emit<A::Msg>>) {
-        for emit in emits {
+    fn apply_emits(&mut self, origin: NodeId, emits: &mut Vec<Emit<A::Msg>>) {
+        for emit in emits.drain(..) {
             match emit {
                 Emit::Send { to, msg } => {
                     let size = msg.size_hint();
@@ -389,14 +402,27 @@ impl<A: Actor> Sim<A> {
                         continue;
                     }
                     match self.net.route(origin, to, size, &mut self.rng) {
-                        Fate::Deliver(delays) => {
-                            for delay in delays {
+                        Fate::Deliver(delay, dup) => {
+                            // The primary copy takes ownership of the
+                            // payload: the common single-delivery case
+                            // enqueues without cloning. The duplicate (rare)
+                            // pays the clone.
+                            let dup = dup.map(|d| (d, msg.clone()));
+                            self.queue.push(
+                                self.time + delay,
+                                Ev::Deliver {
+                                    to,
+                                    from: origin,
+                                    msg,
+                                },
+                            );
+                            if let Some((dup_delay, dup_msg)) = dup {
                                 self.queue.push(
-                                    self.time + delay,
+                                    self.time + dup_delay,
                                     Ev::Deliver {
                                         to,
                                         from: origin,
-                                        msg: msg.clone(),
+                                        msg: dup_msg,
                                     },
                                 );
                             }
@@ -406,11 +432,7 @@ impl<A: Actor> Sim<A> {
                     }
                 }
                 Emit::SetTimer { id, at, kind } => {
-                    let incarnation = self
-                        .nodes
-                        .get(&origin)
-                        .map(|s| s.incarnation)
-                        .unwrap_or(0);
+                    let incarnation = self.slot(origin).map(|s| s.incarnation).unwrap_or(0);
                     self.queue.push(
                         at,
                         Ev::TimerFire {
@@ -422,7 +444,7 @@ impl<A: Actor> Sim<A> {
                     );
                 }
                 Emit::CancelTimer(id) => {
-                    if let Some(slot) = self.nodes.get_mut(&origin) {
+                    if let Some(slot) = self.slot_mut(origin) {
                         slot.cancelled.insert(id);
                     }
                 }
@@ -507,10 +529,7 @@ mod tests {
         // Ping(0)..Ping(5) = 6 deliveries total.
         assert_eq!(sim.metrics().counter("net.delivered"), 6);
         assert_eq!(sim.metrics().label_count("ping"), 6);
-        let total: u32 = [a, b]
-            .iter()
-            .map(|&n| sim.actor(n).unwrap().received)
-            .sum();
+        let total: u32 = [a, b].iter().map(|&n| sim.actor(n).unwrap().received).sum();
         assert_eq!(total, 6);
     }
 
@@ -629,5 +648,19 @@ mod tests {
         sim.step();
         assert_eq!(sim.now(), before);
         assert_eq!(sim.actor(a).unwrap().received, 1);
+    }
+
+    #[test]
+    fn sparse_ids_and_external_never_alias_a_slot() {
+        let mut sim: Sim<TestActor> = Sim::new(0, NetConfig::lan());
+        let a = sim.add_node(TestActor::new(None));
+        sim.add_node_with_id(NodeId(99), TestActor::new(None));
+        assert_eq!(sim.node_ids(), vec![NodeId(0), NodeId(99)]);
+        assert!(!sim.is_up(NodeId(50)));
+        assert!(!sim.is_up(NodeId::EXTERNAL));
+        // Messages to ids without a slot are counted, not delivered.
+        sim.inject(a, NodeId(50), TestMsg::Ping(5));
+        sim.run_until_quiet(SimDuration::from_secs(1));
+        assert_eq!(sim.metrics().counter("net.dropped_unknown"), 1);
     }
 }

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// An instant on the simulation's virtual clock, in microseconds since the
 /// start of the run.
 ///
@@ -17,9 +15,7 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_millis(5);
 /// assert_eq!(t.as_micros(), 5_000);
 /// ```
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -86,9 +82,7 @@ impl fmt::Display for SimTime {
 /// use simnet::SimDuration;
 /// assert_eq!(SimDuration::from_millis(2) * 3, SimDuration::from_micros(6_000));
 /// ```
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {

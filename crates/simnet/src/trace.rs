@@ -72,6 +72,20 @@ impl Trace {
         }
         out
     }
+
+    /// An FNV-1a digest of the retained lines, for cheap equality checks in
+    /// determinism tests (two runs with the same seed must produce the same
+    /// digest).
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for line in &self.lines {
+            for b in line.as_bytes() {
+                h = (h ^ u64::from(*b)).wrapping_mul(0x100000001b3);
+            }
+            h = (h ^ u64::from(b'\n')).wrapping_mul(0x100000001b3);
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -143,6 +143,17 @@ impl<T: Wire> Wire for Option<T> {
     }
 }
 
+impl<T: Wire> Wire for std::sync::Arc<T> {
+    // Transparent: `Arc<T>` encodes exactly like `T`, so shared protocol
+    // payloads round-trip without a copy on encode.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (**self).encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        T::decode(buf).map(std::sync::Arc::new)
+    }
+}
+
 impl<A: Wire, B: Wire> Wire for (A, B) {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.0.encode(buf);

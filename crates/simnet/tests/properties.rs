@@ -1,14 +1,18 @@
-//! Property-based tests for the simulation substrate: deterministic event
+//! Property-style tests for the simulation substrate: deterministic event
 //! ordering, wire-format round-trips, and network-model statistics.
+//!
+//! Cases are generated from a seeded [`SimRng`] rather than a property-test
+//! framework, so the suite needs no external dependencies and every failure
+//! is reproducible from the fixed seed.
 
-use proptest::prelude::*;
-use simnet::wire::{self, Wire};
+use simnet::wire;
 use simnet::{
-    Actor, Context, LatencyModel, Message, NetConfig, NodeId, Sim, SimDuration, SimTime, Timer,
+    Actor, Context, LatencyModel, Message, NetConfig, NodeId, Sim, SimDuration, SimRng, SimTime,
+    Timer,
 };
 
 #[derive(Clone, Debug)]
-struct Tag(u64);
+struct Tag(#[allow(dead_code)] u64); // payload distinguishes messages in Debug output
 impl Message for Tag {
     fn label(&self) -> &'static str {
         "tag"
@@ -34,38 +38,50 @@ impl Actor for Recorder {
     }
 }
 
-proptest! {
-    /// Timers fire in nondecreasing time order, with insertion order
-    /// breaking ties — on any schedule.
-    #[test]
-    fn timers_fire_in_deterministic_order(
-        delays in proptest::collection::vec(0u64..10_000, 1..50)
-    ) {
-        let tagged: Vec<(u64, u32)> = delays
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (d, i as u32))
+/// Timers fire in nondecreasing time order, with insertion order breaking
+/// ties — on any schedule.
+#[test]
+fn timers_fire_in_deterministic_order() {
+    let mut gen = SimRng::seed_from_u64(1);
+    for _case in 0..100 {
+        let n = gen.gen_range(1usize..50);
+        let tagged: Vec<(u64, u32)> = (0..n)
+            .map(|i| (gen.gen_range(0u64..10_000), i as u32))
             .collect();
         let mut sim: Sim<Recorder> = Sim::new(0, NetConfig::lan());
-        let node = sim.add_node(Recorder { delays: tagged.clone(), fired: Vec::new() });
+        let node = sim.add_node(Recorder {
+            delays: tagged.clone(),
+            fired: Vec::new(),
+        });
         sim.run_for(SimDuration::from_micros(20_000));
         let fired = &sim.actor(node).unwrap().fired;
-        prop_assert_eq!(fired.len(), tagged.len());
+        assert_eq!(fired.len(), tagged.len());
         // Expected order: stable sort by delay (ties keep insertion order).
         let mut expected = tagged.clone();
         expected.sort_by_key(|&(d, _)| d);
         let expected: Vec<u32> = expected.into_iter().map(|(_, k)| k).collect();
-        prop_assert_eq!(fired, &expected);
+        assert_eq!(fired, &expected);
     }
+}
 
-    /// The whole simulation is a pure function of the seed: two identical
-    /// runs produce identical metrics.
-    #[test]
-    fn runs_are_reproducible(seed in 0u64..1_000_000, drop_pm in 0u64..500) {
+/// The whole simulation is a pure function of the seed: two identical runs
+/// produce identical metrics.
+#[test]
+fn runs_are_reproducible() {
+    let mut gen = SimRng::seed_from_u64(2);
+    for _case in 0..40 {
+        let seed = gen.gen_range(0u64..1_000_000);
+        let drop_pm = gen.gen_range(0u64..500);
         let run = || {
             let mut sim: Sim<Recorder> = Sim::new(seed, NetConfig::lossy(drop_pm as f64 / 1000.0));
-            let a = sim.add_node(Recorder { delays: vec![], fired: vec![] });
-            let b = sim.add_node(Recorder { delays: vec![], fired: vec![] });
+            let a = sim.add_node(Recorder {
+                delays: vec![],
+                fired: vec![],
+            });
+            let b = sim.add_node(Recorder {
+                delays: vec![],
+                fired: vec![],
+            });
             for i in 0..30 {
                 sim.inject(a, b, Tag(i));
             }
@@ -76,43 +92,67 @@ proptest! {
                 sim.now(),
             )
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    /// Wire round-trips for arbitrary composites.
-    #[test]
-    fn wire_round_trips(
-        a in any::<u64>(),
-        b in ".*",
-        c in proptest::collection::vec(any::<u32>(), 0..20),
-        d in proptest::option::of(any::<u16>()),
-    ) {
+fn random_string(gen: &mut SimRng) -> String {
+    let len = gen.gen_range(0usize..32);
+    (0..len)
+        .map(|_| char::from_u32(gen.gen_range(0u32..0xD800)).unwrap_or('�'))
+        .collect()
+}
+
+/// Wire round-trips for arbitrary composites.
+#[test]
+fn wire_round_trips() {
+    let mut gen = SimRng::seed_from_u64(3);
+    for _case in 0..200 {
+        let a = gen.next_u64();
+        let b = random_string(&mut gen);
+        let c: Vec<u32> = (0..gen.gen_range(0usize..20))
+            .map(|_| gen.next_u64() as u32)
+            .collect();
+        let d = if gen.gen_bool(0.5) {
+            Some(gen.next_u64() as u16)
+        } else {
+            None
+        };
         let value = (a, b, (c, d));
         let bytes = wire::to_bytes(&value);
         let back = wire::from_bytes::<(u64, String, (Vec<u32>, Option<u16>))>(&bytes);
-        prop_assert_eq!(back, Some(value));
+        assert_eq!(back, Some(value));
     }
+}
 
-    /// Decoding never panics on arbitrary garbage.
-    #[test]
-    fn wire_decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Decoding never panics on arbitrary garbage.
+#[test]
+fn wire_decode_is_total() {
+    let mut gen = SimRng::seed_from_u64(4);
+    for _case in 0..200 {
+        let len = gen.gen_range(0usize..256);
+        let bytes: Vec<u8> = (0..len).map(|_| gen.next_u64() as u8).collect();
         let _ = wire::from_bytes::<(u64, String, Vec<u32>)>(&bytes);
         let _ = wire::from_bytes::<Option<Vec<u64>>>(&bytes);
         let _ = wire::from_bytes::<String>(&bytes);
     }
+}
 
-    /// Sampled latencies respect the model's bounds.
-    #[test]
-    fn uniform_latency_in_bounds(lo in 0u64..5_000, width in 1u64..5_000, seed in any::<u64>()) {
+/// Sampled latencies respect the model's bounds.
+#[test]
+fn uniform_latency_in_bounds() {
+    let mut gen = SimRng::seed_from_u64(5);
+    for _case in 0..50 {
+        let lo = gen.gen_range(0u64..5_000);
+        let width = gen.gen_range(1u64..5_000);
         let model = LatencyModel::Uniform(
             SimDuration::from_micros(lo),
             SimDuration::from_micros(lo + width),
         );
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(gen.next_u64());
         for _ in 0..100 {
             let d = model.sample(&mut rng);
-            prop_assert!(d.as_micros() >= lo && d.as_micros() <= lo + width);
+            assert!(d.as_micros() >= lo && d.as_micros() <= lo + width);
         }
     }
 }
@@ -120,8 +160,14 @@ proptest! {
 #[test]
 fn drop_rate_statistics_are_plausible() {
     let mut sim: Sim<Recorder> = Sim::new(9, NetConfig::lan().with_drop_rate(0.3));
-    let a = sim.add_node(Recorder { delays: vec![], fired: vec![] });
-    let b = sim.add_node(Recorder { delays: vec![], fired: vec![] });
+    let a = sim.add_node(Recorder {
+        delays: vec![],
+        fired: vec![],
+    });
+    let b = sim.add_node(Recorder {
+        delays: vec![],
+        fired: vec![],
+    });
     const N: u64 = 5_000;
     for i in 0..N {
         sim.inject(a, b, Tag(i));
@@ -142,7 +188,10 @@ fn virtual_time_outruns_wall_time() {
     // discrete-event simulation.
     let start = std::time::Instant::now();
     let mut sim: Sim<Recorder> = Sim::new(0, NetConfig::lan());
-    sim.add_node(Recorder { delays: vec![(1, 0)], fired: vec![] });
+    sim.add_node(Recorder {
+        delays: vec![(1, 0)],
+        fired: vec![],
+    });
     sim.run_until(SimTime::from_secs(365 * 24 * 3600));
     assert!(start.elapsed().as_secs() < 5);
     assert_eq!(sim.now(), SimTime::from_secs(365 * 24 * 3600));

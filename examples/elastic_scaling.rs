@@ -23,7 +23,11 @@ fn main() {
     for &s in &genesis_ids {
         sim.add_node_with_id(
             s,
-            World::server(RsmrNode::genesis(s, genesis.clone(), RsmrTunables::default())),
+            World::server(RsmrNode::genesis(
+                s,
+                genesis.clone(),
+                RsmrTunables::default(),
+            )),
         );
     }
     // Standby nodes that will join later.
@@ -36,7 +40,15 @@ fn main() {
 
     // Eight paced clients, ~4000 ops/s aggregate.
     for c in 0..8u64 {
-        let gen = WorkloadGen::new(100 + c, KeyDist::Zipf { n: 1000, theta: 0.99 }, 0.5, 64);
+        let gen = WorkloadGen::new(
+            100 + c,
+            KeyDist::Zipf {
+                n: 1000,
+                theta: 0.99,
+            },
+            0.5,
+            64,
+        );
         sim.add_node_with_id(
             NodeId(100 + c),
             World::paced(OpenLoopClient::new(
@@ -55,7 +67,10 @@ fn main() {
         (SimTime::from_secs(6), ids(&[0, 1, 2, 3, 4])),
         (SimTime::from_secs(8), ids(&[0, 1, 2])),
     ];
-    sim.add_node_with_id(NodeId(99), World::admin(AdminActor::new(genesis_ids, script)));
+    sim.add_node_with_id(
+        NodeId(99),
+        World::admin(AdminActor::new(genesis_ids, script)),
+    );
 
     let horizon = SimTime::from_secs(10);
     sim.run_until(horizon);

@@ -23,7 +23,11 @@ fn main() {
     for &s in &servers {
         sim.add_node_with_id(
             s,
-            World::server(RsmrNode::genesis(s, genesis.clone(), RsmrTunables::default())),
+            World::server(RsmrNode::genesis(
+                s,
+                genesis.clone(),
+                RsmrTunables::default(),
+            )),
         );
     }
     sim.add_node_with_id(
@@ -109,8 +113,22 @@ fn main() {
     assert_eq!(violations, 0, "fencing tokens must be issued sequentially");
 
     // The joiner's lock table matches the old members'.
-    let reference = sim.actor(NodeId(1)).unwrap().as_server().unwrap().state_machine().clone();
-    let joiner_sm = sim.actor(NodeId(3)).unwrap().as_server().unwrap().state_machine();
+    let reference = sim
+        .actor(NodeId(1))
+        .unwrap()
+        .as_server()
+        .unwrap()
+        .state_machine()
+        .clone();
+    let joiner_sm = sim
+        .actor(NodeId(3))
+        .unwrap()
+        .as_server()
+        .unwrap()
+        .state_machine();
     assert_eq!(joiner_sm, &reference, "joiner lock table diverged");
-    println!("joiner n3 lock table matches the cluster ({} locks held)", reference.held_count());
+    println!(
+        "joiner n3 lock table matches the cluster ({} locks held)",
+        reference.held_count()
+    );
 }

@@ -21,7 +21,11 @@ fn main() {
     for &s in &servers {
         sim.add_node_with_id(
             s,
-            World::server(RsmrNode::genesis(s, genesis.clone(), RsmrTunables::default())),
+            World::server(RsmrNode::genesis(
+                s,
+                genesis.clone(),
+                RsmrTunables::default(),
+            )),
         );
     }
     let joiner = NodeId(3);
@@ -91,8 +95,9 @@ fn main() {
     println!("crashing {victim} and recovering it from stable storage…");
     sim.crash(victim);
     sim.run_for(SimDuration::from_secs(1));
-    let recovered = RsmrNode::<KvStore>::recover(victim, RsmrTunables::default(), sim.storage(victim))
-        .expect("persisted base exists");
+    let recovered =
+        RsmrNode::<KvStore>::recover(victim, RsmrTunables::default(), sim.storage(victim))
+            .expect("persisted base exists");
     sim.restart(victim, World::server(recovered));
     sim.run_for(SimDuration::from_secs(30));
 
@@ -101,7 +106,11 @@ fn main() {
     for &c in &clients {
         let cl = sim.actor(c).unwrap().as_client().unwrap();
         println!("client {c}: {} / 150 operations completed", cl.completed());
-        assert_eq!(cl.completed(), 150, "clients must finish despite the faults");
+        assert_eq!(
+            cl.completed(),
+            150,
+            "clients must finish despite the faults"
+        );
         for (_seq, op, out, invoke, response) in cl.history() {
             history.push(HistoryOp {
                 process: c.0,

@@ -19,13 +19,17 @@ fn main() {
     for &s in &servers {
         sim.add_node_with_id(
             s,
-            World::server(RsmrNode::genesis(s, genesis.clone(), RsmrTunables::default())),
+            World::server(RsmrNode::genesis(
+                s,
+                genesis.clone(),
+                RsmrTunables::default(),
+            )),
         );
     }
 
     // 2. A client that writes a handful of keys, then reads one back.
     let client = NodeId(100);
-    let script = vec![
+    let script = [
         KvOp::Put("greeting".into(), b"hello".to_vec()),
         KvOp::Put("answer".into(), b"42".to_vec()),
         KvOp::Append("greeting".into(), b", world".to_vec()),

@@ -25,7 +25,11 @@ fn main() {
     for &s in &old {
         sim.add_node_with_id(
             s,
-            World::server(RsmrNode::genesis(s, genesis.clone(), RsmrTunables::default())),
+            World::server(RsmrNode::genesis(
+                s,
+                genesis.clone(),
+                RsmrTunables::default(),
+            )),
         );
     }
     // The "upgraded" replacement nodes.
@@ -53,7 +57,10 @@ fn main() {
         (SimTime::from_millis(1500), ids(&[10, 11, 2])),
         (SimTime::from_millis(2500), ids(&[10, 11, 12])),
     ];
-    sim.add_node_with_id(NodeId(99), World::admin(AdminActor::new(old.clone(), script)));
+    sim.add_node_with_id(
+        NodeId(99),
+        World::admin(AdminActor::new(old.clone(), script)),
+    );
 
     sim.run_for(SimDuration::from_secs(30));
 

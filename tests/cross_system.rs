@@ -34,7 +34,11 @@ fn run_rsmr(seed: u64) -> (u64, Vec<u8>, u64) {
     for &s in &servers {
         sim.add_node_with_id(
             s,
-            World::server(RsmrNode::genesis(s, genesis.clone(), RsmrTunables::default())),
+            World::server(RsmrNode::genesis(
+                s,
+                genesis.clone(),
+                RsmrTunables::default(),
+            )),
         );
     }
     sim.add_node_with_id(
@@ -45,7 +49,10 @@ fn run_rsmr(seed: u64) -> (u64, Vec<u8>, u64) {
         NodeId(100),
         World::client(RsmrClient::new(servers.clone(), workload(seed), Some(OPS))),
     );
-    sim.add_node_with_id(NodeId(99), World::admin(AdminActor::new(servers, reconfig_script())));
+    sim.add_node_with_id(
+        NodeId(99),
+        World::admin(AdminActor::new(servers, reconfig_script())),
+    );
     sim.run_for(SimDuration::from_secs(40));
     let done = sim.actor(NodeId(100)).unwrap().completed();
     let snap = {

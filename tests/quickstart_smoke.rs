@@ -15,12 +15,16 @@ fn quickstart_flow_works_as_documented() {
     for &s in &servers {
         sim.add_node_with_id(
             s,
-            World::server(RsmrNode::genesis(s, genesis.clone(), RsmrTunables::default())),
+            World::server(RsmrNode::genesis(
+                s,
+                genesis.clone(),
+                RsmrTunables::default(),
+            )),
         );
     }
 
     let client = NodeId(100);
-    let script = vec![
+    let script = [
         KvOp::Put("greeting".into(), b"hello".to_vec()),
         KvOp::Append("greeting".into(), b", world".to_vec()),
         KvOp::Get("greeting".into()),
@@ -66,5 +70,8 @@ fn quickstart_flow_works_as_documented() {
 
     let j = sim.actor(joiner).unwrap().as_server().unwrap();
     assert_eq!(j.anchored_epoch(), Some(Epoch(1)));
-    assert_eq!(j.state_machine().get("greeting"), Some(&b"hello, world"[..]));
+    assert_eq!(
+        j.state_machine().get("greeting"),
+        Some(&b"hello, world"[..])
+    );
 }
