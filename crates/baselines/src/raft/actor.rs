@@ -7,7 +7,7 @@ use rsmr_core::command::Cmd;
 use rsmr_core::session::{SessionDecision, SessionTable};
 use rsmr_core::state_machine::StateMachine;
 use simnet::wire;
-use simnet::{Actor, Context, NodeId, SimDuration, SimTime, Timer};
+use simnet::{Actor, Context, DomainEvent, NodeId, SimDuration, SimTime, Timer};
 
 use super::core::{RaftCore, RaftEffects, RaftPropose, RaftTunables};
 use super::msg::{Index, RaftMsg};
@@ -25,6 +25,10 @@ pub struct RaftNode<S: StateMachine> {
     pending_admin: Option<(NodeId, Index)>,
     compact_threshold: u64,
     applied_count: u64,
+    /// Configuration era: how many `Reconfigure` entries this replica has
+    /// applied. Raft has no epochs; the era stands in for one in the typed
+    /// event stream so cross-system span derivations line up.
+    config_era: u64,
 }
 
 impl<S: StateMachine + Default> RaftNode<S> {
@@ -39,6 +43,7 @@ impl<S: StateMachine + Default> RaftNode<S> {
             pending_admin: None,
             compact_threshold,
             applied_count: 0,
+            config_era: 0,
         }
     }
 
@@ -54,6 +59,7 @@ impl<S: StateMachine + Default> RaftNode<S> {
             pending_admin: None,
             compact_threshold,
             applied_count: 0,
+            config_era: 0,
         }
     }
 }
@@ -74,6 +80,7 @@ impl<S: StateMachine> RaftNode<S> {
             pending_admin: None,
             compact_threshold,
             applied_count: 0,
+            config_era: 0,
         }
     }
 
@@ -128,12 +135,17 @@ impl<S: StateMachine> RaftNode<S> {
             }
         }
         for (index, cmd) in fx.committed {
+            let era = self.config_era;
+            ctx.emit_event(DomainEvent::CmdCommitted {
+                epoch: era,
+                slot: index,
+            });
             match &*cmd {
                 Cmd::Noop => {}
-                Cmd::App { client, seq, op } => self.apply_app(ctx, *client, *seq, op),
+                Cmd::App { client, seq, op } => self.apply_app(ctx, index, *client, *seq, op),
                 Cmd::Batch { entries } => {
                     for (client, seq, op) in entries {
-                        self.apply_app(ctx, *client, *seq, op);
+                        self.apply_app(ctx, index, *client, *seq, op);
                     }
                 }
                 Cmd::Reconfigure { .. } => {
@@ -141,6 +153,16 @@ impl<S: StateMachine> RaftNode<S> {
                     ctx.metrics().incr("raft.config_commits", 1);
                     ctx.metrics()
                         .timeline_push("rsmr.epoch_finalized", now, index as f64);
+                    // The era ends where the config entry commits; the next
+                    // one is live immediately (no transfer phase in Raft).
+                    ctx.emit_event(DomainEvent::EpochSealed {
+                        epoch: era,
+                        seal_slot: index,
+                    });
+                    self.config_era += 1;
+                    ctx.emit_event(DomainEvent::Anchored {
+                        epoch: self.config_era,
+                    });
                     // Resolve the admin waiting on this entry.
                     if let Some((admin, at)) = self.pending_admin {
                         if index >= at {
@@ -180,6 +202,7 @@ impl<S: StateMachine> RaftNode<S> {
     fn apply_app(
         &mut self,
         ctx: &mut Context<'_, RaftMsg<S::Op, S::Output>>,
+        index: Index,
         client: NodeId,
         seq: u64,
         op: &S::Op,
@@ -190,6 +213,12 @@ impl<S: StateMachine> RaftNode<S> {
                 self.sessions.record(client, seq, out.clone());
                 self.applied_count += 1;
                 ctx.metrics().incr("raft.applied", 1);
+                ctx.emit_event(DomainEvent::CmdApplied {
+                    client,
+                    seq,
+                    epoch: self.config_era,
+                    slot: index,
+                });
                 let now = ctx.now();
                 ctx.metrics().timeline_push("rsmr.commits", now, 1.0);
                 out
@@ -299,6 +328,9 @@ impl<S: StateMachine> Actor for RaftNode<S> {
                         ctx.metrics().incr("raft.reconfigs_accepted", 1);
                         ctx.metrics()
                             .timeline_push("rsmr.reconfig_proposed", now, index as f64);
+                        ctx.emit_event(DomainEvent::ReconfigProposed {
+                            epoch: self.config_era,
+                        });
                     }
                     _ => {
                         ctx.send(
@@ -373,6 +405,12 @@ impl<S: StateMachine> RaftClient<S> {
         self.next_seq += 1;
         let op = (self.gen)(seq);
         self.inflight = Some((seq, op.clone(), ctx.now(), ctx.now()));
+        // Fresh submission only; retransmits and redirects re-send without
+        // reopening the command's latency span.
+        ctx.emit_event(DomainEvent::CmdSubmitted {
+            client: ctx.node_id(),
+            seq,
+        });
         ctx.send(self.target, RaftMsg::Request { seq, op });
     }
 

@@ -31,7 +31,7 @@ use rsmr_core::messages::RsmrMsg;
 use rsmr_core::session::{SessionDecision, SessionTable};
 use rsmr_core::state_machine::StateMachine;
 use rsmr_core::transfer::BaseState;
-use simnet::{Actor, Context, NodeId, SimDuration, SimTime, Timer};
+use simnet::{Actor, Context, DomainEvent, NodeId, SimDuration, SimTime, Timer};
 
 /// Knobs of the stop-the-world baseline.
 #[derive(Clone, Debug)]
@@ -104,6 +104,9 @@ pub struct StwNode<S: StateMachine> {
     /// commands).
     pending_starts: BTreeMap<Epoch, StaticConfig>,
     applied_count: u64,
+    /// Highest epoch that has applied a command — the watermark behind the
+    /// `FirstCommit` event ending each handoff gap.
+    commit_seen_epoch: Option<Epoch>,
     /// Queue of commands proposed but discarded by a close; kept for
     /// accounting only.
     _parked: VecDeque<(NodeId, u64)>,
@@ -156,6 +159,7 @@ impl<S: StateMachine> StwNode<S> {
             base_installed: false,
             pending_starts: BTreeMap::new(),
             applied_count: 0,
+            commit_seen_epoch: None,
             _parked: VecDeque::new(),
         }
     }
@@ -207,8 +211,18 @@ impl<S: StateMachine> StwNode<S> {
         if fx.became_leader {
             ctx.metrics().incr("stw.leader_elections", 1);
         }
+        for slot in fx.proposed {
+            ctx.emit_event(DomainEvent::CmdProposed {
+                epoch: epoch.0,
+                slot: slot.0,
+            });
+        }
         if Some(epoch) == self.current && !fx.committed.is_empty() {
             for (slot, cmd) in fx.committed {
+                ctx.emit_event(DomainEvent::CmdCommitted {
+                    epoch: epoch.0,
+                    slot: slot.0,
+                });
                 self.buffer.insert(slot, cmd);
             }
             self.drain_applies(ctx);
@@ -217,18 +231,23 @@ impl<S: StateMachine> StwNode<S> {
 
     fn drain_applies(&mut self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>) {
         while let Some(cmd) = self.buffer.remove(&self.applied_next) {
+            let slot = self.applied_next;
             self.applied_next = self.applied_next.next();
             match &*cmd {
                 Cmd::Noop => {}
-                Cmd::App { client, seq, op } => self.apply_app(ctx, *client, *seq, op),
+                Cmd::App { client, seq, op } => {
+                    self.note_first_commit(ctx, slot);
+                    self.apply_app(ctx, slot, *client, *seq, op);
+                }
                 Cmd::Batch { entries } => {
+                    self.note_first_commit(ctx, slot);
                     for (client, seq, op) in entries {
-                        self.apply_app(ctx, *client, *seq, op);
+                        self.apply_app(ctx, slot, *client, *seq, op);
                     }
                 }
                 Cmd::Reconfigure { members } => {
                     let members = members.clone();
-                    self.on_close(ctx, members);
+                    self.on_close(ctx, slot, members);
                     // Prefix rule: nothing after the first close is applied.
                     self.buffer.clear();
                     break;
@@ -237,9 +256,24 @@ impl<S: StateMachine> StwNode<S> {
         }
     }
 
+    /// Emits `FirstCommit` the first time an application command applies in
+    /// the current epoch (epochs only move forward, so one watermark
+    /// suffices).
+    fn note_first_commit(&mut self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>, slot: Slot) {
+        let Some(epoch) = self.current else { return };
+        if self.commit_seen_epoch.is_none_or(|e| e < epoch) {
+            self.commit_seen_epoch = Some(epoch);
+            ctx.emit_event(DomainEvent::FirstCommit {
+                epoch: epoch.0,
+                slot: slot.0,
+            });
+        }
+    }
+
     fn apply_app(
         &mut self,
         ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        slot: Slot,
         client: NodeId,
         seq: u64,
         op: &S::Op,
@@ -250,6 +284,12 @@ impl<S: StateMachine> StwNode<S> {
                 self.sessions.record(client, seq, out.clone());
                 self.applied_count += 1;
                 ctx.metrics().incr("stw.applied", 1);
+                ctx.emit_event(DomainEvent::CmdApplied {
+                    client,
+                    seq,
+                    epoch: self.current.map(|e| e.0).unwrap_or(0),
+                    slot: slot.0,
+                });
                 let now = ctx.now();
                 ctx.metrics().timeline_push("rsmr.commits", now, 1.0);
                 out
@@ -275,7 +315,12 @@ impl<S: StateMachine> StwNode<S> {
 
     /// The close command applied: freeze, capture the base, begin (or
     /// await) the leader-driven handoff.
-    fn on_close(&mut self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>, members: Vec<NodeId>) {
+    fn on_close(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        slot: Slot,
+        members: Vec<NodeId>,
+    ) {
         let old = self.current.expect("applying implies a current epoch");
         let successor = old.next();
         let cfg = StaticConfig::new(members);
@@ -315,6 +360,10 @@ impl<S: StateMachine> StwNode<S> {
         ctx.metrics().incr("stw.epochs_closed", 1);
         ctx.metrics()
             .timeline_push("rsmr.epoch_closed", now, old.0 as f64);
+        ctx.emit_event(DomainEvent::EpochSealed {
+            epoch: old.0,
+            seal_slot: slot.0,
+        });
         self.pump_handoff(ctx);
         self.maybe_start(ctx);
     }
@@ -344,6 +393,11 @@ impl<S: StateMachine> StwNode<S> {
                 for &m in handoff.awaiting.iter() {
                     ctx.metrics()
                         .incr("rsmr.transfer_bytes", handoff.base.len() as u64);
+                    ctx.emit_event(DomainEvent::TransferServed {
+                        epoch: handoff.epoch.0,
+                        to: m,
+                        bytes: handoff.base.len() as u64,
+                    });
                     ctx.send(
                         m,
                         RsmrMsg::TransferReply {
@@ -415,6 +469,7 @@ impl<S: StateMachine> StwNode<S> {
         ctx.metrics().incr("stw.epochs_started", 1);
         ctx.metrics()
             .timeline_push("rsmr.epoch_finalized", now, epoch.0 as f64);
+        ctx.emit_event(DomainEvent::Anchored { epoch: epoch.0 });
     }
 
     fn handle_request(
@@ -546,6 +601,7 @@ impl<S: StateMachine> StwNode<S> {
         ctx.metrics().incr("stw.reconfigs_accepted", 1);
         ctx.metrics()
             .timeline_push("rsmr.reconfig_proposed", now, current.0 as f64);
+        ctx.emit_event(DomainEvent::ReconfigProposed { epoch: current.0 });
         self.try_finish_drain(ctx);
     }
 

@@ -134,6 +134,29 @@ fn main() {
         },
     );
 
+    // The same workload with a structured-event subscriber installed: the
+    // delta against `deliver_10k_messages` is the cost of the observer
+    // pipeline when someone is listening (with no subscriber the emit path
+    // is one branch and the plain bench above must stay unchanged).
+    bench(
+        "deliver_10k_messages_with_observer",
+        MSGS,
+        || (),
+        |_| {
+            let mut sim: Sim<Bouncer> = Sim::new(1, NetConfig::lan());
+            sim.add_observer(simnet::EventDigest::new());
+            let a = sim.add_node(Bouncer {
+                remaining: MSGS / 2,
+            });
+            let bn = sim.add_node(Bouncer {
+                remaining: MSGS / 2,
+            });
+            sim.inject(a, bn, Ping(0));
+            sim.run_until_quiet(SimDuration::from_secs(3600));
+            assert!(sim.metrics().counter("net.delivered") >= MSGS);
+        },
+    );
+
     bench(
         "fire_100k_timers",
         100_000,

@@ -4,21 +4,47 @@
 //! cargo run --release -p bench --bin exp_all            # all experiments
 //! cargo run --release -p bench --bin exp_all -- e2 e5   # a subset
 //! cargo run --release -p bench --bin exp_all -- --quick # trimmed sweeps
+//! cargo run --release -p bench --bin exp_all -- --json artifacts/
 //! ```
+//!
+//! `--json <dir>` additionally writes one machine-readable artifact per
+//! experiment (`<dir>/<id>.jsonl`, schema in `EXPERIMENTS.md`). Artifacts
+//! contain no timestamps or host data: two runs of the same build are
+//! byte-identical.
 
 use std::time::Instant;
 
-use bench::experiments;
+use bench::experiments::{self, ExpOutput};
 
-/// One experiment's rendered output (if the id was known) and wall seconds.
-type Slot = std::sync::Mutex<Option<(Option<String>, f64)>>;
+/// One experiment's output (if the id was known) and wall seconds.
+type Slot = std::sync::Mutex<Option<(Option<ExpOutput>, f64)>>;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if args.iter().any(|a| a == "--json") && json_dir.is_none() {
+        eprintln!("--json requires a directory argument");
+        std::process::exit(2);
+    }
+    let mut skip_next = false;
     let selected: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--json" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .cloned()
         .collect();
     let ids: Vec<&str> = if selected.is_empty() {
@@ -49,12 +75,12 @@ fn main() {
                 let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&id) = ids.get(i) else { break };
                 let start = Instant::now();
-                let out = experiments::run_one(id, quick);
+                let out = experiments::run_structured(id, quick);
                 *slots[i].lock().expect("result slot") = Some((out, start.elapsed().as_secs_f64()));
             });
         }
     });
-    let results: Vec<(&str, Option<String>, f64)> = ids
+    let results: Vec<(&str, Option<ExpOutput>, f64)> = ids
         .iter()
         .zip(slots)
         .map(|(&id, slot)| {
@@ -65,10 +91,26 @@ fn main() {
             (id, out, secs)
         })
         .collect();
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create artifact directory {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
     for (id, output, secs) in results {
         match output {
             Some(output) => {
-                print!("{output}");
+                print!("{}", output.rendered);
+                if let Some(dir) = &json_dir {
+                    let path = format!("{dir}/{id}.jsonl");
+                    match std::fs::write(&path, output.to_jsonl(id, quick)) {
+                        Ok(()) => eprintln!("[{id} artifact: {path}]"),
+                        Err(e) => {
+                            eprintln!("cannot write {path}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
                 eprintln!("[{id} done in {secs:.1}s wall]");
             }
             None => eprintln!(

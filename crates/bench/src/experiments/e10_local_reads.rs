@@ -8,6 +8,7 @@
 
 use simnet::SimTime;
 
+use super::ExpOutput;
 use crate::runner::{run as run_scenario, Scenario, SystemKind};
 use crate::table::Table;
 
@@ -52,8 +53,8 @@ pub fn run_rows(quick: bool) -> Vec<Row> {
     rows
 }
 
-/// Renders E10.
-pub fn run(quick: bool) -> String {
+/// Runs E10, returning the rendered text plus its table.
+pub fn run_structured(quick: bool) -> ExpOutput {
     let rows = run_rows(quick);
     let mut t = Table::new(
         "E10 / Table 7 — lease-based local reads vs log reads (extension)",
@@ -82,7 +83,15 @@ pub fn run(quick: bool) -> String {
          two configurations converge. Linearizability with leases enabled \
          is machine-checked in `kvstore`'s test suite.\n\n",
     );
-    out
+    ExpOutput {
+        rendered: out,
+        tables: vec![t],
+    }
+}
+
+/// Renders E10.
+pub fn run(quick: bool) -> String {
+    run_structured(quick).rendered
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 
 use simnet::SimTime;
 
+use super::ExpOutput;
 use crate::runner::{run_many, Scenario, SystemKind};
 use crate::table::Table;
 
@@ -79,9 +80,10 @@ pub fn run_table(quick: bool) -> Table {
     table
 }
 
-/// Renders E1.
-pub fn run(quick: bool) -> String {
-    let mut out = run_table(quick).render();
+/// Runs E1, returning the rendered text plus its table.
+pub fn run_structured(quick: bool) -> ExpOutput {
+    let table = run_table(quick);
+    let mut out = table.render();
     out.push_str(
         "Shape expected from the paper: the composition (rsmr) tracks the bare \
          static block within a few percent — with the same seed its runs are \
@@ -94,7 +96,15 @@ pub fn run(quick: bool) -> String {
          (WAN, many clients). raft-lite is in the same band — \
          reconfigurability costs nothing while idle.\n\n",
     );
-    out
+    ExpOutput {
+        rendered: out,
+        tables: vec![table],
+    }
+}
+
+/// Renders E1.
+pub fn run(quick: bool) -> String {
+    run_structured(quick).rendered
 }
 
 #[cfg(test)]

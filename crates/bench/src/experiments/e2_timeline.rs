@@ -8,6 +8,7 @@
 
 use simnet::{SimDuration, SimTime};
 
+use super::ExpOutput;
 use crate::runner::{run as run_scenario, RunOut, Scenario, SystemKind};
 use crate::table::{sparkline, Table};
 
@@ -59,8 +60,8 @@ pub fn run_series(quick: bool) -> Vec<Series> {
         .collect()
 }
 
-/// Renders E2.
-pub fn run(quick: bool) -> String {
+/// Runs E2, returning the rendered text plus its summary table.
+pub fn run_structured(quick: bool) -> ExpOutput {
     let series = run_series(quick);
     let (reconfig_at, _, _) = times(quick);
     let mut out = format!(
@@ -102,7 +103,15 @@ pub fn run(quick: bool) -> String {
          drain+transfer+election; raft-lite sits between, paying its \
          change-entry commit but no instance restart.\n\n",
     );
-    out
+    ExpOutput {
+        rendered: out,
+        tables: vec![t],
+    }
+}
+
+/// Renders E2.
+pub fn run(quick: bool) -> String {
+    run_structured(quick).rendered
 }
 
 #[cfg(test)]

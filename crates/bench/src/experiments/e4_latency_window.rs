@@ -8,6 +8,7 @@
 
 use simnet::SimTime;
 
+use super::ExpOutput;
 use crate::runner::{run as run_scenario, Scenario, SystemKind};
 use crate::table::Table;
 
@@ -60,8 +61,8 @@ pub fn run_rows(quick: bool) -> Vec<Row> {
     rows
 }
 
-/// Renders E4.
-pub fn run(quick: bool) -> String {
+/// Runs E4, returning the rendered text plus its table.
+pub fn run_structured(quick: bool) -> ExpOutput {
     let rows = run_rows(quick);
     let mut t = Table::new(
         "E4 / Figure 2 — latency of commands issued across a member replacement (ms)",
@@ -85,7 +86,15 @@ pub fn run(quick: bool) -> String {
          full blocking window (client retransmission intervals included); \
          no-spec sits between, its tail an election timeout wide.\n\n",
     );
-    out
+    ExpOutput {
+        rendered: out,
+        tables: vec![t],
+    }
+}
+
+/// Renders E4.
+pub fn run(quick: bool) -> String {
+    run_structured(quick).rendered
 }
 
 #[cfg(test)]

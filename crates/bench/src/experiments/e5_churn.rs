@@ -7,6 +7,7 @@
 
 use simnet::{SimDuration, SimTime};
 
+use super::ExpOutput;
 use crate::runner::{run as run_scenario, Scenario, SystemKind};
 use crate::table::Table;
 
@@ -83,8 +84,8 @@ pub fn run_rows(quick: bool) -> Vec<Row> {
     rows
 }
 
-/// Renders E5.
-pub fn run(quick: bool) -> String {
+/// Runs E5, returning the rendered text plus its table.
+pub fn run_structured(quick: bool) -> ExpOutput {
     let rows = run_rows(quick);
     let mut t = Table::new(
         "E5 / Table 3 — k back-to-back reconfigurations under constant load",
@@ -117,7 +118,15 @@ pub fn run(quick: bool) -> String {
          configuration, whose larger quorum costs ~5% throughput against the \
          3-member control — visible as the loss floor at k=1.)\n\n",
     );
-    out
+    ExpOutput {
+        rendered: out,
+        tables: vec![t],
+    }
+}
+
+/// Renders E5.
+pub fn run(quick: bool) -> String {
+    run_structured(quick).rendered
 }
 
 #[cfg(test)]

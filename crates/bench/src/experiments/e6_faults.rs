@@ -9,6 +9,7 @@
 use kvstore::{linearizable, KvStore};
 use simnet::{SimDuration, SimTime};
 
+use super::ExpOutput;
 use crate::runner::{run as run_scenario, Scenario, SystemKind};
 use crate::table::Table;
 
@@ -70,8 +71,8 @@ pub fn run_rows(quick: bool) -> Vec<Row> {
     rows
 }
 
-/// Renders E6.
-pub fn run(quick: bool) -> String {
+/// Runs E6, returning the rendered text plus its table.
+pub fn run_structured(quick: bool) -> ExpOutput {
     let rows = run_rows(quick);
     let mut t = Table::new(
         "E6 / Figure 3 — leader crash 30ms into a reconfiguration",
@@ -105,7 +106,15 @@ pub fn run(quick: bool) -> String {
          involves the predecessor *and* successor instances re-electing, yet \
          the client history stays linearizable.\n\n",
     );
-    out
+    ExpOutput {
+        rendered: out,
+        tables: vec![t],
+    }
+}
+
+/// Renders E6.
+pub fn run(quick: bool) -> String {
+    run_structured(quick).rendered
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 
 use simnet::SimTime;
 
+use super::ExpOutput;
 use crate::runner::{run as run_scenario, Scenario, SystemKind};
 use crate::table::Table;
 
@@ -105,8 +106,8 @@ pub fn run_reconfig_cost(quick: bool) -> Vec<ReconfigCost> {
         .collect()
 }
 
-/// Renders E7.
-pub fn run(quick: bool) -> String {
+/// Runs E7, returning the rendered text plus both tables.
+pub fn run_structured(quick: bool) -> ExpOutput {
     let steady = run_steady(quick);
     let mut t = Table::new(
         "E7 / Table 4a — protocol messages per command (steady state)",
@@ -150,7 +151,15 @@ pub fn run(quick: bool) -> String {
          configuration plus the retire-grace overlap of two instances, not \
          per-reconfiguration traffic.)\n\n",
     );
-    out
+    ExpOutput {
+        rendered: out,
+        tables: vec![t, t2],
+    }
+}
+
+/// Renders E7.
+pub fn run(quick: bool) -> String {
+    run_structured(quick).rendered
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 
 use simnet::SimTime;
 
+use super::ExpOutput;
 use crate::runner::{run_many, Scenario, SystemKind};
 use crate::table::Table;
 
@@ -52,8 +53,8 @@ pub fn run_rows(quick: bool) -> Vec<Row> {
         .collect()
 }
 
-/// Renders E8.
-pub fn run(quick: bool) -> String {
+/// Runs E8, returning the rendered text plus its table.
+pub fn run_structured(quick: bool) -> ExpOutput {
     let rows = run_rows(quick);
     let mut t = Table::new(
         "E8 / Table 5 — scaling with configuration size (no reconfiguration)",
@@ -74,7 +75,15 @@ pub fn run(quick: bool) -> String {
          n (bigger quorums, more acks) — the composition inherits the block's \
          scaling behaviour verbatim.\n\n",
     );
-    out
+    ExpOutput {
+        rendered: out,
+        tables: vec![t],
+    }
+}
+
+/// Renders E8.
+pub fn run(quick: bool) -> String {
+    run_structured(quick).rendered
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use simnet::{SimDuration, SimTime};
 
+use super::ExpOutput;
 use crate::runner::{run as run_scenario, Scenario, SystemKind};
 use crate::table::Table;
 
@@ -53,8 +54,8 @@ pub fn run_rows(quick: bool) -> Vec<Row> {
         .collect()
 }
 
-/// Renders E9.
-pub fn run(quick: bool) -> String {
+/// Runs E9, returning the rendered text plus its table.
+pub fn run_structured(quick: bool) -> ExpOutput {
     let rows = run_rows(quick);
     let mut t = Table::new(
         "E9 / Table 6 — member replacement over a WAN (20ms ± 4ms one-way)",
@@ -85,7 +86,15 @@ pub fn run(quick: bool) -> String {
          leader survives the change (add-member), the composition's gap \
          shrinks to the close-commit alone.\n\n",
     );
-    out
+    ExpOutput {
+        rendered: out,
+        tables: vec![t],
+    }
+}
+
+/// Renders E9.
+pub fn run(quick: bool) -> String {
+    run_structured(quick).rendered
 }
 
 #[cfg(test)]

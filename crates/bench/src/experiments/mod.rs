@@ -15,22 +15,97 @@ pub mod e7_messages;
 pub mod e8_scaling;
 pub mod e9_wan;
 
+use crate::table::{json_escape_into, Table};
+
 /// Experiment ids in presentation order.
 pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
 
+/// One experiment's full output: the rendered presentation text plus the
+/// structured tables behind it (the source for machine-readable artifacts).
+pub struct ExpOutput {
+    /// Tables, figures and commentary, ready to print.
+    pub rendered: String,
+    /// The tables in presentation order.
+    pub tables: Vec<Table>,
+}
+
+impl ExpOutput {
+    /// Serializes the experiment as a JSONL artifact: one meta line, then
+    /// one line per table row (schema documented in `EXPERIMENTS.md`).
+    ///
+    /// Artifacts carry no timestamps or host data, so two same-seed runs —
+    /// and the serial and parallel drivers — produce byte-identical files.
+    pub fn to_jsonl(&self, id: &str, quick: bool) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"experiment\":\"{id}\",\"schema\":1,\"quick\":{quick},\"tables\":["
+        ));
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape_into(t.title(), &mut out);
+            out.push('"');
+        }
+        out.push_str("]}\n");
+        for (i, t) in self.tables.iter().enumerate() {
+            t.jsonl_into(id, i, &mut out);
+        }
+        out
+    }
+}
+
+/// Runs one experiment by id, returning its rendered output plus tables.
+pub fn run_structured(id: &str, quick: bool) -> Option<ExpOutput> {
+    match id {
+        "e1" => Some(e1_steady_state::run_structured(quick)),
+        "e2" => Some(e2_timeline::run_structured(quick)),
+        "e3" => Some(e3_state_transfer::run_structured(quick)),
+        "e4" => Some(e4_latency_window::run_structured(quick)),
+        "e5" => Some(e5_churn::run_structured(quick)),
+        "e6" => Some(e6_faults::run_structured(quick)),
+        "e7" => Some(e7_messages::run_structured(quick)),
+        "e8" => Some(e8_scaling::run_structured(quick)),
+        "e9" => Some(e9_wan::run_structured(quick)),
+        "e10" => Some(e10_local_reads::run_structured(quick)),
+        _ => None,
+    }
+}
+
 /// Runs one experiment by id, returning its rendered output.
 pub fn run_one(id: &str, quick: bool) -> Option<String> {
-    match id {
-        "e1" => Some(e1_steady_state::run(quick)),
-        "e2" => Some(e2_timeline::run(quick)),
-        "e3" => Some(e3_state_transfer::run(quick)),
-        "e4" => Some(e4_latency_window::run(quick)),
-        "e5" => Some(e5_churn::run(quick)),
-        "e6" => Some(e6_faults::run(quick)),
-        "e7" => Some(e7_messages::run(quick)),
-        "e8" => Some(e8_scaling::run(quick)),
-        "e9" => Some(e9_wan::run(quick)),
-        "e10" => Some(e10_local_reads::run(quick)),
-        _ => None,
+    run_structured(id, quick).map(|o| o.rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_artifact_has_meta_line_and_fixed_schema() {
+        let mut t = Table::new("Table A", &["x"]);
+        t.row(&["1".into()]);
+        let out = ExpOutput {
+            rendered: String::new(),
+            tables: vec![t],
+        };
+        let art = out.to_jsonl("e1", true);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"experiment\":\"e1\",\"schema\":1,\"quick\":true,\"tables\":[\"Table A\"]}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"experiment\":\"e1\",\"table\":0,\"title\":\"Table A\",\"row\":0,\"cells\":{\"x\":\"1\"}}"
+        );
+    }
+
+    #[test]
+    fn unknown_experiment_ids_are_rejected() {
+        assert!(run_structured("e0", true).is_none());
+        assert!(run_one("nope", true).is_none());
     }
 }

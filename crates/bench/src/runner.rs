@@ -1,5 +1,8 @@
 //! Scenario definitions and per-system runners.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use baselines::{
     RaftAdmin, RaftClient, RaftNode, RaftTunables, RaftWorld, StwNode, StwTunables, StwWorld,
 };
@@ -8,7 +11,11 @@ use consensus::{PaxosTunables, StaticConfig};
 use kvstore::{HistoryOp, KeyDist, KvOp, KvOutput, KvStore, WorkloadGen};
 use rsmr_core::harness::World;
 use rsmr_core::{AdminActor, RsmrClient, RsmrNode, RsmrTunables};
-use simnet::{Actor, Context, Metrics, NetConfig, NodeId, Sim, SimDuration, SimTime, Timer};
+use simnet::observe::shared;
+use simnet::{
+    Actor, Context, EventDigest, Metrics, NetConfig, NodeId, Sim, SimDuration, SimTime, Spans,
+    Timer,
+};
 
 /// Which system a scenario runs on.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -96,6 +103,9 @@ pub struct Scenario {
     /// Record the event trace (for determinism digests). Off by default —
     /// tracing allocates a line per event.
     pub record_trace: bool,
+    /// Install structured-event observers ([`EventDigest`] + [`Spans`]).
+    /// Off by default — with no observer the event path costs one branch.
+    pub record_events: bool,
 }
 
 impl Scenario {
@@ -120,7 +130,14 @@ impl Scenario {
             wan: false,
             local_reads: false,
             record_trace: false,
+            record_events: false,
         }
+    }
+
+    /// Enables the structured-event observers, builder-style.
+    pub fn with_events(mut self) -> Self {
+        self.record_events = true;
+        self
     }
 
     /// Sets the genesis cluster size.
@@ -217,6 +234,44 @@ impl Scenario {
 
 const ADMIN: NodeId = NodeId(99);
 
+/// The structured-event observers a runner installs when
+/// `Scenario::record_events` is set: a stream digest plus the span
+/// aggregator. `finish` hands their final state to [`RunOut`].
+struct EventProbes {
+    digest: Option<Rc<RefCell<EventDigest>>>,
+    spans: Option<Rc<RefCell<Spans>>>,
+}
+
+impl EventProbes {
+    fn install<A: Actor>(sim: &mut Sim<A>, enabled: bool) -> Self {
+        if !enabled {
+            return EventProbes {
+                digest: None,
+                spans: None,
+            };
+        }
+        let digest = shared(EventDigest::new());
+        let spans = shared(Spans::new());
+        sim.add_observer(digest.clone());
+        sim.add_observer(spans.clone());
+        EventProbes {
+            digest: Some(digest),
+            spans: Some(spans),
+        }
+    }
+
+    /// `(event_digest, event_count, spans)` for [`RunOut`].
+    fn finish(self) -> (u64, u64, Option<Spans>) {
+        match (self.digest, self.spans) {
+            (Some(d), Some(s)) => {
+                let d = d.borrow();
+                (d.value(), d.count(), Some(s.borrow().clone()))
+            }
+            _ => (0, 0, None),
+        }
+    }
+}
+
 /// Everything extracted from one run.
 pub struct RunOut {
     /// Total client completions.
@@ -231,6 +286,14 @@ pub struct RunOut {
     pub histories: Vec<HistoryOp<KvOp, KvOutput>>,
     /// FNV-1a digest of the event trace (0 unless `record_trace`).
     pub trace_digest: u64,
+    /// FNV-1a digest of the structured event stream (0 unless
+    /// `record_events`).
+    pub event_digest: u64,
+    /// Number of structured events folded into `event_digest`.
+    pub event_count: u64,
+    /// Span aggregation over the event stream (`None` unless
+    /// `record_events`).
+    pub spans: Option<Spans>,
 }
 
 impl RunOut {
@@ -353,6 +416,7 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
     if sc.record_trace {
         sim.enable_trace();
     }
+    let probes = EventProbes::install(&mut sim, sc.record_events);
     let servers = sc.server_ids();
     let genesis = StaticConfig::new(servers.clone());
     for &s in &servers {
@@ -427,6 +491,7 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
         .and_then(World::as_admin)
         .map(|a| a.results().iter().map(|&(s, f, _)| (s, f)).collect())
         .unwrap_or_default();
+    let (event_digest, event_count, spans) = probes.finish();
     RunOut {
         completed,
         metrics: sim.metrics().clone(),
@@ -434,6 +499,9 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
         horizon: sc.horizon,
         histories,
         trace_digest: sim.trace().digest(),
+        event_digest,
+        event_count,
+        spans,
     }
 }
 
@@ -447,6 +515,7 @@ fn run_stw(sc: &Scenario) -> RunOut {
     if sc.record_trace {
         sim.enable_trace();
     }
+    let probes = EventProbes::install(&mut sim, sc.record_events);
     let servers = sc.server_ids();
     let genesis = StaticConfig::new(servers.clone());
     for &s in &servers {
@@ -507,6 +576,7 @@ fn run_stw(sc: &Scenario) -> RunOut {
         .and_then(StwWorld::as_admin)
         .map(|a| a.results().iter().map(|&(s, f, _)| (s, f)).collect())
         .unwrap_or_default();
+    let (event_digest, event_count, spans) = probes.finish();
     RunOut {
         completed,
         metrics: sim.metrics().clone(),
@@ -514,6 +584,9 @@ fn run_stw(sc: &Scenario) -> RunOut {
         horizon: sc.horizon,
         histories: Vec::new(),
         trace_digest: sim.trace().digest(),
+        event_digest,
+        event_count,
+        spans,
     }
 }
 
@@ -527,6 +600,7 @@ fn run_raft(sc: &Scenario) -> RunOut {
     if sc.record_trace {
         sim.enable_trace();
     }
+    let probes = EventProbes::install(&mut sim, sc.record_events);
     let servers = sc.server_ids();
     let genesis = StaticConfig::new(servers.clone());
     for &s in &servers {
@@ -587,6 +661,7 @@ fn run_raft(sc: &Scenario) -> RunOut {
         .and_then(RaftWorld::as_admin)
         .map(|a| a.results().to_vec())
         .unwrap_or_default();
+    let (event_digest, event_count, spans) = probes.finish();
     RunOut {
         completed,
         metrics: sim.metrics().clone(),
@@ -594,6 +669,9 @@ fn run_raft(sc: &Scenario) -> RunOut {
         horizon: sc.horizon,
         histories: Vec::new(),
         trace_digest: sim.trace().digest(),
+        event_digest,
+        event_count,
+        spans,
     }
 }
 
@@ -638,6 +716,7 @@ fn run_static(sc: &Scenario) -> RunOut {
     if sc.record_trace {
         sim.enable_trace();
     }
+    let probes = EventProbes::install(&mut sim, sc.record_events);
     let servers = sc.server_ids();
     let cfg = StaticConfig::new(servers.clone());
     for &s in &servers {
@@ -666,6 +745,7 @@ fn run_static(sc: &Scenario) -> RunOut {
             _ => None,
         })
         .sum();
+    let (event_digest, event_count, spans) = probes.finish();
     RunOut {
         completed,
         metrics: sim.metrics().clone(),
@@ -673,6 +753,9 @@ fn run_static(sc: &Scenario) -> RunOut {
         horizon: sc.horizon,
         histories: Vec::new(),
         trace_digest: sim.trace().digest(),
+        event_digest,
+        event_count,
+        spans,
     }
 }
 

@@ -34,6 +34,52 @@ impl Table {
         self.rows.push(row);
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The rows, each padded to the header width.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends this table's rows to `out` as JSON Lines, one object per
+    /// row. The key order is fixed (see EXPERIMENTS.md for the schema):
+    ///
+    /// ```json
+    /// {"experiment":"e1","table":0,"title":"...","row":0,
+    ///  "cells":{"<header>":"<cell>",...}}
+    /// ```
+    ///
+    /// Cells stay strings: artifacts must be byte-stable across runs and
+    /// the rendered strings already carry the intended precision.
+    pub fn jsonl_into(&self, experiment: &str, table_idx: usize, out: &mut String) {
+        for (r, row) in self.rows.iter().enumerate() {
+            out.push_str("{\"experiment\":\"");
+            json_escape_into(experiment, out);
+            out.push_str(&format!("\",\"table\":{table_idx},\"title\":\""));
+            json_escape_into(&self.title, out);
+            out.push_str(&format!("\",\"row\":{r},\"cells\":{{"));
+            for (i, (h, c)) in self.headers.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                json_escape_into(h, out);
+                out.push_str("\":\"");
+                json_escape_into(c, out);
+                out.push('"');
+            }
+            out.push_str("}}\n");
+        }
+    }
+
     /// Renders the table.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
@@ -64,6 +110,23 @@ impl Table {
         }
         out.push('\n');
         out
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters). Table content is ASCII in practice, but headers may
+/// carry unit glyphs, so the full escape set is handled.
+pub fn json_escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
 }
 
@@ -100,6 +163,30 @@ mod tests {
         assert!(s.starts_with("## T"));
         assert!(s.contains("| xxxxx | 1           |"));
         assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn jsonl_emits_one_object_per_row_with_escaped_strings() {
+        let mut t = Table::new("T \"quoted\"", &["sys", "p50 (µs)"]);
+        t.row(&["a\\b".into(), "1".into()]);
+        t.row(&["y".into(), "2".into()]);
+        let mut out = String::new();
+        t.jsonl_into("e9", 1, &mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"experiment\":\"e9\",\"table\":1,\"title\":\"T \\\"quoted\\\"\",\
+             \"row\":0,\"cells\":{\"sys\":\"a\\\\b\",\"p50 (µs)\":\"1\"}}"
+        );
+        assert!(lines[1].contains("\"row\":1"));
+    }
+
+    #[test]
+    fn json_escape_handles_control_characters() {
+        let mut out = String::new();
+        json_escape_into("a\nb\t\u{1}c", &mut out);
+        assert_eq!(out, "a\\nb\\t\\u0001c");
     }
 
     #[test]

@@ -19,7 +19,8 @@ fn scenario() -> Scenario {
         .clients(4)
         .joiners(&[5])
         .reconfigure_at(SimTime::from_secs(1), &[0, 1, 2, 3, 5])
-        .until(SimTime::from_secs(2));
+        .until(SimTime::from_secs(2))
+        .with_events();
     sc.record_trace = true;
     sc
 }
@@ -54,6 +55,17 @@ fn same_seed_same_fingerprint_and_trace() {
             "{}: event traces diverge across same-seed runs",
             kind.name()
         );
+        assert!(
+            a.event_count > 0,
+            "{}: no structured events recorded",
+            kind.name()
+        );
+        assert_eq!(
+            (a.event_digest, a.event_count),
+            (b.event_digest, b.event_count),
+            "{}: structured event streams diverge across same-seed runs",
+            kind.name()
+        );
     }
 }
 
@@ -76,8 +88,32 @@ fn parallel_driver_matches_serial_runs() {
             "{}: parallel driver changed the event order",
             kind.name()
         );
+        assert_eq!(
+            s.event_digest,
+            p.event_digest,
+            "{}: parallel driver changed the structured event stream",
+            kind.name()
+        );
         assert_eq!(s.completed, p.completed);
     }
+}
+
+#[test]
+fn jsonl_artifacts_are_byte_identical_across_runs() {
+    // The artifact path must be as deterministic as the simulations
+    // beneath it: same experiment, same mode ⇒ the same bytes. E3 is the
+    // interesting one — its table includes spans-derived columns, so this
+    // also pins the observer pipeline end to end.
+    let a = bench::experiments::run_structured("e3", true).expect("e3 exists");
+    let b = bench::experiments::run_structured("e3", true).expect("e3 exists");
+    assert_eq!(a.rendered, b.rendered, "rendered output diverges");
+    assert_eq!(
+        a.to_jsonl("e3", true),
+        b.to_jsonl("e3", true),
+        "JSONL artifacts diverge across same-seed runs"
+    );
+    assert!(!a.tables.is_empty());
+    assert!(a.to_jsonl("e3", true).lines().count() > a.tables.len());
 }
 
 #[test]

@@ -9,7 +9,9 @@
 use std::collections::BTreeMap;
 
 use simnet::wire::{self, Wire};
-use simnet::{Actor, Context, Message, NodeId, SimDuration, SimTime, StableStore, Timer};
+use simnet::{
+    Actor, Context, DomainEvent, Message, NodeId, SimDuration, SimTime, StableStore, Timer,
+};
 
 use crate::config::StaticConfig;
 use crate::effects::Effects;
@@ -161,11 +163,30 @@ impl<C: Command> ReplicaActor<C> {
         for (to, msg) in fx.outbound {
             ctx.send(to, SmrMsg::Paxos(msg));
         }
+        // A static deployment never reconfigures: everything lives in epoch 0.
+        for slot in fx.proposed {
+            ctx.emit_event(DomainEvent::CmdProposed {
+                epoch: 0,
+                slot: slot.0,
+            });
+        }
         for (slot, cmd) in fx.committed {
             self.committed += 1;
             let now = ctx.now();
             ctx.metrics().incr("smr.committed", 1);
             ctx.metrics().timeline_push("smr.commits", now, 1.0);
+            ctx.emit_event(DomainEvent::CmdCommitted {
+                epoch: 0,
+                slot: slot.0,
+            });
+            if !cmd.is_noop() {
+                ctx.emit_event(DomainEvent::CmdApplied {
+                    client: cmd.client,
+                    seq: cmd.req_id,
+                    epoch: 0,
+                    slot: slot.0,
+                });
+            }
             if !cmd.is_noop() && self.waiting.remove(&(cmd.client, cmd.req_id)).is_some() {
                 ctx.send(
                     cmd.client,
@@ -276,6 +297,12 @@ impl<C: Command> SmrClient<C> {
         self.next_req += 1;
         let cmd = (self.gen)(req_id);
         self.inflight = Some((req_id, cmd.clone(), ctx.now(), ctx.now()));
+        // Fresh submission only — retransmits and redirects re-send the
+        // same request and do not reopen the command's latency span.
+        ctx.emit_event(DomainEvent::CmdSubmitted {
+            client: ctx.node_id(),
+            seq: req_id,
+        });
         ctx.send(self.target, SmrMsg::Request { req_id, cmd });
     }
 

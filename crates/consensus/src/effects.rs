@@ -22,6 +22,10 @@ pub struct Effects<C> {
     pub committed: Vec<(Slot, Arc<C>)>,
     /// Key/value pairs to write to stable storage *before* sending.
     pub persist: Vec<(String, Vec<u8>)>,
+    /// Slots this step assigned to newly proposed commands (leader only;
+    /// includes queued commands drained when leadership is won). Feeds the
+    /// per-command observability spans.
+    pub proposed: Vec<Slot>,
     /// True if this step made the node the leader.
     pub became_leader: bool,
     /// True if this step demoted the node from leader.
@@ -34,6 +38,7 @@ impl<C> Default for Effects<C> {
             outbound: Vec::new(),
             committed: Vec::new(),
             persist: Vec::new(),
+            proposed: Vec::new(),
             became_leader: false,
             lost_leadership: false,
         }
@@ -51,6 +56,7 @@ impl<C> Effects<C> {
         self.outbound.extend(other.outbound);
         self.committed.extend(other.committed);
         self.persist.extend(other.persist);
+        self.proposed.extend(other.proposed);
         self.became_leader |= other.became_leader;
         self.lost_leadership |= other.lost_leadership;
     }
@@ -60,6 +66,7 @@ impl<C> Effects<C> {
         self.outbound.is_empty()
             && self.committed.is_empty()
             && self.persist.is_empty()
+            && self.proposed.is_empty()
             && !self.became_leader
             && !self.lost_leadership
     }

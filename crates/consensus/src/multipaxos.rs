@@ -656,6 +656,7 @@ impl<C: Command> MultiPaxos<C> {
 
     fn propose_at(&mut self, slot: Slot, cmd: Arc<C>, now: SimTime, fx: &mut Effects<C>) {
         debug_assert_eq!(self.role, Role::Leader);
+        fx.proposed.push(slot);
         let mut acks = BTreeSet::new();
         acks.insert(self.me);
         self.proposals.insert(

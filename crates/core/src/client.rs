@@ -3,7 +3,7 @@
 
 use std::collections::VecDeque;
 
-use simnet::{Actor, Context, NodeId, SimDuration, SimTime, Timer};
+use simnet::{Actor, Context, DomainEvent, NodeId, SimDuration, SimTime, Timer};
 
 use crate::chain::Epoch;
 use crate::messages::RsmrMsg;
@@ -112,6 +112,12 @@ impl<S: StateMachine> RsmrClient<S> {
             op: op.clone(),
             sent_at: ctx.now(),
             first_sent_at: ctx.now(),
+        });
+        // Fresh submission only — retransmits go through `resend` and do
+        // not reopen the command's latency span.
+        ctx.emit_event(DomainEvent::CmdSubmitted {
+            client: ctx.node_id(),
+            seq,
         });
         ctx.send(self.target, RsmrMsg::Request { seq, op });
     }

@@ -48,6 +48,7 @@ pub mod command;
 pub mod harness;
 pub mod messages;
 pub mod node;
+pub mod observe;
 pub mod session;
 pub mod state_machine;
 pub mod transfer;
@@ -57,6 +58,7 @@ pub use client::{AdminActor, HistoryEntry, OpenLoopClient, RsmrClient};
 pub use command::Cmd;
 pub use messages::RsmrMsg;
 pub use node::{RsmrNode, RsmrTunables};
+pub use observe::InvariantObserver;
 pub use session::SessionTable;
 pub use state_machine::{CounterSm, StateMachine};
 pub use transfer::BaseState;

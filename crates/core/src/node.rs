@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use consensus::{MultiPaxos, PaxosTunables, ProposeOutcome, Slot, StaticConfig};
-use simnet::{Actor, Context, NodeId, SimDuration, SimTime, StableStore, Timer};
+use simnet::{Actor, Context, DomainEvent, NodeId, SimDuration, SimTime, StableStore, Timer};
 
 use crate::chain::{ConfigChain, Epoch};
 use crate::command::Cmd;
@@ -159,6 +159,12 @@ pub struct RsmrNode<S: StateMachine> {
 
     /// Commands applied by this replica (for tests and metrics).
     applied_count: u64,
+
+    /// Newest epoch in which this replica has applied an application
+    /// command — drives the `FirstCommit` observability event that closes
+    /// the handoff-gap span. Epochs only move forward, so a single
+    /// watermark suffices.
+    commit_seen_epoch: Option<Epoch>,
 }
 
 impl<S: StateMachine + Default> RsmrNode<S> {
@@ -194,6 +200,7 @@ impl<S: StateMachine> RsmrNode<S> {
             stashed: BTreeMap::new(),
             batch_buf: Vec::new(),
             applied_count: 0,
+            commit_seen_epoch: None,
         };
         node.instances.insert(
             Epoch::ZERO,
@@ -238,6 +245,7 @@ impl<S: StateMachine> RsmrNode<S> {
             stashed: BTreeMap::new(),
             batch_buf: Vec::new(),
             applied_count: 0,
+            commit_seen_epoch: None,
         }
     }
 
@@ -271,6 +279,7 @@ impl<S: StateMachine> RsmrNode<S> {
             stashed: BTreeMap::new(),
             batch_buf: Vec::new(),
             applied_count: 0,
+            commit_seen_epoch: None,
         };
         node.bases.insert(anchor_epoch, base_bytes);
         // Rebuild instances (from the anchored epoch onward) whose acceptor
@@ -388,9 +397,19 @@ impl<S: StateMachine> RsmrNode<S> {
         if fx.became_leader {
             ctx.metrics().incr("rsmr.leader_elections", 1);
         }
+        for &slot in &fx.proposed {
+            ctx.emit_event(DomainEvent::CmdProposed {
+                epoch: epoch.0,
+                slot: slot.0,
+            });
+        }
         if !fx.committed.is_empty() {
             let buf = self.buffers.entry(epoch).or_default();
             for (slot, cmd) in fx.committed {
+                ctx.emit_event(DomainEvent::CmdCommitted {
+                    epoch: epoch.0,
+                    slot: slot.0,
+                });
                 buf.insert(slot, cmd);
             }
             self.pump_apply(ctx);
@@ -443,10 +462,14 @@ impl<S: StateMachine> RsmrNode<S> {
 
             match &*cmd {
                 Cmd::Noop => {}
-                Cmd::App { client, seq, op } => self.apply_app(ctx, *client, *seq, op),
+                Cmd::App { client, seq, op } => {
+                    self.note_first_commit(ctx, epoch, slot);
+                    self.apply_app(ctx, epoch, slot, *client, *seq, op)
+                }
                 Cmd::Batch { entries } => {
+                    self.note_first_commit(ctx, epoch, slot);
                     for (client, seq, op) in entries {
-                        self.apply_app(ctx, *client, *seq, op);
+                        self.apply_app(ctx, epoch, slot, *client, *seq, op);
                     }
                 }
                 Cmd::Reconfigure { members } => {
@@ -457,9 +480,28 @@ impl<S: StateMachine> RsmrNode<S> {
         }
     }
 
+    /// Marks the first applied application command of `epoch`, closing the
+    /// handoff-gap span that opened at the predecessor's seal.
+    fn note_first_commit(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        epoch: Epoch,
+        slot: Slot,
+    ) {
+        if self.commit_seen_epoch.is_none_or(|e| e < epoch) {
+            self.commit_seen_epoch = Some(epoch);
+            ctx.emit_event(DomainEvent::FirstCommit {
+                epoch: epoch.0,
+                slot: slot.0,
+            });
+        }
+    }
+
     fn apply_app(
         &mut self,
         ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        epoch: Epoch,
+        slot: Slot,
         client: NodeId,
         seq: u64,
         op: &S::Op,
@@ -472,6 +514,12 @@ impl<S: StateMachine> RsmrNode<S> {
                 ctx.metrics().incr("rsmr.applied", 1);
                 let now = ctx.now();
                 ctx.metrics().timeline_push("rsmr.commits", now, 1.0);
+                ctx.emit_event(DomainEvent::CmdApplied {
+                    client,
+                    seq,
+                    epoch: epoch.0,
+                    slot: slot.0,
+                });
                 out
             }
             SessionDecision::Duplicate(out) => {
@@ -517,6 +565,10 @@ impl<S: StateMachine> RsmrNode<S> {
         ctx.metrics().incr("rsmr.epochs_closed", 1);
         ctx.metrics()
             .timeline_push("rsmr.epoch_closed", now, epoch.0 as f64);
+        ctx.emit_event(DomainEvent::EpochSealed {
+            epoch: epoch.0,
+            seal_slot: slot.0,
+        });
         ctx.trace(|| format!("closed {epoch} at {slot}"));
         // Finalization (and successor creation) happens in the pump's next
         // iteration, via the `closed` marker.
@@ -698,6 +750,7 @@ impl<S: StateMachine> RsmrNode<S> {
         ctx.metrics().incr("rsmr.epochs_finalized", 1);
         ctx.metrics()
             .timeline_push("rsmr.epoch_finalized", now, successor.0 as f64);
+        ctx.emit_event(DomainEvent::Anchored { epoch: successor.0 });
         ctx.trace(|| format!("finalized {epoch}; anchored at {successor}"));
     }
 
@@ -969,6 +1022,7 @@ impl<S: StateMachine> RsmrNode<S> {
                 ctx.metrics().incr("rsmr.reconfigs_proposed", 1);
                 ctx.metrics()
                     .timeline_push("rsmr.reconfig_proposed", now, active.0 as f64);
+                ctx.emit_event(DomainEvent::ReconfigProposed { epoch: active.0 });
             }
             ProposeOutcome::NotLeader(leader) => {
                 ctx.send(
@@ -1041,6 +1095,10 @@ impl<S: StateMachine> RsmrNode<S> {
         }
         self.pending_transfer = Some((epoch, provider, ctx.now()));
         ctx.metrics().incr("rsmr.transfer_requests", 1);
+        ctx.emit_event(DomainEvent::TransferRequested {
+            epoch: epoch.0,
+            provider,
+        });
         ctx.send(provider, RsmrMsg::TransferRequest { epoch });
     }
 
@@ -1051,12 +1109,15 @@ impl<S: StateMachine> RsmrNode<S> {
         epoch: Epoch,
     ) {
         let base = self.bases.get(&epoch).cloned();
-        if base.is_some() {
+        if let Some(bytes) = base.as_ref() {
             ctx.metrics().incr("rsmr.transfers_served", 1);
-            ctx.metrics().incr(
-                "rsmr.transfer_bytes",
-                base.as_ref().map(Vec::len).unwrap_or(0) as u64,
-            );
+            ctx.metrics()
+                .incr("rsmr.transfer_bytes", bytes.len() as u64);
+            ctx.emit_event(DomainEvent::TransferServed {
+                epoch: epoch.0,
+                to: from,
+                bytes: bytes.len() as u64,
+            });
         }
         ctx.send(from, RsmrMsg::TransferReply { epoch, base });
     }
@@ -1125,6 +1186,7 @@ impl<S: StateMachine> RsmrNode<S> {
         ctx.metrics().incr("rsmr.transfers_installed", 1);
         ctx.metrics()
             .timeline_push("rsmr.anchored", now, epoch.0 as f64);
+        ctx.emit_event(DomainEvent::Anchored { epoch: epoch.0 });
         ctx.trace(|| format!("installed base for {epoch}"));
         self.pump_apply(ctx);
     }

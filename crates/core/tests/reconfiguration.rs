@@ -3,10 +3,15 @@
 //! them, new members anchor via state transfer, and crashes during
 //! reconfiguration do not lose history.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use consensus::StaticConfig;
 use rsmr_core::{
-    AdminActor, CounterSm, Epoch, OpenLoopClient, RsmrClient, RsmrMsg, RsmrNode, RsmrTunables,
+    AdminActor, CounterSm, Epoch, InvariantObserver, OpenLoopClient, RsmrClient, RsmrMsg, RsmrNode,
+    RsmrTunables,
 };
+use simnet::observe::shared;
 use simnet::{Actor, Context, NetConfig, NodeId, Sim, SimDuration, SimTime, Timer};
 
 type Msg = RsmrMsg<u64, u64>;
@@ -51,6 +56,9 @@ impl Actor for Node {
 struct World {
     sim: Sim<Node>,
     servers: Vec<NodeId>,
+    /// Checks protocol invariants online; strict, so a violation panics
+    /// mid-run rather than at the final assertion.
+    checker: Rc<RefCell<InvariantObserver>>,
 }
 
 const CLIENT_BASE: u64 = 100;
@@ -59,6 +67,8 @@ const ADMIN: NodeId = NodeId(99);
 impl World {
     fn new(seed: u64, n_servers: u64) -> Self {
         let mut sim: Sim<Node> = Sim::new(seed, NetConfig::lan());
+        let checker = shared(InvariantObserver::strict());
+        sim.add_observer(checker.clone());
         let servers: Vec<NodeId> = (0..n_servers).map(NodeId).collect();
         let genesis = StaticConfig::new(servers.clone());
         for &s in &servers {
@@ -71,7 +81,21 @@ impl World {
                 )),
             );
         }
-        World { sim, servers }
+        World {
+            sim,
+            servers,
+            checker,
+        }
+    }
+
+    /// Re-asserts the online invariant check and that events flowed at all.
+    fn assert_invariants(&self) {
+        let checker = self.checker.borrow();
+        checker.assert_clean();
+        assert!(
+            checker.domain_events_seen() > 0,
+            "the invariant observer saw no domain events"
+        );
     }
 
     fn add_client(&mut self, idx: u64, limit: Option<u64>) -> NodeId {
@@ -177,6 +201,7 @@ fn add_one_member_under_load() {
     for (id, v, _) in &vals {
         assert_eq!(*v, 600, "server {id} diverged: {vals:?}");
     }
+    w.assert_invariants();
 }
 
 #[test]
@@ -197,6 +222,7 @@ fn remove_one_member_under_load() {
     for (id, v, _) in &survivors {
         assert_eq!(*v, 500, "server {id} diverged");
     }
+    w.assert_invariants();
 }
 
 #[test]
@@ -264,6 +290,7 @@ fn back_to_back_reconfigurations() {
         assert_eq!(s.anchored_epoch(), Some(Epoch(3)), "n{id}");
         assert_eq!(s.state_machine().value(), 1000, "n{id} diverged");
     }
+    w.assert_invariants();
 }
 
 #[test]
@@ -305,6 +332,7 @@ fn leader_crash_during_reconfiguration() {
     }
     assert!(!values.is_empty());
     assert!(values.iter().all(|&v| v == 800), "{values:?}");
+    w.assert_invariants();
 }
 
 #[test]

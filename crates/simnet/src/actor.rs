@@ -4,6 +4,7 @@
 use std::fmt;
 
 use crate::metrics::Metrics;
+use crate::observe::{DomainEvent, EventBus, SimEvent};
 use crate::rng::SimRng;
 use crate::sim::NodeId;
 use crate::storage::StableStore;
@@ -81,6 +82,7 @@ pub struct Context<'a, M> {
     pub(crate) metrics: &'a mut Metrics,
     pub(crate) next_timer_id: &'a mut u64,
     pub(crate) trace: &'a mut crate::trace::Trace,
+    pub(crate) bus: &'a mut EventBus,
 }
 
 impl<'a, M: Message> Context<'a, M> {
@@ -165,6 +167,24 @@ impl<'a, M: Message> Context<'a, M> {
         let node = self.node;
         let now = self.now;
         self.trace.record(now, node, line);
+    }
+
+    /// Emits a typed protocol event into the simulation's event stream.
+    ///
+    /// With no observer installed (the default) this costs one branch; see
+    /// [`crate::observe`].
+    pub fn emit_event(&mut self, event: DomainEvent) {
+        let node = self.node;
+        self.bus
+            .emit_with(self.now, || SimEvent::Domain { node, event });
+    }
+
+    /// True when at least one event observer is installed on the
+    /// simulation. Use to skip *preparing* data for [`Context::emit_event`]
+    /// when the preparation itself is costly; plain emissions do not need
+    /// the check.
+    pub fn observed(&self) -> bool {
+        self.bus.is_active()
     }
 }
 

@@ -12,8 +12,10 @@
 //!   partitions;
 //! * **fault injection**: crash and restart of nodes, with a per-node
 //!   [`StableStore`] that survives restarts (simulated stable storage);
-//! * **observability**: counters, histograms and timelines ([`Metrics`]) plus
-//!   a bounded textual [`Trace`].
+//! * **observability**: counters, histograms and timelines ([`Metrics`]), a
+//!   bounded textual [`Trace`], and a typed event stream ([`SimEvent`],
+//!   [`observe::Observer`]) covering transport actions and protocol-emitted
+//!   [`DomainEvent`]s.
 //!
 //! Everything is single-threaded and seeded, so a run is a pure function of
 //! `(actors, seed, script)` — property tests and experiments are exactly
@@ -53,6 +55,7 @@ mod actor;
 mod event;
 mod metrics;
 mod net;
+pub mod observe;
 pub mod rng;
 mod sim;
 mod storage;
@@ -61,8 +64,9 @@ mod trace;
 pub mod wire;
 
 pub use actor::{Actor, Context, Message, Timer, TimerId};
-pub use metrics::{Histogram, Metrics, Timeline};
+pub use metrics::{Histogram, Metrics, MetricsSnapshot, Timeline};
 pub use net::{LatencyModel, NetConfig};
+pub use observe::{DomainEvent, DropReason, EventDigest, EventLog, Observer, SimEvent, Spans};
 pub use rng::SimRng;
 pub use sim::{NodeId, Sim};
 pub use storage::StableStore;

@@ -102,7 +102,8 @@ impl Timeline {
     }
 
     /// Sums point values into fixed-width bins over `[start, end)`; returns
-    /// `(bin_start, sum)` for every bin, including empty ones.
+    /// `(bin_start, sum)` for every bin, including empty ones. An empty or
+    /// inverted window (`end <= start`) yields no bins.
     pub fn binned(
         &self,
         start: SimTime,
@@ -110,6 +111,11 @@ impl Timeline {
         bin: crate::SimDuration,
     ) -> Vec<(SimTime, f64)> {
         assert!(!bin.is_zero(), "bin width must be positive");
+        if end <= start {
+            // Don't rely on `since()` saturating: an inverted window is
+            // explicitly empty, not a zero-width window starting at `start`.
+            return Vec::new();
+        }
         let width = bin.as_micros();
         let span = end.since(start).as_micros();
         let nbins = (span / width + u64::from(!span.is_multiple_of(width))) as usize;
@@ -127,6 +133,7 @@ impl Timeline {
 
     /// The longest contiguous run of zero-valued bins, in bins, over
     /// `[start, end)` — the "service interruption window" measurement.
+    /// An empty or inverted window (`end <= start`) has no gap (0 bins).
     pub fn longest_gap_bins(&self, start: SimTime, end: SimTime, bin: crate::SimDuration) -> usize {
         let bins = self.binned(start, end, bin);
         let mut longest = 0usize;
@@ -228,8 +235,13 @@ impl Metrics {
         }
     }
 
-    /// All counters whose name starts with `prefix`, in name order
-    /// (including the field-backed `net.*` counters, when nonzero).
+    /// All **nonzero** counters whose name starts with `prefix`, in name
+    /// order (including the field-backed `net.*` counters).
+    ///
+    /// Zero-valued counters are skipped uniformly: a `net.*` field that was
+    /// never touched and a dynamic counter that only ever received
+    /// `incr(name, 0)` are equally invisible here (query them directly with
+    /// [`Metrics::counter`] if the distinction matters).
     ///
     /// Both sources are already sorted — the map by key, the `net.*` fields
     /// listed in name order — so this is a single ordered merge with no
@@ -248,7 +260,7 @@ impl Metrics {
         let mut dynamic = self
             .counters
             .iter()
-            .filter(|(k, _)| k.starts_with(prefix))
+            .filter(|&(k, &v)| v > 0 && k.starts_with(prefix))
             .map(|(&k, &v)| (k, v))
             .peekable();
         let mut fixed = net
@@ -343,6 +355,208 @@ impl Metrics {
         }
         h
     }
+
+    /// A point-in-time, plain-data export of the sink — the machine-readable
+    /// counterpart of the rendered experiment tables. Deterministic: entries
+    /// are in name order and the embedded [`Metrics::fingerprint`] lets
+    /// consumers pair a snapshot with a run.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters_with_prefix(""),
+            labels: self
+                .labels_with_prefix("")
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&name, h)| {
+                    // `quantile` sorts lazily and needs `&mut`; summarize a
+                    // clone so snapshots work from shared references.
+                    let mut h = h.clone();
+                    HistogramSummary {
+                        name: name.to_owned(),
+                        count: h.count() as u64,
+                        mean: h.mean(),
+                        min: h.min(),
+                        max: h.max(),
+                        p50: h.quantile(0.50),
+                        p90: h.quantile(0.90),
+                        p99: h.quantile(0.99),
+                    }
+                })
+                .collect(),
+            timelines: self
+                .timelines
+                .iter()
+                .map(|(&name, tl)| {
+                    let pts = tl.points();
+                    TimelineSummary {
+                        name: name.to_owned(),
+                        points: pts.len() as u64,
+                        first_us: pts.first().map(|&(t, _)| t.as_micros()).unwrap_or(0),
+                        last_us: pts.last().map(|&(t, _)| t.as_micros()).unwrap_or(0),
+                        total: pts.iter().map(|&(_, v)| v).sum(),
+                    }
+                })
+                .collect(),
+            fingerprint: self.fingerprint(),
+        }
+    }
+}
+
+/// Summary statistics of one histogram in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// The histogram's metric name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Summary of one timeline in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineSummary {
+    /// The timeline's metric name.
+    pub name: String,
+    /// Number of recorded points.
+    pub points: u64,
+    /// Time of the first point, µs (0 when empty).
+    pub first_us: u64,
+    /// Time of the last point, µs (0 when empty).
+    pub last_us: u64,
+    /// Sum of all point values.
+    pub total: f64,
+}
+
+/// A serializable export of a [`Metrics`] sink (see [`Metrics::snapshot`]).
+///
+/// All collections are sorted by name; zero-valued counters are omitted
+/// (matching [`Metrics::counters_with_prefix`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All nonzero counters, name order.
+    pub counters: Vec<(String, u64)>,
+    /// All per-message-label counters, label order.
+    pub labels: Vec<(String, u64)>,
+    /// Histogram summaries, name order.
+    pub histograms: Vec<HistogramSummary>,
+    /// Timeline summaries, name order.
+    pub timelines: Vec<TimelineSummary>,
+    /// The [`Metrics::fingerprint`] at snapshot time.
+    pub fingerprint: u64,
+}
+
+/// Escapes `s` as the body of a JSON string literal (quotes not included).
+/// Metric names are ASCII identifiers, but table cells pass through here
+/// too, so the full control-character range is handled.
+pub(crate) fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an `f64` as a JSON number. Histogram/timeline values are finite
+/// by construction (NaN samples are rejected at quantile time); infinities
+/// would not be valid JSON, so they are clamped to the largest finite value.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v > 0.0 {
+        format!("{}", f64::MAX)
+    } else {
+        format!("{}", f64::MIN)
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a single JSON object (no external
+    /// dependencies, hence hand-rolled). Key order is fixed, so equal
+    /// snapshots render byte-identically — the artifact determinism tests
+    /// rely on this.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"fingerprint\":");
+        out.push_str(&self.fingerprint.to_string());
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape_into(&mut out, k);
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"labels\":{");
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape_into(&mut out, k);
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            json_escape_into(&mut out, &h.name);
+            out.push_str(&format!(
+                "\",\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.count,
+                json_f64(h.mean),
+                json_f64(h.min),
+                json_f64(h.max),
+                json_f64(h.p50),
+                json_f64(h.p90),
+                json_f64(h.p99),
+            ));
+        }
+        out.push_str("],\"timelines\":[");
+        for (i, t) in self.timelines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            json_escape_into(&mut out, &t.name);
+            out.push_str(&format!(
+                "\",\"points\":{},\"first_us\":{},\"last_us\":{},\"total\":{}}}",
+                t.points,
+                t.first_us,
+                t.last_us,
+                json_f64(t.total),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -417,6 +631,126 @@ mod tests {
             SimDuration::from_millis(10),
         );
         assert_eq!(gap, 3);
+    }
+
+    #[test]
+    fn zero_counters_are_filtered_uniformly_by_prefix_scan() {
+        let mut m = Metrics::new();
+        // A dynamic counter that only ever saw +0 and a never-touched
+        // field-backed counter must both be invisible to the scan.
+        m.incr("app.zero", 0);
+        m.incr("app.commit", 9);
+        m.incr("net.sent", 0);
+        m.incr("net.dropped", 1);
+        assert_eq!(
+            m.counters_with_prefix(""),
+            vec![("app.commit".into(), 9), ("net.dropped".into(), 1)]
+        );
+        // Direct lookups still see the zeros as zeros.
+        assert_eq!(m.counter("app.zero"), 0);
+        assert_eq!(m.counter("net.sent"), 0);
+    }
+
+    #[test]
+    fn inverted_binning_window_yields_no_bins() {
+        let mut t = Timeline::default();
+        t.push(SimTime::from_millis(5), 1.0);
+        let bin = SimDuration::from_millis(10);
+        let (start, end) = (SimTime::from_millis(50), SimTime::from_millis(10));
+        assert!(t.binned(start, end, bin).is_empty());
+        assert_eq!(t.longest_gap_bins(start, end, bin), 0);
+        // Degenerate zero-width window too.
+        assert!(t.binned(start, start, bin).is_empty());
+        assert_eq!(t.longest_gap_bins(start, start, bin), 0);
+    }
+
+    #[test]
+    fn labels_scan_by_prefix_in_order() {
+        let mut m = Metrics::new();
+        m.incr_label("paxos.accept", 2);
+        m.incr_label("paxos.prepare", 1);
+        m.incr_label("rsmr.request", 5);
+        assert_eq!(
+            m.labels_with_prefix("paxos."),
+            vec![("paxos.accept", 2), ("paxos.prepare", 1)]
+        );
+        assert_eq!(m.labels_with_prefix("raft."), vec![]);
+        assert_eq!(m.labels_with_prefix("").len(), 3);
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_every_source() {
+        let base = || {
+            let mut m = Metrics::new();
+            m.incr("app.commit", 1);
+            m.incr_label("paxos.accept", 1);
+            m.incr("net.sent", 1);
+            m.observe("lat", 3.0);
+            m.timeline_push("tl", SimTime::from_millis(1), 1.0);
+            m
+        };
+        let reference = base().fingerprint();
+        assert_eq!(base().fingerprint(), reference, "fingerprint is stable");
+
+        let mut m = base();
+        m.incr("app.commit", 1);
+        assert_ne!(m.fingerprint(), reference, "counter change must show");
+        let mut m = base();
+        m.incr_label("paxos.accept", 1);
+        assert_ne!(m.fingerprint(), reference, "label change must show");
+        let mut m = base();
+        m.incr("net.sent", 1);
+        assert_ne!(m.fingerprint(), reference, "net field change must show");
+        let mut m = base();
+        m.observe("lat", 4.0);
+        assert_ne!(m.fingerprint(), reference, "histogram change must show");
+        let mut m = base();
+        m.timeline_push("tl", SimTime::from_millis(2), 1.0);
+        assert_ne!(m.fingerprint(), reference, "timeline change must show");
+    }
+
+    #[test]
+    fn snapshot_exports_everything_and_renders_stable_json() {
+        let mut m = Metrics::new();
+        m.incr("rsmr.applied", 3);
+        m.incr("net.sent", 2);
+        m.incr_label("paxos.accept", 4);
+        for v in [1.0, 2.0, 3.0] {
+            m.observe("lat_us", v);
+        }
+        m.timeline_push("rsmr.commits", SimTime::from_millis(5), 1.0);
+        m.timeline_push("rsmr.commits", SimTime::from_millis(9), 2.0);
+
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("net.sent".into(), 2), ("rsmr.applied".into(), 3)]
+        );
+        assert_eq!(snap.labels, vec![("paxos.accept".into(), 4)]);
+        assert_eq!(snap.histograms.len(), 1);
+        let h = &snap.histograms[0];
+        assert_eq!((h.count, h.mean, h.min, h.max), (3, 2.0, 1.0, 3.0));
+        assert_eq!(snap.timelines.len(), 1);
+        let t = &snap.timelines[0];
+        assert_eq!(
+            (t.points, t.first_us, t.last_us, t.total),
+            (2, 5000, 9000, 3.0)
+        );
+        assert_eq!(snap.fingerprint, m.fingerprint());
+
+        let json = snap.to_json();
+        assert_eq!(json, m.snapshot().to_json(), "rendering is deterministic");
+        assert!(json.starts_with("{\"fingerprint\":"));
+        assert!(json.contains("\"rsmr.applied\":3"));
+        assert!(json.contains("\"p50\":2"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_control_chars() {
+        let mut out = String::new();
+        json_escape_into(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::actor::{Actor, Context, Emit, Message, Timer, TimerId};
 use crate::event::{Ev, EventQueue};
 use crate::metrics::Metrics;
 use crate::net::{Fate, NetConfig, NetworkState};
+use crate::observe::{DropReason, EventBus, Observer, SimEvent};
 use crate::rng::SimRng;
 use crate::storage::StableStore;
 use crate::time::{SimDuration, SimTime};
@@ -68,6 +69,7 @@ pub struct Sim<A: Actor> {
     // Reused across callbacks so the per-event emit collection never
     // allocates once it has warmed up.
     emit_scratch: Vec<Emit<A::Msg>>,
+    bus: EventBus,
 }
 
 impl<A: Actor> Sim<A> {
@@ -85,7 +87,15 @@ impl<A: Actor> Sim<A> {
             next_timer_id: 0,
             next_node_id: 0,
             emit_scratch: Vec::new(),
+            bus: EventBus::new(),
         }
+    }
+
+    /// Installs an [`Observer`] on the typed event stream (see
+    /// [`crate::observe`]). Observers run synchronously, in installation
+    /// order; install before adding nodes to see startup events.
+    pub fn add_observer(&mut self, obs: impl Observer + 'static) {
+        self.bus.add(obs);
     }
 
     fn slot(&self, id: NodeId) -> Option<&Slot<A>> {
@@ -157,6 +167,8 @@ impl<A: Actor> Sim<A> {
         slot.actor = None;
         slot.cancelled.clear();
         self.metrics.incr("sim.crashes", 1);
+        self.bus
+            .emit_with(self.time, || SimEvent::Crashed { node: id });
     }
 
     /// Restarts a crashed node with a fresh actor (typically rebuilt from
@@ -172,6 +184,8 @@ impl<A: Actor> Sim<A> {
         slot.actor = Some(actor);
         slot.incarnation += 1;
         self.metrics.incr("sim.restarts", 1);
+        self.bus
+            .emit_with(self.time, || SimEvent::Restarted { node: id });
         self.run_callback(id, |actor, ctx| actor.on_start(ctx));
     }
 
@@ -319,13 +333,30 @@ impl<A: Actor> Sim<A> {
             Ev::Deliver { to, from, msg } => {
                 let Some(slot) = self.slot(to) else {
                     self.metrics.net.dropped_unknown += 1;
+                    self.bus.emit_with(self.time, || SimEvent::MsgDropped {
+                        from,
+                        to,
+                        label: msg.label(),
+                        reason: DropReason::DestUnknown,
+                    });
                     return;
                 };
                 if !slot.up {
                     self.metrics.net.dropped_down += 1;
+                    self.bus.emit_with(self.time, || SimEvent::MsgDropped {
+                        from,
+                        to,
+                        label: msg.label(),
+                        reason: DropReason::DestDown,
+                    });
                     return;
                 }
                 self.metrics.net.delivered += 1;
+                self.bus.emit_with(self.time, || SimEvent::MsgDelivered {
+                    from,
+                    to,
+                    label: msg.label(),
+                });
                 self.run_callback(to, |actor, ctx| actor.on_message(ctx, from, msg));
             }
             Ev::TimerFire {
@@ -343,6 +374,8 @@ impl<A: Actor> Sim<A> {
                 if slot.cancelled.remove(&id) {
                     return;
                 }
+                self.bus
+                    .emit_with(self.time, || SimEvent::TimerFired { node, kind });
                 self.run_callback(node, |actor, ctx| actor.on_timer(ctx, Timer { id, kind }));
             }
         }
@@ -374,6 +407,7 @@ impl<A: Actor> Sim<A> {
                 metrics: &mut self.metrics,
                 next_timer_id: &mut self.next_timer_id,
                 trace: &mut self.trace,
+                bus: &mut self.bus,
             };
             f(actor, &mut ctx);
         }
@@ -386,9 +420,16 @@ impl<A: Actor> Sim<A> {
             match emit {
                 Emit::Send { to, msg } => {
                     let size = msg.size_hint();
+                    let label = msg.label();
                     self.metrics.net.sent += 1;
-                    self.metrics.incr_label(msg.label(), 1);
+                    self.metrics.incr_label(label, 1);
                     self.metrics.net.bytes += size as u64;
+                    self.bus.emit_with(self.time, || SimEvent::MsgSent {
+                        from: origin,
+                        to,
+                        label,
+                        bytes: size as u64,
+                    });
                     if to == origin {
                         // Local self-send: deliver next step with no latency.
                         self.queue.push(
@@ -427,8 +468,24 @@ impl<A: Actor> Sim<A> {
                                 );
                             }
                         }
-                        Fate::Drop => self.metrics.net.dropped += 1,
-                        Fate::Partitioned => self.metrics.net.partitioned += 1,
+                        Fate::Drop => {
+                            self.metrics.net.dropped += 1;
+                            self.bus.emit_with(self.time, || SimEvent::MsgDropped {
+                                from: origin,
+                                to,
+                                label,
+                                reason: DropReason::Loss,
+                            });
+                        }
+                        Fate::Partitioned => {
+                            self.metrics.net.partitioned += 1;
+                            self.bus.emit_with(self.time, || SimEvent::MsgDropped {
+                                from: origin,
+                                to,
+                                label,
+                                reason: DropReason::Partitioned,
+                            });
+                        }
                     }
                 }
                 Emit::SetTimer { id, at, kind } => {
@@ -648,6 +705,103 @@ mod tests {
         sim.step();
         assert_eq!(sim.now(), before);
         assert_eq!(sim.actor(a).unwrap().received, 1);
+    }
+
+    #[test]
+    fn observers_see_transport_events_and_digest_is_seed_stable() {
+        use crate::observe::{shared, EventDigest, EventLog, SimEvent};
+        let run = |seed: u64| {
+            let mut sim: Sim<TestActor> = Sim::new(seed, NetConfig::lossy(0.2));
+            let digest = shared(EventDigest::new());
+            let log = shared(EventLog::new());
+            sim.add_observer(digest.clone());
+            sim.add_observer(log.clone());
+            let a = sim.add_node(TestActor::new(None));
+            let b = sim.add_node(TestActor::new(None));
+            for i in 0..20 {
+                sim.inject(a, b, TestMsg::Ping(i % 5));
+            }
+            sim.crash(b);
+            sim.inject(a, b, TestMsg::Ping(5));
+            sim.run_until_quiet(SimDuration::from_secs(10));
+            sim.restart(b, TestActor::new(None));
+            sim.run_until_quiet(SimDuration::from_secs(10));
+            let sent = log
+                .borrow()
+                .events()
+                .iter()
+                .filter(|(_, ev)| matches!(ev, SimEvent::MsgSent { .. }))
+                .count() as u64;
+            let delivered = log
+                .borrow()
+                .events()
+                .iter()
+                .filter(|(_, ev)| matches!(ev, SimEvent::MsgDelivered { .. }))
+                .count() as u64;
+            let crashes = log
+                .borrow()
+                .events()
+                .iter()
+                .filter(|(_, ev)| {
+                    matches!(ev, SimEvent::Crashed { .. } | SimEvent::Restarted { .. })
+                })
+                .count();
+            let digest_value = digest.borrow().value();
+            (
+                digest_value,
+                sent,
+                delivered,
+                crashes,
+                sim.metrics().fingerprint(),
+            )
+        };
+        let (d1, sent, delivered, crashes, fp1) = run(7);
+        let (d2, _, _, _, fp2) = run(7);
+        assert_eq!(d1, d2, "event digest must be seed-stable");
+        assert_eq!(fp1, fp2);
+        assert_eq!(crashes, 2, "one crash + one restart observed");
+        assert!(sent >= 21);
+        assert!(delivered <= sent, "lossy net: {delivered} of {sent}");
+        let (d3, ..) = run(8);
+        assert_ne!(d1, d3, "different seeds should diverge");
+    }
+
+    #[test]
+    fn uninstalled_observers_change_nothing() {
+        // Identical runs with and without an observer installed: metrics and
+        // trace must match exactly — observation is read-only.
+        let run = |observe: bool| {
+            let mut sim: Sim<TestActor> = Sim::new(11, NetConfig::lossy(0.1));
+            if observe {
+                sim.add_observer(crate::observe::EventDigest::new());
+            }
+            let a = sim.add_node(TestActor::new(None));
+            let b = sim.add_node(TestActor::new(None));
+            for i in 0..30 {
+                sim.inject(a, b, TestMsg::Ping(i % 5));
+            }
+            sim.run_until_quiet(SimDuration::from_secs(10));
+            (sim.metrics().fingerprint(), sim.now())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn domain_events_flow_from_context_to_observers() {
+        use crate::observe::{shared, DomainEvent, EventLog};
+        let mut sim: Sim<TestActor> = Sim::new(1, NetConfig::lan());
+        let log = shared(EventLog::new());
+        sim.add_observer(log.clone());
+        let a = sim.add_node(TestActor::new(None));
+        sim.with_node(a, |_, ctx| {
+            assert!(ctx.observed());
+            ctx.emit_event(DomainEvent::Anchored { epoch: 3 });
+        });
+        let domain = log.borrow().domain_events();
+        assert_eq!(domain.len(), 1);
+        let (_, node, ev) = domain[0];
+        assert_eq!(node, a);
+        assert_eq!(ev, DomainEvent::Anchored { epoch: 3 });
     }
 
     #[test]

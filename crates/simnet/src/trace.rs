@@ -110,6 +110,19 @@ mod tests {
     }
 
     #[test]
+    fn digest_is_stable_across_clone_and_sensitive_to_content() {
+        let mut t = Trace::default();
+        t.set_enabled(true);
+        t.record(SimTime::from_millis(1), NodeId(2), || "alpha".into());
+        t.record(SimTime::from_millis(2), NodeId(3), || "beta".into());
+        let cloned = t.clone();
+        assert_eq!(t.digest(), cloned.digest(), "clone must hash identically");
+        let mut extended = t.clone();
+        extended.record(SimTime::from_millis(3), NodeId(2), || "gamma".into());
+        assert_ne!(t.digest(), extended.digest());
+    }
+
+    #[test]
     fn trace_is_bounded() {
         let mut t = Trace::with_capacity(3);
         t.set_enabled(true);

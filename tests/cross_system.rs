@@ -26,9 +26,15 @@ fn reconfig_script() -> Vec<(SimTime, Vec<NodeId>)> {
 }
 
 /// Runs the speculative composition; returns (client completions, final
-/// state snapshot from one replica, retransmits).
+/// state snapshot from one replica, retransmits). Every run is checked
+/// online by the protocol-invariant observer — a violation panics.
 fn run_rsmr(seed: u64) -> (u64, Vec<u8>, u64) {
+    use reconfigurable_smr::rsmr::InvariantObserver;
+    use reconfigurable_smr::simnet::observe::shared;
+
     let mut sim: Sim<World<KvStore>> = Sim::new(seed, NetConfig::lan());
+    let checker = shared(InvariantObserver::strict());
+    sim.add_observer(checker.clone());
     let servers: Vec<NodeId> = (0..3).map(NodeId).collect();
     let genesis = StaticConfig::new(servers.clone());
     for &s in &servers {
@@ -64,6 +70,12 @@ fn run_rsmr(seed: u64) -> (u64, Vec<u8>, u64) {
             .state_machine()
             .snapshot()
     };
+    let checker = checker.borrow();
+    checker.assert_clean();
+    assert!(
+        checker.domain_events_seen() > 0,
+        "the invariant observer saw no domain events"
+    );
     (done, snap, sim.metrics().counter("client.retransmits"))
 }
 
