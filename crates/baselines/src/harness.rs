@@ -111,6 +111,14 @@ impl<S: StateMachine> RaftWorld<S> {
         }
     }
 
+    /// The wrapped client, if this node is one.
+    pub fn as_client(&self) -> Option<&RaftClient<S>> {
+        match self {
+            RaftWorld::Client(c) => Some(c),
+            _ => None,
+        }
+    }
+
     /// Requests completed (clients only).
     pub fn completed(&self) -> u64 {
         match self {

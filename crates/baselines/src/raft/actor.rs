@@ -7,13 +7,16 @@ use rsmr_core::command::Cmd;
 use rsmr_core::session::{SessionDecision, SessionTable};
 use rsmr_core::state_machine::StateMachine;
 use simnet::wire;
-use simnet::{Actor, Context, DomainEvent, NodeId, SimDuration, SimTime, Timer};
+use simnet::{Actor, Context, DomainEvent, NodeId, RetryBackoff, SimDuration, SimTime, Timer};
 
 use super::core::{RaftCore, RaftEffects, RaftPropose, RaftTunables};
 use super::msg::{Index, RaftMsg};
 
 /// How often the replica pumps the core's timers.
 const TICK: SimDuration = SimDuration::from_millis(5);
+
+/// Namespace prefix for the core's hard-state keys in the stable store.
+const PERSIST_PREFIX: &str = "raft/";
 
 /// A Raft replica hosting a [`StateMachine`].
 pub struct RaftNode<S: StateMachine> {
@@ -61,6 +64,43 @@ impl<S: StateMachine + Default> RaftNode<S> {
             applied_count: 0,
             config_era: 0,
         }
+    }
+
+    /// Rebuilds a replica from its stable store after a crash: hard state
+    /// (term/vote), snapshot and log come back from storage; the app state
+    /// and session table are restored from the snapshot payload, and the
+    /// suffix above the snapshot re-applies as the new leader's commit
+    /// index reaches this node.
+    pub fn recover(me: NodeId, tun: RaftTunables, store: &simnet::StableStore) -> Self {
+        let compact_threshold = tun.compact_threshold;
+        let items: Vec<(String, Vec<u8>)> = store
+            .keys_with_prefix(PERSIST_PREFIX)
+            .map(|k| {
+                (
+                    k[PERSIST_PREFIX.len()..].to_owned(),
+                    store.get(k).expect("key just listed").to_vec(),
+                )
+            })
+            .collect();
+        let core = RaftCore::recover(me, SimTime::ZERO, tun, items);
+        // Resume era labelling from the snapshot: `Reconfigure` entries
+        // compacted into it are no longer in the log to be re-counted.
+        let config_era = core.snap_eras();
+        let mut node = RaftNode {
+            core,
+            sm: S::default(),
+            sessions: SessionTable::new(),
+            waiting: BTreeMap::new(),
+            pending_admin: None,
+            compact_threshold,
+            applied_count: 0,
+            config_era,
+        };
+        let payload = node.core.snapshot_data().to_vec();
+        if !payload.is_empty() {
+            node.restore_payload(&payload);
+        }
+        node
     }
 }
 
@@ -121,6 +161,15 @@ impl<S: StateMachine> RaftNode<S> {
         ctx: &mut Context<'_, RaftMsg<S::Op, S::Output>>,
         fx: RaftEffects<S::Op>,
     ) {
+        // Write-ahead: in the simulator, outbound messages emitted below are
+        // not delivered until this callback returns, so persisting here
+        // (before or after `send`) is equivalent to persisting first.
+        for (key, value) in fx.persist {
+            ctx.storage().put(&format!("{PERSIST_PREFIX}{key}"), value);
+        }
+        for key in fx.unpersist {
+            ctx.storage().remove(&format!("{PERSIST_PREFIX}{key}"));
+        }
         for (to, rpc) in fx.outbound {
             ctx.send(to, RaftMsg::Rpc(rpc));
         }
@@ -129,6 +178,9 @@ impl<S: StateMachine> RaftNode<S> {
         }
         if let Some(data) = fx.installed_snapshot {
             if self.restore_payload(&data) {
+                // The snapshot may absorb `Reconfigure` entries this node
+                // never applied; jump the era counter to match.
+                self.config_era = self.core.snap_eras();
                 ctx.metrics().incr("raft.snapshots_installed", 1);
             } else {
                 ctx.metrics().incr("raft.snapshot_decode_failures", 1);
@@ -194,7 +246,13 @@ impl<S: StateMachine> RaftNode<S> {
         let upto = self.core.delivered_index().saturating_sub(COMPACT_MARGIN);
         if upto.saturating_sub(self.core.snapshot_index()) > self.compact_threshold {
             let payload = self.snapshot_payload();
-            self.core.compact(upto, payload);
+            let cfx = self.core.compact(upto, payload);
+            for (key, value) in cfx.persist {
+                ctx.storage().put(&format!("{PERSIST_PREFIX}{key}"), value);
+            }
+            for key in cfx.unpersist {
+                ctx.storage().remove(&format!("{PERSIST_PREFIX}{key}"));
+            }
             ctx.metrics().incr("raft.compactions", 1);
         }
     }
@@ -246,6 +304,17 @@ impl<S: StateMachine> Actor for RaftNode<S> {
     type Msg = RaftMsg<S::Op, S::Output>;
 
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        // Persist the genesis hard state so a crash before the first
+        // protocol step still recovers the configuration and app image.
+        if ctx
+            .storage()
+            .get(&format!("{PERSIST_PREFIX}snap"))
+            .is_none()
+        {
+            for (key, value) in self.core.bootstrap_persist() {
+                ctx.storage().put(&format!("{PERSIST_PREFIX}{key}"), value);
+            }
+        }
         ctx.set_timer(TICK, 0);
     }
 
@@ -367,6 +436,9 @@ pub struct RaftClient<S: StateMachine> {
     limit: Option<u64>,
     completed: u64,
     retransmit_after: SimDuration,
+    backoff: RetryBackoff,
+    record_history: bool,
+    history: Vec<rsmr_core::client::HistoryEntry<S::Op, S::Output>>,
 }
 
 impl<S: StateMachine> RaftClient<S> {
@@ -387,7 +459,23 @@ impl<S: StateMachine> RaftClient<S> {
             limit,
             completed: 0,
             retransmit_after: SimDuration::from_millis(300),
+            backoff: RetryBackoff::new(SimDuration::from_millis(300)),
+            record_history: false,
+            history: Vec::new(),
         }
+    }
+
+    /// Enables per-operation history recording (for linearizability
+    /// checking), builder-style. Mirrors `RsmrClient::with_history`.
+    pub fn with_history(mut self) -> Self {
+        self.record_history = true;
+        self
+    }
+
+    /// The recorded history of completed operations (empty unless
+    /// [`RaftClient::with_history`] was used).
+    pub fn history(&self) -> &[rsmr_core::client::HistoryEntry<S::Op, S::Output>] {
+        &self.history
     }
 
     /// Requests completed so far.
@@ -403,6 +491,7 @@ impl<S: StateMachine> RaftClient<S> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.backoff.reset();
         let op = (self.gen)(seq);
         self.inflight = Some((seq, op.clone(), ctx.now(), ctx.now()));
         // Fresh submission only; retransmits and redirects re-send without
@@ -443,9 +532,13 @@ impl<S: StateMachine> Actor for RaftClient<S> {
 
     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, _from: NodeId, msg: Self::Msg) {
         match msg {
-            RaftMsg::Reply { seq, members, .. } => {
+            RaftMsg::Reply {
+                seq,
+                output,
+                members,
+            } => {
                 self.adopt_members(&members);
-                let Some((cur, _, _, first)) = self.inflight.clone() else {
+                let Some((cur, op, _, first)) = self.inflight.clone() else {
                     return;
                 };
                 if seq != cur {
@@ -456,6 +549,9 @@ impl<S: StateMachine> Actor for RaftClient<S> {
                     .observe("client.latency_us", latency.as_micros() as f64);
                 let now = ctx.now();
                 ctx.metrics().timeline_push("client.completes", now, 1.0);
+                if self.record_history {
+                    self.history.push((seq, op, output, first, now));
+                }
                 self.inflight = None;
                 self.completed += 1;
                 self.issue_next(ctx);
@@ -476,6 +572,8 @@ impl<S: StateMachine> Actor for RaftClient<S> {
                     Some(l) if self.servers.contains(&l) && l != self.target => self.target = l,
                     _ => self.rotate(),
                 }
+                // Fresh routing information: restart the backoff.
+                self.backoff.reset();
                 self.inflight = Some((seq, op.clone(), ctx.now(), first));
                 ctx.send(self.target, RaftMsg::Request { seq, op });
             }
@@ -485,7 +583,11 @@ impl<S: StateMachine> Actor for RaftClient<S> {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, _timer: Timer) {
         if let Some((seq, op, sent, first)) = self.inflight.clone() {
-            if ctx.now().since(sent) >= self.retransmit_after {
+            let salt = ctx.node_id().0 ^ seq.rotate_left(20);
+            if ctx.now().since(sent) >= self.backoff.current_delay(salt) {
+                if self.backoff.record_attempt() {
+                    ctx.metrics().incr("client.backoff_exhausted", 1);
+                }
                 self.rotate();
                 ctx.metrics().incr("client.retransmits", 1);
                 self.inflight = Some((seq, op.clone(), ctx.now(), first));

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use consensus::StaticConfig;
 use rsmr_core::command::Cmd;
+use simnet::wire::{self, Wire};
 use simnet::{NodeId, SimDuration, SimTime};
 
 use super::msg::{Index, RaftRpc, Term};
@@ -79,6 +80,14 @@ pub struct RaftEffects<O> {
     /// state from this payload (entries up to the snapshot never appear in
     /// `committed`).
     pub installed_snapshot: Option<Vec<u8>>,
+    /// Hard-state writes: `(key, value)` pairs the host must put to stable
+    /// storage before the messages in `outbound` are released (write-ahead
+    /// — persisting at end-of-callback satisfies this in the simulator,
+    /// where emitted messages are not delivered until the callback ends).
+    /// Keys are storage-relative; the host adds its own namespace prefix.
+    pub persist: Vec<(String, Vec<u8>)>,
+    /// Keys to delete from stable storage (log truncation / compaction).
+    pub unpersist: Vec<String>,
     /// This step made the node leader.
     pub became_leader: bool,
     /// This step demoted the node.
@@ -91,6 +100,8 @@ impl<O> Default for RaftEffects<O> {
             outbound: Vec::new(),
             committed: Vec::new(),
             installed_snapshot: None,
+            persist: Vec::new(),
+            unpersist: Vec::new(),
             became_leader: false,
             lost_leadership: false,
         }
@@ -111,8 +122,17 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Stable-storage key of the `(term, voted_for)` pair.
+const KEY_HARD_STATE: &str = "hs";
+/// Stable-storage key of the snapshot `((index, term), (members, data))`.
+const KEY_SNAPSHOT: &str = "snap";
+
+fn log_key(index: Index) -> String {
+    format!("log/{index:016x}")
+}
+
 /// One Raft replica's protocol state. `O` is the application operation.
-pub struct RaftCore<O: Clone + std::fmt::Debug + PartialEq + 'static> {
+pub struct RaftCore<O: Clone + std::fmt::Debug + PartialEq + Wire + 'static> {
     me: NodeId,
     tun: RaftTunables,
 
@@ -127,6 +147,11 @@ pub struct RaftCore<O: Clone + std::fmt::Debug + PartialEq + 'static> {
     snap_data: Vec<u8>,
     /// Configuration effective at `snap_index`.
     snap_members: Vec<NodeId>,
+    /// Number of `Reconfigure` entries at indices `..= snap_index` — hosts
+    /// label applies with a configuration-era counter, which must survive
+    /// compaction and snapshot installation even though the entries
+    /// themselves are gone.
+    snap_eras: u64,
     /// Entries for indices `snap_index + 1 ..`.
     log: Vec<(Term, Arc<Cmd<O>>)>,
     /// The configuration effective now (latest config entry in the log,
@@ -150,7 +175,7 @@ pub struct RaftCore<O: Clone + std::fmt::Debug + PartialEq + 'static> {
     election_attempt: u64,
 }
 
-impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
+impl<O: Clone + std::fmt::Debug + PartialEq + Wire + 'static> RaftCore<O> {
     /// Creates a member of the initial cluster.
     pub fn new(me: NodeId, initial: StaticConfig, now: SimTime, tun: RaftTunables) -> Self {
         let mut c = Self::empty(me, tun);
@@ -186,6 +211,91 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         Self::empty(me, tun)
     }
 
+    /// Rebuilds a replica from persisted hard state after a crash.
+    ///
+    /// `items` are the `(key, value)` pairs previously written through
+    /// [`RaftEffects::persist`] (namespace prefix already stripped). The
+    /// node recovers as a follower: term and vote are restored (so it can
+    /// never double-vote in a term), the snapshot and the contiguous log
+    /// suffix above it are reloaded, and the commit/delivered cursors reset
+    /// to the snapshot — committed-but-uncompacted entries are re-delivered
+    /// once the next leader's `Append` advances the commit index, and the
+    /// session table restored from the snapshot payload dedupes replies.
+    pub fn recover(
+        me: NodeId,
+        now: SimTime,
+        tun: RaftTunables,
+        items: impl IntoIterator<Item = (String, Vec<u8>)>,
+    ) -> Self {
+        let mut c = Self::empty(me, tun);
+        let mut entries: BTreeMap<Index, (Term, Arc<Cmd<O>>)> = BTreeMap::new();
+        for (key, value) in items {
+            if key == KEY_HARD_STATE {
+                if let Some((term, voted_for)) = wire::from_bytes::<(Term, Option<NodeId>)>(&value)
+                {
+                    c.term = term;
+                    c.voted_for = voted_for;
+                }
+            } else if key == KEY_SNAPSHOT {
+                if let Some((index, term, members, eras, data)) =
+                    wire::from_bytes::<(Index, Term, Vec<NodeId>, u64, Vec<u8>)>(&value)
+                {
+                    c.snap_index = index;
+                    c.snap_term = term;
+                    c.snap_members = members;
+                    c.snap_eras = eras;
+                    c.snap_data = data;
+                }
+            } else if let Some(hex) = key.strip_prefix("log/") {
+                if let (Ok(index), Some(entry)) = (
+                    Index::from_str_radix(hex, 16),
+                    wire::from_bytes::<(Term, Arc<Cmd<O>>)>(&value),
+                ) {
+                    entries.insert(index, entry);
+                }
+            }
+        }
+        c.commit = c.snap_index;
+        c.delivered = c.snap_index;
+        // Reload the contiguous log suffix above the snapshot; anything
+        // past a gap (a torn truncation) is unreachable and dropped.
+        let mut next = c.snap_index + 1;
+        while let Some(entry) = entries.remove(&next) {
+            c.log.push(entry);
+            next += 1;
+        }
+        c.recompute_members();
+        c.reset_election_deadline(now);
+        c
+    }
+
+    /// The `(key, value)` pairs a host should write when it first brings a
+    /// replica up, so a crash before the first protocol step still recovers
+    /// the genesis configuration and application image.
+    pub fn bootstrap_persist(&self) -> Vec<(String, Vec<u8>)> {
+        let mut out = vec![
+            (
+                KEY_HARD_STATE.to_owned(),
+                wire::to_bytes(&(self.term, self.voted_for)),
+            ),
+            (
+                KEY_SNAPSHOT.to_owned(),
+                wire::to_bytes(&(
+                    self.snap_index,
+                    self.snap_term,
+                    self.snap_members.clone(),
+                    self.snap_eras,
+                    self.snap_data.clone(),
+                )),
+            ),
+        ];
+        for (i, (term, cmd)) in self.log.iter().enumerate() {
+            let index = self.snap_index + 1 + i as Index;
+            out.push((log_key(index), wire::to_bytes(&(*term, cmd.clone()))));
+        }
+        out
+    }
+
     fn empty(me: NodeId, tun: RaftTunables) -> Self {
         RaftCore {
             me,
@@ -198,6 +308,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
             snap_term: 0,
             snap_data: Vec::new(),
             snap_members: Vec::new(),
+            snap_eras: 0,
             log: Vec::new(),
             cached_members: Vec::new(),
             commit: 0,
@@ -246,12 +357,39 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         self.cached_members.clone()
     }
 
-    /// Appends an entry, keeping the members cache coherent.
-    fn push_entry(&mut self, term: Term, cmd: Arc<Cmd<O>>) {
+    /// Appends an entry, keeping the members cache coherent and recording
+    /// the write-ahead persistence of the new entry.
+    fn push_entry(&mut self, term: Term, cmd: Arc<Cmd<O>>, fx: &mut RaftEffects<O>) {
         if let Cmd::Reconfigure { members } = &*cmd {
             self.cached_members = members.clone();
         }
+        fx.persist.push((
+            log_key(self.last_index() + 1),
+            wire::to_bytes(&(term, cmd.clone())),
+        ));
         self.log.push((term, cmd));
+    }
+
+    /// Records the write-ahead persistence of `(term, voted_for)`.
+    fn persist_hard_state(&self, fx: &mut RaftEffects<O>) {
+        fx.persist.push((
+            KEY_HARD_STATE.to_owned(),
+            wire::to_bytes(&(self.term, self.voted_for)),
+        ));
+    }
+
+    /// Records the write-ahead persistence of the current snapshot.
+    fn persist_snapshot(&self, fx: &mut RaftEffects<O>) {
+        fx.persist.push((
+            KEY_SNAPSHOT.to_owned(),
+            wire::to_bytes(&(
+                self.snap_index,
+                self.snap_term,
+                self.snap_members.clone(),
+                self.snap_eras,
+                self.snap_data.clone(),
+            )),
+        ));
     }
 
     /// Recomputes the members cache by scanning (used after truncation or
@@ -331,6 +469,18 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         self.snap_index
     }
 
+    /// The current snapshot's payload (empty when none was ever taken).
+    pub fn snapshot_data(&self) -> &[u8] {
+        &self.snap_data
+    }
+
+    /// Number of `Reconfigure` entries covered by the snapshot. Hosts
+    /// resume their configuration-era counters from here after recovery or
+    /// snapshot installation.
+    pub fn snap_eras(&self) -> u64 {
+        self.snap_eras
+    }
+
     /// Steps down voluntarily (used after committing a configuration entry
     /// that removes this node). A node outside the configuration never
     /// campaigns, so this is terminal until it is added back.
@@ -354,7 +504,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
                 return (fx, RaftPropose::BadReconfigure);
             }
         }
-        self.push_entry(self.term, Arc::new(cmd));
+        self.push_entry(self.term, Arc::new(cmd), &mut fx);
         let index = self.last_index();
         self.replicate_all(now, &mut fx);
         self.advance_commit(&mut fx);
@@ -403,9 +553,10 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
                 last_index,
                 last_term,
                 members,
+                eras,
                 data,
             } => self.on_install_snapshot(
-                from, term, last_index, last_term, members, data, now, &mut fx,
+                from, term, last_index, last_term, members, eras, data, now, &mut fx,
             ),
             RaftRpc::SnapshotReply { term, last_index } => {
                 self.on_snapshot_reply(from, term, last_index, now, &mut fx)
@@ -434,27 +585,37 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
     }
 
     /// Compacts the log through `upto` (which must be ≤ the delivered
-    /// index), storing `data` as the snapshot payload.
-    pub fn compact(&mut self, upto: Index, data: Vec<u8>) {
+    /// index), storing `data` as the snapshot payload. The returned effects
+    /// carry the persistence delta (new snapshot in, dropped entries out).
+    pub fn compact(&mut self, upto: Index, data: Vec<u8>) -> RaftEffects<O> {
+        let mut fx = RaftEffects::new();
         if upto <= self.snap_index || upto > self.delivered {
-            return;
+            return fx;
         }
         // Fold configuration entries out of the compacted range.
         let mut members = self.snap_members.clone();
+        let mut eras = self.snap_eras;
         for i in (self.snap_index + 1)..=upto {
             if let Some((_, c)) = self.entry_at(i) {
                 if let Cmd::Reconfigure { members: m } = &**c {
                     members = m.clone();
+                    eras += 1;
                 }
             }
         }
         let new_term = self.term_at(upto).expect("upto is within the log");
+        for i in (self.snap_index + 1)..=upto {
+            fx.unpersist.push(log_key(i));
+        }
         let drop = (upto - self.snap_index) as usize;
         self.log.drain(..drop);
         self.snap_index = upto;
         self.snap_term = new_term;
         self.snap_members = members;
+        self.snap_eras = eras;
         self.snap_data = data;
+        self.persist_snapshot(&mut fx);
+        fx
     }
 
     // --- Elections ----------------------------------------------------------
@@ -482,6 +643,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         self.term += 1;
         self.role = RaftRole::Candidate;
         self.voted_for = Some(self.me);
+        self.persist_hard_state(fx);
         self.votes.clear();
         self.votes.insert(self.me);
         self.reset_election_deadline(now);
@@ -514,6 +676,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         if term > self.term {
             self.term = term;
             self.voted_for = None;
+            self.persist_hard_state(fx);
             if self.role == RaftRole::Leader {
                 fx.lost_leadership = true;
             }
@@ -541,6 +704,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
             && (self.voted_for.is_none() || self.voted_for == Some(from));
         if granted {
             self.voted_for = Some(from);
+            self.persist_hard_state(fx);
             self.reset_election_deadline(now);
         }
         fx.outbound.push((
@@ -581,7 +745,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
                 self.match_index.insert(peer, 0);
             }
             // Commit barrier: a no-op from the new term.
-            self.push_entry(self.term, Arc::new(Cmd::Noop));
+            self.push_entry(self.term, Arc::new(Cmd::Noop), fx);
             self.replicate_all(now, fx);
         }
     }
@@ -616,6 +780,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
                     last_index: self.snap_index,
                     last_term: self.snap_term,
                     members: self.snap_members.clone(),
+                    eras: self.snap_eras,
                     data: self.snap_data.clone(),
                 },
             ));
@@ -724,12 +889,15 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
                 Some(_) => {
                     // Conflict: truncate from here (dropping any cached
                     // config the suffix carried), then append.
+                    for i in index..=self.last_index() {
+                        fx.unpersist.push(log_key(i));
+                    }
                     let keep = (index - self.snap_index - 1) as usize;
                     self.log.truncate(keep);
                     self.recompute_members();
-                    self.push_entry(t, cmd);
+                    self.push_entry(t, cmd, fx);
                 }
-                None => self.push_entry(t, cmd),
+                None => self.push_entry(t, cmd, fx),
             }
         }
         let match_index = index.max(self.last_index().min(prev_index));
@@ -834,6 +1002,7 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         last_index: Index,
         last_term: Term,
         members: Vec<NodeId>,
+        eras: u64,
         data: Vec<u8>,
         now: SimTime,
         fx: &mut RaftEffects<O>,
@@ -852,15 +1021,21 @@ impl<O: Clone + std::fmt::Debug + PartialEq + 'static> RaftCore<O> {
         self.leader_hint = Some(from);
         self.reset_election_deadline(now);
         if last_index > self.commit {
+            // The whole log is superseded by the snapshot.
+            for i in (self.snap_index + 1)..=self.last_index() {
+                fx.unpersist.push(log_key(i));
+            }
             self.snap_index = last_index;
             self.snap_term = last_term;
             self.snap_members = members;
+            self.snap_eras = eras;
             self.snap_data = data.clone();
             self.log.clear();
             self.cached_members = self.snap_members.clone();
             self.commit = last_index;
             self.delivered = last_index;
             fx.installed_snapshot = Some(data);
+            self.persist_snapshot(fx);
         }
         fx.outbound.push((
             from,
@@ -903,11 +1078,13 @@ mod tests {
     /// One node's committed prefix as observed by the harness.
     type CommitLog = Vec<(Index, Arc<Cmd<u64>>)>;
 
-    /// Lossless in-memory harness.
+    /// Lossless in-memory harness. `stores` mirrors what each node's host
+    /// would hold in stable storage (applying `persist` / `unpersist`).
     struct Net {
         cores: BTreeMap<NodeId, RaftCore<u64>>,
         inbox: VecDeque<(NodeId, NodeId, RaftRpc<u64>)>,
         committed: BTreeMap<NodeId, CommitLog>,
+        stores: BTreeMap<NodeId, BTreeMap<String, Vec<u8>>>,
         cut: BTreeSet<NodeId>,
         now: SimTime,
     }
@@ -916,18 +1093,24 @@ mod tests {
         fn new(n: u64) -> Self {
             let members: Vec<NodeId> = (0..n).map(NodeId).collect();
             let cfg = StaticConfig::new(members.clone());
+            let cores: BTreeMap<NodeId, RaftCore<u64>> = members
+                .iter()
+                .map(|&m| {
+                    (
+                        m,
+                        RaftCore::new(m, cfg.clone(), SimTime::ZERO, RaftTunables::default()),
+                    )
+                })
+                .collect();
+            let stores = cores
+                .iter()
+                .map(|(&m, c)| (m, c.bootstrap_persist().into_iter().collect()))
+                .collect();
             Net {
-                cores: members
-                    .iter()
-                    .map(|&m| {
-                        (
-                            m,
-                            RaftCore::new(m, cfg.clone(), SimTime::ZERO, RaftTunables::default()),
-                        )
-                    })
-                    .collect(),
+                cores,
                 inbox: VecDeque::new(),
                 committed: BTreeMap::new(),
+                stores,
                 cut: BTreeSet::new(),
                 now: SimTime::ZERO,
             }
@@ -938,6 +1121,13 @@ mod tests {
                 self.inbox.push_back((from, to, rpc));
             }
             self.committed.entry(from).or_default().extend(fx.committed);
+            let store = self.stores.entry(from).or_default();
+            for (key, value) in fx.persist {
+                store.insert(key, value);
+            }
+            for key in fx.unpersist {
+                store.remove(&key);
+            }
         }
 
         fn advance(&mut self, d: SimDuration) {
@@ -1147,6 +1337,118 @@ mod tests {
         assert!(j.snap_index > 0, "snapshot must have been installed");
         assert_eq!(j.snap_data, vec![9, 9, 9]);
         assert!(j.current_members().contains(&joiner));
+    }
+
+    #[test]
+    fn recovery_restores_term_vote_and_log() {
+        let mut net = Net::new(3);
+        net.elect();
+        for i in 1..=4 {
+            net.propose(app(i));
+        }
+        net.advance(SimDuration::from_millis(100));
+        // Crash a follower and rebuild it purely from its persisted state.
+        let victim = net
+            .cores
+            .iter()
+            .find(|(_, c)| !c.is_leader())
+            .map(|(&id, _)| id)
+            .unwrap();
+        let (term, last) = {
+            let c = &net.cores[&victim];
+            (c.term(), c.log_len() as u64 + c.snapshot_index())
+        };
+        let store = net.stores[&victim].clone();
+        let r = RaftCore::<u64>::recover(victim, net.now, RaftTunables::default(), store);
+        assert_eq!(r.term(), term);
+        assert_eq!(r.role(), RaftRole::Follower);
+        assert_eq!(r.log_len() as u64 + r.snapshot_index(), last);
+        assert_eq!(r.current_members(), net.cores[&victim].current_members());
+        // Commit index is volatile: it restarts at the snapshot boundary and
+        // is re-learned from the leader.
+        assert_eq!(r.delivered_index(), r.snapshot_index());
+        // Plugged back into the cluster, the recovered node re-delivers the
+        // full committed prefix plus new traffic.
+        net.cores.insert(victim, r);
+        net.committed.remove(&victim);
+        net.propose(app(9));
+        net.advance(SimDuration::from_millis(200));
+        let vals = net.app_values(victim);
+        assert_eq!(vals, vec![1, 2, 3, 4, 9], "{vals:?}");
+    }
+
+    #[test]
+    fn recovered_node_does_not_double_vote() {
+        let cfg = StaticConfig::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let mut a = RaftCore::<u64>::new(NodeId(0), cfg, SimTime::ZERO, RaftTunables::default());
+        let mut store: BTreeMap<String, Vec<u8>> = a.bootstrap_persist().into_iter().collect();
+        let vote = |fx: &RaftEffects<u64>| match fx.outbound.first() {
+            Some((_, RaftRpc::VoteReply { granted, .. })) => Some(*granted),
+            _ => None,
+        };
+        let fx = a.on_message(
+            NodeId(1),
+            RaftRpc::RequestVote {
+                term: 5,
+                last_index: 0,
+                last_term: 0,
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(vote(&fx), Some(true));
+        for (k, v) in fx.persist {
+            store.insert(k, v);
+        }
+        // Restart. The vote for candidate 1 in term 5 must survive: an
+        // equally up-to-date rival in the same term is refused, while the
+        // original candidate's retransmit is re-granted.
+        let mut b =
+            RaftCore::<u64>::recover(NodeId(0), SimTime::ZERO, RaftTunables::default(), store);
+        assert_eq!(b.term(), 5);
+        let fx = b.on_message(
+            NodeId(2),
+            RaftRpc::RequestVote {
+                term: 5,
+                last_index: 99,
+                last_term: 5,
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(vote(&fx), Some(false));
+        let fx = b.on_message(
+            NodeId(1),
+            RaftRpc::RequestVote {
+                term: 5,
+                last_index: 0,
+                last_term: 0,
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(vote(&fx), Some(true));
+    }
+
+    #[test]
+    fn recovery_after_compaction_uses_snapshot_plus_suffix() {
+        let mut net = Net::new(3);
+        let l = net.elect();
+        for i in 1..=10 {
+            net.propose(app(i));
+        }
+        net.advance(SimDuration::from_millis(100));
+        {
+            let core = net.cores.get_mut(&l).unwrap();
+            let upto = core.delivered;
+            let cfx = core.compact(upto, vec![7, 7]);
+            net.absorb(l, cfx);
+        }
+        let store = net.stores[&l].clone();
+        let r = RaftCore::<u64>::recover(l, net.now, RaftTunables::default(), store);
+        assert!(r.snapshot_index() > 0);
+        assert_eq!(r.snapshot_data(), &[7, 7]);
+        assert_eq!(
+            r.log_len() as u64 + r.snapshot_index(),
+            net.cores[&l].log_len() as u64 + net.cores[&l].snapshot_index()
+        );
     }
 
     #[test]

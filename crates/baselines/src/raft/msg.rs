@@ -63,6 +63,10 @@ pub enum RaftRpc<O> {
         last_term: Term,
         /// Members effective at `last_index`.
         members: Vec<NodeId>,
+        /// Configuration changes (`Reconfigure` entries) covered by the
+        /// snapshot — lets the receiver label later applies with the right
+        /// era even though the entries themselves are compacted away.
+        eras: u64,
         /// Opaque application payload (state machine + sessions).
         data: Vec<u8>,
     },
@@ -194,6 +198,7 @@ mod tests {
                 last_index: 0,
                 last_term: 0,
                 members: vec![],
+                eras: 0,
                 data: vec![],
             }),
             RaftMsg::Rpc(RaftRpc::SnapshotReply {

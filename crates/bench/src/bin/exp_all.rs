@@ -5,16 +5,22 @@
 //! cargo run --release -p bench --bin exp_all -- e2 e5   # a subset
 //! cargo run --release -p bench --bin exp_all -- --quick # trimmed sweeps
 //! cargo run --release -p bench --bin exp_all -- --json artifacts/
+//! cargo run --release -p bench --bin exp_all -- chaos --seeds 64      # nightly sweep
+//! cargo run --release -p bench --bin exp_all -- chaos --seeds 1@7     # replay seed 7
 //! ```
 //!
 //! `--json <dir>` additionally writes one machine-readable artifact per
 //! experiment (`<dir>/<id>.jsonl`, schema in `EXPERIMENTS.md`). Artifacts
 //! contain no timestamps or host data: two runs of the same build are
 //! byte-identical.
+//!
+//! `--seeds N[@BASE]` overrides the chaos sweep's seed set with
+//! `BASE..BASE+N` (default base 1). When any seed fails, the process exits
+//! non-zero after printing a one-command replay line per failing seed.
 
 use std::time::Instant;
 
-use bench::experiments::{self, ExpOutput};
+use bench::experiments::{self, chaos_sweep, ExpOutput};
 
 /// One experiment's output (if the id was known) and wall seconds.
 type Slot = std::sync::Mutex<Option<(Option<ExpOutput>, f64)>>;
@@ -31,6 +37,32 @@ fn main() {
         eprintln!("--json requires a directory argument");
         std::process::exit(2);
     }
+    // `--seeds N[@BASE]` — chaos sweep seed-set override (nightly / replay).
+    let seeds_arg: Option<String> = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let chaos_seeds: Option<Vec<u64>> = match (args.iter().any(|a| a == "--seeds"), &seeds_arg) {
+        (false, _) => None,
+        (true, None) => {
+            eprintln!("--seeds requires N or N@BASE");
+            std::process::exit(2);
+        }
+        (true, Some(spec)) => {
+            let (n, base) = match spec.split_once('@') {
+                Some((n, b)) => (n.parse::<u64>(), b.parse::<u64>()),
+                None => (spec.parse::<u64>(), Ok(1)),
+            };
+            match (n, base) {
+                (Ok(n), Ok(b)) => Some(chaos_sweep::seed_range(n, b)),
+                _ => {
+                    eprintln!("--seeds requires N or N@BASE (got {spec})");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
     let mut skip_next = false;
     let selected: Vec<String> = args
         .iter()
@@ -39,7 +71,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--json" {
+            if *a == "--json" || *a == "--seeds" {
                 skip_next = true;
                 return false;
             }
@@ -52,6 +84,11 @@ fn main() {
     } else {
         selected.iter().map(String::as_str).collect()
     };
+    // The chaos sweep runs outside the experiment pool: it fans its own
+    // `(seed, system)` jobs across cores and needs its failing-seed list
+    // for the exit code.
+    let chaos_selected = ids.contains(&"chaos");
+    let ids: Vec<&str> = ids.into_iter().filter(|&id| id != "chaos").collect();
 
     println!("# Reconfigurable SMR — experiment suite");
     println!(
@@ -119,5 +156,35 @@ fn main() {
             ),
         }
     }
+    let mut failed = false;
+    if chaos_selected {
+        let seeds =
+            chaos_seeds.unwrap_or_else(|| chaos_sweep::seed_range(if quick { 8 } else { 24 }, 1));
+        let start = Instant::now();
+        let (output, failing) = chaos_sweep::run_structured_seeds(&seeds);
+        print!("{}", output.rendered);
+        if let Some(dir) = &json_dir {
+            let path = format!("{dir}/chaos.jsonl");
+            match std::fs::write(&path, output.to_jsonl("chaos", quick)) {
+                Ok(()) => eprintln!("[chaos artifact: {path}]"),
+                Err(e) => {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!(
+            "[chaos done in {:.1}s wall, {} seeds]",
+            start.elapsed().as_secs_f64(),
+            seeds.len()
+        );
+        if !failing.is_empty() {
+            eprintln!("chaos sweep FAILED on seeds {failing:?}");
+            failed = true;
+        }
+    }
     eprintln!("[suite done in {:.1}s wall]", total.elapsed().as_secs_f64());
+    if failed {
+        std::process::exit(1);
+    }
 }

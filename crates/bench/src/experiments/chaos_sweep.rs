@@ -1,0 +1,188 @@
+//! **Chaos** — multi-seed fault-schedule sweep.
+//!
+//! Every seed deterministically expands (via [`simnet::ChaosGen`]) into a
+//! [`simnet::FaultPlan`] of crashes-with-restart, partitions and link-degradation
+//! windows aimed at role targets (leader, transfer donor, joiner), fired
+//! while a reconfiguration and a client workload are in flight. For each
+//! seed the composed machine and the raft baseline must stay *safe*
+//! (invariant observer clean, client history linearizable) and *live*
+//! (every client op completes once the faults heal).
+//!
+//! A failing seed is fully described by its number: replay it with
+//!
+//! ```sh
+//! cargo run --release -p bench --bin exp_all -- chaos --seeds 1@<seed>
+//! ```
+
+use kvstore::{linearizable, KvStore};
+use simnet::{ChaosGen, SimTime};
+
+use super::ExpOutput;
+use crate::runner::{run_many, Scenario, SystemKind};
+use crate::table::Table;
+
+const RECONFIG_AT: SimTime = SimTime::from_millis(400);
+/// Faults fire inside this window — before, during and after the handoff.
+const FAULTS_FROM: SimTime = SimTime::from_millis(200);
+const FAULTS_UNTIL: SimTime = SimTime::from_millis(1_500);
+const FAULTS_PER_SEED: usize = 3;
+const OPS_PER_CLIENT: u64 = 600;
+const N_CLIENTS: u64 = 2;
+
+/// The systems the sweep holds to the safety + liveness bar.
+pub const SWEPT: [SystemKind; 2] = [SystemKind::Rsmr, SystemKind::Raft];
+
+/// One `(seed, system)` outcome.
+pub struct SeedRow {
+    /// The chaos seed (fully determines the fault plan).
+    pub seed: u64,
+    /// System under test.
+    pub kind: SystemKind,
+    /// Human-readable plan, for failure reports.
+    pub plan: String,
+    /// Client completions observed / expected.
+    pub completed: u64,
+    /// Expected completions (all clients finish once faults heal).
+    pub expected: u64,
+    /// Safety violations from the invariant observer.
+    pub invariant_violations: Vec<String>,
+    /// Linearizability of the recorded client history.
+    pub linearizable: bool,
+}
+
+impl SeedRow {
+    /// Safety and liveness both held.
+    pub fn passed(&self) -> bool {
+        self.invariant_violations.is_empty() && self.linearizable && self.completed == self.expected
+    }
+}
+
+/// The deterministic scenario a chaos seed expands into.
+pub fn scenario_for(seed: u64) -> Scenario {
+    let plan = ChaosGen::new(seed).sample(FAULTS_FROM, FAULTS_UNTIL, FAULTS_PER_SEED);
+    let mut sc = Scenario::new(seed)
+        .clients(N_CLIENTS)
+        .joiners(&[3])
+        .reconfigure_at(RECONFIG_AT, &[0, 1, 2, 3])
+        .with_faults(plan)
+        .checked()
+        .until(SimTime::from_secs(30));
+    sc.ops_per_client = Some(OPS_PER_CLIENT);
+    sc.record_history = true;
+    sc
+}
+
+/// Runs the sweep over `seeds`, fanning `(seed, system)` jobs across cores.
+pub fn run_rows(seeds: &[u64]) -> Vec<SeedRow> {
+    let jobs: Vec<(SystemKind, Scenario)> = seeds
+        .iter()
+        .flat_map(|&s| SWEPT.into_iter().map(move |k| (k, scenario_for(s))))
+        .collect();
+    let outs = run_many(jobs.clone());
+    jobs.iter()
+        .zip(outs)
+        .map(|((kind, sc), out)| SeedRow {
+            seed: sc.seed,
+            kind: *kind,
+            plan: sc.faults.describe(),
+            completed: out.completed,
+            expected: N_CLIENTS * OPS_PER_CLIENT,
+            invariant_violations: out.invariant_violations,
+            linearizable: linearizable(KvStore::new(), &out.histories),
+        })
+        .collect()
+}
+
+/// The seeds whose runs failed on any system, deduplicated, in order.
+pub fn failing_seeds(rows: &[SeedRow]) -> Vec<u64> {
+    let mut out: Vec<u64> = Vec::new();
+    for r in rows.iter().filter(|r| !r.passed()) {
+        if !out.contains(&r.seed) {
+            out.push(r.seed);
+        }
+    }
+    out
+}
+
+/// The default seed set: `base..base+n`.
+pub fn seed_range(n: u64, base: u64) -> Vec<u64> {
+    (base..base.saturating_add(n)).collect()
+}
+
+/// Runs the sweep and renders it, returning the failing seeds alongside.
+pub fn run_structured_seeds(seeds: &[u64]) -> (ExpOutput, Vec<u64>) {
+    let rows = run_rows(seeds);
+    let mut t = Table::new(
+        "Chaos — seeded fault-schedule sweep (safety + liveness)",
+        &[
+            "seed",
+            "system",
+            "completed",
+            "invariants",
+            "linearizable",
+            "verdict",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            r.seed.to_string(),
+            r.kind.name().into(),
+            format!("{}/{}", r.completed, r.expected),
+            if r.invariant_violations.is_empty() {
+                "clean".into()
+            } else {
+                format!("{} VIOLATIONS", r.invariant_violations.len())
+            },
+            if r.linearizable { "PASS" } else { "FAIL" }.into(),
+            if r.passed() { "ok" } else { "FAILED" }.into(),
+        ]);
+    }
+    let mut out = t.render();
+    let failing = failing_seeds(&rows);
+    if failing.is_empty() {
+        out.push_str(&format!(
+            "All {} seeds passed on {} systems: no invariant violations, \
+             every history linearizable, all client work completed after the \
+             faults healed.\n\n",
+            seeds.len(),
+            SWEPT.len()
+        ));
+    } else {
+        out.push_str("FAILING SEEDS — replay each with:\n");
+        for s in &failing {
+            out.push_str(&format!(
+                "  cargo run --release -p bench --bin exp_all -- chaos --seeds 1@{s}\n"
+            ));
+        }
+        for r in rows.iter().filter(|r| !r.passed()) {
+            out.push_str(&format!(
+                "  seed {} on {}: plan {}\n",
+                r.seed,
+                r.kind.name(),
+                r.plan
+            ));
+            for v in &r.invariant_violations {
+                out.push_str(&format!("    violation: {v}\n"));
+            }
+        }
+        out.push('\n');
+    }
+    (
+        ExpOutput {
+            rendered: out,
+            tables: vec![t],
+        },
+        failing,
+    )
+}
+
+/// Runs the sweep over the default seed set.
+pub fn run_structured(quick: bool) -> ExpOutput {
+    let seeds = seed_range(if quick { 8 } else { 24 }, 1);
+    run_structured_seeds(&seeds).0
+}
+
+/// Renders the sweep.
+pub fn run(quick: bool) -> String {
+    run_structured(quick).rendered
+}

@@ -5,15 +5,22 @@
 //! dies 30ms after proposing it. The run measures how long the service
 //! stalls, confirms all client work eventually completes, and — for the
 //! composed machine — checks the full client history for linearizability.
+//!
+//! The **chaos variant** (second table) compounds the crash with a 200ms
+//! partition of the state-transfer donor: the joiner's catch-up source
+//! vanishes mid-handoff, so anchoring must fail over to an alternate donor.
+//! All three reconfigurable systems are measured with the same declarative
+//! [`simnet::FaultPlan`], with invariant checking on.
 
 use kvstore::{linearizable, KvStore};
-use simnet::{SimDuration, SimTime};
+use simnet::{FaultPlan, FaultTarget, SimDuration, SimTime};
 
 use super::ExpOutput;
 use crate::runner::{run as run_scenario, Scenario, SystemKind};
 use crate::table::Table;
 
 const RECONFIG_AT: SimTime = SimTime::from_millis(400);
+const CRASH_AT: SimTime = SimTime::from_micros(RECONFIG_AT.as_micros() + 30_000);
 
 /// One system's outcome.
 pub struct Row {
@@ -29,62 +36,93 @@ pub struct Row {
     pub reconfig_done: bool,
     /// Linearizability verdict (None when no history was recorded).
     pub linearizable: Option<bool>,
+    /// Safety violations flagged by the invariant observer.
+    pub invariant_violations: Vec<String>,
 }
 
-/// Runs the experiment.
+fn base_scenario(quick: bool, ops: u64) -> Scenario {
+    let mut sc = Scenario::new(0xE6)
+        .clients(4)
+        .joiners(&[3])
+        .reconfigure_at(RECONFIG_AT, &[0, 1, 2, 3])
+        .until(SimTime::from_secs(if quick { 40 } else { 60 }));
+    sc.ops_per_client = Some(ops);
+    sc
+}
+
+fn measure(kind: SystemKind, sc: &Scenario, ops: u64) -> Row {
+    let out = run_scenario(kind, sc);
+    let expected = 4 * ops;
+    Row {
+        kind,
+        all_completed: out.completed == expected,
+        recovery_ms: Some(out.longest_gap_ms(
+            CRASH_AT,
+            CRASH_AT + SimDuration::from_millis(1_500),
+            SimDuration::from_millis(50),
+        )),
+        reconfig_done: !out.admin.is_empty(),
+        linearizable: if out.histories.is_empty() {
+            None
+        } else {
+            Some(linearizable(KvStore::new(), &out.histories))
+        },
+        invariant_violations: out.invariant_violations,
+    }
+}
+
+/// Runs the classic experiment: leader crash alone.
 pub fn run_rows(quick: bool) -> Vec<Row> {
     // Clients must still be mid-workload when the crash hits at ~430ms
     // *and* throughout the recovery window (4 closed-loop clients sustain
     // ≈1.7k op/s each, so 3000+ ops spans ~1.8s).
     let ops = if quick { 3_000 } else { 4_000 };
-    let mut rows = Vec::new();
-    for kind in [SystemKind::Rsmr, SystemKind::Raft] {
-        let mut sc = Scenario::new(0xE6)
-            .clients(4)
-            .joiners(&[3])
-            .reconfigure_at(RECONFIG_AT, &[0, 1, 2, 3])
-            .until(SimTime::from_secs(if quick { 40 } else { 60 }));
-        sc.ops_per_client = Some(ops);
-        sc.crash_leader_at = Some(RECONFIG_AT + SimDuration::from_millis(30));
-        sc.record_history = kind == SystemKind::Rsmr;
-        let out = run_scenario(kind, &sc);
-        let expected = 4 * ops;
-        rows.push(Row {
-            kind,
-            all_completed: out.completed == expected,
-            recovery_ms: {
-                let crash = RECONFIG_AT + SimDuration::from_millis(30);
-                Some(out.longest_gap_ms(
-                    crash,
-                    crash + SimDuration::from_millis(1_500),
-                    SimDuration::from_millis(50),
-                ))
-            },
-            reconfig_done: !out.admin.is_empty(),
-            linearizable: if out.histories.is_empty() {
-                None
-            } else {
-                Some(linearizable(KvStore::new(), &out.histories))
-            },
-        });
-    }
-    rows
+    [SystemKind::Rsmr, SystemKind::Raft]
+        .into_iter()
+        .map(|kind| {
+            let mut sc = base_scenario(quick, ops).crash_leader_at(CRASH_AT);
+            sc.record_history = kind == SystemKind::Rsmr;
+            measure(kind, &sc, ops)
+        })
+        .collect()
 }
 
-/// Runs E6, returning the rendered text plus its table.
-pub fn run_structured(quick: bool) -> ExpOutput {
-    let rows = run_rows(quick);
+/// Runs the chaos variant: leader crash plus a 200ms partition of the
+/// transfer donor 5ms later, while the joiner is mid-catch-up.
+pub fn run_chaos_rows(quick: bool) -> Vec<Row> {
+    let ops = if quick { 3_000 } else { 4_000 };
+    let plan = FaultPlan::new()
+        .crash_at(CRASH_AT, FaultTarget::CurrentLeader, None)
+        .partition_at(
+            CRASH_AT + SimDuration::from_millis(5),
+            FaultTarget::TransferDonor,
+            SimDuration::from_millis(200),
+        );
+    [SystemKind::Rsmr, SystemKind::Stw, SystemKind::Raft]
+        .into_iter()
+        .map(|kind| {
+            let mut sc = base_scenario(quick, ops)
+                .with_faults(plan.clone())
+                .checked();
+            sc.record_history = matches!(kind, SystemKind::Rsmr | SystemKind::Raft);
+            measure(kind, &sc, ops)
+        })
+        .collect()
+}
+
+fn table_for(title: &str, rows: &[Row]) -> Table {
     let mut t = Table::new(
-        "E6 / Figure 3 — leader crash 30ms into a reconfiguration",
+        title,
         &[
             "system",
             "workload completed",
             "recovery time after crash (ms)",
             "reconfig completed",
             "linearizable",
+            "invariants",
         ],
     );
-    for r in &rows {
+    for r in rows {
         t.row(&[
             r.kind.name().into(),
             if r.all_completed { "yes" } else { "NO" }.into(),
@@ -97,18 +135,39 @@ pub fn run_structured(quick: bool) -> ExpOutput {
                 Some(false) => "FAIL".into(),
                 None => "(not recorded)".into(),
             },
+            if r.invariant_violations.is_empty() {
+                "clean".into()
+            } else {
+                format!("{} VIOLATIONS", r.invariant_violations.len())
+            },
         ]);
     }
-    let mut out = t.render();
+    t
+}
+
+/// Runs E6, returning the rendered text plus its tables.
+pub fn run_structured(quick: bool) -> ExpOutput {
+    let classic = table_for(
+        "E6 / Figure 3 — leader crash 30ms into a reconfiguration",
+        &run_rows(quick),
+    );
+    let chaos = table_for(
+        "E6b — leader crash + 200ms donor partition during the handoff",
+        &run_chaos_rows(quick),
+    );
+    let mut out = classic.render();
+    out.push_str(&chaos.render());
     out.push_str(
         "Shape expected from the paper: both systems recover within an \
          election timeout and lose nothing; the composed machine's recovery \
          involves the predecessor *and* successor instances re-electing, yet \
-         the client history stays linearizable.\n\n",
+         the client history stays linearizable. In the chaos variant the \
+         joiner's first donor disappears mid-transfer, so anchoring relies \
+         on the retry-with-failover path picking an alternate donor.\n\n",
     );
     ExpOutput {
         rendered: out,
-        tables: vec![t],
+        tables: vec![classic, chaos],
     }
 }
 
@@ -130,5 +189,26 @@ mod tests {
         }
         let rsmr = rows.iter().find(|r| r.kind == SystemKind::Rsmr).unwrap();
         assert_eq!(rsmr.linearizable, Some(true));
+    }
+
+    #[test]
+    fn e6b_donor_partition_does_not_break_safety_or_the_handoff() {
+        let rows = run_chaos_rows(true);
+        for r in &rows {
+            assert!(
+                r.invariant_violations.is_empty(),
+                "{}: {:?}",
+                r.kind.name(),
+                r.invariant_violations
+            );
+        }
+        for r in rows
+            .iter()
+            .filter(|r| matches!(r.kind, SystemKind::Rsmr | SystemKind::Raft))
+        {
+            assert!(r.all_completed, "{} lost client work", r.kind.name());
+            assert!(r.reconfig_done, "{} lost the reconfig", r.kind.name());
+            assert_eq!(r.linearizable, Some(true), "{}", r.kind.name());
+        }
     }
 }

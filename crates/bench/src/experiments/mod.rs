@@ -4,6 +4,7 @@
 //! reproducible across machines because all measurements are in *virtual*
 //! time. `quick` trims sweep dimensions for CI.
 
+pub mod chaos_sweep;
 pub mod e10_local_reads;
 pub mod e1_steady_state;
 pub mod e2_timeline;
@@ -18,7 +19,9 @@ pub mod e9_wan;
 use crate::table::{json_escape_into, Table};
 
 /// Experiment ids in presentation order.
-pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "chaos",
+];
 
 /// One experiment's full output: the rendered presentation text plus the
 /// structured tables behind it (the source for machine-readable artifacts).
@@ -69,6 +72,7 @@ pub fn run_structured(id: &str, quick: bool) -> Option<ExpOutput> {
         "e8" => Some(e8_scaling::run_structured(quick)),
         "e9" => Some(e9_wan::run_structured(quick)),
         "e10" => Some(e10_local_reads::run_structured(quick)),
+        "chaos" => Some(chaos_sweep::run_structured(quick)),
         _ => None,
     }
 }

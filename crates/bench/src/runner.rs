@@ -10,11 +10,11 @@ use consensus::actor::{ReplicaActor, SmrClient, SmrMsg};
 use consensus::{PaxosTunables, StaticConfig};
 use kvstore::{HistoryOp, KeyDist, KvOp, KvOutput, KvStore, WorkloadGen};
 use rsmr_core::harness::World;
-use rsmr_core::{AdminActor, RsmrClient, RsmrNode, RsmrTunables};
+use rsmr_core::{AdminActor, InvariantObserver, RsmrClient, RsmrNode, RsmrTunables};
 use simnet::observe::shared;
 use simnet::{
-    Actor, Context, EventDigest, Metrics, NetConfig, NodeId, Sim, SimDuration, SimTime, Spans,
-    Timer,
+    Actor, ChaosDriver, Context, EventDigest, FaultPlan, FaultTarget, Metrics, NetConfig, NodeId,
+    Sim, SimDuration, SimTime, Spans, Timer,
 };
 
 /// Which system a scenario runs on.
@@ -85,8 +85,13 @@ pub struct Scenario {
     pub filler: Option<(usize, usize)>,
     /// Reconfiguration script: `(at, target member ids)`.
     pub script: Vec<(SimTime, Vec<u64>)>,
-    /// Crash the current leader at this time, if set.
-    pub crash_leader_at: Option<SimTime>,
+    /// Declarative fault schedule, applied by a [`ChaosDriver`]. Role
+    /// targets (leader, donor, joiner) are resolved against the system
+    /// under test at fire time.
+    pub faults: FaultPlan,
+    /// Install a collecting [`InvariantObserver`]; violations surface in
+    /// [`RunOut::invariant_violations`].
+    pub check_invariants: bool,
     /// End of the run.
     pub horizon: SimTime,
     /// Record client histories (for linearizability checking).
@@ -123,7 +128,8 @@ impl Scenario {
             keyspace: 1024,
             filler: None,
             script: Vec::new(),
-            crash_leader_at: None,
+            faults: FaultPlan::new(),
+            check_invariants: false,
             horizon: SimTime::from_secs(10),
             record_history: false,
             bandwidth: None,
@@ -161,6 +167,25 @@ impl Scenario {
     /// Appends a reconfiguration step.
     pub fn reconfigure_at(mut self, at: SimTime, target: &[u64]) -> Self {
         self.script.push((at, target.to_vec()));
+        self
+    }
+
+    /// Replaces the fault schedule, builder-style.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Schedules a permanent crash of whoever leads at `at` (the old
+    /// `crash_leader_at` knob, now one [`simnet::FaultPlan`] event).
+    pub fn crash_leader_at(mut self, at: SimTime) -> Self {
+        self.faults = self.faults.crash_at(at, FaultTarget::CurrentLeader, None);
+        self
+    }
+
+    /// Enables invariant checking, builder-style.
+    pub fn checked(mut self) -> Self {
+        self.check_invariants = true;
         self
     }
 
@@ -230,6 +255,36 @@ impl Scenario {
             .map(|(at, ids)| (*at, ids.iter().map(|&i| NodeId(i)).collect()))
             .collect()
     }
+
+    /// Server-side fault targets: genesis servers plus joiners, in id order.
+    /// `FaultTarget::ServerIdx(k)` indexes into this pool.
+    fn chaos_pool(&self) -> Vec<NodeId> {
+        let mut pool = self.server_ids();
+        pool.extend(self.joiners.iter().map(|&j| NodeId(j)));
+        pool
+    }
+
+    /// Every node a partition or degradation window severs the target from.
+    fn chaos_scope(&self) -> Vec<NodeId> {
+        let mut scope = self.chaos_pool();
+        scope.extend(self.client_ids());
+        if !self.script.is_empty() {
+            scope.push(ADMIN);
+        }
+        scope
+    }
+}
+
+/// Resolves the system-independent fault targets (`Node`, `ServerIdx`,
+/// `Joiner`); returns `None` for the role targets a runner must resolve
+/// against its own actors.
+fn resolve_common(pool: &[NodeId], joiners: &[NodeId], t: &FaultTarget) -> Option<Option<NodeId>> {
+    match t {
+        FaultTarget::Node(n) => Some(Some(*n)),
+        FaultTarget::ServerIdx(k) => Some(pool.get((*k as usize) % pool.len().max(1)).copied()),
+        FaultTarget::Joiner => Some(joiners.first().copied()),
+        FaultTarget::CurrentLeader | FaultTarget::TransferDonor => None,
+    }
 }
 
 const ADMIN: NodeId = NodeId(99);
@@ -272,6 +327,25 @@ impl EventProbes {
     }
 }
 
+/// Installs a collecting [`InvariantObserver`] when the scenario asks for
+/// one; the handle is drained into [`RunOut::invariant_violations`].
+fn install_invariants<A: Actor>(
+    sim: &mut Sim<A>,
+    enabled: bool,
+) -> Option<Rc<RefCell<InvariantObserver>>> {
+    if !enabled {
+        return None;
+    }
+    let inv = shared(InvariantObserver::new());
+    sim.add_observer(inv.clone());
+    Some(inv)
+}
+
+fn finish_invariants(inv: Option<Rc<RefCell<InvariantObserver>>>) -> Vec<String> {
+    inv.map(|o| o.borrow().violations().to_vec())
+        .unwrap_or_default()
+}
+
 /// Everything extracted from one run.
 pub struct RunOut {
     /// Total client completions.
@@ -294,6 +368,11 @@ pub struct RunOut {
     /// Span aggregation over the event stream (`None` unless
     /// `record_events`).
     pub spans: Option<Spans>,
+    /// Safety violations collected by the [`InvariantObserver`] (empty
+    /// unless `check_invariants`).
+    pub invariant_violations: Vec<String>,
+    /// The chaos driver's applied/skipped fault log (empty without faults).
+    pub chaos_log: Vec<(SimTime, String)>,
 }
 
 impl RunOut {
@@ -417,6 +496,7 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
         sim.enable_trace();
     }
     let probes = EventProbes::install(&mut sim, sc.record_events);
+    let inv = install_invariants(&mut sim, sc.check_invariants);
     let servers = sc.server_ids();
     let genesis = StaticConfig::new(servers.clone());
     for &s in &servers {
@@ -442,7 +522,40 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
             World::admin(AdminActor::new(servers.clone(), sc.admin_script())),
         );
     }
-    sim.run_until(sc.client_start);
+    let pool = sc.chaos_pool();
+    let joiner_ids: Vec<NodeId> = sc.joiners.iter().map(|&j| NodeId(j)).collect();
+    let rebuild_tun = tun.clone();
+    let mut driver = ChaosDriver::new(
+        &sc.faults,
+        sc.chaos_scope(),
+        sc.net(),
+        |sim: &Sim<World<KvStore>>, t| {
+            if let Some(r) = resolve_common(&pool, &joiner_ids, t) {
+                return r;
+            }
+            let server = |s: NodeId| sim.actor(s).and_then(World::as_server);
+            match t {
+                FaultTarget::CurrentLeader => pool
+                    .iter()
+                    .copied()
+                    .find(|&s| server(s).map(|n| n.is_active_leader()).unwrap_or(false)),
+                FaultTarget::TransferDonor => pool
+                    .iter()
+                    .filter_map(|&s| server(s).and_then(|n| n.transfer_provider()))
+                    .next(),
+                _ => None,
+            }
+        },
+        move |sim: &Sim<World<KvStore>>, n| {
+            // A restart rebuilds the replica from its surviving stable
+            // store; a node that never anchored re-enters as a joiner.
+            World::server(
+                RsmrNode::recover(n, rebuild_tun.clone(), sim.storage(n))
+                    .unwrap_or_else(|| RsmrNode::joining(n, rebuild_tun.clone())),
+            )
+        },
+    );
+    driver.run_until(&mut sim, sc.client_start);
     for (i, &c) in sc.client_ids().iter().enumerate() {
         let mut client = RsmrClient::new(
             servers.clone(),
@@ -454,19 +567,9 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
         }
         sim.add_node_with_id(c, World::client(client));
     }
-    if let Some(at) = sc.crash_leader_at {
-        sim.run_until(at);
-        let leader = servers.iter().copied().find(|&s| {
-            sim.actor(s)
-                .and_then(World::as_server)
-                .map(|n| n.is_active_leader())
-                .unwrap_or(false)
-        });
-        if let Some(l) = leader {
-            sim.crash(l);
-        }
-    }
-    sim.run_until(sc.horizon);
+    driver.run_until(&mut sim, sc.horizon);
+    let chaos_log = driver.applied().to_vec();
+    drop(driver);
 
     let mut histories = Vec::new();
     let mut completed = 0;
@@ -502,6 +605,8 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
         event_digest,
         event_count,
         spans,
+        invariant_violations: finish_invariants(inv),
+        chaos_log,
     }
 }
 
@@ -516,6 +621,7 @@ fn run_stw(sc: &Scenario) -> RunOut {
         sim.enable_trace();
     }
     let probes = EventProbes::install(&mut sim, sc.record_events);
+    let inv = install_invariants(&mut sim, sc.check_invariants);
     let servers = sc.server_ids();
     let genesis = StaticConfig::new(servers.clone());
     for &s in &servers {
@@ -541,7 +647,34 @@ fn run_stw(sc: &Scenario) -> RunOut {
             StwWorld::Admin(AdminActor::new(servers.clone(), sc.admin_script())),
         );
     }
-    sim.run_until(sc.client_start);
+    let pool = sc.chaos_pool();
+    let joiner_ids: Vec<NodeId> = sc.joiners.iter().map(|&j| NodeId(j)).collect();
+    let rebuild_tun = tun.clone();
+    let mut driver = ChaosDriver::new(
+        &sc.faults,
+        sc.chaos_scope(),
+        sc.net(),
+        |sim: &Sim<StwWorld<KvStore>>, t| {
+            if let Some(r) = resolve_common(&pool, &joiner_ids, t) {
+                return r;
+            }
+            // Stop-the-world has no separate donor role: the sealing
+            // leader ships the snapshot, so both roles resolve to it.
+            pool.iter().copied().find(|&s| {
+                sim.actor(s)
+                    .and_then(StwWorld::as_server)
+                    .map(|n| n.is_current_leader())
+                    .unwrap_or(false)
+            })
+        },
+        // `StwNode` keeps nothing in stable storage; a restarted replica
+        // re-enters as a joiner and is re-seeded by the next epoch's
+        // snapshot broadcast.
+        move |_sim: &Sim<StwWorld<KvStore>>, n| {
+            StwWorld::Server(StwNode::joining(n, rebuild_tun.clone()))
+        },
+    );
+    driver.run_until(&mut sim, sc.client_start);
     for (i, &c) in sc.client_ids().iter().enumerate() {
         sim.add_node_with_id(
             c,
@@ -552,19 +685,9 @@ fn run_stw(sc: &Scenario) -> RunOut {
             )),
         );
     }
-    if let Some(at) = sc.crash_leader_at {
-        sim.run_until(at);
-        let leader = servers.iter().copied().find(|&s| {
-            sim.actor(s)
-                .and_then(StwWorld::as_server)
-                .map(|n| n.is_current_leader())
-                .unwrap_or(false)
-        });
-        if let Some(l) = leader {
-            sim.crash(l);
-        }
-    }
-    sim.run_until(sc.horizon);
+    driver.run_until(&mut sim, sc.horizon);
+    let chaos_log = driver.applied().to_vec();
+    drop(driver);
 
     let completed = sc
         .client_ids()
@@ -587,6 +710,8 @@ fn run_stw(sc: &Scenario) -> RunOut {
         event_digest,
         event_count,
         spans,
+        invariant_violations: finish_invariants(inv),
+        chaos_log,
     }
 }
 
@@ -601,6 +726,7 @@ fn run_raft(sc: &Scenario) -> RunOut {
         sim.enable_trace();
     }
     let probes = EventProbes::install(&mut sim, sc.record_events);
+    let inv = install_invariants(&mut sim, sc.check_invariants);
     let servers = sc.server_ids();
     let genesis = StaticConfig::new(servers.clone());
     for &s in &servers {
@@ -626,36 +752,66 @@ fn run_raft(sc: &Scenario) -> RunOut {
             RaftWorld::Admin(RaftAdmin::new(servers.clone(), sc.admin_script())),
         );
     }
-    sim.run_until(sc.client_start);
+    let pool = sc.chaos_pool();
+    let joiner_ids: Vec<NodeId> = sc.joiners.iter().map(|&j| NodeId(j)).collect();
+    let rebuild_tun = tun.clone();
+    let mut driver = ChaosDriver::new(
+        &sc.faults,
+        sc.chaos_scope(),
+        sc.net(),
+        |sim: &Sim<RaftWorld<KvStore>>, t| {
+            if let Some(r) = resolve_common(&pool, &joiner_ids, t) {
+                return r;
+            }
+            // Raft's snapshot donor *is* the leader, so both role targets
+            // resolve to it.
+            pool.iter().copied().find(|&s| {
+                sim.actor(s)
+                    .and_then(RaftWorld::as_server)
+                    .map(|n| n.core().is_leader())
+                    .unwrap_or(false)
+            })
+        },
+        // A restarted replica recovers term, vote, snapshot and log from
+        // its stable store, exactly as a real raft process restarts.
+        move |sim: &Sim<RaftWorld<KvStore>>, n| {
+            RaftWorld::Server(RaftNode::recover(n, rebuild_tun.clone(), sim.storage(n)))
+        },
+    );
+    driver.run_until(&mut sim, sc.client_start);
     for (i, &c) in sc.client_ids().iter().enumerate() {
-        sim.add_node_with_id(
-            c,
-            RaftWorld::Client(RaftClient::new(
-                servers.clone(),
-                sc.gen_for(i as u64).into_fn(),
-                sc.ops_per_client,
-            )),
+        let mut client = RaftClient::new(
+            servers.clone(),
+            sc.gen_for(i as u64).into_fn(),
+            sc.ops_per_client,
         );
+        if sc.record_history {
+            client = client.with_history();
+        }
+        sim.add_node_with_id(c, RaftWorld::Client(client));
     }
-    if let Some(at) = sc.crash_leader_at {
-        sim.run_until(at);
-        let leader = servers.iter().copied().find(|&s| {
-            sim.actor(s)
-                .and_then(RaftWorld::as_server)
-                .map(|n| n.core().is_leader())
-                .unwrap_or(false)
-        });
-        if let Some(l) = leader {
-            sim.crash(l);
+    driver.run_until(&mut sim, sc.horizon);
+    let chaos_log = driver.applied().to_vec();
+    drop(driver);
+
+    let mut histories = Vec::new();
+    let mut completed = 0;
+    for &c in &sc.client_ids() {
+        if let Some(w) = sim.actor(c) {
+            completed += w.completed();
+            if let Some(cl) = w.as_client() {
+                for (_s, op, out, invoke, response) in cl.history() {
+                    histories.push(HistoryOp {
+                        process: c.0,
+                        invoke: *invoke,
+                        response: *response,
+                        input: op.clone(),
+                        output: out.clone(),
+                    });
+                }
+            }
         }
     }
-    sim.run_until(sc.horizon);
-
-    let completed = sc
-        .client_ids()
-        .iter()
-        .filter_map(|&c| sim.actor(c).map(RaftWorld::completed))
-        .sum();
     let admin = sim
         .actor(ADMIN)
         .and_then(RaftWorld::as_admin)
@@ -667,11 +823,13 @@ fn run_raft(sc: &Scenario) -> RunOut {
         metrics: sim.metrics().clone(),
         admin,
         horizon: sc.horizon,
-        histories: Vec::new(),
+        histories,
         trace_digest: sim.trace().digest(),
         event_digest,
         event_count,
         spans,
+        invariant_violations: finish_invariants(inv),
+        chaos_log,
     }
 }
 
@@ -717,6 +875,7 @@ fn run_static(sc: &Scenario) -> RunOut {
         sim.enable_trace();
     }
     let probes = EventProbes::install(&mut sim, sc.record_events);
+    let inv = install_invariants(&mut sim, sc.check_invariants);
     let servers = sc.server_ids();
     let cfg = StaticConfig::new(servers.clone());
     for &s in &servers {
@@ -725,7 +884,33 @@ fn run_static(sc: &Scenario) -> RunOut {
             StaticWorld::Server(ReplicaActor::new(s, cfg.clone(), PaxosTunables::default())),
         );
     }
-    sim.run_until(sc.client_start);
+    let pool = servers.clone();
+    let rebuild_cfg = cfg.clone();
+    let mut driver = ChaosDriver::new(
+        &sc.faults,
+        sc.chaos_scope(),
+        sc.net(),
+        |sim: &Sim<StaticWorld>, t| {
+            if let Some(r) = resolve_common(&pool, &[], t) {
+                return r;
+            }
+            // The static block has no reconfiguration, so there is no
+            // donor; both role targets resolve to the paxos leader.
+            pool.iter().copied().find(|&s| match sim.actor(s) {
+                Some(StaticWorld::Server(a)) => a.core().is_leader(),
+                _ => false,
+            })
+        },
+        move |sim: &Sim<StaticWorld>, n| {
+            StaticWorld::Server(ReplicaActor::recover(
+                n,
+                rebuild_cfg.clone(),
+                PaxosTunables::default(),
+                sim.storage(n),
+            ))
+        },
+    );
+    driver.run_until(&mut sim, sc.client_start);
     for &c in &sc.client_ids() {
         sim.add_node_with_id(
             c,
@@ -736,7 +921,9 @@ fn run_static(sc: &Scenario) -> RunOut {
             )),
         );
     }
-    sim.run_until(sc.horizon);
+    driver.run_until(&mut sim, sc.horizon);
+    let chaos_log = driver.applied().to_vec();
+    drop(driver);
     let completed = sc
         .client_ids()
         .iter()
@@ -756,6 +943,8 @@ fn run_static(sc: &Scenario) -> RunOut {
         event_digest,
         event_count,
         spans,
+        invariant_violations: finish_invariants(inv),
+        chaos_log,
     }
 }
 

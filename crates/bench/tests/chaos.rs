@@ -1,0 +1,38 @@
+//! Tier-1 chaos sweep: every seed in a fixed set expands into a fault
+//! schedule (crashes with restart, partitions, degraded links against the
+//! leader / transfer donor / joiner) fired across a reconfiguration, and
+//! both the composed machine and the raft baseline must stay safe and
+//! live. A failing seed prints its one-command replay line.
+
+use bench::experiments::chaos_sweep::{failing_seeds, run_rows, seed_range};
+
+#[test]
+fn multi_seed_chaos_sweep_holds_safety_and_liveness() {
+    let seeds = seed_range(24, 1);
+    let rows = run_rows(&seeds);
+    let failing = failing_seeds(&rows);
+    if !failing.is_empty() {
+        for r in rows.iter().filter(|r| !r.passed()) {
+            eprintln!(
+                "seed {} on {}: completed {}/{}, {} violations, linearizable={}",
+                r.seed,
+                r.kind.name(),
+                r.completed,
+                r.expected,
+                r.invariant_violations.len(),
+                r.linearizable
+            );
+            for v in &r.invariant_violations {
+                eprintln!("  violation: {v}");
+            }
+            eprintln!("  plan: {}", r.plan);
+        }
+        for s in &failing {
+            eprintln!("replay: cargo run --release -p bench --bin exp_all -- chaos --seeds 1@{s}");
+        }
+    }
+    assert!(
+        failing.is_empty(),
+        "chaos sweep failed on seeds {failing:?}"
+    );
+}

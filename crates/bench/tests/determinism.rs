@@ -8,7 +8,7 @@
 //! trace digest — whether they execute serially or on worker threads.
 
 use bench::runner::{run, run_many, Scenario, SystemKind};
-use simnet::SimTime;
+use simnet::{ChaosGen, SimTime};
 
 /// A mid-size scenario exercising every hot path at once: elections,
 /// steady-state commits, a reconfiguration with a joiner, and client
@@ -95,6 +95,52 @@ fn parallel_driver_matches_serial_runs() {
             kind.name()
         );
         assert_eq!(s.completed, p.completed);
+    }
+}
+
+/// The scenario above, plus a seeded fault schedule (crashes with restart,
+/// partitions, degraded links against role targets). Chaos must not cost
+/// determinism: the driver resolves roles and rebuilds actors at fixed
+/// points in virtual time, so it is as replayable as the fault-free path.
+fn chaos_scenario() -> Scenario {
+    let plan =
+        ChaosGen::new(0xFA17).sample(SimTime::from_millis(300), SimTime::from_millis(1_500), 3);
+    let mut sc = scenario().with_faults(plan).checked();
+    sc.record_trace = true;
+    sc
+}
+
+#[test]
+fn chaos_runs_are_deterministic_serial_and_parallel() {
+    let serial: Vec<_> = SYSTEMS.iter().map(|&k| run(k, &chaos_scenario())).collect();
+    let jobs: Vec<(SystemKind, Scenario)> =
+        SYSTEMS.iter().map(|&k| (k, chaos_scenario())).collect();
+    let parallel = run_many(jobs);
+    for ((kind, s), p) in SYSTEMS.iter().zip(&serial).zip(&parallel) {
+        assert!(
+            !s.chaos_log.is_empty(),
+            "{}: the fault plan never fired",
+            kind.name()
+        );
+        assert_eq!(
+            s.chaos_log,
+            p.chaos_log,
+            "{}: applied faults diverge between serial and parallel runs",
+            kind.name()
+        );
+        assert_eq!(
+            (s.event_digest, s.event_count),
+            (p.event_digest, p.event_count),
+            "{}: chaos event streams diverge between serial and parallel runs",
+            kind.name()
+        );
+        assert_eq!(
+            s.metrics_fingerprint(),
+            p.metrics_fingerprint(),
+            "{}: chaos metrics diverge between serial and parallel runs",
+            kind.name()
+        );
+        assert_eq!(s.completed, p.completed, "{}", kind.name());
     }
 }
 

@@ -10,7 +10,8 @@ use std::collections::BTreeMap;
 
 use simnet::wire::{self, Wire};
 use simnet::{
-    Actor, Context, DomainEvent, Message, NodeId, SimDuration, SimTime, StableStore, Timer,
+    Actor, Context, DomainEvent, Message, NodeId, RetryBackoff, SimDuration, SimTime, StableStore,
+    Timer,
 };
 
 use crate::config::StaticConfig;
@@ -259,6 +260,7 @@ pub struct SmrClient<C: Command> {
     limit: Option<u64>,
     completed: u64,
     retransmit_after: SimDuration,
+    backoff: RetryBackoff,
 }
 
 impl<C: Command> SmrClient<C> {
@@ -279,6 +281,7 @@ impl<C: Command> SmrClient<C> {
             limit,
             completed: 0,
             retransmit_after: SimDuration::from_millis(300),
+            backoff: RetryBackoff::new(SimDuration::from_millis(300)),
         }
     }
 
@@ -295,6 +298,7 @@ impl<C: Command> SmrClient<C> {
         }
         let req_id = self.next_req;
         self.next_req += 1;
+        self.backoff.reset();
         let cmd = (self.gen)(req_id);
         self.inflight = Some((req_id, cmd.clone(), ctx.now(), ctx.now()));
         // Fresh submission only — retransmits and redirects re-send the
@@ -353,6 +357,8 @@ impl<C: Command> Actor for SmrClient<C> {
                     Some(l) if self.servers.contains(&l) => self.target = l,
                     _ => self.rotate_target(),
                 }
+                // Fresh routing information: restart the backoff.
+                self.backoff.reset();
                 self.inflight = Some((req_id, cmd.clone(), ctx.now(), first_sent));
                 ctx.send(self.target, SmrMsg::Request { req_id, cmd });
                 let _ = from;
@@ -363,7 +369,11 @@ impl<C: Command> Actor for SmrClient<C> {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, SmrMsg<C>>, _timer: Timer) {
         if let Some((req_id, cmd, sent_at, first_sent)) = self.inflight.clone() {
-            if ctx.now().since(sent_at) >= self.retransmit_after {
+            let salt = ctx.node_id().0 ^ req_id.rotate_left(20);
+            if ctx.now().since(sent_at) >= self.backoff.current_delay(salt) {
+                if self.backoff.record_attempt() {
+                    ctx.metrics().incr("client.backoff_exhausted", 1);
+                }
                 self.rotate_target();
                 ctx.metrics().incr("client.retransmits", 1);
                 self.inflight = Some((req_id, cmd.clone(), ctx.now(), first_sent));

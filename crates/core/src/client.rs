@@ -3,7 +3,7 @@
 
 use std::collections::VecDeque;
 
-use simnet::{Actor, Context, DomainEvent, NodeId, SimDuration, SimTime, Timer};
+use simnet::{Actor, Context, DomainEvent, NodeId, RetryBackoff, SimDuration, SimTime, Timer};
 
 use crate::chain::Epoch;
 use crate::messages::RsmrMsg;
@@ -25,6 +25,7 @@ pub struct RsmrClient<S: StateMachine> {
     limit: Option<u64>,
     completed: u64,
     retransmit_after: SimDuration,
+    backoff: RetryBackoff,
     last_output: Option<S::Output>,
     record_history: bool,
     history: Vec<HistoryEntry<S::Op, S::Output>>,
@@ -63,6 +64,7 @@ impl<S: StateMachine> RsmrClient<S> {
             limit,
             completed: 0,
             retransmit_after: SimDuration::from_millis(300),
+            backoff: RetryBackoff::new(SimDuration::from_millis(300)),
             last_output: None,
             record_history: false,
             history: Vec::new(),
@@ -106,6 +108,7 @@ impl<S: StateMachine> RsmrClient<S> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.backoff.reset();
         let op = (self.gen)(seq);
         self.inflight = Some(Inflight {
             seq,
@@ -212,6 +215,9 @@ impl<S: StateMachine> Actor for RsmrClient<S> {
                     Some(l) if self.servers.contains(&l) => self.target = l,
                     _ => self.rotate_target(),
                 }
+                // A redirect is fresh routing information, not a timeout:
+                // restart the backoff.
+                self.backoff.reset();
                 self.resend(ctx);
             }
             _ => {}
@@ -220,7 +226,11 @@ impl<S: StateMachine> Actor for RsmrClient<S> {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, _timer: Timer) {
         if let Some(inflight) = &self.inflight {
-            if ctx.now().since(inflight.sent_at) >= self.retransmit_after {
+            let salt = ctx.node_id().0 ^ inflight.seq.rotate_left(20);
+            if ctx.now().since(inflight.sent_at) >= self.backoff.current_delay(salt) {
+                if self.backoff.record_attempt() {
+                    ctx.metrics().incr("client.backoff_exhausted", 1);
+                }
                 self.rotate_target();
                 ctx.metrics().incr("client.retransmits", 1);
                 self.resend(ctx);

@@ -107,6 +107,21 @@ struct Closing {
     proposed_at: SimTime,
 }
 
+/// A state transfer this node is waiting on.
+///
+/// Tracks retry attempts (for exponential backoff) and every donor the node
+/// has learned about — the `Activate` sender, the successor's members, and
+/// senders of stashed building-block traffic — so a dead or partitioned
+/// donor is failed over instead of retried forever.
+#[derive(Clone, Debug)]
+struct PendingTransfer {
+    epoch: Epoch,
+    provider: NodeId,
+    last_request: SimTime,
+    attempts: u32,
+    candidates: Vec<NodeId>,
+}
+
 const KEY_BASE: &str = "base/latest";
 const BASES_KEPT: usize = 4;
 
@@ -144,8 +159,8 @@ pub struct RsmrNode<S: StateMachine> {
     /// The reconfiguration this node proposed, if unresolved.
     closing: Option<Closing>,
 
-    /// Joining-member bootstrap: `(epoch, provider, last_request_time)`.
-    pending_transfer: Option<(Epoch, NodeId, SimTime)>,
+    /// Joining-member bootstrap / catch-up transfer in flight.
+    pending_transfer: Option<PendingTransfer>,
 
     /// Building-block messages for epochs whose instance does not exist
     /// here yet (e.g. a speculative successor's `Prepare` racing ahead of
@@ -153,6 +168,13 @@ pub struct RsmrNode<S: StateMachine> {
     /// creation — without this, the speculative handoff's first campaign
     /// can be lost and leadership waits out a full election timeout.
     stashed: BTreeMap<Epoch, Stash<S::Op>>,
+
+    /// When each stash first received a message. A stash that *ages* —
+    /// traffic keeps arriving for an epoch this node cannot reach locally —
+    /// is the signature of a replica that restarted (or fell) behind the
+    /// cluster: the tick loop then requests a state transfer from one of
+    /// the stashed senders instead of stalling forever.
+    stash_since: BTreeMap<Epoch, SimTime>,
 
     /// Leader-side batch accumulator (when `batch_size > 0`).
     batch_buf: Vec<(NodeId, u64, S::Op)>,
@@ -198,6 +220,7 @@ impl<S: StateMachine> RsmrNode<S> {
             closing: None,
             pending_transfer: None,
             stashed: BTreeMap::new(),
+            stash_since: BTreeMap::new(),
             batch_buf: Vec::new(),
             applied_count: 0,
             commit_seen_epoch: None,
@@ -243,6 +266,7 @@ impl<S: StateMachine> RsmrNode<S> {
             closing: None,
             pending_transfer: None,
             stashed: BTreeMap::new(),
+            stash_since: BTreeMap::new(),
             batch_buf: Vec::new(),
             applied_count: 0,
             commit_seen_epoch: None,
@@ -277,6 +301,7 @@ impl<S: StateMachine> RsmrNode<S> {
             closing: None,
             pending_transfer: None,
             stashed: BTreeMap::new(),
+            stash_since: BTreeMap::new(),
             batch_buf: Vec::new(),
             applied_count: 0,
             commit_seen_epoch: None,
@@ -359,6 +384,12 @@ impl<S: StateMachine> RsmrNode<S> {
     /// The client session table.
     pub fn sessions(&self) -> &SessionTable<S::Output> {
         &self.sessions
+    }
+
+    /// The donor a pending state transfer is currently aimed at, if any.
+    /// Chaos harnesses use this to resolve the "transfer donor" fault role.
+    pub fn transfer_provider(&self) -> Option<NodeId> {
+        self.pending_transfer.as_ref().map(|pt| pt.provider)
     }
 
     // --- Internals --------------------------------------------------------
@@ -773,6 +804,7 @@ impl<S: StateMachine> RsmrNode<S> {
         );
         ctx.metrics().incr("rsmr.instances_created", 1);
         // Replay protocol messages that arrived before the instance did.
+        self.stash_since.remove(&epoch);
         if let Some(stash) = self.stashed.remove(&epoch) {
             for (from, inner) in stash {
                 if let Some(inst) = self.instances.get_mut(&epoch) {
@@ -1056,7 +1088,7 @@ impl<S: StateMachine> RsmrNode<S> {
                     } else if epoch > chain.latest_epoch() {
                         // Too far behind to extend the chain contiguously:
                         // jump via state transfer.
-                        self.request_transfer(ctx, epoch, from);
+                        self.request_transfer(ctx, epoch, from, cfg.members());
                         return;
                     } else {
                         return; // stale activate for an old epoch
@@ -1072,7 +1104,7 @@ impl<S: StateMachine> RsmrNode<S> {
                 // A joining member: participate immediately (buffer
                 // commits), pull the base state.
                 self.ensure_instance(ctx, epoch, &cfg);
-                self.request_transfer(ctx, epoch, from);
+                self.request_transfer(ctx, epoch, from, cfg.members());
             }
         }
     }
@@ -1082,6 +1114,7 @@ impl<S: StateMachine> RsmrNode<S> {
         ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
         epoch: Epoch,
         provider: NodeId,
+        candidates: &[NodeId],
     ) {
         // Never regress: only transfer forward of the current anchor.
         if let Some(anchor) = self.anchor {
@@ -1089,11 +1122,33 @@ impl<S: StateMachine> RsmrNode<S> {
                 return;
             }
         }
-        match self.pending_transfer {
-            Some((e, _, _)) if e > epoch => return,
-            _ => {}
+        if let Some(pt) = &mut self.pending_transfer {
+            if pt.epoch > epoch {
+                return;
+            }
+            if pt.epoch == epoch {
+                // Already in flight: widen the donor pool, keep the timer.
+                for &c in candidates.iter().chain(std::iter::once(&provider)) {
+                    if c != self.me && !pt.candidates.contains(&c) {
+                        pt.candidates.push(c);
+                    }
+                }
+                return;
+            }
         }
-        self.pending_transfer = Some((epoch, provider, ctx.now()));
+        let mut pool: Vec<NodeId> = Vec::new();
+        for &c in std::iter::once(&provider).chain(candidates.iter()) {
+            if c != self.me && !pool.contains(&c) {
+                pool.push(c);
+            }
+        }
+        self.pending_transfer = Some(PendingTransfer {
+            epoch,
+            provider,
+            last_request: ctx.now(),
+            attempts: 0,
+            candidates: pool,
+        });
         ctx.metrics().incr("rsmr.transfer_requests", 1);
         ctx.emit_event(DomainEvent::TransferRequested {
             epoch: epoch.0,
@@ -1128,10 +1183,10 @@ impl<S: StateMachine> RsmrNode<S> {
         epoch: Epoch,
         base: Option<Vec<u8>>,
     ) {
-        let Some((pending_epoch, _, _)) = self.pending_transfer else {
+        let Some(pt) = &self.pending_transfer else {
             return;
         };
-        if pending_epoch != epoch {
+        if pt.epoch != epoch {
             return;
         }
         let Some(bytes) = base else {
@@ -1235,15 +1290,57 @@ impl<S: StateMachine> RsmrNode<S> {
         // Drop stashes for epochs that can no longer matter.
         if let Some(anchor) = self.anchor {
             self.stashed.retain(|&e, _| e >= anchor.epoch);
+            self.stash_since.retain(|&e, _| e >= anchor.epoch);
         }
 
-        // Retry a pending state transfer, rotating providers.
-        if let Some((epoch, provider, last)) = self.pending_transfer {
-            if now.since(last) >= self.tun.transfer_retry {
-                let next_provider = self.pick_transfer_provider(epoch, provider);
-                self.pending_transfer = Some((epoch, next_provider, now));
+        // A stash that keeps aging means the cluster moved past this
+        // replica while it was down (or it rejoined blank): peers are
+        // running an epoch we cannot reach through the local chain. Pull a
+        // base state from one of the stashed senders instead of waiting for
+        // an `Activate` that already went by.
+        let reachable = self.chain.as_ref().map(|c| c.latest_epoch());
+        let aged: Option<Epoch> = self
+            .stash_since
+            .iter()
+            .filter(|&(&e, &since)| {
+                now.since(since) >= self.tun.transfer_retry * 2
+                    && reachable.map(|r| e > r).unwrap_or(true)
+                    && self
+                        .pending_transfer
+                        .as_ref()
+                        .map(|pt| pt.epoch < e)
+                        .unwrap_or(true)
+            })
+            .map(|(&e, _)| e)
+            .next_back();
+        if let Some(epoch) = aged {
+            let senders: Vec<NodeId> = self
+                .stashed
+                .get(&epoch)
+                .map(|s| s.iter().map(|(from, _)| *from).collect())
+                .unwrap_or_default();
+            if let Some(&first) = senders.first() {
+                ctx.metrics().incr("rsmr.stash_aged_transfers", 1);
+                ctx.trace(|| format!("stash for {epoch} aged; pulling base from {first}"));
+                self.request_transfer(ctx, epoch, first, &senders);
+            }
+        }
+
+        // Retry a pending state transfer with exponential backoff, rotating
+        // to an alternate donor each attempt so a crashed or partitioned
+        // provider cannot stall the join forever.
+        if let Some(pt) = self.pending_transfer.clone() {
+            let delay = self.tun.transfer_retry * (1u64 << pt.attempts.min(3));
+            if now.since(pt.last_request) >= delay {
+                let next_provider = self.pick_transfer_provider(&pt);
+                self.pending_transfer = Some(PendingTransfer {
+                    provider: next_provider,
+                    last_request: now,
+                    attempts: pt.attempts.saturating_add(1),
+                    ..pt
+                });
                 ctx.metrics().incr("rsmr.transfer_retries", 1);
-                ctx.send(next_provider, RsmrMsg::TransferRequest { epoch });
+                ctx.send(next_provider, RsmrMsg::TransferRequest { epoch: pt.epoch });
             }
         }
 
@@ -1282,22 +1379,30 @@ impl<S: StateMachine> RsmrNode<S> {
         }
     }
 
-    fn pick_transfer_provider(&mut self, epoch: Epoch, previous: NodeId) -> NodeId {
-        // Rotate deterministically through the successor's member set (any
-        // finalized member can serve); fall back to the previous provider.
-        let members: Vec<NodeId> = self
+    fn pick_transfer_provider(&mut self, pt: &PendingTransfer) -> NodeId {
+        // Rotate deterministically through every donor we know about: the
+        // target epoch's member set (any finalized member can serve) plus
+        // the accumulated candidates (Activate sender, successor members,
+        // stashed-traffic senders). A blank joiner whose sole announced
+        // donor crashed or got partitioned fails over to the others.
+        let mut pool: Vec<NodeId> = self
             .chain
             .as_ref()
-            .and_then(|c| c.config(epoch))
+            .and_then(|c| c.config(pt.epoch))
             .map(|c| c.peers(self.me))
             .unwrap_or_default();
-        if members.is_empty() {
-            return previous;
+        for &c in &pt.candidates {
+            if c != self.me && !pool.contains(&c) {
+                pool.push(c);
+            }
         }
-        let idx = members.iter().position(|&m| m == previous);
+        if pool.is_empty() {
+            return pt.provider;
+        }
+        let idx = pool.iter().position(|&m| m == pt.provider);
         match idx {
-            Some(i) => members[(i + 1) % members.len()],
-            None => members[0],
+            Some(i) => pool[(i + 1) % pool.len()],
+            None => pool[0],
         }
     }
 }
@@ -1361,6 +1466,7 @@ impl<S: StateMachine> Actor for RsmrNode<S> {
                         let stash = self.stashed.entry(epoch).or_default();
                         if stash.len() < 256 {
                             stash.push((from, inner));
+                            self.stash_since.entry(epoch).or_insert_with(|| ctx.now());
                             ctx.metrics().incr("rsmr.stashed_paxos", 1);
                         } else {
                             ctx.metrics().incr("rsmr.unroutable_paxos", 1);

@@ -168,6 +168,73 @@ fn racing_admins_yield_a_linear_configuration_chain() {
     );
 }
 
+/// Donor failover: the joiner's *sole original* transfer donor is cut off
+/// for the entire handoff window, and the joiner must still anchor the new
+/// epoch by retrying against an alternate donor — the handoff never pins
+/// itself to one provider.
+#[test]
+fn joiner_anchors_despite_its_original_donor_partitioned_all_window() {
+    let (mut sim, servers) = world(7, 3, NetConfig::lan());
+    sim.add_node_with_id(
+        NodeId(3),
+        World::server(RsmrNode::joining(NodeId(3), RsmrTunables::default())),
+    );
+    let client = NodeId(100);
+    sim.add_node_with_id(
+        client,
+        World::client(RsmrClient::new(servers.clone(), |_| 1, Some(300))),
+    );
+    sim.add_node_with_id(
+        ADMIN,
+        World::admin(AdminActor::new(
+            servers,
+            vec![(
+                SimTime::from_millis(400),
+                vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            )],
+        )),
+    );
+    // Advance in small steps until the joiner has picked its donor.
+    sim.run_for(SimDuration::from_millis(399));
+    let donor = loop {
+        assert!(
+            sim.now() < SimTime::from_millis(600),
+            "joiner never started its transfer"
+        );
+        let provider = sim
+            .actor(NodeId(3))
+            .and_then(|w| w.as_server())
+            .and_then(|n| n.transfer_provider());
+        if let Some(p) = provider {
+            break p;
+        }
+        sim.run_for(SimDuration::from_micros(20));
+    };
+    // Cut the donor off from everyone for the whole remaining window.
+    let others: Vec<NodeId> = (0..4)
+        .map(NodeId)
+        .filter(|&n| n != donor)
+        .chain([client, ADMIN])
+        .collect();
+    sim.partition(&[donor], &others);
+    sim.run_for(SimDuration::from_secs(10));
+    // Still partitioned: the joiner anchored through an alternate donor.
+    let joiner = sim.actor(NodeId(3)).unwrap().as_server().unwrap();
+    assert_eq!(
+        joiner.anchored_epoch(),
+        Some(Epoch(1)),
+        "failover to an alternate donor must complete the handoff"
+    );
+    let admin = sim.actor(ADMIN).unwrap().as_admin().unwrap();
+    assert_eq!(admin.results().len(), 1);
+    // After healing, the cut donor catches up and the workload finishes.
+    sim.heal_all();
+    sim.run_for(SimDuration::from_secs(30));
+    assert_eq!(sim.actor(client).unwrap().completed(), 300);
+    let s = sim.actor(donor).unwrap().as_server().unwrap();
+    assert_eq!(s.anchored_epoch(), Some(Epoch(1)));
+}
+
 /// Random churn schedules preserve exactly-once application: the counter's
 /// final value equals the number of completed increments. Cases are drawn
 /// from a seeded generator so every failure is reproducible.

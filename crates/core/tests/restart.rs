@@ -1,0 +1,192 @@
+//! Crash/restart paths through the stable store: replicas recover with
+//! [`RsmrNode::recover`] from what they persisted, mid-handoff and across
+//! repeated failures, without double-applying client work.
+
+use consensus::StaticConfig;
+use rsmr_core::harness::World;
+use rsmr_core::{AdminActor, CounterSm, Epoch, RsmrClient, RsmrNode, RsmrTunables};
+use simnet::{NetConfig, NodeId, Sim, SimDuration, SimTime};
+
+const ADMIN: NodeId = NodeId(99);
+const CLIENT: NodeId = NodeId(100);
+const OPS: u64 = 300;
+
+/// 3 genesis servers, one joiner (node 3), a 300-op client and an admin
+/// that widens the configuration to all four at `reconfig_at`.
+fn reconfig_world(seed: u64, reconfig_at: SimTime) -> (Sim<World<CounterSm>>, Vec<NodeId>) {
+    let mut sim: Sim<World<CounterSm>> = Sim::new(seed, NetConfig::lan());
+    let servers: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let genesis = StaticConfig::new(servers.clone());
+    for &s in &servers {
+        sim.add_node_with_id(
+            s,
+            World::server(RsmrNode::genesis(
+                s,
+                genesis.clone(),
+                RsmrTunables::default(),
+            )),
+        );
+    }
+    sim.add_node_with_id(
+        NodeId(3),
+        World::server(RsmrNode::joining(NodeId(3), RsmrTunables::default())),
+    );
+    sim.add_node_with_id(
+        CLIENT,
+        World::client(RsmrClient::new(servers.clone(), |_| 1, Some(OPS))),
+    );
+    sim.add_node_with_id(
+        ADMIN,
+        World::admin(AdminActor::new(
+            servers.clone(),
+            vec![(
+                reconfig_at,
+                vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            )],
+        )),
+    );
+    (sim, servers)
+}
+
+/// Recovers `id` from its surviving stable store and restarts it.
+fn recover_and_restart(sim: &mut Sim<World<CounterSm>>, id: NodeId) {
+    let node = RsmrNode::<CounterSm>::recover(id, RsmrTunables::default(), sim.storage(id))
+        .expect("a genesis member always has a persisted base");
+    sim.restart(id, World::server(node));
+}
+
+/// Advances the sim in 200µs steps until `probe` is true, or panics after
+/// `limit`. Returns the time at which the probe first held.
+fn run_until_probe(
+    sim: &mut Sim<World<CounterSm>>,
+    limit: SimTime,
+    what: &str,
+    probe: impl Fn(&Sim<World<CounterSm>>) -> bool,
+) -> SimTime {
+    while !probe(sim) {
+        assert!(sim.now() < limit, "never observed: {what}");
+        sim.run_for(SimDuration::from_micros(200));
+    }
+    sim.now()
+}
+
+#[test]
+fn restart_mid_transfer_recovers_from_the_stable_store() {
+    let reconfig_at = SimTime::from_millis(400);
+    let (mut sim, _servers) = reconfig_world(11, reconfig_at);
+    sim.run_for(SimDuration::from_millis(399));
+    // Wait for the joiner's state transfer to be in flight.
+    run_until_probe(
+        &mut sim,
+        SimTime::from_millis(600),
+        "joiner mid-transfer",
+        |s| {
+            s.actor(NodeId(3))
+                .and_then(|w| w.as_server())
+                .and_then(|n| n.transfer_provider())
+                .is_some()
+        },
+    );
+    // Crash a member that is not the donor, while the handoff is running.
+    let donor = sim
+        .actor(NodeId(3))
+        .unwrap()
+        .as_server()
+        .unwrap()
+        .transfer_provider()
+        .unwrap();
+    let victim = (0..3).map(NodeId).find(|&n| n != donor).unwrap();
+    sim.crash(victim);
+    sim.run_for(SimDuration::from_millis(50));
+    recover_and_restart(&mut sim, victim);
+    sim.run_for(SimDuration::from_secs(40));
+
+    assert_eq!(sim.actor(CLIENT).unwrap().completed(), OPS);
+    let admin = sim.actor(ADMIN).unwrap().as_admin().unwrap();
+    assert_eq!(admin.results().len(), 1, "reconfig must complete");
+    for id in [victim, NodeId(3)] {
+        let s = sim.actor(id).unwrap().as_server().unwrap();
+        assert_eq!(s.anchored_epoch(), Some(Epoch(1)), "{id}");
+        assert_eq!(s.state_machine().value(), OPS, "{id} replays exactly once");
+    }
+}
+
+#[test]
+fn restart_with_an_epoch_sealed_but_not_anchored_catches_up() {
+    let reconfig_at = SimTime::from_millis(400);
+    let (mut sim, _servers) = reconfig_world(12, reconfig_at);
+    sim.run_for(SimDuration::from_millis(399));
+    // Wait for a genesis member that has sealed epoch 0 (it already runs an
+    // epoch-1 instance) but has not yet anchored epoch 1.
+    run_until_probe(
+        &mut sim,
+        SimTime::from_millis(600),
+        "a member with epoch 0 sealed and epoch 1 unanchored",
+        |s| {
+            (0..3).map(NodeId).any(|n| {
+                let node = s.actor(n).and_then(|w| w.as_server());
+                node.is_some_and(|node| {
+                    node.active_epoch() == Some(Epoch(1)) && node.anchored_epoch() == Some(Epoch(0))
+                })
+            })
+        },
+    );
+    let victim = (0..3)
+        .map(NodeId)
+        .find(|&n| {
+            let node = sim.actor(n).unwrap().as_server().unwrap();
+            node.active_epoch() == Some(Epoch(1)) && node.anchored_epoch() == Some(Epoch(0))
+        })
+        .unwrap();
+    sim.crash(victim);
+    sim.run_for(SimDuration::from_millis(50));
+    recover_and_restart(&mut sim, victim);
+    // Its store still anchors epoch 0 — it must re-learn the seal and move
+    // its anchor forward, not re-serve the stale configuration.
+    sim.run_for(SimDuration::from_secs(40));
+
+    assert_eq!(sim.actor(CLIENT).unwrap().completed(), OPS);
+    let s = sim.actor(victim).unwrap().as_server().unwrap();
+    assert_eq!(s.anchored_epoch(), Some(Epoch(1)));
+    assert_eq!(s.state_machine().value(), OPS);
+}
+
+#[test]
+fn double_restart_within_one_epoch_preserves_exactly_once() {
+    let mut sim: Sim<World<CounterSm>> = Sim::new(13, NetConfig::lan());
+    let servers: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let genesis = StaticConfig::new(servers.clone());
+    for &s in &servers {
+        sim.add_node_with_id(
+            s,
+            World::server(RsmrNode::genesis(
+                s,
+                genesis.clone(),
+                RsmrTunables::default(),
+            )),
+        );
+    }
+    sim.add_node_with_id(
+        CLIENT,
+        World::client(RsmrClient::new(servers, |_| 1, Some(OPS))),
+    );
+    let victim = NodeId(2);
+    sim.run_for(SimDuration::from_millis(150));
+    sim.crash(victim);
+    sim.run_for(SimDuration::from_millis(100));
+    recover_and_restart(&mut sim, victim);
+    sim.run_for(SimDuration::from_millis(200));
+    sim.crash(victim);
+    sim.run_for(SimDuration::from_millis(100));
+    recover_and_restart(&mut sim, victim);
+    sim.run_for(SimDuration::from_secs(30));
+
+    assert_eq!(sim.actor(CLIENT).unwrap().completed(), OPS);
+    let s = sim.actor(victim).unwrap().as_server().unwrap();
+    assert_eq!(s.anchored_epoch(), Some(Epoch(0)), "no epoch ever changed");
+    assert_eq!(
+        s.state_machine().value(),
+        OPS,
+        "two replays from the store must not double-apply"
+    );
+}

@@ -1,0 +1,144 @@
+//! Deterministic client retry backoff.
+//!
+//! The session clients (RSMR, static SMR, Raft) all follow the same
+//! retransmit discipline: one request in flight, resend to a rotated
+//! target when no reply arrives in time. A fixed retry interval keeps the
+//! whole client population hammering a partitioned or recovering cluster
+//! in lockstep; [`RetryBackoff`] replaces it with an exponential delay
+//! (capped at `base << max_shift`) plus a *hash-based* jitter — the jitter
+//! is a pure function of a caller-supplied salt, so it spreads clients
+//! without consuming any simulation RNG stream, keeping runs replayable.
+//!
+//! After a fixed number of consecutive failures the backoff
+//! reports *exhaustion* exactly once (callers surface it as the
+//! `client.backoff_exhausted` metric) but keeps allowing retries at the
+//! ceiling delay — a stuck request should be visible, not abandoned, since
+//! the fault windows in chaos runs eventually heal.
+
+use crate::time::SimDuration;
+
+/// Exponential retry state for a single in-flight request.
+#[derive(Clone, Debug)]
+pub struct RetryBackoff {
+    base: SimDuration,
+    max_shift: u32,
+    max_attempts: u32,
+    attempts: u32,
+    exhausted_reported: bool,
+}
+
+impl RetryBackoff {
+    /// A backoff starting at `base`, doubling per attempt up to
+    /// `base * 8`, reporting exhaustion after 8 attempts.
+    pub fn new(base: SimDuration) -> Self {
+        RetryBackoff {
+            base,
+            max_shift: 3,
+            max_attempts: 8,
+            attempts: 0,
+            exhausted_reported: false,
+        }
+    }
+
+    /// The base (first-attempt) delay.
+    pub fn base(&self) -> SimDuration {
+        self.base
+    }
+
+    /// Consecutive failed attempts since the last [`reset`](Self::reset).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The delay to wait before the next retry: `base << min(attempts,
+    /// max_shift)` plus a deterministic jitter of up to a quarter of the
+    /// base interval, derived from `salt` (callers mix in their node id
+    /// and request sequence number).
+    pub fn current_delay(&self, salt: u64) -> SimDuration {
+        let shifted = self.base * (1u64 << self.attempts.min(self.max_shift));
+        let span = (self.base.as_micros() / 4).max(1);
+        let jitter = mix64(salt ^ ((self.attempts as u64) << 56)) % span;
+        shifted + SimDuration::from_micros(jitter)
+    }
+
+    /// Records a retry. Returns `true` exactly once, when the attempt
+    /// count first reaches the exhaustion threshold.
+    pub fn record_attempt(&mut self) -> bool {
+        self.attempts = self.attempts.saturating_add(1);
+        if self.attempts >= self.max_attempts && !self.exhausted_reported {
+            self.exhausted_reported = true;
+            return true;
+        }
+        false
+    }
+
+    /// Clears the attempt count (a reply or redirect arrived).
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+        self.exhausted_reported = false;
+    }
+}
+
+/// A fixed 64-bit finalizer (splitmix64's): good avalanche, no state.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_doubles_then_plateaus() {
+        let mut b = RetryBackoff::new(SimDuration::from_millis(300));
+        let d0 = b.current_delay(7);
+        b.record_attempt();
+        let d1 = b.current_delay(7);
+        b.record_attempt();
+        let d2 = b.current_delay(7);
+        b.record_attempt();
+        let d3 = b.current_delay(7);
+        b.record_attempt();
+        let d4 = b.current_delay(7);
+        assert!(d0 >= SimDuration::from_millis(300) && d0 < SimDuration::from_millis(375));
+        assert!(d1 >= SimDuration::from_millis(600) && d1 < SimDuration::from_millis(675));
+        assert!(d2 >= SimDuration::from_millis(1200));
+        assert!(d3 >= SimDuration::from_millis(2400));
+        // Ceiling: the shift stops at 3 even as attempts keep growing.
+        assert!(d4 < SimDuration::from_millis(2475));
+    }
+
+    #[test]
+    fn exhaustion_reports_exactly_once_and_resets() {
+        let mut b = RetryBackoff::new(SimDuration::from_millis(300));
+        let mut reports = 0;
+        for _ in 0..20 {
+            if b.record_attempt() {
+                reports += 1;
+            }
+        }
+        assert_eq!(reports, 1);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        let mut again = 0;
+        for _ in 0..20 {
+            if b.record_attempt() {
+                again += 1;
+            }
+        }
+        assert_eq!(again, 1);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_salt_dependent() {
+        let b = RetryBackoff::new(SimDuration::from_millis(300));
+        assert_eq!(b.current_delay(1), b.current_delay(1));
+        // Different salts usually land on different delays (spread).
+        let distinct: std::collections::BTreeSet<_> =
+            (0..16u64).map(|s| b.current_delay(s).as_micros()).collect();
+        assert!(distinct.len() > 8);
+    }
+}

@@ -1,0 +1,683 @@
+//! Deterministic fault injection: declarative fault plans, a seeded chaos
+//! generator, and a driver that applies plans to a running [`Sim`].
+//!
+//! A [`FaultPlan`] is pure data: a schedule of crash/restart, partition/heal
+//! and link-degradation windows, each aimed at a [`FaultTarget`]. Targets
+//! may be concrete node ids or *roles* ("the current leader", "the transfer
+//! donor", "the joiner") that the harness resolves at fire time, so one plan
+//! applies to any system under test. [`ChaosGen`] samples random plans from
+//! a seeded [`SimRng`], which makes every chaos run a replayable seed: a
+//! failure reproduces from `(scenario, chaos seed)` alone.
+//!
+//! [`ChaosDriver`] executes a plan against a [`Sim`]: it advances virtual
+//! time to each fault, resolves the target through a harness-supplied
+//! closure, applies the fault through the simulator's own fault API
+//! ([`Sim::crash`], [`Sim::block_link`], [`Sim::set_link`]), and schedules
+//! the matching cure (restart, heal, clear) as a follow-up action. Crashed
+//! nodes are rebuilt through a second closure — the *restart factory* —
+//! which recovers the actor from its surviving [`StableStore`], exactly as
+//! a real process restarts from disk.
+//!
+//! Everything here is deterministic: resolution is a pure function of sim
+//! state, actions are totally ordered by `(time, insertion seq)`, and the
+//! generator consumes only its own RNG.
+//!
+//! [`StableStore`]: crate::StableStore
+
+use std::collections::BTreeMap;
+
+use crate::actor::Actor;
+use crate::net::NetConfig;
+use crate::rng::SimRng;
+use crate::sim::{NodeId, Sim};
+use crate::time::{SimDuration, SimTime};
+
+/// Who a fault hits. Role targets are resolved by the harness when the
+/// fault fires, against the live simulation state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// A specific node id.
+    Node(NodeId),
+    /// The `k % n`-th of the harness's `n` server nodes (joiners included).
+    /// Lets a seeded generator pick "some server" without knowing ids.
+    ServerIdx(u64),
+    /// Whoever leads the active consensus instance at fire time.
+    CurrentLeader,
+    /// The node serving (or about to serve) a state transfer.
+    TransferDonor,
+    /// The first configured joiner.
+    Joiner,
+}
+
+impl std::fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultTarget::Node(n) => write!(f, "{n}"),
+            FaultTarget::ServerIdx(k) => write!(f, "server#{k}"),
+            FaultTarget::CurrentLeader => write!(f, "leader"),
+            FaultTarget::TransferDonor => write!(f, "donor"),
+            FaultTarget::Joiner => write!(f, "joiner"),
+        }
+    }
+}
+
+/// What happens to the target.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Crash the node. With `restart_after` set, the harness's restart
+    /// factory rebuilds it from stable storage after that delay; `None`
+    /// leaves it down for the rest of the run.
+    Crash {
+        /// Delay until the restart, `None` = never.
+        restart_after: Option<SimDuration>,
+    },
+    /// Isolate the target from every other node for the window.
+    Partition {
+        /// How long the target stays cut off.
+        heal_after: SimDuration,
+    },
+    /// Degrade every link of the target (loss, duplication, extra delay)
+    /// for the window.
+    Degrade {
+        /// Probability each message on the link is dropped.
+        drop_rate: f64,
+        /// Probability each message on the link is duplicated.
+        duplicate_rate: f64,
+        /// Added one-way delay on the link.
+        extra_delay: SimDuration,
+        /// How long the degradation lasts.
+        heal_after: SimDuration,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual time at which the fault fires.
+    pub at: SimTime,
+    /// Who it hits (resolved at fire time for role targets).
+    pub target: FaultTarget,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// When this fault's effect is fully cured (restart or heal). A crash
+    /// without a restart never cures; its fire time is returned.
+    fn cured_at(&self) -> SimTime {
+        match self.kind {
+            FaultKind::Crash { restart_after } => {
+                self.at + restart_after.unwrap_or(SimDuration::ZERO)
+            }
+            FaultKind::Partition { heal_after } => self.at + heal_after,
+            FaultKind::Degrade { heal_after, .. } => self.at + heal_after,
+        }
+    }
+}
+
+/// A declarative, deterministic schedule of faults. Pure data: apply it
+/// with a [`ChaosDriver`], or build scenarios around it by hand.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled faults (any order; the driver sorts by fire time).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds a crash (with optional restart), builder-style.
+    pub fn crash_at(
+        mut self,
+        at: SimTime,
+        target: FaultTarget,
+        restart_after: Option<SimDuration>,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            target,
+            kind: FaultKind::Crash { restart_after },
+        });
+        self
+    }
+
+    /// Adds a full isolation window, builder-style.
+    pub fn partition_at(
+        mut self,
+        at: SimTime,
+        target: FaultTarget,
+        heal_after: SimDuration,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            target,
+            kind: FaultKind::Partition { heal_after },
+        });
+        self
+    }
+
+    /// Adds a link-degradation window, builder-style.
+    pub fn degrade_at(
+        mut self,
+        at: SimTime,
+        target: FaultTarget,
+        drop_rate: f64,
+        duplicate_rate: f64,
+        extra_delay: SimDuration,
+        heal_after: SimDuration,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            target,
+            kind: FaultKind::Degrade {
+                drop_rate,
+                duplicate_rate,
+                extra_delay,
+                heal_after,
+            },
+        });
+        self
+    }
+
+    /// The time by which every fault in the plan has been cured (every
+    /// crashed node restarted, every window closed). Crashes without a
+    /// restart count as cured at their fire time — the cluster is expected
+    /// to survive them on the remaining nodes.
+    pub fn healed_by(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(FaultEvent::cured_at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The events sorted by fire time (stable, so same-time events keep
+    /// their plan order).
+    pub fn sorted(&self) -> Vec<FaultEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.at);
+        evs
+    }
+
+    /// A compact human-readable description, used in replay logs.
+    pub fn describe(&self) -> String {
+        let parts: Vec<String> = self
+            .sorted()
+            .iter()
+            .map(|e| {
+                let what = match e.kind {
+                    FaultKind::Crash {
+                        restart_after: Some(d),
+                    } => format!("crash+restart@{d}"),
+                    FaultKind::Crash {
+                        restart_after: None,
+                    } => "crash".to_owned(),
+                    FaultKind::Partition { heal_after } => format!("partition@{heal_after}"),
+                    FaultKind::Degrade {
+                        drop_rate,
+                        heal_after,
+                        ..
+                    } => format!("degrade(p={drop_rate:.2})@{heal_after}"),
+                };
+                format!("[{} {} {}]", e.at, e.target, what)
+            })
+            .collect();
+        parts.join(" ")
+    }
+}
+
+/// Seeded sampler of random-but-replayable fault plans.
+///
+/// Two generators with the same seed produce identical plans, so a failing
+/// chaos run is fully described by its seed.
+pub struct ChaosGen {
+    rng: SimRng,
+}
+
+impl ChaosGen {
+    /// A generator producing the deterministic plan sequence for `seed`.
+    pub fn new(seed: u64) -> Self {
+        ChaosGen {
+            rng: SimRng::seed_from_u64(seed ^ 0xC4A0_5FA0_17AD_D00D),
+        }
+    }
+
+    /// Samples a plan of `n_faults` events, each firing in `[from, until)`,
+    /// mixing crashes (always with a restart), partitions and degradation
+    /// windows over role and indexed-server targets.
+    pub fn sample(&mut self, from: SimTime, until: SimTime, n_faults: usize) -> FaultPlan {
+        let span = until.since(from).as_micros().max(1);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n_faults {
+            let at = from + SimDuration::from_micros(self.rng.gen_range(0..span));
+            let target = match self.rng.gen_range(0..10u32) {
+                0..=2 => FaultTarget::CurrentLeader,
+                3..=4 => FaultTarget::TransferDonor,
+                5..=6 => FaultTarget::Joiner,
+                _ => FaultTarget::ServerIdx(self.rng.next_u64()),
+            };
+            let kind = match self.rng.gen_range(0..10u32) {
+                0..=3 => FaultKind::Crash {
+                    restart_after: Some(SimDuration::from_micros(
+                        self.rng.gen_range(100_000..600_000u64),
+                    )),
+                },
+                4..=7 => FaultKind::Partition {
+                    heal_after: SimDuration::from_micros(self.rng.gen_range(100_000..400_000u64)),
+                },
+                _ => FaultKind::Degrade {
+                    drop_rate: 0.1 + 0.4 * self.rng.next_f64(),
+                    duplicate_rate: 0.2 * self.rng.next_f64(),
+                    extra_delay: SimDuration::from_micros(self.rng.gen_range(0..20_000u64)),
+                    heal_after: SimDuration::from_micros(self.rng.gen_range(100_000..400_000u64)),
+                },
+            };
+            plan.events.push(FaultEvent { at, target, kind });
+        }
+        plan.events.sort_by_key(|e| e.at);
+        plan
+    }
+}
+
+/// A scheduled driver action: fire a plan event, or cure an applied fault.
+#[derive(Debug)]
+enum Action {
+    Fire(FaultEvent),
+    Restart(NodeId),
+    HealPartition(NodeId),
+    ClearDegrade(NodeId),
+}
+
+/// Applies a [`FaultPlan`] to a [`Sim`], resolving role targets and
+/// rebuilding crashed actors through harness-supplied hooks.
+///
+/// `resolve` maps a [`FaultTarget`] to a live node (returning `None` skips
+/// the event — e.g. no leader exists at that instant). `rebuild`
+/// reconstructs a crashed node's actor from the simulation (typically from
+/// [`Sim::storage`]). Both are called at deterministic points, so a driven
+/// run remains a pure function of `(actors, seed, plan)`.
+pub struct ChaosDriver<'h, A: Actor> {
+    /// Pending actions ordered by `(time, seq)`; `seq` breaks ties by
+    /// insertion order.
+    queue: Vec<(SimTime, u64, Action)>,
+    next_seq: u64,
+    /// Every node the harness wants isolated targets cut off from.
+    scope: Vec<NodeId>,
+    /// Reference-counted severed pairs, so overlapping partitions heal
+    /// correctly (a pair reopens only when its last partition lifts).
+    cuts: BTreeMap<(NodeId, NodeId), u32>,
+    /// Reference-counted degraded pairs (last clear removes the override).
+    degrades: BTreeMap<(NodeId, NodeId), u32>,
+    /// Base link config degraded windows derive from.
+    base_net: NetConfig,
+    #[allow(clippy::type_complexity)]
+    resolve: Box<dyn FnMut(&Sim<A>, &FaultTarget) -> Option<NodeId> + 'h>,
+    #[allow(clippy::type_complexity)]
+    rebuild: Box<dyn FnMut(&Sim<A>, NodeId) -> A + 'h>,
+    /// Log of applied (and skipped) actions, for failure reports.
+    applied: Vec<(SimTime, String)>,
+}
+
+impl<'h, A: Actor> ChaosDriver<'h, A> {
+    /// Builds a driver for `plan`. `scope` lists every node that partition
+    /// and degradation windows sever the target from (servers, clients,
+    /// admin). `base_net` is the config degraded links derive from.
+    pub fn new(
+        plan: &FaultPlan,
+        scope: Vec<NodeId>,
+        base_net: NetConfig,
+        resolve: impl FnMut(&Sim<A>, &FaultTarget) -> Option<NodeId> + 'h,
+        rebuild: impl FnMut(&Sim<A>, NodeId) -> A + 'h,
+    ) -> Self {
+        let mut driver = ChaosDriver {
+            queue: Vec::new(),
+            next_seq: 0,
+            scope,
+            cuts: BTreeMap::new(),
+            degrades: BTreeMap::new(),
+            base_net,
+            resolve: Box::new(resolve),
+            rebuild: Box::new(rebuild),
+            applied: Vec::new(),
+        };
+        for ev in plan.sorted() {
+            driver.push(ev.at, Action::Fire(ev));
+        }
+        driver
+    }
+
+    /// True when no fault or cure remains scheduled.
+    pub fn done(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The log of applied/skipped actions, for replay diagnostics.
+    pub fn applied(&self) -> &[(SimTime, String)] {
+        &self.applied
+    }
+
+    fn push(&mut self, at: SimTime, action: Action) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = self.queue.partition_point(|&(t, s, _)| (t, s) <= (at, seq));
+        self.queue.insert(idx, (at, seq, action));
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Advances the simulation to `until`, firing every scheduled fault and
+    /// cure on the way.
+    pub fn run_until(&mut self, sim: &mut Sim<A>, until: SimTime) {
+        while let Some(&(at, _, _)) = self.queue.first() {
+            if at > until {
+                break;
+            }
+            sim.run_until(at);
+            let (_, _, action) = self.queue.remove(0);
+            self.apply(sim, at, action);
+        }
+        sim.run_until(until);
+    }
+
+    fn note(&mut self, at: SimTime, line: String) {
+        self.applied.push((at, line));
+    }
+
+    fn apply(&mut self, sim: &mut Sim<A>, at: SimTime, action: Action) {
+        match action {
+            Action::Fire(ev) => {
+                let Some(node) = (self.resolve)(sim, &ev.target) else {
+                    self.note(at, format!("skip {} (unresolved)", ev.target));
+                    return;
+                };
+                match ev.kind {
+                    FaultKind::Crash { restart_after } => {
+                        if !sim.is_up(node) {
+                            self.note(at, format!("skip crash {node} (already down)"));
+                            return;
+                        }
+                        sim.crash(node);
+                        sim.metrics_mut().incr("chaos.crashes", 1);
+                        self.note(at, format!("crash {node} (as {})", ev.target));
+                        if let Some(d) = restart_after {
+                            self.push(at + d, Action::Restart(node));
+                        }
+                    }
+                    FaultKind::Partition { heal_after } => {
+                        for peer in self.scope.clone() {
+                            if peer == node {
+                                continue;
+                            }
+                            let k = Self::key(node, peer);
+                            let count = self.cuts.entry(k).or_insert(0);
+                            *count += 1;
+                            if *count == 1 {
+                                sim.block_link(node, peer);
+                            }
+                        }
+                        sim.metrics_mut().incr("chaos.partitions", 1);
+                        self.note(
+                            at,
+                            format!("partition {node} (as {}) for {heal_after}", ev.target),
+                        );
+                        self.push(at + heal_after, Action::HealPartition(node));
+                    }
+                    FaultKind::Degrade {
+                        drop_rate,
+                        duplicate_rate,
+                        extra_delay,
+                        heal_after,
+                    } => {
+                        let cfg = self
+                            .base_net
+                            .clone()
+                            .with_drop_rate(drop_rate)
+                            .with_duplicate_rate(duplicate_rate)
+                            .with_extra_delay(extra_delay);
+                        for peer in self.scope.clone() {
+                            if peer == node {
+                                continue;
+                            }
+                            *self.degrades.entry(Self::key(node, peer)).or_insert(0) += 1;
+                            sim.set_link(node, peer, cfg.clone());
+                        }
+                        sim.metrics_mut().incr("chaos.degrades", 1);
+                        self.note(
+                            at,
+                            format!("degrade {node} (as {}) for {heal_after}", ev.target),
+                        );
+                        self.push(at + heal_after, Action::ClearDegrade(node));
+                    }
+                }
+            }
+            Action::Restart(node) => {
+                if sim.is_up(node) {
+                    self.note(at, format!("skip restart {node} (already up)"));
+                    return;
+                }
+                let actor = (self.rebuild)(sim, node);
+                sim.restart(node, actor);
+                self.note(at, format!("restart {node}"));
+            }
+            Action::HealPartition(node) => {
+                for peer in self.scope.clone() {
+                    if peer == node {
+                        continue;
+                    }
+                    let k = Self::key(node, peer);
+                    if let Some(count) = self.cuts.get_mut(&k) {
+                        *count -= 1;
+                        if *count == 0 {
+                            self.cuts.remove(&k);
+                            sim.unblock_link(node, peer);
+                        }
+                    }
+                }
+                self.note(at, format!("heal {node}"));
+            }
+            Action::ClearDegrade(node) => {
+                for peer in self.scope.clone() {
+                    if peer == node {
+                        continue;
+                    }
+                    let k = Self::key(node, peer);
+                    if let Some(count) = self.degrades.get_mut(&k) {
+                        *count -= 1;
+                        if *count == 0 {
+                            self.degrades.remove(&k);
+                            sim.clear_link(node, peer);
+                        }
+                    }
+                }
+                self.note(at, format!("clear degrade {node}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{Context, Message, Timer};
+
+    #[derive(Clone, Debug)]
+    struct Ping;
+    impl Message for Ping {}
+
+    /// Counts deliveries; persists the count so a restart can prove it
+    /// recovered from storage.
+    struct Counter {
+        received: u64,
+    }
+
+    impl Actor for Counter {
+        type Msg = Ping;
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            self.received = ctx.storage().get_u64("received").unwrap_or(0);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: NodeId, _msg: Ping) {
+            self.received += 1;
+            ctx.storage().put_u64("received", self.received);
+            if self.received < 20 {
+                ctx.send(from, Ping);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Ping>, _timer: Timer) {}
+    }
+
+    fn sim_pair() -> (Sim<Counter>, NodeId, NodeId) {
+        let mut sim = Sim::new(3, NetConfig::lan());
+        let a = sim.add_node(Counter { received: 0 });
+        let b = sim.add_node(Counter { received: 0 });
+        (sim, a, b)
+    }
+
+    fn driver_for<'h>(plan: &FaultPlan, scope: Vec<NodeId>) -> ChaosDriver<'h, Counter> {
+        ChaosDriver::new(
+            plan,
+            scope,
+            NetConfig::lan(),
+            |_sim, t| match t {
+                FaultTarget::Node(n) => Some(*n),
+                _ => None,
+            },
+            |_sim, _n| Counter { received: 0 },
+        )
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let (from, until) = (SimTime::ZERO, SimTime::from_secs(2));
+        let a = ChaosGen::new(42).sample(from, until, 8);
+        let b = ChaosGen::new(42).sample(from, until, 8);
+        assert_eq!(a, b);
+        let c = ChaosGen::new(43).sample(from, until, 8);
+        assert_ne!(a, c, "different seeds should give different plans");
+        // Sorted by fire time, all within the window.
+        for w in a.events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for e in &a.events {
+            assert!(e.at >= from && e.at < until);
+        }
+    }
+
+    #[test]
+    fn healed_by_covers_every_window() {
+        let plan = FaultPlan::new()
+            .crash_at(
+                SimTime::from_millis(100),
+                FaultTarget::CurrentLeader,
+                Some(SimDuration::from_millis(500)),
+            )
+            .partition_at(
+                SimTime::from_millis(300),
+                FaultTarget::Joiner,
+                SimDuration::from_millis(200),
+            );
+        assert_eq!(plan.healed_by(), SimTime::from_millis(600));
+        assert!(!plan.describe().is_empty());
+    }
+
+    #[test]
+    fn crash_and_restart_fire_at_the_scheduled_times() {
+        let (mut sim, a, b) = sim_pair();
+        let plan = FaultPlan::new().crash_at(
+            SimTime::from_millis(10),
+            FaultTarget::Node(b),
+            Some(SimDuration::from_millis(50)),
+        );
+        let mut driver = driver_for(&plan, vec![a, b]);
+        sim.inject(a, b, Ping);
+        driver.run_until(&mut sim, SimTime::from_millis(9));
+        assert!(sim.is_up(b));
+        driver.run_until(&mut sim, SimTime::from_millis(30));
+        assert!(!sim.is_up(b));
+        driver.run_until(&mut sim, SimTime::from_millis(100));
+        assert!(sim.is_up(b));
+        assert!(driver.done());
+        // The restarted actor recovered its count from stable storage.
+        assert!(sim.actor(b).unwrap().received >= 1);
+        assert_eq!(sim.metrics().counter("chaos.crashes"), 1);
+    }
+
+    #[test]
+    fn overlapping_partitions_heal_only_when_the_last_lifts() {
+        let (mut sim, a, b) = sim_pair();
+        let plan = FaultPlan::new()
+            .partition_at(
+                SimTime::from_millis(10),
+                FaultTarget::Node(b),
+                SimDuration::from_millis(100),
+            )
+            .partition_at(
+                SimTime::from_millis(50),
+                FaultTarget::Node(b),
+                SimDuration::from_millis(100),
+            );
+        let mut driver = driver_for(&plan, vec![a, b]);
+        driver.run_until(&mut sim, SimTime::from_millis(60));
+        // First heal at 110ms must not reopen the link: the second window
+        // runs to 150ms.
+        driver.run_until(&mut sim, SimTime::from_millis(120));
+        sim.inject(a, b, Ping);
+        sim.run_until(SimTime::from_millis(140));
+        assert_eq!(sim.metrics().counter("net.delivered"), 0);
+        driver.run_until(&mut sim, SimTime::from_millis(200));
+        sim.inject(a, b, Ping);
+        sim.run_until(SimTime::from_millis(250));
+        assert!(sim.metrics().counter("net.delivered") >= 1);
+        assert!(driver.done());
+    }
+
+    #[test]
+    fn degrade_window_drops_then_clears() {
+        let (mut sim, a, b) = sim_pair();
+        let plan = FaultPlan::new().degrade_at(
+            SimTime::from_millis(10),
+            FaultTarget::Node(b),
+            1.0,
+            0.0,
+            SimDuration::ZERO,
+            SimDuration::from_millis(100),
+        );
+        let mut driver = driver_for(&plan, vec![a, b]);
+        driver.run_until(&mut sim, SimTime::from_millis(20));
+        sim.inject(a, b, Ping);
+        sim.run_until(SimTime::from_millis(50));
+        assert_eq!(sim.metrics().counter("net.delivered"), 0);
+        assert_eq!(sim.metrics().counter("net.dropped"), 1);
+        driver.run_until(&mut sim, SimTime::from_millis(200));
+        sim.inject(a, b, Ping);
+        sim.run_until(SimTime::from_millis(300));
+        assert!(sim.metrics().counter("net.delivered") >= 1);
+    }
+
+    #[test]
+    fn unresolved_targets_are_skipped_not_fatal() {
+        let (mut sim, a, b) = sim_pair();
+        let plan =
+            FaultPlan::new().crash_at(SimTime::from_millis(10), FaultTarget::CurrentLeader, None);
+        let mut driver = driver_for(&plan, vec![a, b]);
+        driver.run_until(&mut sim, SimTime::from_millis(100));
+        assert!(sim.is_up(a) && sim.is_up(b));
+        assert!(driver
+            .applied()
+            .iter()
+            .any(|(_, line)| line.contains("skip")));
+    }
+}

@@ -11,7 +11,9 @@
 //!   distributions, probabilistic loss and duplication, and explicit
 //!   partitions;
 //! * **fault injection**: crash and restart of nodes, with a per-node
-//!   [`StableStore`] that survives restarts (simulated stable storage);
+//!   [`StableStore`] that survives restarts (simulated stable storage), and
+//!   declarative seeded fault schedules ([`FaultPlan`], [`ChaosGen`],
+//!   [`ChaosDriver`]) for replayable chaos runs;
 //! * **observability**: counters, histograms and timelines ([`Metrics`]), a
 //!   bounded textual [`Trace`], and a typed event stream ([`SimEvent`],
 //!   [`observe::Observer`]) covering transport actions and protocol-emitted
@@ -52,6 +54,8 @@
 //! ```
 
 mod actor;
+pub mod backoff;
+pub mod chaos;
 mod event;
 mod metrics;
 mod net;
@@ -64,6 +68,8 @@ mod trace;
 pub mod wire;
 
 pub use actor::{Actor, Context, Message, Timer, TimerId};
+pub use backoff::RetryBackoff;
+pub use chaos::{ChaosDriver, ChaosGen, FaultEvent, FaultKind, FaultPlan, FaultTarget};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot, Timeline};
 pub use net::{LatencyModel, NetConfig};
 pub use observe::{DomainEvent, DropReason, EventDigest, EventLog, Observer, SimEvent, Spans};

@@ -123,6 +123,27 @@ impl NetConfig {
         self.bandwidth = bandwidth;
         self
     }
+
+    /// Replaces the duplication rate, builder-style.
+    pub fn with_duplicate_rate(mut self, duplicate_rate: f64) -> Self {
+        self.duplicate_rate = duplicate_rate;
+        self
+    }
+
+    /// Adds `extra` to the link's delay by shifting the latency model,
+    /// builder-style. Used by fault windows that degrade a link.
+    pub fn with_extra_delay(mut self, extra: SimDuration) -> Self {
+        self.latency = match self.latency {
+            LatencyModel::Fixed(d) => LatencyModel::Fixed(d + extra),
+            LatencyModel::Uniform(lo, hi) => LatencyModel::Uniform(lo + extra, hi + extra),
+            LatencyModel::Normal { mean, std, min } => LatencyModel::Normal {
+                mean: mean + extra,
+                std,
+                min: min + extra,
+            },
+        };
+        self
+    }
 }
 
 impl Default for NetConfig {
@@ -170,6 +191,13 @@ impl NetworkState {
     pub(crate) fn set_link(&mut self, a: NodeId, b: NodeId, cfg: NetConfig) {
         self.overrides.insert((a, b), cfg.clone());
         self.overrides.insert((b, a), cfg);
+    }
+
+    /// Removes a per-link override in both directions; traffic on the pair
+    /// reverts to the default config. A no-op if no override exists.
+    pub(crate) fn clear_link(&mut self, a: NodeId, b: NodeId) {
+        self.overrides.remove(&(a, b));
+        self.overrides.remove(&(b, a));
     }
 
     fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -321,5 +349,56 @@ mod tests {
             net.route(a, NodeId(3), 0, &mut r),
             Fate::Deliver(..)
         ));
+    }
+
+    #[test]
+    fn clear_link_restores_the_default_in_both_directions() {
+        let mut net = NetworkState::new(NetConfig::lan());
+        let (a, b) = (NodeId(1), NodeId(2));
+        net.set_link(a, b, NetConfig::lan().with_drop_rate(1.0));
+        net.clear_link(a, b);
+        let mut r = rng();
+        assert!(matches!(net.route(a, b, 0, &mut r), Fate::Deliver(..)));
+        assert!(matches!(net.route(b, a, 0, &mut r), Fate::Deliver(..)));
+        // Clearing an absent override is a no-op.
+        net.clear_link(a, NodeId(9));
+    }
+
+    #[test]
+    fn duplicate_rate_builder_forces_duplicates() {
+        let net = NetworkState::new(NetConfig::lan().with_duplicate_rate(1.0));
+        let mut r = rng();
+        match net.route(NodeId(1), NodeId(2), 0, &mut r) {
+            Fate::Deliver(_, dup) => assert!(dup.is_some()),
+            _ => panic!("expected duplicated delivery"),
+        }
+    }
+
+    #[test]
+    fn extra_delay_shifts_every_latency_model() {
+        let extra = SimDuration::from_millis(10);
+        let mut r = rng();
+        let fixed = NetConfig::lan()
+            .with_latency(LatencyModel::Fixed(SimDuration::from_millis(1)))
+            .with_extra_delay(extra);
+        assert_eq!(fixed.latency.sample(&mut r), SimDuration::from_millis(11));
+        let uniform = NetConfig::lan().with_extra_delay(extra);
+        assert!(uniform.latency.sample(&mut r) >= extra);
+        let normal = NetConfig::wan().with_extra_delay(extra);
+        assert!(normal.latency.sample(&mut r) >= SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn duplicate_partitions_do_not_accumulate() {
+        // The cut set is normalized and deduplicated: partitioning the same
+        // pair twice stores one entry, and a single unblock fully heals it.
+        let mut net = NetworkState::new(NetConfig::lan());
+        let (a, b) = (NodeId(1), NodeId(2));
+        net.partition(&[a], &[b]);
+        net.partition(&[b], &[a]);
+        assert_eq!(net.cut.len(), 1);
+        net.unblock_link(a, b);
+        assert!(!net.is_cut(a, b));
+        assert!(net.cut.is_empty());
     }
 }

@@ -225,6 +225,13 @@ impl<A: Actor> Sim<A> {
         self.net.set_link(a, b, cfg);
     }
 
+    /// Removes a per-link override set with [`Sim::set_link`]; the pair
+    /// reverts to the default config. Used to close loss/delay fault
+    /// windows.
+    pub fn clear_link(&mut self, a: NodeId, b: NodeId) {
+        self.net.clear_link(a, b);
+    }
+
     /// Injects a message into the network as if `from` had sent it.
     pub fn inject(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
         self.apply_emits(from, &mut vec![Emit::Send { to, msg }]);
@@ -588,6 +595,40 @@ mod tests {
         assert_eq!(sim.metrics().label_count("ping"), 6);
         let total: u32 = [a, b].iter().map(|&n| sim.actor(n).unwrap().received).sum();
         assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn duplicate_partitions_count_once_and_heal_all_restores() {
+        // Partitioning the same pair repeatedly must not inflate the
+        // partition-drop count: the cut set is deduplicated, so each blocked
+        // send increments `net.partitioned` exactly once, and a single
+        // `heal_all` restores everything.
+        let (mut sim, a, b) = pair();
+        sim.partition(&[a], &[b]);
+        sim.partition(&[a], &[b]);
+        sim.partition(&[b], &[a]);
+        sim.inject(a, b, TestMsg::Ping(0));
+        sim.run_until_quiet(SimDuration::from_secs(1));
+        assert_eq!(sim.metrics().counter("net.partitioned"), 1);
+        assert_eq!(sim.metrics().counter("net.delivered"), 0);
+        sim.heal_all();
+        sim.inject(a, b, TestMsg::Ping(0));
+        sim.run_until_quiet(SimDuration::from_secs(1));
+        assert_eq!(sim.metrics().counter("net.partitioned"), 1);
+        assert_eq!(sim.metrics().counter("net.delivered"), 6);
+    }
+
+    #[test]
+    fn clear_link_reverts_an_override_to_the_default() {
+        let (mut sim, a, b) = pair();
+        sim.set_link(a, b, NetConfig::lan().with_drop_rate(1.0));
+        sim.inject(a, b, TestMsg::Ping(5));
+        sim.run_until_quiet(SimDuration::from_secs(1));
+        assert_eq!(sim.metrics().counter("net.delivered"), 0);
+        sim.clear_link(a, b);
+        sim.inject(a, b, TestMsg::Ping(5));
+        sim.run_until_quiet(SimDuration::from_secs(1));
+        assert_eq!(sim.metrics().counter("net.delivered"), 1);
     }
 
     #[test]

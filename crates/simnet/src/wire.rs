@@ -175,6 +175,42 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
     }
 }
 
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+        self.3.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((
+            A::decode(buf)?,
+            B::decode(buf)?,
+            C::decode(buf)?,
+            D::decode(buf)?,
+        ))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire, E: Wire> Wire for (A, B, C, D, E) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+        self.3.encode(buf);
+        self.4.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((
+            A::decode(buf)?,
+            B::decode(buf)?,
+            C::decode(buf)?,
+            D::decode(buf)?,
+            E::decode(buf)?,
+        ))
+    }
+}
+
 impl Wire for NodeId {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.0.encode(buf);
