@@ -347,10 +347,13 @@ impl<S: StateMachine> StwNode<S> {
                     .unwrap_or(false)
             })
             .collect();
+        let base_bytes = base.encode_bytes();
+        ctx.metrics()
+            .incr("transfer.encode_bytes", base_bytes.len() as u64);
         self.handoff = Some(Handoff {
             epoch: successor,
             cfg,
-            base: base.encode_bytes(),
+            base: base_bytes,
             awaiting: joiners,
             last_push: SimTime::ZERO,
             started: false,

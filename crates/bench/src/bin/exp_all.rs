@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! cargo run --release -p bench --bin exp_all            # all experiments
+//! cargo run --release -p bench --bin exp_all -- --list  # ids + one-liners
 //! cargo run --release -p bench --bin exp_all -- e2 e5   # a subset
 //! cargo run --release -p bench --bin exp_all -- --quick # trimmed sweeps
 //! cargo run --release -p bench --bin exp_all -- --json artifacts/
@@ -27,6 +28,12 @@ type Slot = std::sync::Mutex<Option<(Option<ExpOutput>, f64)>>;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL {
+            println!("{id:<6} {}", experiments::describe(id));
+        }
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let json_dir: Option<String> = args
         .iter()
@@ -36,6 +43,20 @@ fn main() {
     if args.iter().any(|a| a == "--json") && json_dir.is_none() {
         eprintln!("--json requires a directory argument");
         std::process::exit(2);
+    }
+    // Create the artifact directory up front: an unwritable path should
+    // fail before hours of experiments, not after.
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create artifact directory {dir}: {e}");
+            std::process::exit(2);
+        }
+        let probe = format!("{dir}/.writable-probe");
+        if let Err(e) = std::fs::write(&probe, b"") {
+            eprintln!("artifact directory {dir} is not writable: {e}");
+            std::process::exit(2);
+        }
+        let _ = std::fs::remove_file(&probe);
     }
     // `--seeds N[@BASE]` — chaos sweep seed-set override (nightly / replay).
     let seeds_arg: Option<String> = args
@@ -128,12 +149,6 @@ fn main() {
             (id, out, secs)
         })
         .collect();
-    if let Some(dir) = &json_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create artifact directory {dir}: {e}");
-            std::process::exit(1);
-        }
-    }
     for (id, output, secs) in results {
         match output {
             Some(output) => {

@@ -1,0 +1,60 @@
+//! Wall-clock measurement for the sharded group drivers (feeds
+//! `BENCH_PR5.json`; kept out of `exp_all` so the JSONL artifacts stay
+//! free of host-dependent data).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin shard_walltime
+//! ```
+//!
+//! Reports, as one JSON object on stdout:
+//! * the E11 scaling sweep's per-G coupled-run wall seconds;
+//! * the split driver's serial vs parallel wall seconds at G=4 (the
+//!   parallel win scales with core count — a 1-core box shows ~1x);
+//! * the digests, so the run double-checks serial == parallel.
+
+use std::time::Instant;
+
+use bench::sharded::{run_sharded, run_split, ShardScenario, ShardSystem};
+use simnet::SimTime;
+
+fn main() {
+    let mut coupled = String::new();
+    for g in [1u32, 2, 4, 8] {
+        let sc = ShardScenario::new(0xE11 + g as u64, g)
+            .until(SimTime::from_secs(10))
+            .bandwidth(150_000);
+        let start = Instant::now();
+        let out = run_sharded(ShardSystem::Rsmr, &sc);
+        let secs = start.elapsed().as_secs_f64();
+        if !coupled.is_empty() {
+            coupled.push(',');
+        }
+        coupled.push_str(&format!(
+            "\n    {{\"groups\":{g},\"completed\":{},\"wall_seconds\":{secs:.2}}}",
+            out.run.completed
+        ));
+    }
+
+    let sc = ShardScenario::new(0xE11C, 4).until(SimTime::from_secs(5));
+    let start = Instant::now();
+    let serial = run_split(&sc, false);
+    let serial_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let parallel = run_split(&sc, true);
+    let parallel_secs = start.elapsed().as_secs_f64();
+    assert_eq!(serial.digest, parallel.digest, "split drivers diverged");
+
+    println!(
+        "{{\n  \"cpus\": {},\n  \"coupled_scaling\": [{coupled}\n  ],\n  \
+         \"split_driver_g4\": {{\n    \"completed\": {},\n    \
+         \"digest\": \"{:016x}\",\n    \"serial_wall_seconds\": {serial_secs:.2},\n    \
+         \"parallel_wall_seconds\": {parallel_secs:.2},\n    \
+         \"speedup\": {:.2}\n  }}\n}}",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        serial.completed,
+        serial.digest,
+        serial_secs / parallel_secs
+    );
+}

@@ -6,6 +6,7 @@
 
 pub mod chaos_sweep;
 pub mod e10_local_reads;
+pub mod e11_sharding;
 pub mod e1_steady_state;
 pub mod e2_timeline;
 pub mod e3_state_transfer;
@@ -19,9 +20,29 @@ pub mod e9_wan;
 use crate::table::{json_escape_into, Table};
 
 /// Experiment ids in presentation order.
-pub const ALL: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "chaos",
+pub const ALL: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "chaos",
 ];
+
+/// One-line description per experiment id (same order as [`ALL`]; the
+/// source for `exp_all --list`).
+pub fn describe(id: &str) -> &'static str {
+    match id {
+        "e1" => "steady-state throughput/latency across all five systems",
+        "e2" => "client-visible timeline through a planned reconfiguration",
+        "e3" => "state-transfer cost vs application state size",
+        "e4" => "latency distribution inside the reconfiguration window",
+        "e5" => "sustained membership churn",
+        "e6" => "faults during reconfiguration (leader crash, donor crash)",
+        "e7" => "message complexity accounting",
+        "e8" => "scaling with configuration size",
+        "e9" => "WAN latency profile",
+        "e10" => "leader-local reads vs full ordering",
+        "e11" => "sharded multi-group composition: scaling + rolling churn",
+        "chaos" => "randomized fault sweep with safety oracles",
+        _ => "unknown experiment",
+    }
+}
 
 /// One experiment's full output: the rendered presentation text plus the
 /// structured tables behind it (the source for machine-readable artifacts).
@@ -72,6 +93,7 @@ pub fn run_structured(id: &str, quick: bool) -> Option<ExpOutput> {
         "e8" => Some(e8_scaling::run_structured(quick)),
         "e9" => Some(e9_wan::run_structured(quick)),
         "e10" => Some(e10_local_reads::run_structured(quick)),
+        "e11" => Some(e11_sharding::run_structured(quick)),
         "chaos" => Some(chaos_sweep::run_structured(quick)),
         _ => None,
     }

@@ -17,7 +17,9 @@
 pub mod experiments;
 pub mod microbench;
 pub mod runner;
+pub mod sharded;
 pub mod table;
 
 pub use runner::{RunOut, Scenario, SystemKind};
+pub use sharded::{MergedOut, ShardRunOut, ShardScenario, ShardSystem};
 pub use table::Table;

@@ -111,6 +111,10 @@ pub struct Scenario {
     /// Install structured-event observers ([`EventDigest`] + [`Spans`]).
     /// Off by default — with no observer the event path costs one branch.
     pub record_events: bool,
+    /// Restrict the workload to one hash partition `(shard, groups)` of the
+    /// keyspace (see [`kvstore::shard_of`]) — the split-mode sharded driver
+    /// runs each group as its own scenario with this set.
+    pub shard: Option<(u32, u32)>,
 }
 
 impl Scenario {
@@ -137,6 +141,7 @@ impl Scenario {
             local_reads: false,
             record_trace: false,
             record_events: false,
+            shard: None,
         }
     }
 
@@ -213,6 +218,13 @@ impl Scenario {
         self
     }
 
+    /// Restricts the workload to hash shard `shard` of `groups`,
+    /// builder-style.
+    pub fn sharded_workload(mut self, shard: u32, groups: u32) -> Self {
+        self.shard = Some((shard, groups));
+        self
+    }
+
     fn net(&self) -> NetConfig {
         let base = if self.wan {
             NetConfig::wan()
@@ -241,12 +253,16 @@ impl Scenario {
     }
 
     fn gen_for(&self, client_idx: u64) -> WorkloadGen {
-        WorkloadGen::new(
+        let gen = WorkloadGen::new(
             self.seed ^ (0xC11E57 + client_idx),
             KeyDist::Uniform(self.keyspace),
             self.read_ratio,
             self.value_size,
-        )
+        );
+        match self.shard {
+            Some((s, g)) => gen.for_shard(s, g),
+            None => gen,
+        }
     }
 
     fn admin_script(&self) -> Vec<(SimTime, Vec<NodeId>)> {
@@ -278,7 +294,11 @@ impl Scenario {
 /// Resolves the system-independent fault targets (`Node`, `ServerIdx`,
 /// `Joiner`); returns `None` for the role targets a runner must resolve
 /// against its own actors.
-fn resolve_common(pool: &[NodeId], joiners: &[NodeId], t: &FaultTarget) -> Option<Option<NodeId>> {
+pub(crate) fn resolve_common(
+    pool: &[NodeId],
+    joiners: &[NodeId],
+    t: &FaultTarget,
+) -> Option<Option<NodeId>> {
     match t {
         FaultTarget::Node(n) => Some(Some(*n)),
         FaultTarget::ServerIdx(k) => Some(pool.get((*k as usize) % pool.len().max(1)).copied()),
@@ -287,18 +307,18 @@ fn resolve_common(pool: &[NodeId], joiners: &[NodeId], t: &FaultTarget) -> Optio
     }
 }
 
-const ADMIN: NodeId = NodeId(99);
+pub(crate) const ADMIN: NodeId = NodeId(99);
 
 /// The structured-event observers a runner installs when
 /// `Scenario::record_events` is set: a stream digest plus the span
 /// aggregator. `finish` hands their final state to [`RunOut`].
-struct EventProbes {
+pub(crate) struct EventProbes {
     digest: Option<Rc<RefCell<EventDigest>>>,
     spans: Option<Rc<RefCell<Spans>>>,
 }
 
 impl EventProbes {
-    fn install<A: Actor>(sim: &mut Sim<A>, enabled: bool) -> Self {
+    pub(crate) fn install<A: Actor>(sim: &mut Sim<A>, enabled: bool) -> Self {
         if !enabled {
             return EventProbes {
                 digest: None,
@@ -316,7 +336,7 @@ impl EventProbes {
     }
 
     /// `(event_digest, event_count, spans)` for [`RunOut`].
-    fn finish(self) -> (u64, u64, Option<Spans>) {
+    pub(crate) fn finish(self) -> (u64, u64, Option<Spans>) {
         match (self.digest, self.spans) {
             (Some(d), Some(s)) => {
                 let d = d.borrow();

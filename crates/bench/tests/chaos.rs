@@ -5,6 +5,8 @@
 //! live. A failing seed prints its one-command replay line.
 
 use bench::experiments::chaos_sweep::{failing_seeds, run_rows, seed_range};
+use bench::sharded::{run_sharded, ShardScenario, ShardSystem};
+use simnet::{FaultPlan, FaultTarget, SimDuration, SimTime};
 
 #[test]
 fn multi_seed_chaos_sweep_holds_safety_and_liveness() {
@@ -34,5 +36,44 @@ fn multi_seed_chaos_sweep_holds_safety_and_liveness() {
     assert!(
         failing.is_empty(),
         "chaos sweep failed on seeds {failing:?}"
+    );
+}
+
+/// Sharded fault isolation: crashing the shard-1 transfer donor in the
+/// middle of shard 1's reconfiguration must not stall shard 0. The egress
+/// cap stretches the state transfer so the crash lands while the donor is
+/// actually serving, and the joiner's donor rotation must still finish the
+/// step after the restart.
+#[test]
+fn donor_crash_in_one_shard_does_not_stall_the_others() {
+    let plan = FaultPlan::new().crash_at(
+        SimTime::from_millis(1_100),
+        FaultTarget::TransferDonor,
+        Some(SimDuration::from_millis(500)),
+    );
+    let sc = ShardScenario::new(0xC4A05, 2)
+        .until(SimTime::from_secs(5))
+        .bandwidth(150_000)
+        .reconfigure_group_at(1, SimTime::from_secs(1), &[4, 5, 6])
+        .with_faults(plan, 1);
+    let out = run_sharded(ShardSystem::Rsmr, &sc);
+    assert!(out.run.completed > 0);
+    assert_eq!(
+        out.per_group_admin[1].len(),
+        1,
+        "shard 1's reconfiguration must complete despite the donor crash \
+         (chaos log: {:?})",
+        out.run.chaos_log
+    );
+    // The untouched shard keeps committing through the whole episode.
+    assert_eq!(
+        out.group_gap_ms(
+            0,
+            SimTime::from_millis(500),
+            SimTime::from_millis(4_500),
+            SimDuration::from_millis(100),
+        ),
+        0,
+        "shard 0 stalled while shard 1 handled a donor crash"
     );
 }

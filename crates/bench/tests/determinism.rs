@@ -8,7 +8,8 @@
 //! trace digest — whether they execute serially or on worker threads.
 
 use bench::runner::{run, run_many, Scenario, SystemKind};
-use simnet::{ChaosGen, SimTime};
+use bench::sharded::{run_sharded, run_split, ShardScenario, ShardSystem};
+use simnet::{ChaosGen, SimDuration, SimTime};
 
 /// A mid-size scenario exercising every hot path at once: elections,
 /// steady-state commits, a reconfiguration with a joiner, and client
@@ -160,6 +161,81 @@ fn jsonl_artifacts_are_byte_identical_across_runs() {
     );
     assert!(!a.tables.is_empty());
     assert!(a.to_jsonl("e3", true).lines().count() > a.tables.len());
+}
+
+/// A coupled sharded scenario exercising the multi-group hot paths:
+/// two epoch chains on the shared pool, capped egress, a rolling
+/// reconfiguration of every shard, traces and structured events on.
+fn sharded_scenario() -> ShardScenario {
+    ShardScenario::new(0x5AADD37, 2)
+        .until(SimTime::from_secs(3))
+        .bandwidth(150_000)
+        .rolling(SimTime::from_secs(1), SimDuration::from_millis(400))
+        .with_events()
+        .with_trace()
+}
+
+#[test]
+fn sharded_coupled_runs_are_deterministic() {
+    for kind in [ShardSystem::Rsmr, ShardSystem::Stw] {
+        let sc = sharded_scenario();
+        let a = run_sharded(kind, &sc);
+        let b = run_sharded(kind, &sc);
+        assert!(a.run.completed > 0, "{}: no completed ops", kind.name());
+        assert_ne!(a.run.trace_digest, 0, "{}: trace not recorded", kind.name());
+        assert_eq!(
+            a.run.metrics_fingerprint(),
+            b.run.metrics_fingerprint(),
+            "{}: sharded metrics diverge across same-seed runs",
+            kind.name()
+        );
+        assert_eq!(
+            (a.run.trace_digest, a.run.event_digest, a.run.event_count),
+            (b.run.trace_digest, b.run.event_digest, b.run.event_count),
+            "{}: sharded event streams diverge across same-seed runs",
+            kind.name()
+        );
+        assert_eq!(
+            a.per_group_completed,
+            b.per_group_completed,
+            "{}",
+            kind.name()
+        );
+        assert_eq!(a.per_group_admin, b.per_group_admin, "{}", kind.name());
+    }
+}
+
+#[test]
+fn sharded_split_driver_matches_serial_execution() {
+    // Group independence is what licenses the parallel split driver; the
+    // merged digest folds per-group metrics fingerprints, trace digests
+    // and structured-event digests, so any cross-thread nondeterminism
+    // would surface here.
+    let sc = ShardScenario::new(0x5AAD5911, 4).until(SimTime::from_secs(2));
+    let serial = run_split(&sc, false);
+    let parallel = run_split(&sc, true);
+    assert!(serial.completed > 0);
+    assert_eq!(
+        serial.digest, parallel.digest,
+        "split-driver digest diverges between serial and parallel group execution"
+    );
+    assert_eq!(serial.per_group_completed, parallel.per_group_completed);
+}
+
+#[test]
+fn e11_jsonl_artifact_is_byte_identical_across_runs() {
+    // E11 runs coupled simulations on scoped threads *and* the split
+    // driver on the worker pool — the artifact must still be a pure
+    // function of the build.
+    let a = bench::experiments::run_structured("e11", true).expect("e11 exists");
+    let b = bench::experiments::run_structured("e11", true).expect("e11 exists");
+    assert_eq!(a.rendered, b.rendered, "rendered output diverges");
+    assert_eq!(
+        a.to_jsonl("e11", true),
+        b.to_jsonl("e11", true),
+        "E11 JSONL artifacts diverge across same-seed runs"
+    );
+    assert_eq!(a.tables.len(), 3);
 }
 
 #[test]

@@ -13,6 +13,20 @@ use crate::state_machine::StateMachine;
 const TIMER_RETRANSMIT: u32 = 0;
 const TIMER_PACE: u32 = 1;
 
+/// Per-group completion timeline keys for sharded worlds, indexed by
+/// group id. Metric names must be `&'static str`, so the supported group
+/// count for per-shard client gap measurement is bounded by this table.
+pub const GROUP_COMPLETES_KEYS: [&str; 8] = [
+    "client.completes.g0",
+    "client.completes.g1",
+    "client.completes.g2",
+    "client.completes.g3",
+    "client.completes.g4",
+    "client.completes.g5",
+    "client.completes.g6",
+    "client.completes.g7",
+];
+
 /// A closed-loop session client: one request in flight, sequential session
 /// numbers, retransmission on timeout, redirect-following, and member-set
 /// tracking across reconfigurations.
@@ -32,6 +46,9 @@ pub struct RsmrClient<S: StateMachine> {
     /// When false (paced mode), a completion does not auto-issue the next
     /// request — the pacing wrapper admits them instead.
     auto_issue: bool,
+    /// Extra timeline key completions are also pushed to (per-shard gap
+    /// measurement in sharded worlds; see [`GROUP_COMPLETES_KEYS`]).
+    completes_key: Option<&'static str>,
 }
 
 /// One completed operation, as observed at the client: `(seq, op, output,
@@ -69,7 +86,17 @@ impl<S: StateMachine> RsmrClient<S> {
             record_history: false,
             history: Vec::new(),
             auto_issue: true,
+            completes_key: None,
         }
+    }
+
+    /// Also pushes every completion to `key` (in addition to the aggregate
+    /// `client.completes` timeline), builder-style. Sharded harnesses pass a
+    /// per-group key from [`GROUP_COMPLETES_KEYS`] so per-shard client gaps
+    /// stay measurable after merging.
+    pub fn with_completes_key(mut self, key: &'static str) -> Self {
+        self.completes_key = Some(key);
+        self
     }
 
     /// Enables per-operation history recording (for linearizability
@@ -183,6 +210,9 @@ impl<S: StateMachine> Actor for RsmrClient<S> {
                     .observe("client.latency_us", latency.as_micros() as f64);
                 let now = ctx.now();
                 ctx.metrics().timeline_push("client.completes", now, 1.0);
+                if let Some(key) = self.completes_key {
+                    ctx.metrics().timeline_push(key, now, 1.0);
+                }
                 if self.record_history {
                     self.history.push((
                         seq,
@@ -275,6 +305,12 @@ impl<S: StateMachine> OpenLoopClient<S> {
     /// Requests completed so far.
     pub fn completed(&self) -> u64 {
         self.inner.completed()
+    }
+
+    /// See [`RsmrClient::with_completes_key`].
+    pub fn with_completes_key(mut self, key: &'static str) -> Self {
+        self.inner.completes_key = Some(key);
+        self
     }
 
     fn admit(&mut self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>) {

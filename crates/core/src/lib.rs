@@ -54,7 +54,7 @@ pub mod state_machine;
 pub mod transfer;
 
 pub use chain::{ConfigChain, Epoch};
-pub use client::{AdminActor, HistoryEntry, OpenLoopClient, RsmrClient};
+pub use client::{AdminActor, HistoryEntry, OpenLoopClient, RsmrClient, GROUP_COMPLETES_KEYS};
 pub use command::Cmd;
 pub use messages::RsmrMsg;
 pub use node::{RsmrNode, RsmrTunables};

@@ -179,6 +179,11 @@ pub struct RsmrNode<S: StateMachine> {
     /// Leader-side batch accumulator (when `batch_size > 0`).
     batch_buf: Vec<(NodeId, u64, S::Op)>,
 
+    /// Scratch buffer reused across base-state encodes (epoch finalization
+    /// happens once per reconfiguration; the capacity amortizes across the
+    /// chain instead of growing a fresh `Vec` each time).
+    base_scratch: Vec<u8>,
+
     /// Commands applied by this replica (for tests and metrics).
     applied_count: u64,
 
@@ -222,6 +227,7 @@ impl<S: StateMachine> RsmrNode<S> {
             stashed: BTreeMap::new(),
             stash_since: BTreeMap::new(),
             batch_buf: Vec::new(),
+            base_scratch: Vec::new(),
             applied_count: 0,
             commit_seen_epoch: None,
         };
@@ -268,6 +274,7 @@ impl<S: StateMachine> RsmrNode<S> {
             stashed: BTreeMap::new(),
             stash_since: BTreeMap::new(),
             batch_buf: Vec::new(),
+            base_scratch: Vec::new(),
             applied_count: 0,
             commit_seen_epoch: None,
         }
@@ -303,6 +310,7 @@ impl<S: StateMachine> RsmrNode<S> {
             stashed: BTreeMap::new(),
             stash_since: BTreeMap::new(),
             batch_buf: Vec::new(),
+            base_scratch: Vec::new(),
             applied_count: 0,
             commit_seen_epoch: None,
         };
@@ -624,9 +632,13 @@ impl<S: StateMachine> RsmrNode<S> {
             next_slot: Slot::ZERO,
         });
         let base = self.capture_base(successor);
-        let base_bytes = base.encode_bytes();
-        ctx.storage().put(KEY_BASE, base_bytes.clone());
-        self.bases.insert(successor, base_bytes);
+        let mut scratch = std::mem::take(&mut self.base_scratch);
+        base.encode_into(&mut scratch);
+        ctx.metrics()
+            .incr("transfer.encode_bytes", scratch.len() as u64);
+        ctx.storage().put(KEY_BASE, scratch.clone());
+        self.bases.insert(successor, scratch.clone());
+        self.base_scratch = scratch;
         while self.bases.len() > BASES_KEPT {
             let oldest = *self.bases.keys().next().expect("non-empty");
             self.bases.remove(&oldest);
@@ -1261,11 +1273,7 @@ impl<S: StateMachine> RsmrNode<S> {
                     if now >= at {
                         inst.paxos.halt();
                         let prefix = px_prefix(epoch);
-                        let keys: Vec<String> = ctx
-                            .storage()
-                            .keys_with_prefix(&prefix)
-                            .map(str::to_owned)
-                            .collect();
+                        let keys: Vec<String> = ctx.storage().keys_with_prefix(&prefix);
                         for k in keys {
                             ctx.storage().remove(&k);
                         }

@@ -28,12 +28,20 @@ impl<R: Wire + Clone> BaseState<R> {
     /// Serializes the base state for the wire or stable storage.
     pub fn encode_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::new();
-        self.epoch.encode(&mut buf);
-        self.app.len().encode(&mut buf);
-        buf.extend_from_slice(&self.app);
-        self.sessions.encode(&mut buf);
-        self.chain.encode(&mut buf);
+        self.encode_into(&mut buf);
         buf
+    }
+
+    /// Serializes into a caller-owned buffer, clearing it first. Hot paths
+    /// that encode repeatedly (epoch finalization, donor retries) pass a
+    /// scratch buffer so the allocation is amortized across calls.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        self.epoch.encode(buf);
+        self.app.len().encode(buf);
+        buf.extend_from_slice(&self.app);
+        self.sessions.encode(buf);
+        self.chain.encode(buf);
     }
 
     /// Deserializes a base state; `None` on malformed input.
@@ -124,10 +132,104 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_reuses_the_buffer_and_matches_encode_bytes() {
+        let b = sample();
+        let mut scratch = vec![9u8; 64]; // stale contents must be cleared
+        b.encode_into(&mut scratch);
+        assert_eq!(scratch, b.encode_bytes());
+        let cap = scratch.capacity();
+        b.encode_into(&mut scratch);
+        assert_eq!(scratch.capacity(), cap, "re-encode must not reallocate");
+        assert_eq!(BaseState::<u64>::decode_bytes(&scratch), Some(b));
+    }
+
+    #[test]
     fn byte_size_tracks_app_payload() {
         let mut b = sample();
         let small = b.byte_size();
         b.app = vec![0; 10_000];
         assert!(b.byte_size() > small + 9_000);
+    }
+
+    /// A randomized base state with varying chain length, session count and
+    /// app payload — the corpus the fuzzers mangle.
+    fn random_base(rng: &mut simnet::SimRng) -> BaseState<u64> {
+        let mut chain = ConfigChain::genesis(StaticConfig::new(vec![NodeId(0), NodeId(1)]));
+        let epochs = rng.gen_range(0u64..4);
+        for e in 1..=epochs {
+            let members: Vec<NodeId> = (0..rng.gen_range(1u64..5)).map(NodeId).collect();
+            chain.append(Epoch(e), StaticConfig::new(members));
+        }
+        let mut sessions = SessionTable::new();
+        for i in 0..rng.gen_range(0u64..6) {
+            // One record per client: the table asserts per-client sequence
+            // monotonicity.
+            sessions.record(
+                NodeId(100 + i),
+                rng.gen_range(0u64..50),
+                rng.gen_range(0u64..1000),
+            );
+        }
+        BaseState {
+            epoch: Epoch(rng.gen_range(0u64..=epochs)),
+            app: (0..rng.gen_range(0usize..64))
+                .map(|_| rng.gen_range(0u64..256) as u8)
+                .collect(),
+            sessions,
+            chain,
+        }
+    }
+
+    /// Seeded fuzz: every strict prefix of a valid encoding is rejected —
+    /// and never panics.
+    #[test]
+    fn fuzz_truncations_are_rejected() {
+        let mut rng = simnet::SimRng::seed_from_u64(0xBA5E1);
+        for _ in 0..100 {
+            let bytes = random_base(&mut rng).encode_bytes();
+            for cut in 0..bytes.len() {
+                assert_eq!(BaseState::<u64>::decode_bytes(&bytes[..cut]), None);
+            }
+        }
+    }
+
+    /// Seeded fuzz: single-bit corruption either still yields a structurally
+    /// valid base state or a clean `None` — never a panic or runaway
+    /// allocation.
+    #[test]
+    fn fuzz_bit_flips_never_panic() {
+        let mut rng = simnet::SimRng::seed_from_u64(0xBA5E2);
+        for _ in 0..200 {
+            let mut bytes = random_base(&mut rng).encode_bytes();
+            let byte = rng.gen_range(0..bytes.len());
+            bytes[byte] ^= 1 << rng.gen_range(0u32..8);
+            let _ = BaseState::<u64>::decode_bytes(&bytes);
+        }
+    }
+
+    /// Seeded fuzz: trailing garbage always fails the full-consumption
+    /// check, whatever the corpus shape.
+    #[test]
+    fn fuzz_trailing_garbage_is_always_rejected() {
+        let mut rng = simnet::SimRng::seed_from_u64(0xBA5E3);
+        for _ in 0..100 {
+            let mut bytes = random_base(&mut rng).encode_bytes();
+            for _ in 0..rng.gen_range(1usize..9) {
+                bytes.push(rng.gen_range(0u64..256) as u8);
+            }
+            assert_eq!(BaseState::<u64>::decode_bytes(&bytes), None);
+        }
+    }
+
+    /// Seeded fuzz: arbitrary byte soup never panics the decoder.
+    #[test]
+    fn fuzz_random_bytes_never_panic() {
+        let mut rng = simnet::SimRng::seed_from_u64(0xBA5E4);
+        for _ in 0..500 {
+            let bytes: Vec<u8> = (0..rng.gen_range(0usize..128))
+                .map(|_| rng.gen_range(0u64..256) as u8)
+                .collect();
+            let _ = BaseState::<u64>::decode_bytes(&bytes);
+        }
     }
 }

@@ -22,4 +22,4 @@ pub mod workload;
 pub use kv::{KvOp, KvOutput, KvStore};
 pub use lincheck::{linearizable, HistoryOp, Model};
 pub use locksvc::{LockOp, LockOutput, LockService};
-pub use workload::{KeyDist, KeySampler, WorkloadGen};
+pub use workload::{key_name, shard_of, KeyDist, KeySampler, WorkloadGen};

@@ -73,6 +73,28 @@ impl KeySampler {
     }
 }
 
+/// The canonical name of key index `idx` (shared by all workloads).
+pub fn key_name(idx: usize) -> String {
+    format!("key/{idx:08}")
+}
+
+/// Hash-partitions `key` over `groups` shards (FNV-1a over the key bytes).
+///
+/// This is the routing function of the sharded composition: the client-side
+/// router sends an operation to the group `shard_of(key, G)` and each
+/// group's replicas only ever see keys that hash to it. The hash is part of
+/// the experiment fingerprint — changing it reshuffles every partitioned
+/// workload.
+pub fn shard_of(key: &str, groups: u32) -> u32 {
+    assert!(groups > 0, "need at least one shard");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % groups as u64) as u32
+}
+
 /// A deterministic operation-mix generator, usable as the `gen` closure of
 /// the clients: `read_ratio` of operations are `Get`s, the rest `Put`s of
 /// `value_size` bytes.
@@ -87,6 +109,9 @@ pub struct WorkloadGen {
     sampler: KeySampler,
     read_ratio: f64,
     value_size: usize,
+    /// `(shard, groups)`: restrict keys to one hash partition (see
+    /// [`shard_of`]). `None` = the whole keyspace.
+    shard: Option<(u32, u32)>,
 }
 
 impl WorkloadGen {
@@ -98,12 +123,40 @@ impl WorkloadGen {
             sampler: KeySampler::new(dist),
             read_ratio,
             value_size,
+            shard: None,
         }
+    }
+
+    /// Restricts this generator to keys of one hash partition,
+    /// builder-style: every emitted key satisfies
+    /// `shard_of(key, groups) == shard`. Sampling is deterministic
+    /// rejection sampling over the base distribution, so the per-shard key
+    /// popularity is the base distribution conditioned on the shard —
+    /// shards see the same *shape* of workload, not disjoint slices of the
+    /// Zipf head.
+    ///
+    /// Panics if no key of the keyspace hashes to `shard` (tiny keyspaces).
+    pub fn for_shard(mut self, shard: u32, groups: u32) -> Self {
+        assert!(shard < groups, "shard {shard} out of range for {groups}");
+        let covered = (0..self.sampler.keyspace()).any(|i| shard_of(&key_name(i), groups) == shard);
+        assert!(
+            covered,
+            "no key of the {}-key keyspace hashes to shard {shard}/{groups}",
+            self.sampler.keyspace()
+        );
+        self.shard = Some((shard, groups));
+        self
     }
 
     /// Produces the operation for sequence number `seq`.
     pub fn next_op(&mut self, seq: u64) -> KvOp {
-        let key = format!("key/{:08}", self.sampler.sample(&mut self.rng));
+        let key = loop {
+            let key = key_name(self.sampler.sample(&mut self.rng));
+            match self.shard {
+                Some((shard, groups)) if shard_of(&key, groups) != shard => continue,
+                _ => break key,
+            }
+        };
         if self.rng.gen_bool(self.read_ratio) {
             KvOp::Get(key)
         } else {
@@ -192,6 +245,56 @@ mod tests {
         };
         assert_eq!(collect(9), collect(9));
         assert_ne!(collect(9), collect(10));
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for groups in [1, 2, 4, 8] {
+            for i in 0..256 {
+                let k = key_name(i);
+                let s = shard_of(&k, groups);
+                assert!(s < groups);
+                assert_eq!(s, shard_of(&k, groups), "hash must be pure");
+            }
+        }
+        // Every shard of a moderate keyspace is populated.
+        for groups in [2, 4, 8] {
+            let mut seen = vec![false; groups as usize];
+            for i in 0..1000 {
+                seen[shard_of(&key_name(i), groups) as usize] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "empty shard under G={groups}");
+        }
+    }
+
+    #[test]
+    fn sharded_generator_stays_in_its_partition() {
+        for shard in 0..4 {
+            let mut g = WorkloadGen::new(11, KeyDist::Zipf { n: 500, theta: 0.9 }, 0.5, 8)
+                .for_shard(shard, 4);
+            for seq in 0..300 {
+                let key = match g.next_op(seq) {
+                    KvOp::Get(k) | KvOp::Put(k, _) => k,
+                    other => panic!("workload gen only emits get/put, got {other:?}"),
+                };
+                assert_eq!(shard_of(&key, 4), shard, "leaked key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_generators_are_deterministic() {
+        let collect = || {
+            let mut g = WorkloadGen::new(5, KeyDist::Uniform(200), 0.5, 8).for_shard(2, 4);
+            (0..100).map(|s| g.next_op(s)).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_must_be_in_range() {
+        let _ = WorkloadGen::new(5, KeyDist::Uniform(10), 0.5, 8).for_shard(4, 4);
     }
 
     #[test]

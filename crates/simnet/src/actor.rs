@@ -7,7 +7,7 @@ use crate::metrics::Metrics;
 use crate::observe::{DomainEvent, EventBus, SimEvent};
 use crate::rng::SimRng;
 use crate::sim::NodeId;
-use crate::storage::StableStore;
+use crate::storage::{ScopedStore, StableStore};
 use crate::time::{SimDuration, SimTime};
 
 /// A message exchanged between actors.
@@ -79,6 +79,9 @@ pub struct Context<'a, M> {
     pub(crate) rng: &'a mut SimRng,
     pub(crate) out: &'a mut Vec<Emit<M>>,
     pub(crate) storage: &'a mut StableStore,
+    /// Namespace prepended to every storage key (see
+    /// [`Context::storage`]). Empty outside multi-group worlds.
+    pub(crate) key_prefix: &'a str,
     pub(crate) metrics: &'a mut Metrics,
     pub(crate) next_timer_id: &'a mut u64,
     pub(crate) trace: &'a mut crate::trace::Trace,
@@ -152,8 +155,13 @@ impl<'a, M: Message> Context<'a, M> {
     }
 
     /// The node's stable storage, which survives crashes and restarts.
-    pub fn storage(&mut self) -> &mut StableStore {
-        self.storage
+    ///
+    /// The returned view is scoped: under a multi-group multiplexer (see
+    /// [`crate::shard`]) each group's keys are transparently namespaced so
+    /// co-hosted groups cannot collide. Outside sharded worlds the scope is
+    /// empty and the view is a passthrough.
+    pub fn storage(&mut self) -> ScopedStore<'_> {
+        ScopedStore::new(self.storage, self.key_prefix)
     }
 
     /// The global metrics sink.

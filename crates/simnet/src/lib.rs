@@ -61,6 +61,7 @@ mod metrics;
 mod net;
 pub mod observe;
 pub mod rng;
+pub mod shard;
 mod sim;
 mod storage;
 mod time;
@@ -74,7 +75,8 @@ pub use metrics::{Histogram, Metrics, MetricsSnapshot, Timeline};
 pub use net::{LatencyModel, NetConfig};
 pub use observe::{DomainEvent, DropReason, EventDigest, EventLog, Observer, SimEvent, Spans};
 pub use rng::SimRng;
+pub use shard::{GroupId, Grouped, MultiGroup};
 pub use sim::{NodeId, Sim};
-pub use storage::StableStore;
+pub use storage::{ScopedStore, StableStore};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;

@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::rng::SimRng;
 use crate::sim::NodeId;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 
 /// How long a message spends in flight on a link.
 #[derive(Clone, Debug)]
@@ -61,6 +61,13 @@ pub struct NetConfig {
     /// size-proportional serialization delay on top of the latency, so
     /// bulk transfers (snapshots) cost realistically more than RPCs.
     pub bandwidth: Option<u64>,
+    /// When true (and `bandwidth` is finite), a sender's egress port is a
+    /// serial resource: each outgoing message occupies it for its
+    /// serialization time, and concurrent sends queue behind one another.
+    /// Off by default — without it `bandwidth` is a pure per-message delay
+    /// and a busy sender never backs up, which is fine for latency studies
+    /// but hides every throughput ceiling.
+    pub egress_queueing: bool,
 }
 
 impl NetConfig {
@@ -75,6 +82,7 @@ impl NetConfig {
             drop_rate: 0.0,
             duplicate_rate: 0.0,
             bandwidth: Some(1_250_000_000),
+            egress_queueing: false,
         }
     }
 
@@ -89,6 +97,7 @@ impl NetConfig {
             drop_rate: 0.001,
             duplicate_rate: 0.0,
             bandwidth: Some(12_500_000), // 100 Mbit/s
+            egress_queueing: false,
         }
     }
 
@@ -103,6 +112,7 @@ impl NetConfig {
             drop_rate,
             duplicate_rate: drop_rate / 2.0,
             bandwidth: Some(125_000_000), // 1 Gbit/s
+            egress_queueing: false,
         }
     }
 
@@ -127,6 +137,13 @@ impl NetConfig {
     /// Replaces the duplication rate, builder-style.
     pub fn with_duplicate_rate(mut self, duplicate_rate: f64) -> Self {
         self.duplicate_rate = duplicate_rate;
+        self
+    }
+
+    /// Turns per-sender egress queueing on or off, builder-style. Requires
+    /// a finite `bandwidth` to have any effect.
+    pub fn with_egress_queueing(mut self, on: bool) -> Self {
+        self.egress_queueing = on;
         self
     }
 
@@ -173,6 +190,10 @@ pub(crate) struct NetworkState {
     overrides: BTreeMap<(NodeId, NodeId), NetConfig>,
     /// Unordered severed pairs, stored with the smaller id first.
     cut: BTreeSet<(NodeId, NodeId)>,
+    /// Per-sender egress occupancy: the virtual time until which each
+    /// node's outgoing port is busy serializing earlier messages. Only
+    /// consulted when the resolved link config enables `egress_queueing`.
+    busy_until: BTreeMap<NodeId, SimTime>,
 }
 
 impl NetworkState {
@@ -181,6 +202,7 @@ impl NetworkState {
             default,
             overrides: BTreeMap::new(),
             cut: BTreeSet::new(),
+            busy_until: BTreeMap::new(),
         }
     }
 
@@ -239,24 +261,45 @@ impl NetworkState {
         self.overrides.get(&(from, to)).unwrap_or(&self.default)
     }
 
-    /// Decides the fate of a `size`-byte message from `from` to `to`.
-    pub(crate) fn route(&self, from: NodeId, to: NodeId, size: usize, rng: &mut SimRng) -> Fate {
+    /// Decides the fate of a `size`-byte message from `from` to `to`,
+    /// sent at virtual time `now`.
+    pub(crate) fn route(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        size: usize,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Fate {
         if self.is_cut(from, to) {
             return Fate::Partitioned;
         }
-        let cfg = self.link_config(from, to);
-        if cfg.drop_rate > 0.0 && rng.gen_bool(cfg.drop_rate.clamp(0.0, 1.0)) {
-            return Fate::Drop;
-        }
+        let cfg = self.overrides.get(&(from, to)).unwrap_or(&self.default);
         let serialization = match cfg.bandwidth {
             Some(bw) if bw > 0 && size > 0 => {
                 SimDuration::from_micros((size as u64).saturating_mul(1_000_000) / bw)
             }
             _ => SimDuration::ZERO,
         };
-        let first = cfg.latency.sample(rng) + serialization;
+        // With egress queueing the message waits for the sender's port,
+        // occupies it for its serialization time, and only then enters the
+        // link — so a loaded sender backs up instead of fanning out for
+        // free. Dropped messages still occupy the port (they left the NIC).
+        let departure_delay = if cfg.egress_queueing && serialization > SimDuration::ZERO {
+            let busy = self.busy_until.entry(from).or_insert(now);
+            let done = (*busy).max(now) + serialization;
+            *busy = done;
+            done - now
+        } else {
+            serialization
+        };
+        let cfg = self.link_config(from, to);
+        if cfg.drop_rate > 0.0 && rng.gen_bool(cfg.drop_rate.clamp(0.0, 1.0)) {
+            return Fate::Drop;
+        }
+        let first = cfg.latency.sample(rng) + departure_delay;
         let dup = if cfg.duplicate_rate > 0.0 && rng.gen_bool(cfg.duplicate_rate.clamp(0.0, 1.0)) {
-            Some(cfg.latency.sample(rng) + serialization)
+            Some(cfg.latency.sample(rng) + departure_delay)
         } else {
             None
         };
@@ -326,12 +369,12 @@ mod tests {
     fn route_drops_on_lossy_links() {
         let mut net = NetworkState::new(NetConfig::lan().with_drop_rate(1.0));
         let mut r = rng();
-        match net.route(NodeId(1), NodeId(2), 0, &mut r) {
+        match net.route(NodeId(1), NodeId(2), 0, SimTime::ZERO, &mut r) {
             Fate::Drop => {}
             _ => panic!("expected drop"),
         }
         net.set_default(NetConfig::lan());
-        match net.route(NodeId(1), NodeId(2), 0, &mut r) {
+        match net.route(NodeId(1), NodeId(2), 0, SimTime::ZERO, &mut r) {
             Fate::Deliver(_, dup) => assert!(dup.is_none()),
             _ => panic!("expected delivery"),
         }
@@ -343,10 +386,16 @@ mod tests {
         let (a, b) = (NodeId(1), NodeId(2));
         net.set_link(a, b, NetConfig::lan().with_drop_rate(1.0));
         let mut r = rng();
-        assert!(matches!(net.route(a, b, 0, &mut r), Fate::Drop));
-        assert!(matches!(net.route(b, a, 0, &mut r), Fate::Drop));
         assert!(matches!(
-            net.route(a, NodeId(3), 0, &mut r),
+            net.route(a, b, 0, SimTime::ZERO, &mut r),
+            Fate::Drop
+        ));
+        assert!(matches!(
+            net.route(b, a, 0, SimTime::ZERO, &mut r),
+            Fate::Drop
+        ));
+        assert!(matches!(
+            net.route(a, NodeId(3), 0, SimTime::ZERO, &mut r),
             Fate::Deliver(..)
         ));
     }
@@ -358,17 +407,23 @@ mod tests {
         net.set_link(a, b, NetConfig::lan().with_drop_rate(1.0));
         net.clear_link(a, b);
         let mut r = rng();
-        assert!(matches!(net.route(a, b, 0, &mut r), Fate::Deliver(..)));
-        assert!(matches!(net.route(b, a, 0, &mut r), Fate::Deliver(..)));
+        assert!(matches!(
+            net.route(a, b, 0, SimTime::ZERO, &mut r),
+            Fate::Deliver(..)
+        ));
+        assert!(matches!(
+            net.route(b, a, 0, SimTime::ZERO, &mut r),
+            Fate::Deliver(..)
+        ));
         // Clearing an absent override is a no-op.
         net.clear_link(a, NodeId(9));
     }
 
     #[test]
     fn duplicate_rate_builder_forces_duplicates() {
-        let net = NetworkState::new(NetConfig::lan().with_duplicate_rate(1.0));
+        let mut net = NetworkState::new(NetConfig::lan().with_duplicate_rate(1.0));
         let mut r = rng();
-        match net.route(NodeId(1), NodeId(2), 0, &mut r) {
+        match net.route(NodeId(1), NodeId(2), 0, SimTime::ZERO, &mut r) {
             Fate::Deliver(_, dup) => assert!(dup.is_some()),
             _ => panic!("expected duplicated delivery"),
         }

@@ -411,6 +411,7 @@ impl<A: Actor> Sim<A> {
                 rng: &mut self.rng,
                 out: &mut out,
                 storage: &mut slot.storage,
+                key_prefix: "",
                 metrics: &mut self.metrics,
                 next_timer_id: &mut self.next_timer_id,
                 trace: &mut self.trace,
@@ -449,7 +450,7 @@ impl<A: Actor> Sim<A> {
                         );
                         continue;
                     }
-                    match self.net.route(origin, to, size, &mut self.rng) {
+                    match self.net.route(origin, to, size, self.time, &mut self.rng) {
                         Fate::Deliver(delay, dup) => {
                             // The primary copy takes ownership of the
                             // payload: the common single-delivery case

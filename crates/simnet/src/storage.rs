@@ -77,6 +77,91 @@ impl StableStore {
             .take_while(move |(k, _)| k.starts_with(prefix))
             .map(|(k, _)| k.as_str())
     }
+
+    /// Extracts the sub-store under `prefix` as a standalone store whose
+    /// keys have the prefix stripped. Used to recover one group's actor
+    /// from a node that multiplexes several groups over a single store
+    /// (each group writes under its own scope — see [`ScopedStore`]).
+    pub fn subtree(&self, prefix: &str) -> StableStore {
+        StableStore {
+            map: self
+                .map
+                .range(prefix.to_owned()..)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k[prefix.len()..].to_owned(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A prefix-scoped view of a [`StableStore`].
+///
+/// [`crate::Context::storage`] hands actors one of these instead of the raw
+/// store. With an empty scope (the default, single-group case) it is a
+/// zero-cost passthrough; under a multi-group multiplexer every key is
+/// transparently namespaced by the group's scope, so co-hosted groups can
+/// never clobber each other's recovery state.
+pub struct ScopedStore<'a> {
+    store: &'a mut StableStore,
+    scope: &'a str,
+}
+
+impl<'a> ScopedStore<'a> {
+    pub(crate) fn new(store: &'a mut StableStore, scope: &'a str) -> Self {
+        ScopedStore { store, scope }
+    }
+
+    fn full<'k>(&self, key: &'k str) -> std::borrow::Cow<'k, str> {
+        if self.scope.is_empty() {
+            std::borrow::Cow::Borrowed(key)
+        } else {
+            std::borrow::Cow::Owned(format!("{}{}", self.scope, key))
+        }
+    }
+
+    /// Stores raw bytes under `key`, replacing any previous value.
+    pub fn put(&mut self, key: &str, value: Vec<u8>) {
+        let full = self.full(key);
+        self.store.put(&full, value);
+    }
+
+    /// Reads the bytes stored under `key`.
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        match self.full(key) {
+            std::borrow::Cow::Borrowed(k) => self.store.get(k),
+            std::borrow::Cow::Owned(k) => self.store.get(&k),
+        }
+    }
+
+    /// Removes `key`, returning its previous value.
+    pub fn remove(&mut self, key: &str) -> Option<Vec<u8>> {
+        let full = self.full(key);
+        self.store.remove(&full)
+    }
+
+    /// Stores a `u64` under `key` (little-endian).
+    pub fn put_u64(&mut self, key: &str, value: u64) {
+        self.put(key, value.to_le_bytes().to_vec());
+    }
+
+    /// Reads a `u64` stored with [`ScopedStore::put_u64`].
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        let bytes = self.get(key)?;
+        let arr: [u8; 8] = bytes.try_into().ok()?;
+        Some(u64::from_le_bytes(arr))
+    }
+
+    /// Collects the keys under `prefix` (scope-relative, scope stripped),
+    /// in lexicographic order. Returns owned strings because the scoped
+    /// prefix is materialized internally.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let full = self.full(prefix);
+        let scope_len = self.scope.len();
+        self.store
+            .keys_with_prefix(&full)
+            .map(|k| k[scope_len..].to_owned())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +188,48 @@ mod tests {
         assert_eq!(s.get_u64("missing"), None);
         s.put_u64("x", u64::MAX);
         assert_eq!(s.get_u64("x"), Some(u64::MAX));
+    }
+
+    #[test]
+    fn scoped_view_namespaces_every_operation() {
+        let mut s = StableStore::new();
+        {
+            let mut g0 = ScopedStore::new(&mut s, "g0/");
+            g0.put("base", vec![1]);
+            g0.put_u64("term", 7);
+            assert_eq!(g0.get("base"), Some(&[1u8][..]));
+            assert_eq!(g0.get_u64("term"), Some(7));
+            assert_eq!(g0.keys_with_prefix(""), vec!["base", "term"]);
+        }
+        {
+            let mut g1 = ScopedStore::new(&mut s, "g1/");
+            assert_eq!(g1.get("base"), None, "scopes must not leak");
+            g1.put("base", vec![2]);
+            assert_eq!(g1.remove("base"), Some(vec![2]));
+        }
+        // The raw store sees fully-qualified keys.
+        assert_eq!(s.get("g0/base"), Some(&[1u8][..]));
+        // An empty scope is a passthrough.
+        let mut root = ScopedStore::new(&mut s, "");
+        assert_eq!(root.get("g0/base"), Some(&[1u8][..]));
+        assert_eq!(root.keys_with_prefix("g0/"), vec!["g0/base", "g0/term"]);
+        root.put("top", vec![9]);
+        assert_eq!(s.get("top"), Some(&[9u8][..]));
+    }
+
+    #[test]
+    fn subtree_strips_the_scope_and_copies_values() {
+        let mut s = StableStore::new();
+        s.put("g0/base", vec![1, 2]);
+        s.put("g0/px/0001", vec![3]);
+        s.put("g1/base", vec![4]);
+        let sub = s.subtree("g0/");
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.get("base"), Some(&[1u8, 2][..]));
+        assert_eq!(sub.get("px/0001"), Some(&[3u8][..]));
+        assert!(sub.get("g1/base").is_none());
+        // The original is untouched.
+        assert_eq!(s.len(), 3);
     }
 
     #[test]

@@ -289,4 +289,81 @@ mod tests {
         bytes.extend_from_slice(&[0xFF, 0xFE]);
         assert_eq!(from_bytes::<String>(&bytes), None);
     }
+
+    /// The composite shape the fuzzers mangle — nested enough to exercise
+    /// every decoder path (ints, bool/option discriminants, length
+    /// prefixes, UTF-8, tuples).
+    type FuzzTarget = (u64, String, Vec<(NodeId, Option<u32>)>, bool);
+
+    fn fuzz_corpus(rng: &mut crate::SimRng) -> Vec<u8> {
+        let n = rng.gen_range(0..4usize);
+        let v: FuzzTarget = (
+            rng.gen_range(0..u64::MAX),
+            "abcdefgh"[..rng.gen_range(0..8usize)].to_owned(),
+            (0..n)
+                .map(|_| {
+                    let opt = rng.gen_bool(0.5).then(|| rng.gen_range(0..u32::MAX));
+                    (NodeId(rng.gen_range(0u64..64)), opt)
+                })
+                .collect(),
+            rng.gen_bool(0.5),
+        );
+        to_bytes(&v)
+    }
+
+    /// Seeded fuzz: random truncations of valid encodings must decode to
+    /// `None`, never panic, and never consume past the slice.
+    #[test]
+    fn fuzz_truncations_never_panic() {
+        let mut rng = crate::SimRng::seed_from_u64(0xF0221);
+        for _ in 0..200 {
+            let bytes = fuzz_corpus(&mut rng);
+            for cut in 0..bytes.len() {
+                // A strict prefix can never satisfy `from_bytes` (the
+                // outer tuple consumes everything or fails).
+                assert_eq!(from_bytes::<FuzzTarget>(&bytes[..cut]), None);
+            }
+        }
+    }
+
+    /// Seeded fuzz: single-bit flips either still decode (flipped a value
+    /// byte) or cleanly return `None` — decoding must never panic or
+    /// over-allocate.
+    #[test]
+    fn fuzz_bit_flips_never_panic() {
+        let mut rng = crate::SimRng::seed_from_u64(0xF0222);
+        for _ in 0..200 {
+            let mut bytes = fuzz_corpus(&mut rng);
+            let byte = rng.gen_range(0..bytes.len());
+            let bit = rng.gen_range(0..8u32);
+            bytes[byte] ^= 1 << bit;
+            let _ = from_bytes::<FuzzTarget>(&bytes);
+        }
+    }
+
+    /// Seeded fuzz: trailing garbage after a valid encoding is always
+    /// rejected by `from_bytes` (full-consumption contract).
+    #[test]
+    fn fuzz_trailing_garbage_is_always_rejected() {
+        let mut rng = crate::SimRng::seed_from_u64(0xF0223);
+        for _ in 0..200 {
+            let mut bytes = fuzz_corpus(&mut rng);
+            let extra = rng.gen_range(1..16usize);
+            for _ in 0..extra {
+                bytes.push(rng.gen_range(0..u64::MAX) as u8);
+            }
+            assert_eq!(from_bytes::<FuzzTarget>(&bytes), None);
+        }
+    }
+
+    /// Seeded fuzz: fully random byte soup must never panic the decoder.
+    #[test]
+    fn fuzz_random_bytes_never_panic() {
+        let mut rng = crate::SimRng::seed_from_u64(0xF0224);
+        for _ in 0..500 {
+            let len = rng.gen_range(0..96usize);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..u64::MAX) as u8).collect();
+            let _ = from_bytes::<FuzzTarget>(&bytes);
+        }
+    }
 }
