@@ -1,0 +1,270 @@
+//! E12 orchestrator: the epoch chain over real localhost TCP.
+//!
+//! Spawns a 5-member `rsmr-server` cluster plus one standby joiner as
+//! separate OS processes, drives a closed-loop client fleet at it, and —
+//! mid-load — reconfigures every group from `{0..4}` to `{1..5}` (node 0
+//! retires, node 5 joins and receives the application state over the
+//! wire). Emits the E12 JSONL artifact: fleet throughput/latency/handoff
+//! gap plus every server's span and summary lines.
+//!
+//! ```text
+//! e12_tcp --out BENCH_PR6_e12.jsonl --secs 12 --clients 16 --groups 4
+//! ```
+//!
+//! The server binary is expected next to this one (both live in the same
+//! cargo target directory). See `EXPERIMENTS.md` (E12) for what the
+//! artifact means and `OPERATIONS.md` for the manual version of this
+//! choreography.
+
+use std::io::{self, Write as _};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::Duration;
+
+use loadgen::{run_fleet, LoadgenConfig, ReconfigStep};
+
+struct E12Args {
+    out: PathBuf,
+    secs: u64,
+    clients: u64,
+    groups: u32,
+    fsync: bool,
+    keep_storage: bool,
+}
+
+impl Default for E12Args {
+    fn default() -> Self {
+        E12Args {
+            out: PathBuf::from("BENCH_PR6_e12.jsonl"),
+            secs: 12,
+            clients: 16,
+            groups: 4,
+            fsync: false,
+            keep_storage: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<E12Args, String> {
+    let mut a = E12Args::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => a.out = PathBuf::from(val("--out")?),
+            "--secs" => {
+                a.secs = val("--secs")?
+                    .parse()
+                    .map_err(|_| "--secs: bad value".to_string())?
+            }
+            "--clients" => {
+                a.clients = val("--clients")?
+                    .parse()
+                    .map_err(|_| "--clients: bad value".to_string())?
+            }
+            "--groups" => {
+                a.groups = val("--groups")?
+                    .parse()
+                    .map_err(|_| "--groups: bad value".to_string())?
+            }
+            "--fsync" => a.fsync = true,
+            "--keep-storage" => a.keep_storage = true,
+            "--help" | "-h" => {
+                println!("e12_tcp [--out FILE] [--secs N] [--clients N] [--groups N] [--fsync] [--keep-storage]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(a)
+}
+
+/// Reserves `n` distinct localhost ports by binding to port 0 and
+/// releasing the listeners. A tiny race window remains (something else
+/// could grab a port before the servers bind), acceptable for a local
+/// experiment harness.
+fn free_ports(n: usize) -> io::Result<Vec<u16>> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<io::Result<_>>()?;
+    listeners
+        .iter()
+        .map(|l| Ok(l.local_addr()?.port()))
+        .collect()
+}
+
+struct Cluster {
+    children: Vec<Child>,
+    storage_root: PathBuf,
+    events: Vec<PathBuf>,
+}
+
+impl Cluster {
+    fn kill_all(&mut self) {
+        for c in &mut self.children {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        self.children.clear();
+    }
+}
+
+fn spawn_cluster(a: &E12Args, ports: &[u16], run_for_secs: u64) -> io::Result<Cluster> {
+    let exe_dir = std::env::current_exe()?
+        .parent()
+        .map(PathBuf::from)
+        .ok_or_else(|| io::Error::other("no parent dir for current exe"))?;
+    let server_bin = exe_dir.join("rsmr-server");
+    if !server_bin.exists() {
+        return Err(io::Error::other(format!(
+            "{} not found — build it first (cargo build --release -p rsmr-server)",
+            server_bin.display()
+        )));
+    }
+    let storage_root = std::env::temp_dir().join(format!("rsmr-e12-{}", std::process::id()));
+    std::fs::create_dir_all(&storage_root)?;
+
+    let mut children = Vec::new();
+    let mut events = Vec::new();
+    for node in 0..ports.len() as u64 {
+        let events_out = storage_root.join(format!("events-n{node}.jsonl"));
+        let mut cmd = Command::new(&server_bin);
+        cmd.arg("--node")
+            .arg(node.to_string())
+            .arg("--listen")
+            .arg(format!("127.0.0.1:{}", ports[node as usize]))
+            .arg("--initial-members")
+            .arg("0,1,2,3,4")
+            .arg("--groups")
+            .arg(a.groups.to_string())
+            .arg("--storage-dir")
+            .arg(storage_root.join(format!("n{node}")))
+            .arg(if a.fsync { "--fsync" } else { "--no-fsync" })
+            .arg("--seed")
+            .arg(node.to_string())
+            .arg("--run-for-secs")
+            .arg(run_for_secs.to_string())
+            .arg("--events-out")
+            .arg(&events_out)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        for (peer, port) in ports.iter().enumerate() {
+            cmd.arg("--peer").arg(format!("{peer}@127.0.0.1:{port}"));
+        }
+        children.push(cmd.spawn()?);
+        events.push(events_out);
+    }
+    Ok(Cluster {
+        children,
+        storage_root,
+        events,
+    })
+}
+
+fn main() -> ExitCode {
+    let a = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("e12_tcp: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&a) {
+        Ok(ok) => {
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("e12_tcp: fatal: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(a: &E12Args) -> io::Result<bool> {
+    const NODES: usize = 6; // members 0..=4 plus standby joiner 5
+    let ports = free_ports(NODES)?;
+    // Servers outlive the fleet so their shutdown (and events files) are
+    // clean rather than killed mid-write.
+    let server_secs = a.secs + 4;
+    let mut cluster = spawn_cluster(a, &ports, server_secs)?;
+    eprintln!(
+        "e12_tcp: 5-member cluster + joiner up on ports {ports:?} ({} groups, fsync {})",
+        a.groups, a.fsync
+    );
+
+    let reconfigure_at = a.secs / 2;
+    let cfg = LoadgenConfig {
+        servers: (0..NODES as u64)
+            .map(|n| (n, format!("127.0.0.1:{}", ports[n as usize])))
+            .collect(),
+        initial_members: vec![0, 1, 2, 3, 4],
+        groups: a.groups,
+        clients: a.clients,
+        run_for: Duration::from_secs(a.secs),
+        warmup: Duration::from_secs(1),
+        reconfigs: vec![ReconfigStep {
+            after: Duration::from_secs(reconfigure_at),
+            target: vec![1, 2, 3, 4, 5],
+        }],
+        ..LoadgenConfig::default()
+    };
+    let fleet = run_fleet(&cfg);
+    let report = match fleet {
+        Ok(r) => r,
+        Err(e) => {
+            cluster.kill_all();
+            return Err(e);
+        }
+    };
+
+    eprintln!("e12_tcp: fleet done, waiting for servers to retire…");
+    for c in &mut cluster.children {
+        let _ = c.wait();
+    }
+    cluster.children.clear();
+
+    let mut artifact = String::new();
+    artifact.push_str(&format!(
+        "{{\"event\":\"e12_meta\",\"experiment\":\"E12\",\"transport\":\"tcp-localhost\",\"nodes\":{NODES},\"groups\":{},\"clients\":{},\"secs\":{},\"reconfigure_at_secs\":{reconfigure_at},\"reconfigure_target\":[1,2,3,4,5],\"fsync\":{}}}\n",
+        a.groups, a.clients, a.secs, a.fsync
+    ));
+    artifact.push_str(&report.to_jsonl());
+    for path in &cluster.events {
+        match std::fs::read_to_string(path) {
+            Ok(lines) => artifact.push_str(&lines),
+            Err(e) => eprintln!("e12_tcp: missing server events {}: {e}", path.display()),
+        }
+    }
+    std::fs::write(&a.out, &artifact)?;
+    if !a.keep_storage {
+        let _ = std::fs::remove_dir_all(&cluster.storage_root);
+    }
+
+    let reconfigured = !report.reconfigs.is_empty();
+    let sustained = report.ops_per_sec >= 5_000.0;
+    eprintln!(
+        "e12_tcp: {:.0} ops/s sustained, p50 {}us p99 {}us, handoff gap {}ms, {} reconfiguration(s) -> {}",
+        report.ops_per_sec,
+        report.latency.p50,
+        report.latency.p99,
+        report.max_gap_us / 1000,
+        report.reconfigs.len(),
+        a.out.display()
+    );
+    let _ = io::stderr().flush();
+    if !reconfigured {
+        eprintln!("e12_tcp: FAIL: no reconfiguration was acknowledged");
+    }
+    if !sustained {
+        eprintln!("e12_tcp: FAIL: below the 5k ops/s sustained-throughput bar");
+    }
+    Ok(reconfigured && sustained)
+}

@@ -1,0 +1,165 @@
+//! `loadgen` — drive a closed-loop kv fleet at a running cluster.
+//!
+//! ```text
+//! loadgen --server 0@127.0.0.1:7400 --server 1@127.0.0.1:7401 \
+//!     --server 2@127.0.0.1:7402 --initial-members 0,1,2 \
+//!     --clients 16 --run-for-secs 10 \
+//!     --reconfigure 5@1,2,3
+//! ```
+//!
+//! Prints a human summary to stderr and the JSONL report to stdout (or
+//! `--out FILE`). See `OPERATIONS.md` for the full walkthrough.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use loadgen::{run_fleet, LoadgenConfig, ReconfigStep};
+
+const USAGE: &str = "\
+loadgen: closed-loop kv load generator for rsmr-server clusters
+
+USAGE:
+    loadgen [FLAGS]
+
+FLAGS:
+    --server ID@HOST:PORT    a cluster server (repeat per server)
+    --initial-members a,b,c  node ids clients contact first
+    --groups N               replication groups on the cluster (default 1)
+    --clients N              client threads (default 8)
+    --ops-per-client N       stop each client after N ops (default: timed)
+    --read-ratio F           fraction of reads, 0..=1 (default 0.5)
+    --value-size N           write value bytes (default 64)
+    --keyspace N             distinct keys (default 4096)
+    --seed N                 workload seed (default 0)
+    --run-for-secs N         wall-clock run length (default 10)
+    --warmup-secs N          exclude the first N seconds from stats (default 1)
+    --reconfigure S@a,b,c    at S seconds, reconfigure every group to
+                             members a,b,c (repeatable)
+    --out FILE               write the JSONL report here (default stdout)
+";
+
+fn parse_ids(v: &str, flag: &str) -> Result<Vec<u64>, String> {
+    v.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("{flag}: bad id {p:?}"))
+        })
+        .collect()
+}
+
+fn parse_args(args: &[String]) -> Result<(LoadgenConfig, Option<String>), String> {
+    let mut cfg = LoadgenConfig::default();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--server" => {
+                let v = val("--server")?;
+                let (id, addr) = v
+                    .split_once('@')
+                    .ok_or_else(|| format!("--server: expected ID@HOST:PORT, got {v:?}"))?;
+                let id = id.parse().map_err(|_| format!("--server: bad id {id:?}"))?;
+                cfg.servers.push((id, addr.to_string()));
+            }
+            "--initial-members" => {
+                cfg.initial_members = parse_ids(val("--initial-members")?, flag)?
+            }
+            "--groups" => cfg.groups = parse_num(val("--groups")?, flag)?,
+            "--clients" => cfg.clients = parse_num(val("--clients")?, flag)?,
+            "--ops-per-client" => {
+                cfg.ops_per_client = Some(parse_num(val("--ops-per-client")?, flag)?)
+            }
+            "--read-ratio" => cfg.read_ratio = parse_num(val("--read-ratio")?, flag)?,
+            "--value-size" => cfg.value_size = parse_num(val("--value-size")?, flag)?,
+            "--keyspace" => cfg.keyspace = parse_num(val("--keyspace")?, flag)?,
+            "--seed" => cfg.seed = parse_num(val("--seed")?, flag)?,
+            "--run-for-secs" => {
+                cfg.run_for = Duration::from_secs(parse_num(val("--run-for-secs")?, flag)?)
+            }
+            "--warmup-secs" => {
+                cfg.warmup = Duration::from_secs(parse_num(val("--warmup-secs")?, flag)?)
+            }
+            "--reconfigure" => {
+                let v = val("--reconfigure")?;
+                let (secs, ids) = v
+                    .split_once('@')
+                    .ok_or_else(|| format!("--reconfigure: expected SECS@a,b,c, got {v:?}"))?;
+                cfg.reconfigs.push(ReconfigStep {
+                    after: Duration::from_secs(
+                        secs.parse()
+                            .map_err(|_| format!("--reconfigure: bad seconds {secs:?}"))?,
+                    ),
+                    target: parse_ids(ids, flag)?,
+                });
+            }
+            "--out" => out = Some(val("--out")?.clone()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((cfg, out))
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("{flag}: bad value {v:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let (cfg, out) = match parse_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "loadgen: {} client(s) x {} group(s) against {} server(s) for {:?}",
+        cfg.clients,
+        cfg.groups,
+        cfg.servers.len(),
+        cfg.run_for
+    );
+    let report = match run_fleet(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: fatal: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loadgen: {:.0} ops/s over {:.1}s ({} ops), p50 {}us p99 {}us, max gap {}us",
+        report.ops_per_sec,
+        report.window_secs,
+        report.completed,
+        report.latency.p50,
+        report.latency.p99,
+        report.max_gap_us
+    );
+    for r in &report.reconfigs {
+        eprintln!(
+            "loadgen: group {} reconfigured to epoch {} in {}us",
+            r.group,
+            r.epoch,
+            r.finished_us.saturating_sub(r.started_us)
+        );
+    }
+    let jsonl = report.to_jsonl();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, jsonl) {
+                eprintln!("loadgen: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{jsonl}"),
+    }
+    ExitCode::SUCCESS
+}

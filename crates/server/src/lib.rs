@@ -1,0 +1,274 @@
+//! # rsmr-server — a deployable replica of the reconfigurable machine
+//!
+//! This crate assembles the *unmodified* protocol actors — the same
+//! [`rsmr_core::RsmrNode`] / [`rsmr_core::harness::World`] /
+//! [`simnet::MultiGroup`] types every simulated experiment runs — onto
+//! real backends via [`simnet::NodeRuntime`]: TCP transport with
+//! length-prefixed frames and reconnect, a wall clock, and a file-backed
+//! [`simnet::StableStore`] that survives crashes.
+//!
+//! The library exposes the assembly ([`build_actor`]) and the serve loop
+//! ([`serve`]) so integration tests and the load generator can host
+//! replicas in-process; the `rsmr-server` binary is a thin CLI wrapper.
+//! See `OPERATIONS.md` at the repository root for the operator's guide.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use kvstore::KvStore;
+use rsmr_core::harness::World;
+use rsmr_core::{RsmrNode, RsmrTunables};
+use simnet::observe::shared;
+use simnet::{
+    FileStorage, GroupId, MemStorage, MultiGroup, NodeId, NodeRuntime, RuntimeConfig, Spans,
+    StableStore, StorageBackend, TcpConfig, TcpTransport, WallClock,
+};
+
+pub mod config;
+pub use config::ServerConfig;
+
+use consensus::StaticConfig;
+
+/// The actor a replica hosts: every group's reconfigurable node,
+/// multiplexed over one runtime — identical to the sharded simulation
+/// worlds.
+pub type ReplicaActor = MultiGroup<World<KvStore>>;
+
+/// What [`serve`] reports after a clean shutdown.
+#[derive(Clone, Debug)]
+pub struct ServerSummary {
+    /// This replica's id.
+    pub node: u64,
+    /// Groups rebuilt from the storage dir (vs. started fresh).
+    pub recovered_groups: usize,
+    /// Per-group `(group, anchored epoch)` at shutdown; `None` when the
+    /// group never anchored (e.g. a joiner that was never activated).
+    pub anchored_epochs: Vec<(u32, Option<u64>)>,
+    /// Application operations applied across all groups.
+    pub ops_applied: u64,
+    /// Messages sent / delivered by the runtime.
+    pub net_sent: u64,
+    /// Messages delivered to this replica.
+    pub net_delivered: u64,
+}
+
+/// Builds the replica's actor from its (possibly recovered) stable store.
+///
+/// Per group: a node with persisted state recovers from it
+/// ([`RsmrNode::recover`]); otherwise a member of the genesis
+/// configuration boots as a genesis replica and anyone else boots
+/// *joining* — it waits for an `Activate` naming it a member. Returns the
+/// actor and how many groups were recovered.
+pub fn build_actor(cfg: &ServerConfig, store: &StableStore) -> (ReplicaActor, usize) {
+    let me = NodeId(cfg.node_id);
+    let tun = RsmrTunables::default();
+    let initial: Vec<NodeId> = cfg.initial_members.iter().map(|&n| NodeId(n)).collect();
+    let persisted = ReplicaActor::persisted_groups(store);
+    let mut actor = ReplicaActor::sealed();
+    let mut recovered = 0;
+    for g in 0..cfg.groups {
+        let gid = GroupId(g);
+        let from_disk = persisted.contains(&gid).then(|| {
+            let sub = store.subtree(&gid.scope());
+            RsmrNode::recover(me, tun.clone(), &sub)
+        });
+        let node = match from_disk.flatten() {
+            Some(node) => {
+                recovered += 1;
+                node
+            }
+            None if initial.contains(&me) => {
+                RsmrNode::genesis(me, StaticConfig::new(initial.clone()), tun.clone())
+            }
+            None => RsmrNode::joining(me, tun.clone()),
+        };
+        actor.insert(gid, World::server(node));
+    }
+    (actor, recovered)
+}
+
+fn io_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, msg)
+}
+
+/// Runs one replica until `stop` is set or the configured
+/// `run_for_secs` deadline passes, then flushes storage and reports.
+///
+/// This is the whole server: load the store, rebuild the actor, bind the
+/// transport, and pump the runtime. The binary calls it with a
+/// never-set stop flag; tests set the flag to orchestrate shutdown.
+pub fn serve(cfg: &ServerConfig, stop: &AtomicBool) -> io::Result<ServerSummary> {
+    cfg.validate().map_err(io_err)?;
+    let me = NodeId(cfg.node_id);
+    let listen = cfg.listen_addr().map_err(io_err)?;
+    let peers = cfg.peer_addrs().map_err(io_err)?;
+
+    let mut backend: Box<dyn StorageBackend> = match &cfg.storage_dir {
+        Some(dir) => Box::new(FileStorage::open(dir, cfg.fsync)?),
+        None => Box::new(MemStorage),
+    };
+    let store = backend.load()?;
+    let (actor, recovered_groups) = build_actor(cfg, &store);
+
+    let mut tcp = TcpConfig::new(me);
+    if let Some(addr) = listen {
+        tcp = tcp.listen(addr);
+    }
+    for (id, addr) in peers {
+        tcp = tcp.peer(NodeId(id), addr);
+    }
+    let transport = TcpTransport::bind(tcp)?;
+
+    let mut rt = NodeRuntime::new(
+        me,
+        actor,
+        WallClock::new(),
+        transport,
+        backend,
+        store,
+        RuntimeConfig {
+            seed: cfg.seed,
+            ..RuntimeConfig::default()
+        },
+    );
+    let spans = shared(Spans::new());
+    rt.add_observer(spans.clone());
+
+    let deadline = cfg
+        .run_for_secs
+        .map(|s| Instant::now() + Duration::from_secs(s));
+    while !stop.load(Ordering::SeqCst) {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+        rt.run_for(Duration::from_millis(50));
+    }
+
+    let summary = summarize(cfg, recovered_groups, &rt);
+    if let Some(path) = &cfg.events_out {
+        let spans = spans.borrow();
+        std::fs::write(path, events_jsonl(&summary, &spans))?;
+    }
+    rt.shutdown();
+    Ok(summary)
+}
+
+fn summarize(
+    cfg: &ServerConfig,
+    recovered_groups: usize,
+    rt: &NodeRuntime<ReplicaActor>,
+) -> ServerSummary {
+    let mut anchored = Vec::new();
+    let mut ops = 0;
+    for (gid, world) in rt.actor().entries() {
+        if let Some(node) = world.as_server() {
+            anchored.push((gid.0, node.anchored_epoch().map(|e| e.0)));
+            ops += node.state_machine().ops_applied();
+        }
+    }
+    ServerSummary {
+        node: cfg.node_id,
+        recovered_groups,
+        anchored_epochs: anchored,
+        ops_applied: ops,
+        net_sent: rt.metrics().counter("net.sent"),
+        net_delivered: rt.metrics().counter("net.delivered"),
+    }
+}
+
+/// Renders the shutdown event file: one summary line, one line per
+/// observed reconfiguration span, one command-latency line. Values are
+/// microseconds; absent phases are `null`.
+fn events_jsonl(summary: &ServerSummary, spans: &Spans) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"event\":\"server_summary\",\"node\":{},\"recovered_groups\":{},\"ops_applied\":{},\"net_sent\":{},\"net_delivered\":{}}}\n",
+        summary.node, summary.recovered_groups, summary.ops_applied, summary.net_sent,
+        summary.net_delivered
+    );
+    let opt = |d: Option<simnet::SimDuration>| match d {
+        Some(d) => d.as_micros().to_string(),
+        None => "null".to_owned(),
+    };
+    for b in spans.epoch_breakdowns() {
+        let _ = write!(
+            out,
+            "{{\"event\":\"reconfig_span\",\"node\":{},\"epoch\":{},\"seal_latency_us\":{},\"transfer_time_us\":{},\"transfer_bytes\":{},\"handoff_gap_us\":{}}}\n",
+            summary.node,
+            b.epoch,
+            opt(b.seal_latency),
+            opt(b.transfer_time),
+            b.transfer_bytes,
+            opt(b.handoff_gap)
+        );
+    }
+    let _ = write!(
+        out,
+        "{{\"event\":\"command_latency\",\"node\":{},\"completed\":{},\"mean_us\":{}}}\n",
+        summary.node,
+        spans.commands_completed(),
+        spans.mean_command_latency_us()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> ServerConfig {
+        ServerConfig {
+            node_id: 0,
+            initial_members: vec![0, 1, 2],
+            groups: 2,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn genesis_members_and_joiners_assemble_differently() {
+        let store = StableStore::new();
+        let (actor, recovered) = build_actor(&base_cfg(), &store);
+        assert_eq!(recovered, 0);
+        let groups: Vec<_> = actor.entries().map(|(g, _)| g).collect();
+        assert_eq!(groups, vec![GroupId(0), GroupId(1)]);
+        for (_, world) in actor.entries() {
+            let node = world.as_server().expect("server world");
+            assert_eq!(
+                node.anchored_epoch().map(|e| e.0),
+                Some(0),
+                "genesis anchors epoch 0"
+            );
+        }
+        // A node outside the genesis set starts joining (no chain yet).
+        let cfg = ServerConfig {
+            node_id: 9,
+            ..base_cfg()
+        };
+        let (actor, _) = build_actor(&cfg, &store);
+        for (_, world) in actor.entries() {
+            assert!(world.as_server().is_some());
+        }
+    }
+
+    #[test]
+    fn events_jsonl_is_valid_shape() {
+        let summary = ServerSummary {
+            node: 3,
+            recovered_groups: 1,
+            anchored_epochs: vec![(0, Some(2))],
+            ops_applied: 17,
+            net_sent: 5,
+            net_delivered: 6,
+        };
+        let text = events_jsonl(&summary, &Spans::new());
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"server_summary\""));
+        assert!(lines[0].contains("\"node\":3"));
+        assert!(lines[1].contains("\"command_latency\""));
+    }
+}

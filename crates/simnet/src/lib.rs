@@ -23,6 +23,13 @@
 //! `(actors, seed, script)` — property tests and experiments are exactly
 //! reproducible.
 //!
+//! The same actors also run **for real**: the [`transport`] module defines
+//! the narrow [`Clock`]/[`Transport`]/[`StorageBackend`] boundary (wall
+//! clocks, length-prefixed TCP framing with reconnect, file-backed
+//! [`StableStore`]), and [`NodeRuntime`] drives an unmodified actor on
+//! those backends with the same callback/effect discipline as [`Sim`].
+//! Develop and model-check under the simulator; deploy the identical type.
+//!
 //! ## Example
 //!
 //! ```
@@ -61,11 +68,13 @@ mod metrics;
 mod net;
 pub mod observe;
 pub mod rng;
+pub mod runtime;
 pub mod shard;
 mod sim;
 mod storage;
 mod time;
 mod trace;
+pub mod transport;
 pub mod wire;
 
 pub use actor::{Actor, Context, Message, Timer, TimerId};
@@ -75,8 +84,13 @@ pub use metrics::{Histogram, Metrics, MetricsSnapshot, Timeline};
 pub use net::{LatencyModel, NetConfig};
 pub use observe::{DomainEvent, DropReason, EventDigest, EventLog, Observer, SimEvent, Spans};
 pub use rng::SimRng;
+pub use runtime::{NodeRuntime, RuntimeConfig};
 pub use shard::{GroupId, Grouped, MultiGroup};
 pub use sim::{NodeId, Sim};
 pub use storage::{ScopedStore, StableStore};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;
+pub use transport::{
+    ChannelHub, ChannelTransport, Clock, FileStorage, FrameBuffer, ManualClock, MemStorage,
+    NullTransport, StorageBackend, TcpConfig, TcpTransport, Transport, TransportEvent, WallClock,
+};

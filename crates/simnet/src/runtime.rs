@@ -1,0 +1,623 @@
+//! Drives an unmodified [`Actor`] on real backends: a [`Clock`], a
+//! [`Transport`] and a [`StorageBackend`].
+//!
+//! [`NodeRuntime`] is the real-world twin of [`crate::Sim`]: the same
+//! callback discipline (`on_start` / `on_message` / `on_timer`, effects
+//! buffered in a [`crate::Context`] and applied afterwards), the same
+//! metrics counters, the same typed event stream — but messages travel as
+//! [`crate::wire::Wire`] frames over a transport, timers fire off the
+//! wall clock, and every storage mutation is written through to the
+//! backend *before* the frames emitted by the same callback leave the
+//! process (the write-ahead discipline consensus actors assume).
+//!
+//! The actor cannot tell the difference; that is the point. A protocol is
+//! developed and model-checked under the simulator, then deployed by
+//! handing the very same type to a `NodeRuntime` (see the `rsmr-server`
+//! binary).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::time::{Duration, Instant};
+
+use crate::actor::{Actor, Context, Emit, Message, Timer, TimerId};
+use crate::metrics::Metrics;
+use crate::observe::{DropReason, EventBus, Observer, SimEvent};
+use crate::rng::SimRng;
+use crate::sim::NodeId;
+use crate::storage::StableStore;
+use crate::time::SimTime;
+use crate::trace::Trace;
+use crate::transport::{Clock, StorageBackend, Transport, TransportEvent};
+use crate::wire::{self, Wire};
+
+/// Tuning for a [`NodeRuntime`].
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Seed for the actor's deterministic RNG (protocol randomness such as
+    /// retry jitter; real-runtime scheduling is of course not seeded).
+    pub seed: u64,
+    /// Longest single transport wait; shorter waits are used when a timer
+    /// is due sooner. Bounds how late a timer can fire.
+    pub poll_slice: Duration,
+    /// Call [`StorageBackend::sync`] after every batch of dirty keys. Turn
+    /// off only when the backend is allowed to lose acknowledged writes
+    /// (benchmarks, tests).
+    pub sync_writes: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            seed: 0,
+            poll_slice: Duration::from_millis(5),
+            sync_writes: true,
+        }
+    }
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    id: TimerId,
+    kind: u32,
+}
+
+/// Hosts one [`Actor`] on real backends. See the module docs.
+pub struct NodeRuntime<A: Actor> {
+    node: NodeId,
+    actor: A,
+    clock: Box<dyn Clock>,
+    transport: Box<dyn Transport>,
+    backend: Box<dyn StorageBackend>,
+    store: StableStore,
+    rng: SimRng,
+    metrics: Metrics,
+    trace: Trace,
+    bus: EventBus,
+    next_timer_id: u64,
+    next_timer_seq: u64,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    cancelled: BTreeSet<TimerId>,
+    selfq: VecDeque<A::Msg>,
+    emit_scratch: Vec<Emit<A::Msg>>,
+    cfg: RuntimeConfig,
+    started: bool,
+}
+
+impl<A: Actor> NodeRuntime<A>
+where
+    A::Msg: Wire,
+{
+    /// Builds a runtime around an actor and its backends.
+    ///
+    /// `store` is the node's recovery state, normally obtained from
+    /// [`StorageBackend::load`] on the same `backend` *before* building the
+    /// actor (so the actor can be reconstructed from it — the real-world
+    /// analogue of [`crate::Sim::restart`]). The runtime takes ownership
+    /// and writes every mutation through to `backend`.
+    ///
+    /// The actor's `on_start` runs on the first [`NodeRuntime::step`] (or
+    /// explicit [`NodeRuntime::start`]), so observers can be installed
+    /// first.
+    pub fn new(
+        node: NodeId,
+        actor: A,
+        clock: impl Clock + 'static,
+        transport: impl Transport + 'static,
+        backend: impl StorageBackend + 'static,
+        mut store: StableStore,
+        cfg: RuntimeConfig,
+    ) -> Self {
+        store.enable_journal();
+        store.take_dirty(); // loading is not a mutation
+        NodeRuntime {
+            node,
+            actor,
+            clock: Box::new(clock),
+            transport: Box::new(transport),
+            backend: Box::new(backend),
+            store,
+            rng: SimRng::seed_from_u64(cfg.seed ^ node.0),
+            metrics: Metrics::new(),
+            trace: Trace::default(),
+            bus: EventBus::new(),
+            next_timer_id: 0,
+            next_timer_seq: 0,
+            timers: BinaryHeap::new(),
+            cancelled: BTreeSet::new(),
+            selfq: VecDeque::new(),
+            emit_scratch: Vec::new(),
+            cfg,
+            started: false,
+        }
+    }
+
+    /// Installs an [`Observer`] on the typed event stream — the same
+    /// machinery as [`crate::Sim::add_observer`], so span/latency
+    /// aggregators like [`crate::observe::Spans`] work unchanged on real
+    /// runs. Install before the first step to see startup events.
+    pub fn add_observer(&mut self, obs: impl Observer + 'static) {
+        self.bus.add(obs);
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current instant according to the runtime's clock.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The hosted actor.
+    pub fn actor(&self) -> &A {
+        &self.actor
+    }
+
+    /// The metrics sink (same counters as the simulator where they apply:
+    /// `net.sent`, `net.delivered`, per-label counts, …).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Read access to the node's stable store.
+    pub fn store(&self) -> &StableStore {
+        &self.store
+    }
+
+    /// The transport's listening address, if it has one.
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.transport.local_addr()
+    }
+
+    /// Runs the actor's `on_start` if it has not run yet. Idempotent;
+    /// called implicitly by the stepping methods.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.run_callback(|actor, ctx| actor.on_start(ctx));
+    }
+
+    /// One pump iteration: fire due timers, drain self-sends, then wait up
+    /// to `max_wait` for one transport event and dispatch it. Returns
+    /// `true` when any callback ran.
+    pub fn step(&mut self, max_wait: Duration) -> bool {
+        self.start();
+        let mut progressed = self.fire_due_timers();
+        progressed |= self.drain_self_sends();
+
+        let mut wait = max_wait.min(self.cfg.poll_slice);
+        let now = self.clock.now();
+        if let Some(Reverse(next)) = self.timers.peek() {
+            let until = next.at.as_micros().saturating_sub(now.as_micros());
+            wait = wait.min(Duration::from_micros(until));
+        }
+        match self.transport.poll(wait) {
+            Some(TransportEvent::Frame { from, payload }) => {
+                let bytes = payload.len() as u64;
+                match wire::from_bytes::<A::Msg>(&payload) {
+                    Some(msg) => {
+                        self.metrics.net.delivered += 1;
+                        self.metrics.net.bytes += bytes;
+                        let label = msg.label();
+                        let to = self.node;
+                        self.bus
+                            .emit_with(now, || SimEvent::MsgDelivered { from, to, label });
+                        self.run_callback(|actor, ctx| actor.on_message(ctx, from, msg));
+                        progressed = true;
+                    }
+                    None => {
+                        self.metrics.incr("rt.decode_errors", 1);
+                    }
+                }
+            }
+            Some(TransportEvent::PeerConnected(_)) => {
+                self.metrics.incr("rt.peer_connects", 1);
+            }
+            Some(TransportEvent::PeerDisconnected(_)) => {
+                self.metrics.incr("rt.peer_disconnects", 1);
+            }
+            None => {}
+        }
+        progressed |= self.fire_due_timers();
+        progressed | self.drain_self_sends()
+    }
+
+    /// Pumps for `wall` of real time.
+    pub fn run_for(&mut self, wall: Duration) {
+        let deadline = Instant::now() + wall;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            self.step(left);
+        }
+    }
+
+    /// Pumps until `pred(actor)` holds or `timeout` of real time elapses.
+    /// Returns whether the predicate was met.
+    pub fn run_until(&mut self, mut pred: impl FnMut(&A) -> bool, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if pred(&self.actor) {
+                return true;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            self.step(left);
+        }
+    }
+
+    /// Runs a closure against the actor with a full [`Context`], applying
+    /// the emitted effects — how harnesses hand work (e.g. an initial
+    /// request) to the actor, mirroring [`crate::Sim::with_node`].
+    pub fn with_actor<R>(&mut self, f: impl FnOnce(&mut A, &mut Context<'_, A::Msg>) -> R) -> R {
+        self.start();
+        let mut result = None;
+        self.run_callback(|actor, ctx| result = Some(f(actor, ctx)));
+        result.expect("callback ran")
+    }
+
+    /// Flushes and syncs storage, then tears down the transport and
+    /// returns the actor for inspection.
+    pub fn shutdown(mut self) -> A {
+        self.flush_storage();
+        self.actor
+    }
+
+    fn fire_due_timers(&mut self) -> bool {
+        let mut fired = false;
+        loop {
+            let now = self.clock.now();
+            match self.timers.peek() {
+                Some(Reverse(e)) if e.at <= now => {}
+                _ => return fired,
+            }
+            let Reverse(e) = self.timers.pop().expect("peeked");
+            if self.cancelled.remove(&e.id) {
+                continue;
+            }
+            let node = self.node;
+            let kind = e.kind;
+            self.bus
+                .emit_with(now, || SimEvent::TimerFired { node, kind });
+            self.run_callback(|actor, ctx| {
+                actor.on_timer(ctx, Timer { id: e.id, kind });
+            });
+            fired = true;
+        }
+    }
+
+    fn drain_self_sends(&mut self) -> bool {
+        let mut any = false;
+        while let Some(msg) = self.selfq.pop_front() {
+            let now = self.clock.now();
+            let node = self.node;
+            let label = msg.label();
+            self.metrics.net.delivered += 1;
+            self.bus.emit_with(now, || SimEvent::MsgDelivered {
+                from: node,
+                to: node,
+                label,
+            });
+            self.run_callback(|actor, ctx| actor.on_message(ctx, node, msg));
+            any = true;
+        }
+        any
+    }
+
+    fn run_callback(&mut self, f: impl FnOnce(&mut A, &mut Context<'_, A::Msg>)) {
+        let mut out = std::mem::take(&mut self.emit_scratch);
+        let now = self.clock.now();
+        {
+            let mut ctx = Context {
+                node: self.node,
+                now,
+                rng: &mut self.rng,
+                out: &mut out,
+                storage: &mut self.store,
+                key_prefix: "",
+                metrics: &mut self.metrics,
+                next_timer_id: &mut self.next_timer_id,
+                trace: &mut self.trace,
+                bus: &mut self.bus,
+            };
+            f(&mut self.actor, &mut ctx);
+        }
+        // Durability before visibility: mutations hit the backend before
+        // any frame emitted by this callback leaves the process.
+        self.flush_storage();
+        self.apply_emits(now, &mut out);
+        self.emit_scratch = out;
+    }
+
+    fn flush_storage(&mut self) {
+        let dirty = self.store.take_dirty();
+        if dirty.is_empty() {
+            return;
+        }
+        for key in &dirty {
+            let value = self.store.get(key);
+            self.backend
+                .apply(key, value)
+                .unwrap_or_else(|e| panic!("storage backend failed writing {key:?}: {e}"));
+        }
+        if self.cfg.sync_writes {
+            self.backend
+                .sync()
+                .unwrap_or_else(|e| panic!("storage backend failed to sync: {e}"));
+        }
+        self.metrics.incr("rt.storage_flushes", 1);
+        self.metrics
+            .incr("rt.storage_keys_written", dirty.len() as u64);
+    }
+
+    fn apply_emits(&mut self, now: SimTime, emits: &mut Vec<Emit<A::Msg>>) {
+        for emit in emits.drain(..) {
+            match emit {
+                Emit::Send { to, msg } => {
+                    let label = msg.label();
+                    let origin = self.node;
+                    self.metrics.net.sent += 1;
+                    self.metrics.incr_label(label, 1);
+                    if to == origin {
+                        // Self-sends never cross the transport; they are
+                        // delivered on the same pump iteration.
+                        self.bus.emit_with(now, || SimEvent::MsgSent {
+                            from: origin,
+                            to,
+                            label,
+                            bytes: 0,
+                        });
+                        self.selfq.push_back(msg);
+                        continue;
+                    }
+                    let payload = wire::to_bytes(&msg);
+                    let bytes = payload.len() as u64;
+                    self.metrics.net.bytes += bytes;
+                    self.bus.emit_with(now, || SimEvent::MsgSent {
+                        from: origin,
+                        to,
+                        label,
+                        bytes,
+                    });
+                    if !self.transport.send(to, payload) {
+                        self.metrics.net.dropped += 1;
+                        self.bus.emit_with(now, || SimEvent::MsgDropped {
+                            from: origin,
+                            to,
+                            label,
+                            reason: DropReason::Loss,
+                        });
+                    }
+                }
+                Emit::SetTimer { id, at, kind } => {
+                    self.timers.push(Reverse(TimerEntry {
+                        at,
+                        seq: self.next_timer_seq,
+                        id,
+                        kind,
+                    }));
+                    self.next_timer_seq += 1;
+                }
+                Emit::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{ChannelHub, ManualClock, MemStorage, NullTransport};
+    use crate::SimDuration;
+
+    /// Echoes pings back incremented; persists the highest value seen; a
+    /// timer (kind 7) set at start records its firing.
+    struct Echo {
+        received: u32,
+        timer_fired: bool,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Ping(u32);
+    impl Message for Ping {
+        fn label(&self) -> &'static str {
+            "ping"
+        }
+    }
+    impl Wire for Ping {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            self.0.encode(buf);
+        }
+        fn decode(buf: &mut &[u8]) -> Option<Self> {
+            Some(Ping(u32::decode(buf)?))
+        }
+    }
+
+    impl Actor for Echo {
+        type Msg = Ping;
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.set_timer(SimDuration::from_millis(10), 7);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: NodeId, msg: Ping) {
+            self.received += 1;
+            ctx.storage().put_u64("max", u64::from(msg.0));
+            if msg.0 < 3 {
+                ctx.send(from, Ping(msg.0 + 1));
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Ping>, timer: Timer) {
+            assert_eq!(timer.kind, 7);
+            self.timer_fired = true;
+        }
+    }
+
+    fn echo_runtime(hub: &ChannelHub, id: u64, clock: ManualClock) -> NodeRuntime<Echo> {
+        NodeRuntime::new(
+            NodeId(id),
+            Echo {
+                received: 0,
+                timer_fired: false,
+            },
+            clock,
+            hub.endpoint(NodeId(id)),
+            MemStorage,
+            StableStore::new(),
+            RuntimeConfig {
+                poll_slice: Duration::from_millis(1),
+                ..RuntimeConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn two_runtimes_ping_pong_over_channels() {
+        let hub = ChannelHub::new();
+        let clock = ManualClock::new();
+        let mut a = echo_runtime(&hub, 1, clock.clone());
+        let mut b = echo_runtime(&hub, 2, clock.clone());
+        a.with_actor(|_, ctx| ctx.send(NodeId(2), Ping(0)));
+        // Alternate stepping until the volley (0,1,2,3) completes.
+        for _ in 0..50 {
+            b.step(Duration::from_millis(5));
+            a.step(Duration::from_millis(5));
+        }
+        assert_eq!(b.actor().received + a.actor().received, 4);
+        assert_eq!(b.store().get_u64("max"), Some(2));
+        assert_eq!(a.store().get_u64("max"), Some(3));
+        assert!(a.metrics().counter("net.sent") >= 2);
+        assert_eq!(
+            a.metrics().label_count("ping") + b.metrics().label_count("ping"),
+            4
+        );
+    }
+
+    #[test]
+    fn timers_fire_on_the_manual_clock_and_cancel() {
+        let clock = ManualClock::new();
+        let mut rt = NodeRuntime::new(
+            NodeId(1),
+            Echo {
+                received: 0,
+                timer_fired: false,
+            },
+            clock.clone(),
+            NullTransport,
+            MemStorage,
+            StableStore::new(),
+            RuntimeConfig {
+                poll_slice: Duration::from_micros(100),
+                ..RuntimeConfig::default()
+            },
+        );
+        rt.step(Duration::from_micros(100));
+        assert!(!rt.actor().timer_fired, "clock has not moved");
+        clock.advance(9_999);
+        rt.step(Duration::from_micros(100));
+        assert!(!rt.actor().timer_fired, "one microsecond early");
+        clock.advance(1);
+        rt.step(Duration::from_micros(100));
+        assert!(rt.actor().timer_fired, "due timers fire");
+
+        // A cancelled timer never fires.
+        let id = rt.with_actor(|_, ctx| ctx.set_timer(SimDuration::from_millis(1), 7));
+        rt.with_actor(|_, ctx| ctx.cancel_timer(id));
+        let fired_before = rt.actor().timer_fired;
+        clock.advance(10_000);
+        rt.step(Duration::from_micros(100));
+        assert_eq!(rt.actor().timer_fired, fired_before);
+    }
+
+    #[test]
+    fn self_sends_deliver_without_a_transport() {
+        let clock = ManualClock::new();
+        let mut rt = NodeRuntime::new(
+            NodeId(5),
+            Echo {
+                received: 0,
+                timer_fired: false,
+            },
+            clock,
+            NullTransport,
+            MemStorage,
+            StableStore::new(),
+            RuntimeConfig::default(),
+        );
+        rt.with_actor(|_, ctx| {
+            let me = ctx.node_id();
+            ctx.send(me, Ping(3));
+        });
+        rt.step(Duration::from_millis(1));
+        assert_eq!(rt.actor().received, 1);
+    }
+
+    #[test]
+    fn storage_writes_through_to_the_backend() {
+        use crate::transport::{FileStorage, StorageBackend};
+        let dir = std::env::temp_dir().join(format!("rsmr-rt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let clock = ManualClock::new();
+        {
+            let mut backend = FileStorage::open(&dir, false).unwrap();
+            let store = backend.load().unwrap();
+            let mut rt = NodeRuntime::new(
+                NodeId(1),
+                Echo {
+                    received: 0,
+                    timer_fired: false,
+                },
+                clock.clone(),
+                NullTransport,
+                backend,
+                store,
+                RuntimeConfig::default(),
+            );
+            rt.with_actor(|_, ctx| ctx.storage().put_u64("acceptor/promised", 42));
+            rt.shutdown();
+        }
+        // A fresh process sees the write.
+        let mut backend = FileStorage::open(&dir, false).unwrap();
+        let store = backend.load().unwrap();
+        assert_eq!(store.get_u64("acceptor/promised"), Some(42));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn observers_see_runtime_events() {
+        use crate::observe::{shared, EventLog};
+        let hub = ChannelHub::new();
+        let clock = ManualClock::new();
+        let mut a = echo_runtime(&hub, 1, clock.clone());
+        let mut b = echo_runtime(&hub, 2, clock.clone());
+        let log = shared(EventLog::new());
+        a.add_observer(log.clone());
+        a.with_actor(|_, ctx| ctx.send(NodeId(2), Ping(2)));
+        for _ in 0..10 {
+            b.step(Duration::from_millis(2));
+            a.step(Duration::from_millis(2));
+        }
+        let events = log.borrow().events().to_vec();
+        assert!(
+            events
+                .iter()
+                .any(|(_, e)| matches!(e, SimEvent::MsgSent { label: "ping", .. })),
+            "sends observed: {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|(_, e)| matches!(e, SimEvent::MsgDelivered { .. })),
+            "deliveries observed"
+        );
+    }
+}

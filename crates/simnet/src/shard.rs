@@ -85,6 +85,19 @@ impl<M: Message> Message for Grouped<M> {
     }
 }
 
+impl<M: Wire> Wire for Grouped<M> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.group.encode(buf);
+        self.inner.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(Grouped {
+            group: GroupId::decode(buf)?,
+            inner: M::decode(buf)?,
+        })
+    }
+}
+
 struct Entry<A> {
     /// Storage scope, e.g. `"g3/"`.
     scope: String,

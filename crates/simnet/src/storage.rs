@@ -1,7 +1,7 @@
 //! Simulated stable storage: a per-node key/value blob store that survives
 //! crashes and restarts.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-node durable storage.
 ///
@@ -19,6 +19,10 @@ use std::collections::BTreeMap;
 #[derive(Clone, Debug, Default)]
 pub struct StableStore {
     map: BTreeMap<String, Vec<u8>>,
+    /// Keys mutated since the last [`StableStore::take_dirty`]. `None` (the
+    /// default) disables journaling entirely, so the simulator pays nothing
+    /// for a feature only the real-runtime write-through path uses.
+    dirty: Option<BTreeSet<String>>,
 }
 
 impl StableStore {
@@ -27,8 +31,41 @@ impl StableStore {
         Self::default()
     }
 
+    /// Enables the dirty-key journal: from now on every [`StableStore::put`]
+    /// and [`StableStore::remove`] records the touched key, and
+    /// [`StableStore::take_dirty`] drains the accumulated set.
+    ///
+    /// The real runtime (see [`crate::runtime`]) uses this to flush only
+    /// mutated keys to its [`crate::transport::StorageBackend`] after each
+    /// actor callback. The simulator never enables it, so simulated runs are
+    /// byte-for-byte unaffected.
+    pub fn enable_journal(&mut self) {
+        if self.dirty.is_none() {
+            self.dirty = Some(BTreeSet::new());
+        }
+    }
+
+    /// Drains and returns the keys mutated since the previous call, in
+    /// lexicographic order. Returns an empty vector when journaling is
+    /// disabled (see [`StableStore::enable_journal`]).
+    pub fn take_dirty(&mut self) -> Vec<String> {
+        match self.dirty.as_mut() {
+            Some(set) => std::mem::take(set).into_iter().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn mark_dirty(&mut self, key: &str) {
+        if let Some(set) = self.dirty.as_mut() {
+            if !set.contains(key) {
+                set.insert(key.to_owned());
+            }
+        }
+    }
+
     /// Stores raw bytes under `key`, replacing any previous value.
     pub fn put(&mut self, key: &str, value: Vec<u8>) {
+        self.mark_dirty(key);
         self.map.insert(key.to_owned(), value);
     }
 
@@ -39,6 +76,7 @@ impl StableStore {
 
     /// Removes `key`, returning its previous value.
     pub fn remove(&mut self, key: &str) -> Option<Vec<u8>> {
+        self.mark_dirty(key);
         self.map.remove(key)
     }
 
@@ -90,7 +128,13 @@ impl StableStore {
                 .take_while(|(k, _)| k.starts_with(prefix))
                 .map(|(k, v)| (k[prefix.len()..].to_owned(), v.clone()))
                 .collect(),
+            dirty: None,
         }
+    }
+
+    /// Iterates over every `(key, value)` pair in lexicographic key order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[u8])> + '_ {
+        self.map.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 }
 
@@ -230,6 +274,25 @@ mod tests {
         assert!(sub.get("g1/base").is_none());
         // The original is untouched.
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn journal_records_puts_and_removes_only_when_enabled() {
+        let mut s = StableStore::new();
+        s.put("before", vec![1]);
+        assert!(s.take_dirty().is_empty(), "journal off by default");
+        s.enable_journal();
+        s.put("a", vec![1]);
+        s.put_u64("b", 2);
+        s.remove("before");
+        s.remove("missing"); // removals of absent keys still journal
+        assert_eq!(s.take_dirty(), vec!["a", "b", "before", "missing"]);
+        assert!(s.take_dirty().is_empty(), "take_dirty drains");
+        s.put("a", vec![9]);
+        assert_eq!(s.take_dirty(), vec!["a"]);
+        // Scoped views journal their fully-qualified keys.
+        ScopedStore::new(&mut s, "g0/").put("base", vec![1]);
+        assert_eq!(s.take_dirty(), vec!["g0/base"]);
     }
 
     #[test]

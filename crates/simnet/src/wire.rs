@@ -220,6 +220,24 @@ impl Wire for NodeId {
     }
 }
 
+impl Wire for crate::time::SimTime {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_micros().encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(crate::time::SimTime::from_micros(u64::decode(buf)?))
+    }
+}
+
+impl Wire for crate::time::SimDuration {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_micros().encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(crate::time::SimDuration::from_micros(u64::decode(buf)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +258,8 @@ mod tests {
         round_trip(true);
         round_trip(false);
         round_trip(usize::MAX);
+        round_trip(crate::time::SimTime::from_micros(123_456_789));
+        round_trip(crate::time::SimDuration::from_millis(42));
     }
 
     #[test]
