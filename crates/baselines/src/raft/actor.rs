@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use consensus::StaticConfig;
-use rsmr_core::command::Cmd;
+use rsmr_core::command::{BatchEntry, Cmd};
 use rsmr_core::session::{SessionDecision, SessionTable};
 use rsmr_core::state_machine::StateMachine;
 use simnet::wire;
@@ -32,12 +32,17 @@ pub struct RaftNode<S: StateMachine> {
     /// applied. Raft has no epochs; the era stands in for one in the typed
     /// event stream so cross-system span derivations line up.
     config_era: u64,
+    /// Leader-side command batching threshold (`tun.cmd_batch`).
+    cmd_batch: usize,
+    /// Commands accumulated toward the next `Cmd::Batch` entry.
+    batch_buf: Vec<(NodeId, u64, S::Op)>,
 }
 
 impl<S: StateMachine + Default> RaftNode<S> {
     /// Creates a member of the initial cluster.
     pub fn new(me: NodeId, initial: StaticConfig, tun: RaftTunables) -> Self {
         let compact_threshold = tun.compact_threshold;
+        let cmd_batch = tun.cmd_batch;
         RaftNode {
             core: RaftCore::new(me, initial, SimTime::ZERO, tun),
             sm: S::default(),
@@ -47,6 +52,8 @@ impl<S: StateMachine + Default> RaftNode<S> {
             compact_threshold,
             applied_count: 0,
             config_era: 0,
+            cmd_batch,
+            batch_buf: Vec::new(),
         }
     }
 
@@ -54,6 +61,7 @@ impl<S: StateMachine + Default> RaftNode<S> {
     /// and log replication after it is added to the configuration.
     pub fn joining(me: NodeId, tun: RaftTunables) -> Self {
         let compact_threshold = tun.compact_threshold;
+        let cmd_batch = tun.cmd_batch;
         RaftNode {
             core: RaftCore::blank(me, tun),
             sm: S::default(),
@@ -63,6 +71,8 @@ impl<S: StateMachine + Default> RaftNode<S> {
             compact_threshold,
             applied_count: 0,
             config_era: 0,
+            cmd_batch,
+            batch_buf: Vec::new(),
         }
     }
 
@@ -73,6 +83,7 @@ impl<S: StateMachine + Default> RaftNode<S> {
     /// index reaches this node.
     pub fn recover(me: NodeId, tun: RaftTunables, store: &simnet::StableStore) -> Self {
         let compact_threshold = tun.compact_threshold;
+        let cmd_batch = tun.cmd_batch;
         let items: Vec<(String, Vec<u8>)> = store
             .keys_with_prefix(PERSIST_PREFIX)
             .map(|k| {
@@ -95,6 +106,8 @@ impl<S: StateMachine + Default> RaftNode<S> {
             compact_threshold,
             applied_count: 0,
             config_era,
+            cmd_batch,
+            batch_buf: Vec::new(),
         };
         let payload = node.core.snapshot_data().to_vec();
         if !payload.is_empty() {
@@ -110,6 +123,7 @@ impl<S: StateMachine> RaftNode<S> {
     /// that later joiners receive it through `InstallSnapshot`.
     pub fn with_state(me: NodeId, initial: StaticConfig, tun: RaftTunables, sm: S) -> Self {
         let compact_threshold = tun.compact_threshold;
+        let cmd_batch = tun.cmd_batch;
         let sessions: SessionTable<S::Output> = SessionTable::new();
         let payload = wire::to_bytes(&(sm.snapshot(), sessions.clone()));
         RaftNode {
@@ -121,6 +135,8 @@ impl<S: StateMachine> RaftNode<S> {
             compact_threshold,
             applied_count: 0,
             config_era: 0,
+            cmd_batch,
+            batch_buf: Vec::new(),
         }
     }
 
@@ -196,46 +212,20 @@ impl<S: StateMachine> RaftNode<S> {
                 Cmd::Noop => {}
                 Cmd::App { client, seq, op } => self.apply_app(ctx, index, *client, *seq, op),
                 Cmd::Batch { entries } => {
-                    for (client, seq, op) in entries {
-                        self.apply_app(ctx, index, *client, *seq, op);
-                    }
-                }
-                Cmd::Reconfigure { .. } => {
-                    let now = ctx.now();
-                    ctx.metrics().incr("raft.config_commits", 1);
-                    ctx.metrics()
-                        .timeline_push("rsmr.epoch_finalized", now, index as f64);
-                    // The era ends where the config entry commits; the next
-                    // one is live immediately (no transfer phase in Raft).
-                    ctx.emit_event(DomainEvent::EpochSealed {
-                        epoch: era,
-                        seal_slot: index,
-                    });
-                    self.config_era += 1;
-                    ctx.emit_event(DomainEvent::Anchored {
-                        epoch: self.config_era,
-                    });
-                    // Resolve the admin waiting on this entry.
-                    if let Some((admin, at)) = self.pending_admin {
-                        if index >= at {
-                            self.pending_admin = None;
-                            ctx.send(
-                                admin,
-                                RaftMsg::ReconfigureReply {
-                                    ok: true,
-                                    leader: Some(self.core.id()),
-                                    members: self.core.current_members(),
-                                },
-                            );
+                    // Raft applies the whole log, so an intra-batch
+                    // `Reconfigure` needs no truncation: apps before and
+                    // after it apply in order, and the config entry bumps
+                    // the era exactly like a top-level one.
+                    for entry in entries {
+                        match entry {
+                            BatchEntry::App { client, seq, op } => {
+                                self.apply_app(ctx, index, *client, *seq, op)
+                            }
+                            BatchEntry::Reconfigure { .. } => self.commit_config(ctx, index),
                         }
                     }
-                    // A leader removed by the committed config steps down.
-                    if self.core.is_leader()
-                        && !self.core.current_members().contains(&self.core.id())
-                    {
-                        self.core.abdicate();
-                    }
                 }
+                Cmd::Reconfigure { .. } => self.commit_config(ctx, index),
             }
         }
         // Compaction keeps the log bounded (and exercises InstallSnapshot
@@ -254,6 +244,81 @@ impl<S: StateMachine> RaftNode<S> {
                 ctx.storage().remove(&format!("{PERSIST_PREFIX}{key}"));
             }
             ctx.metrics().incr("raft.compactions", 1);
+        }
+    }
+
+    /// Appends the accumulated commands as one `Cmd::Batch` log entry.
+    fn flush_cmd_batch(&mut self, ctx: &mut Context<'_, RaftMsg<S::Op, S::Output>>) {
+        if self.batch_buf.is_empty() {
+            return;
+        }
+        let buffered = std::mem::take(&mut self.batch_buf);
+        let keys: Vec<(NodeId, u64)> = buffered.iter().map(|(c, s, _)| (*c, *s)).collect();
+        let entries: Vec<BatchEntry<S::Op>> = buffered
+            .into_iter()
+            .map(|(client, seq, op)| BatchEntry::App { client, seq, op })
+            .collect();
+        let (fx, res) = self.core.propose(Cmd::Batch { entries }, ctx.now());
+        match res {
+            RaftPropose::Appended(_) => {
+                ctx.metrics().incr("raft.batches_appended", 1);
+                ctx.metrics().incr("raft.batched_cmds", keys.len() as u64);
+                for key in keys {
+                    self.waiting.insert(key, ());
+                }
+            }
+            RaftPropose::NotLeader(_) | RaftPropose::BadReconfigure => {
+                // Lost leadership between accumulation and flush: redirect
+                // so the clients retry against the new leader.
+                for (client, seq) in keys {
+                    ctx.send(
+                        client,
+                        RaftMsg::Redirect {
+                            seq,
+                            leader: self.core.leader_hint(),
+                            members: self.core.current_members(),
+                        },
+                    );
+                }
+            }
+        }
+        self.process_effects(ctx, fx);
+    }
+
+    /// A committed configuration entry (top-level or intra-batch): the era
+    /// ends where the entry commits; the next one is live immediately (no
+    /// transfer phase in Raft).
+    fn commit_config(&mut self, ctx: &mut Context<'_, RaftMsg<S::Op, S::Output>>, index: Index) {
+        let era = self.config_era;
+        let now = ctx.now();
+        ctx.metrics().incr("raft.config_commits", 1);
+        ctx.metrics()
+            .timeline_push("rsmr.epoch_finalized", now, index as f64);
+        ctx.emit_event(DomainEvent::EpochSealed {
+            epoch: era,
+            seal_slot: index,
+        });
+        self.config_era += 1;
+        ctx.emit_event(DomainEvent::Anchored {
+            epoch: self.config_era,
+        });
+        // Resolve the admin waiting on this entry.
+        if let Some((admin, at)) = self.pending_admin {
+            if index >= at {
+                self.pending_admin = None;
+                ctx.send(
+                    admin,
+                    RaftMsg::ReconfigureReply {
+                        ok: true,
+                        leader: Some(self.core.id()),
+                        members: self.core.current_members(),
+                    },
+                );
+            }
+        }
+        // A leader removed by the committed config steps down.
+        if self.core.is_leader() && !self.core.current_members().contains(&self.core.id()) {
+            self.core.abdicate();
         }
     }
 
@@ -340,6 +405,16 @@ impl<S: StateMachine> Actor for RaftNode<S> {
                     SessionDecision::Stale => return,
                     SessionDecision::Fresh => {}
                 }
+                // Leader-side batching: accumulate and append one
+                // `Cmd::Batch` entry when the buffer fills (or at the next
+                // tick), amortizing per-entry replication overhead.
+                if self.cmd_batch > 0 && self.core.is_leader() {
+                    self.batch_buf.push((from, seq, op));
+                    if self.batch_buf.len() >= self.cmd_batch {
+                        self.flush_cmd_batch(ctx);
+                    }
+                    return;
+                }
                 let (fx, res) = self.core.propose(
                     Cmd::App {
                         client: from,
@@ -420,6 +495,9 @@ impl<S: StateMachine> Actor for RaftNode<S> {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, _timer: Timer) {
+        if !self.batch_buf.is_empty() {
+            self.flush_cmd_batch(ctx);
+        }
         let fx = self.core.tick(ctx.now());
         self.process_effects(ctx, fx);
         ctx.set_timer(TICK, 0);

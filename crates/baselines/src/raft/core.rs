@@ -32,6 +32,10 @@ pub struct RaftTunables {
     pub compact_threshold: u64,
     /// Maximum entries per `Append`.
     pub batch: usize,
+    /// Leader-side command batching: accumulate up to this many client
+    /// commands and append them as one `Cmd::Batch` log entry (flushed
+    /// when the buffer fills or at the next tick). `0` disables batching.
+    pub cmd_batch: usize,
 }
 
 impl Default for RaftTunables {
@@ -42,6 +46,7 @@ impl Default for RaftTunables {
             election_jitter: SimDuration::from_millis(150),
             compact_threshold: 1024,
             batch: 512,
+            cmd_batch: 0,
         }
     }
 }

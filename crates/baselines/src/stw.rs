@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use consensus::{MultiPaxos, PaxosTunables, ProposeOutcome, Slot, StaticConfig};
 use rsmr_core::chain::{ConfigChain, Epoch};
-use rsmr_core::command::Cmd;
+use rsmr_core::command::{BatchEntry, Cmd};
 use rsmr_core::messages::RsmrMsg;
 use rsmr_core::session::{SessionDecision, SessionTable};
 use rsmr_core::state_machine::StateMachine;
@@ -240,9 +240,30 @@ impl<S: StateMachine> StwNode<S> {
                     self.apply_app(ctx, slot, *client, *seq, op);
                 }
                 Cmd::Batch { entries } => {
-                    self.note_first_commit(ctx, slot);
-                    for (client, seq, op) in entries {
-                        self.apply_app(ctx, slot, *client, *seq, op);
+                    // Batch-aware close: apply the prefix before the first
+                    // intra-batch `Reconfigure`, then close there. stw
+                    // drops the tail (clients retransmit), matching its
+                    // slot-granular prefix rule below.
+                    let close = entries
+                        .iter()
+                        .position(|e| matches!(e, BatchEntry::Reconfigure { .. }));
+                    let prefix_end = close.unwrap_or(entries.len());
+                    if prefix_end > 0 {
+                        self.note_first_commit(ctx, slot);
+                    }
+                    for entry in &entries[..prefix_end] {
+                        if let BatchEntry::App { client, seq, op } = entry {
+                            self.apply_app(ctx, slot, *client, *seq, op);
+                        }
+                    }
+                    if let Some(idx) = close {
+                        let BatchEntry::Reconfigure { members } = &entries[idx] else {
+                            unreachable!("position() found a Reconfigure");
+                        };
+                        let members = members.clone();
+                        self.on_close(ctx, slot, members);
+                        self.buffer.clear();
+                        break;
                     }
                 }
                 Cmd::Reconfigure { members } => {
@@ -618,6 +639,7 @@ impl<S: StateMachine> StwNode<S> {
             inst.paxos.is_leader()
                 && inst.paxos.inflight_len() == 0
                 && inst.paxos.pending_len() == 0
+                && inst.paxos.accum_len() == 0
                 && inst.paxos.chosen_upto() == self.applied_next
         };
         if !drained {

@@ -1,0 +1,65 @@
+//! CI smoke gate for the leader-side batching work: runs the E13 sweep,
+//! writes the rows as `BENCH_PR7.json`, and exits non-zero if the best
+//! batched point fails the recorded speedup gate
+//! ([`GATE_MIN_SPEEDUP`] over the unbatched baseline at the same fabric
+//! cap).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_pr7 -- [--full] [--out PATH]
+//! ```
+//!
+//! Quick mode (the default, used by CI) runs two points on a shorter
+//! horizon; `--full` runs the whole sweep that produced the committed
+//! repo-root `BENCH_PR7.json`.
+
+use std::fmt::Write as _;
+
+use bench::experiments::e13_batching::{run_rows, GATE_MIN_SPEEDUP};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_PR7.json");
+
+    let rows = run_rows(!full);
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"experiment\": \"e13_batching\",\n  \"mode\": \"{}\",\n  \
+         \"gate_min_speedup\": {GATE_MIN_SPEEDUP},\n  \"rows\": [",
+        if full { "full" } else { "quick" }
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"config\": \"{}\", \"throughput_ops\": {:.0}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"speedup\": {:.2}}}{}",
+            r.label,
+            r.throughput,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write artifact");
+    print!("{json}");
+
+    let best = rows.iter().map(|r| r.speedup).fold(0.0_f64, f64::max);
+    if best < GATE_MIN_SPEEDUP {
+        eprintln!(
+            "FAIL: best batched speedup {best:.2}x is below the recorded \
+             gate {GATE_MIN_SPEEDUP}x"
+        );
+        std::process::exit(1);
+    }
+    println!("gate ok: best batched speedup {best:.2}x >= {GATE_MIN_SPEEDUP}x");
+}

@@ -29,8 +29,10 @@ const FAULTS_PER_SEED: usize = 3;
 const OPS_PER_CLIENT: u64 = 600;
 const N_CLIENTS: u64 = 2;
 
-/// The systems the sweep holds to the safety + liveness bar.
-pub const SWEPT: [SystemKind; 2] = [SystemKind::Rsmr, SystemKind::Raft];
+/// The systems the sweep holds to the safety + liveness bar. The batched
+/// composition runs the same fault plans with the leader accumulator and
+/// pipelined window live, so crashes land mid-batch-flush.
+pub const SWEPT: [SystemKind; 3] = [SystemKind::Rsmr, SystemKind::RsmrBatched, SystemKind::Raft];
 
 /// One `(seed, system)` outcome.
 pub struct SeedRow {

@@ -7,6 +7,7 @@
 pub mod chaos_sweep;
 pub mod e10_local_reads;
 pub mod e11_sharding;
+pub mod e13_batching;
 pub mod e1_steady_state;
 pub mod e2_timeline;
 pub mod e3_state_transfer;
@@ -20,8 +21,8 @@ pub mod e9_wan;
 use crate::table::{json_escape_into, Table};
 
 /// Experiment ids in presentation order.
-pub const ALL: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "chaos",
+pub const ALL: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e13", "chaos",
 ];
 
 /// One-line description per experiment id (same order as [`ALL`]; the
@@ -39,6 +40,7 @@ pub fn describe(id: &str) -> &'static str {
         "e9" => "WAN latency profile",
         "e10" => "leader-local reads vs full ordering",
         "e11" => "sharded multi-group composition: scaling + rolling churn",
+        "e13" => "leader-side batching + pipelined window at a fixed egress cap",
         "chaos" => "randomized fault sweep with safety oracles",
         _ => "unknown experiment",
     }
@@ -94,6 +96,7 @@ pub fn run_structured(id: &str, quick: bool) -> Option<ExpOutput> {
         "e9" => Some(e9_wan::run_structured(quick)),
         "e10" => Some(e10_local_reads::run_structured(quick)),
         "e11" => Some(e11_sharding::run_structured(quick)),
+        "e13" => Some(e13_batching::run_structured(quick)),
         "chaos" => Some(chaos_sweep::run_structured(quick)),
         _ => None,
     }

@@ -26,7 +26,9 @@ pub enum SystemKind {
     Rsmr,
     /// The composition with speculative handoff disabled (ablation).
     RsmrNoSpec,
-    /// The composition with leader-side batching (64 commands/entry).
+    /// The composition with in-core leader batching and a pipelined
+    /// proposal window (64 commands/slot, 1ms flush deadline, 8-slot
+    /// window by default; [`Scenario::batching`] overrides).
     RsmrBatched,
     /// Stop-the-world composition baseline.
     Stw,
@@ -41,7 +43,7 @@ impl SystemKind {
             SystemKind::Static => "static-paxos",
             SystemKind::Rsmr => "rsmr (spec)",
             SystemKind::RsmrNoSpec => "rsmr (no-spec)",
-            SystemKind::RsmrBatched => "rsmr (batch=64)",
+            SystemKind::RsmrBatched => "rsmr (batched)",
             SystemKind::Stw => "stop-the-world",
             SystemKind::Raft => "raft-lite",
         }
@@ -99,6 +101,17 @@ pub struct Scenario {
     /// Link bandwidth override in bytes/second (`None` keeps the LAN
     /// default).
     pub bandwidth: Option<u64>,
+    /// Model each sender's egress port as a serial queue (see
+    /// [`NetConfig::with_egress_queueing`]). Needs a finite `bandwidth`
+    /// to matter; turns the cap into a real throughput ceiling instead
+    /// of a per-message delay.
+    pub egress_queueing: bool,
+    /// Cap the replication fabric: every server↔server (and joiner) link
+    /// gets this bandwidth in bytes/second *with egress queueing*, while
+    /// client links keep the scenario default. Models a constrained
+    /// cross-replica backbone (e.g. cross-AZ) with local client access —
+    /// the regime where per-message framing caps a leader's throughput.
+    pub fabric_cap: Option<u64>,
     /// Use the wide-area network profile (20ms ± 4ms one-way, light loss)
     /// instead of the datacenter LAN.
     pub wan: bool,
@@ -115,6 +128,12 @@ pub struct Scenario {
     /// keyspace (see [`kvstore::shard_of`]) — the split-mode sharded driver
     /// runs each group as its own scenario with this set.
     pub shard: Option<(u32, u32)>,
+    /// In-core leader batching `(max_batch, max_delay_ms, window)`:
+    /// commands per proposal, flush deadline, and pipelined in-flight
+    /// slots (see [`consensus::PaxosTunables`]). Applies to `Rsmr*` and
+    /// `Stw` via the embedded Paxos tunables and to `Raft` via its
+    /// `cmd_batch` knob (`max_batch` only). `None` = unbatched.
+    pub batching: Option<(usize, u64, usize)>,
 }
 
 impl Scenario {
@@ -137,12 +156,23 @@ impl Scenario {
             horizon: SimTime::from_secs(10),
             record_history: false,
             bandwidth: None,
+            egress_queueing: false,
+            fabric_cap: None,
             wan: false,
             local_reads: false,
             record_trace: false,
             record_events: false,
             shard: None,
+            batching: None,
         }
+    }
+
+    /// Enables in-core leader batching, builder-style: up to `max_batch`
+    /// commands per proposal, flushed within `max_delay_ms`, with a
+    /// pipelined window of `window` outstanding slots (`0` = unbounded).
+    pub fn batching(mut self, max_batch: usize, max_delay_ms: u64, window: usize) -> Self {
+        self.batching = Some((max_batch, max_delay_ms, window));
+        self
     }
 
     /// Enables the structured-event observers, builder-style.
@@ -212,6 +242,22 @@ impl Scenario {
         self
     }
 
+    /// Serializes each sender's egress port, builder-style — with a
+    /// finite [`Scenario::bandwidth`], concurrent sends queue behind one
+    /// another and the cap becomes a throughput ceiling.
+    pub fn egress_queueing(mut self) -> Self {
+        self.egress_queueing = true;
+        self
+    }
+
+    /// Caps the server↔server fabric at `bytes_per_sec` with serialized
+    /// egress ports, builder-style. Client links keep the scenario
+    /// default, so replies stay off the capped resource.
+    pub fn fabric_cap(mut self, bytes_per_sec: u64) -> Self {
+        self.fabric_cap = Some(bytes_per_sec);
+        self
+    }
+
     /// Switches to the WAN profile, builder-style.
     pub fn over_wan(mut self) -> Self {
         self.wan = true;
@@ -231,10 +277,11 @@ impl Scenario {
         } else {
             NetConfig::lan()
         };
-        match self.bandwidth {
+        let base = match self.bandwidth {
             Some(bw) => base.with_bandwidth(Some(bw)),
             None => base,
-        }
+        };
+        base.with_egress_queueing(self.egress_queueing)
     }
 
     fn initial_state(&self) -> KvStore {
@@ -491,7 +538,16 @@ pub fn run(kind: SystemKind, sc: &Scenario) -> RunOut {
         SystemKind::Static => run_static(sc),
         SystemKind::Rsmr => run_rsmr(sc, true, 0),
         SystemKind::RsmrNoSpec => run_rsmr(sc, false, 0),
-        SystemKind::RsmrBatched => run_rsmr(sc, true, 64),
+        SystemKind::RsmrBatched => {
+            // The batched composition defaults to in-core batching (64
+            // commands/slot, 1ms flush deadline, 8-slot window) unless the
+            // scenario pins its own points.
+            let mut sc = sc.clone();
+            if sc.batching.is_none() {
+                sc.batching = Some((64, 1, 8));
+            }
+            run_rsmr(&sc, true, 0)
+        }
         SystemKind::Stw => run_stw(sc),
         SystemKind::Raft => run_raft(sc),
     }
@@ -500,6 +556,21 @@ pub fn run(kind: SystemKind, sc: &Scenario) -> RunOut {
 // ---------------------------------------------------------------------------
 // Composed machine (speculation on/off)
 // ---------------------------------------------------------------------------
+
+/// Installs the scenario's fabric cap (if any): every pair of server and
+/// joiner ids gets a link override with the capped bandwidth and a
+/// serialized egress port. Client links are untouched.
+fn apply_fabric_cap<A: simnet::Actor>(sim: &mut Sim<A>, sc: &Scenario) {
+    let Some(bw) = sc.fabric_cap else { return };
+    let cfg = sc.net().with_bandwidth(Some(bw)).with_egress_queueing(true);
+    let mut ids = sc.server_ids();
+    ids.extend(sc.joiners.iter().map(|&j| NodeId(j)));
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            sim.set_link(a, b, cfg.clone());
+        }
+    }
+}
 
 fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
     let mut tun = RsmrTunables {
@@ -511,7 +582,13 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
     if sc.local_reads {
         tun.paxos.lease_duration = Some(SimDuration::from_millis(100));
     }
+    if let Some((max_batch, max_delay_ms, window)) = sc.batching {
+        tun.paxos.max_batch = max_batch;
+        tun.paxos.max_delay = SimDuration::from_millis(max_delay_ms);
+        tun.paxos.window = window;
+    }
     let mut sim: Sim<World<KvStore>> = Sim::new(sc.seed, sc.net());
+    apply_fabric_cap(&mut sim, sc);
     if sc.record_trace {
         sim.enable_trace();
     }
@@ -635,8 +712,14 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
 // ---------------------------------------------------------------------------
 
 fn run_stw(sc: &Scenario) -> RunOut {
-    let tun = StwTunables::default();
+    let mut tun = StwTunables::default();
+    if let Some((max_batch, max_delay_ms, window)) = sc.batching {
+        tun.paxos.max_batch = max_batch;
+        tun.paxos.max_delay = SimDuration::from_millis(max_delay_ms);
+        tun.paxos.window = window;
+    }
     let mut sim: Sim<StwWorld<KvStore>> = Sim::new(sc.seed, sc.net());
+    apply_fabric_cap(&mut sim, sc);
     if sc.record_trace {
         sim.enable_trace();
     }
@@ -740,8 +823,12 @@ fn run_stw(sc: &Scenario) -> RunOut {
 // ---------------------------------------------------------------------------
 
 fn run_raft(sc: &Scenario) -> RunOut {
-    let tun = RaftTunables::default();
+    let mut tun = RaftTunables::default();
+    if let Some((max_batch, _, _)) = sc.batching {
+        tun.cmd_batch = max_batch;
+    }
     let mut sim: Sim<RaftWorld<KvStore>> = Sim::new(sc.seed, sc.net());
+    apply_fabric_cap(&mut sim, sc);
     if sc.record_trace {
         sim.enable_trace();
     }
@@ -891,6 +978,7 @@ impl Actor for StaticWorld {
 
 fn run_static(sc: &Scenario) -> RunOut {
     let mut sim: Sim<StaticWorld> = Sim::new(sc.seed, sc.net());
+    apply_fabric_cap(&mut sim, sc);
     if sc.record_trace {
         sim.enable_trace();
     }

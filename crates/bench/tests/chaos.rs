@@ -5,7 +5,10 @@
 //! live. A failing seed prints its one-command replay line.
 
 use bench::experiments::chaos_sweep::{failing_seeds, run_rows, seed_range};
+use bench::runner::run;
 use bench::sharded::{run_sharded, ShardScenario, ShardSystem};
+use bench::{Scenario, SystemKind};
+use kvstore::{linearizable, KvStore};
 use simnet::{FaultPlan, FaultTarget, SimDuration, SimTime};
 
 #[test]
@@ -36,6 +39,56 @@ fn multi_seed_chaos_sweep_holds_safety_and_liveness() {
     assert!(
         failing.is_empty(),
         "chaos sweep failed on seeds {failing:?}"
+    );
+}
+
+/// Batched-leader chaos: the leader crashes while its accumulator and
+/// pipelined window are live (clients have been hammering it since t=0
+/// with `max_batch=64`, so a flush is always in flight), and the transfer
+/// donor is partitioned mid-handoff while the successor's window is open.
+/// Safety must hold exactly as in the unbatched runs: a clean invariant
+/// observer, a linearizable client history, and every client op completed
+/// once the faults heal — batched slots are either chosen (and re-applied
+/// from the log on restart) or lost with their clients retrying.
+#[test]
+fn leader_crash_mid_batch_flush_and_donor_partition_stay_safe() {
+    let plan = FaultPlan::new()
+        .crash_at(
+            SimTime::from_millis(600),
+            FaultTarget::CurrentLeader,
+            Some(SimDuration::from_millis(400)),
+        )
+        .partition_at(
+            SimTime::from_millis(1_100),
+            FaultTarget::TransferDonor,
+            SimDuration::from_millis(500),
+        );
+    let mut sc = Scenario::new(0xBA7C)
+        .clients(4)
+        .joiners(&[3])
+        .batching(64, 1, 8)
+        .reconfigure_at(SimTime::from_secs(1), &[0, 1, 2, 3])
+        .with_faults(plan)
+        .checked()
+        .until(SimTime::from_secs(30));
+    sc.ops_per_client = Some(400);
+    sc.record_history = true;
+    let out = run(SystemKind::RsmrBatched, &sc);
+    assert_eq!(
+        out.invariant_violations,
+        Vec::<String>::new(),
+        "invariant violations under batched chaos (log: {:?})",
+        out.chaos_log
+    );
+    assert!(
+        linearizable(KvStore::new(), &out.histories),
+        "batched chaos history not linearizable"
+    );
+    assert_eq!(
+        out.completed,
+        4 * 400,
+        "client work lost under batched chaos (log: {:?})",
+        out.chaos_log
     );
 }
 

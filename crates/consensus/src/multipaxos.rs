@@ -63,6 +63,20 @@ pub struct PaxosTunables {
     /// cannot emerge while any quorum-acked lease is live; the simulator's
     /// virtual clock has zero skew). `None` disables leases.
     pub lease_duration: Option<SimDuration>,
+    /// Leader-side batch accumulator: combine up to this many commands
+    /// into one [`Command::batch`] proposal. `<= 1` disables accumulation
+    /// (every command gets its own slot). Only effective for command
+    /// types with [`Command::supports_batching`].
+    pub max_batch: usize,
+    /// Longest a buffered command may wait in the accumulator before a
+    /// flush is forced (checked on every message and tick, so the
+    /// effective granularity is the host's tick interval). Zero flushes
+    /// at the first opportunity.
+    pub max_delay: SimDuration,
+    /// Pipelined in-flight window: the maximum number of outstanding
+    /// phase-2 proposals before further commands accumulate. `0` means
+    /// unbounded (propose immediately, the pre-batching behavior).
+    pub window: usize,
 }
 
 impl Default for PaxosTunables {
@@ -74,6 +88,9 @@ impl Default for PaxosTunables {
             accept_retry: SimDuration::from_millis(60),
             catchup_batch: 512,
             lease_duration: None,
+            max_batch: 1,
+            max_delay: SimDuration::ZERO,
+            window: 0,
         }
     }
 }
@@ -131,6 +148,14 @@ pub struct MultiPaxos<C: Command> {
     next_slot: Slot,
     proposals: BTreeMap<Slot, Proposal<C>>,
     pending: VecDeque<Arc<C>>,
+    /// Leader-side batch accumulator (see [`PaxosTunables::max_batch`]):
+    /// commands buffered while the pipeline is loaded, flushed as one
+    /// batch proposal. Like `pending`, its contents are volatile — a
+    /// crash or demotion drops them and clients retransmit.
+    accum: Vec<C>,
+    /// When the oldest command in `accum` was buffered (valid only while
+    /// `accum` is non-empty); drives the `max_delay` forced flush.
+    accum_since: SimTime,
     election_attempt: u64,
 
     // --- Timing ---
@@ -182,6 +207,8 @@ impl<C: Command> MultiPaxos<C> {
             next_slot: Slot::ZERO,
             proposals: BTreeMap::new(),
             pending: VecDeque::new(),
+            accum: Vec::new(),
+            accum_since: SimTime::ZERO,
             election_attempt: 0,
             last_heartbeat_sent: SimTime::ZERO,
             election_deadline: SimTime::ZERO,
@@ -278,6 +305,11 @@ impl<C: Command> MultiPaxos<C> {
         self.proposals.len()
     }
 
+    /// Number of commands buffered in the leader-side batch accumulator.
+    pub fn accum_len(&self) -> usize {
+        self.accum.len()
+    }
+
     /// True when this leader holds a live read lease: a quorum of members
     /// (counting itself as of `now`) has acknowledged a heartbeat sent
     /// within the configured lease duration. Always false when leases are
@@ -318,6 +350,7 @@ impl<C: Command> MultiPaxos<C> {
         self.role = Role::Follower;
         self.proposals.clear();
         self.pending.clear();
+        self.accum.clear();
         self.promises.clear();
     }
 
@@ -329,26 +362,87 @@ impl<C: Command> MultiPaxos<C> {
     // --- Inputs ----------------------------------------------------------
 
     /// Submits a command for replication.
+    ///
+    /// With batching enabled ([`PaxosTunables::max_batch`] > 1 or a
+    /// bounded [`PaxosTunables::window`]) a leader may buffer the command
+    /// in its accumulator instead of proposing immediately; `Accepted`
+    /// then means "owned by this leader", not "assigned a slot". Buffered
+    /// commands are volatile, exactly like commands queued during an
+    /// election: a crash or demotion drops them and clients retransmit.
     pub fn propose(&mut self, cmd: C, now: SimTime) -> (Effects<C>, ProposeOutcome) {
         let mut fx = Effects::new();
         if self.halted {
             return (fx, ProposeOutcome::NotLeader(None));
         }
-        // One allocation per command; every subsequent fan-out, retry and
-        // commit shares it by refcount.
-        let cmd = Arc::new(cmd);
         match self.role {
             Role::Leader => {
-                let slot = self.next_slot;
-                self.next_slot = self.next_slot.next();
-                self.propose_at(slot, cmd, now, &mut fx);
+                if self.batching_enabled() {
+                    if self.accum.is_empty() {
+                        self.accum_since = now;
+                    }
+                    self.accum.push(cmd);
+                    self.flush_accum(now, &mut fx);
+                } else {
+                    // One allocation per command; every subsequent
+                    // fan-out, retry and commit shares it by refcount.
+                    let slot = self.next_slot;
+                    self.next_slot = self.next_slot.next();
+                    self.propose_at(slot, Arc::new(cmd), now, &mut fx);
+                }
                 (fx, ProposeOutcome::Accepted)
             }
             Role::Candidate => {
-                self.pending.push_back(cmd);
+                self.pending.push_back(Arc::new(cmd));
                 (fx, ProposeOutcome::Accepted)
             }
             Role::Follower => (fx, ProposeOutcome::NotLeader(self.leader_hint)),
+        }
+    }
+
+    fn batching_enabled(&self) -> bool {
+        self.tun.max_batch > 1 || self.tun.window > 0
+    }
+
+    /// True while another phase-2 proposal may start.
+    fn window_open(&self) -> bool {
+        self.tun.window == 0 || self.proposals.len() < self.tun.window
+    }
+
+    /// Drains the batch accumulator into phase-2 proposals, as far as the
+    /// flush policy and the in-flight window allow. The policy is
+    /// adaptive: flush immediately while the pipeline is idle (unloaded
+    /// latency is unchanged), accumulate while proposals are in flight,
+    /// and force a flush when the batch fills or the oldest buffered
+    /// command has waited [`PaxosTunables::max_delay`].
+    fn flush_accum(&mut self, now: SimTime, fx: &mut Effects<C>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let chunk = if C::supports_batching() {
+            self.tun.max_batch.max(1)
+        } else {
+            1
+        };
+        while !self.accum.is_empty() && self.window_open() {
+            let idle = self.proposals.is_empty();
+            let full = self.accum.len() >= chunk;
+            let overdue = now.since(self.accum_since) >= self.tun.max_delay;
+            if !(idle || full || overdue) {
+                return;
+            }
+            let take = self.accum.len().min(chunk);
+            let mut cmds: Vec<C> = self.accum.drain(..take).collect();
+            let cmd = if cmds.len() == 1 {
+                Arc::new(cmds.pop().expect("checked"))
+            } else {
+                match C::batch(cmds) {
+                    Some(b) => Arc::new(b),
+                    None => unreachable!("chunk > 1 implies supports_batching"),
+                }
+            };
+            let slot = self.next_slot;
+            self.next_slot = self.next_slot.next();
+            self.propose_at(slot, cmd, now, fx);
         }
     }
 
@@ -404,6 +498,11 @@ impl<C: Command> MultiPaxos<C> {
                 }
             }
         }
+        // Completed rounds free window slots: drain the accumulator as far
+        // as the flush policy now allows.
+        if !self.accum.is_empty() {
+            self.flush_accum(now, &mut fx);
+        }
         fx
     }
 
@@ -430,6 +529,11 @@ impl<C: Command> MultiPaxos<C> {
                     }
                 }
                 self.retry_stale_proposals(now, &mut fx);
+                // Time-triggered flush: `max_delay` is enforced here, so
+                // its effective resolution is the host's tick interval.
+                if !self.accum.is_empty() {
+                    self.flush_accum(now, &mut fx);
+                }
             }
             Role::Follower | Role::Candidate => {
                 if now >= self.election_deadline {
@@ -649,6 +753,7 @@ impl<C: Command> MultiPaxos<C> {
         self.proposals.clear();
         self.promises.clear();
         self.pending.clear();
+        self.accum.clear();
         self.hb_acked.clear();
     }
 
@@ -1348,6 +1453,272 @@ mod tests {
         drop(fx);
         assert!(!c.cores[&l].is_leader());
         assert!(!c.cores[&l].lease_valid(c.now));
+    }
+
+    /// A batchable test command: `Many` carries several `One`s.
+    #[derive(Clone, Debug, PartialEq)]
+    enum BCmd {
+        Noop,
+        One(u64),
+        Many(Vec<u64>),
+    }
+
+    impl wire::Wire for BCmd {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            match self {
+                BCmd::Noop => buf.push(0),
+                BCmd::One(v) => {
+                    buf.push(1);
+                    v.encode(buf);
+                }
+                BCmd::Many(vs) => {
+                    buf.push(2);
+                    vs.encode(buf);
+                }
+            }
+        }
+        fn decode(buf: &mut &[u8]) -> Option<Self> {
+            match u8::decode(buf)? {
+                0 => Some(BCmd::Noop),
+                1 => Some(BCmd::One(u64::decode(buf)?)),
+                2 => Some(BCmd::Many(Vec::<u64>::decode(buf)?)),
+                _ => None,
+            }
+        }
+    }
+
+    impl Command for BCmd {
+        fn noop() -> Self {
+            BCmd::Noop
+        }
+        fn supports_batching() -> bool {
+            true
+        }
+        fn batch(cmds: Vec<Self>) -> Option<Self> {
+            let mut vs = Vec::with_capacity(cmds.len());
+            for c in cmds {
+                match c {
+                    BCmd::Noop => {}
+                    BCmd::One(v) => vs.push(v),
+                    BCmd::Many(inner) => vs.extend(inner),
+                }
+            }
+            Some(BCmd::Many(vs))
+        }
+    }
+
+    /// A 3-member config with two live cores; the third member never
+    /// answers, so a proposal stays in flight until the follower's ack is
+    /// delivered by hand — exactly the load the accumulator reacts to.
+    fn loaded_pair(tun: PaxosTunables) -> (MultiPaxos<BCmd>, MultiPaxos<BCmd>) {
+        let members: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let cfg = StaticConfig::new(members);
+        let mut leader =
+            MultiPaxos::<BCmd>::new(NodeId(0), cfg.clone(), SimTime::ZERO, tun.clone());
+        let mut follower = MultiPaxos::<BCmd>::new(NodeId(1), cfg, SimTime::ZERO, tun);
+        // Hand-run the election: deliver only node 1's promise.
+        let mut fx = Effects::new();
+        leader.start_election(SimTime::ZERO, &mut fx);
+        let prepare = fx
+            .outbound
+            .iter()
+            .find(|(to, _)| *to == NodeId(1))
+            .map(|(_, m)| m.clone())
+            .expect("prepare to node 1");
+        let pfx = follower.on_message(NodeId(0), prepare, SimTime::ZERO);
+        for (to, msg) in pfx.outbound {
+            if to == NodeId(0) {
+                let _ = leader.on_message(NodeId(1), msg, SimTime::ZERO);
+            }
+        }
+        assert!(leader.is_leader());
+        (leader, follower)
+    }
+
+    /// Delivers every leader->follower message and every reply, returning
+    /// the leader's committed entries from this exchange.
+    fn pump_pair(
+        leader: &mut MultiPaxos<BCmd>,
+        follower: &mut MultiPaxos<BCmd>,
+        fx: Effects<BCmd>,
+        now: SimTime,
+    ) -> Vec<(Slot, BCmd)> {
+        let mut committed = Vec::new();
+        let mut to_follower: VecDeque<PaxosMsg<BCmd>> = fx
+            .outbound
+            .into_iter()
+            .filter(|(to, _)| *to == NodeId(1))
+            .map(|(_, m)| m)
+            .collect();
+        committed.extend(fx.committed.into_iter().map(|(s, c)| (s, (*c).clone())));
+        while let Some(msg) = to_follower.pop_front() {
+            let ffx = follower.on_message(NodeId(0), msg, now);
+            for (to, reply) in ffx.outbound {
+                if to == NodeId(0) {
+                    let lfx = leader.on_message(NodeId(1), reply, now);
+                    committed.extend(lfx.committed.into_iter().map(|(s, c)| (s, (*c).clone())));
+                    to_follower.extend(
+                        lfx.outbound
+                            .into_iter()
+                            .filter(|(to, _)| *to == NodeId(1))
+                            .map(|(_, m)| m),
+                    );
+                }
+            }
+        }
+        committed
+    }
+
+    #[test]
+    fn accumulator_batches_under_load_and_flushes_when_idle() {
+        let tun = PaxosTunables {
+            max_batch: 8,
+            max_delay: SimDuration::from_secs(10),
+            window: 0,
+            ..PaxosTunables::default()
+        };
+        let (mut leader, mut follower) = loaded_pair(tun);
+        let now = SimTime::ZERO;
+        // Idle pipeline: the first command is proposed immediately.
+        let (fx1, out) = leader.propose(BCmd::One(1), now);
+        assert_eq!(out, ProposeOutcome::Accepted);
+        assert_eq!(leader.inflight_len(), 1);
+        assert_eq!(leader.accum_len(), 0);
+        // Loaded pipeline: the next three accumulate instead of proposing.
+        for v in 2..=4 {
+            let (fx, out) = leader.propose(BCmd::One(v), now);
+            assert_eq!(out, ProposeOutcome::Accepted);
+            assert!(fx.outbound.is_empty(), "buffered, not proposed");
+        }
+        assert_eq!(leader.inflight_len(), 1);
+        assert_eq!(leader.accum_len(), 3);
+        // Deliver the first round: its completion drains the accumulator
+        // as one batch.
+        let committed = pump_pair(&mut leader, &mut follower, fx1, now);
+        assert_eq!(leader.accum_len(), 0);
+        assert_eq!(
+            committed,
+            vec![
+                (Slot(0), BCmd::One(1)),
+                (Slot(1), BCmd::Many(vec![2, 3, 4]))
+            ]
+        );
+    }
+
+    #[test]
+    fn full_accumulator_flushes_even_under_load() {
+        let tun = PaxosTunables {
+            max_batch: 3,
+            max_delay: SimDuration::from_secs(10),
+            window: 0,
+            ..PaxosTunables::default()
+        };
+        let (mut leader, _follower) = loaded_pair(tun);
+        let now = SimTime::ZERO;
+        let _ = leader.propose(BCmd::One(1), now); // occupies the pipeline
+        for v in 2..=3 {
+            let _ = leader.propose(BCmd::One(v), now);
+        }
+        assert_eq!(leader.accum_len(), 2);
+        // The third buffered command fills the batch: forced flush.
+        let (fx, _) = leader.propose(BCmd::One(4), now);
+        assert_eq!(leader.accum_len(), 0);
+        assert_eq!(leader.inflight_len(), 2);
+        assert!(fx
+            .outbound
+            .iter()
+            .any(|(_, m)| matches!(m, PaxosMsg::Accept { cmd, .. }
+                if **cmd == BCmd::Many(vec![2, 3, 4]))));
+    }
+
+    #[test]
+    fn max_delay_forces_a_flush_on_tick() {
+        let tun = PaxosTunables {
+            max_batch: 100,
+            max_delay: SimDuration::from_millis(50),
+            window: 0,
+            ..PaxosTunables::default()
+        };
+        let (mut leader, _follower) = loaded_pair(tun);
+        let now = SimTime::ZERO;
+        let _ = leader.propose(BCmd::One(1), now);
+        let _ = leader.propose(BCmd::One(2), now);
+        let _ = leader.propose(BCmd::One(3), now);
+        assert_eq!(leader.accum_len(), 2);
+        // Under the delay: tick flushes nothing.
+        let _ = leader.tick(now + SimDuration::from_millis(20));
+        assert_eq!(leader.accum_len(), 2);
+        // Past the delay: tick forces the flush.
+        let fx = leader.tick(now + SimDuration::from_millis(60));
+        assert_eq!(leader.accum_len(), 0);
+        assert!(fx
+            .outbound
+            .iter()
+            .any(|(_, m)| matches!(m, PaxosMsg::Accept { cmd, .. }
+                if **cmd == BCmd::Many(vec![2, 3]))));
+    }
+
+    #[test]
+    fn window_caps_outstanding_proposals_for_unbatchable_commands() {
+        // u64 has no batch representation: the window alone applies, one
+        // command per slot.
+        let members: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let cfg = StaticConfig::new(members.clone());
+        let tun = PaxosTunables {
+            window: 2,
+            ..PaxosTunables::default()
+        };
+        let mut c = Cluster::new(3);
+        for &m in &members {
+            c.cores.insert(
+                m,
+                MultiPaxos::new(m, cfg.clone(), SimTime::ZERO, tun.clone()),
+            );
+        }
+        let l = c.elect();
+        // Propose five commands without letting any acks flow.
+        for v in 1..=5 {
+            let (fx, out) = c.cores.get_mut(&l).unwrap().propose(v, c.now);
+            assert_eq!(out, ProposeOutcome::Accepted);
+            c.absorb(l, fx);
+        }
+        {
+            let core = &c.cores[&l];
+            assert_eq!(core.inflight_len(), 2, "window caps in-flight slots");
+            assert_eq!(core.accum_len(), 3);
+        }
+        // Draining the network completes rounds, freeing window slots
+        // until everything commits in order.
+        c.drain();
+        c.advance(SimDuration::from_millis(50));
+        let vals: Vec<u64> = c.committed[&l].iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4, 5]);
+        c.assert_logs_agree();
+    }
+
+    #[test]
+    fn stepping_down_drops_the_accumulator() {
+        let tun = PaxosTunables {
+            max_batch: 8,
+            max_delay: SimDuration::from_secs(10),
+            window: 0,
+            ..PaxosTunables::default()
+        };
+        let (mut leader, _follower) = loaded_pair(tun);
+        let _ = leader.propose(BCmd::One(1), SimTime::ZERO);
+        let _ = leader.propose(BCmd::One(2), SimTime::ZERO);
+        assert_eq!(leader.accum_len(), 1);
+        let higher = Ballot::new(leader.ballot().round + 10, NodeId(2));
+        let _ = leader.on_message(
+            NodeId(2),
+            PaxosMsg::Prepare {
+                ballot: higher,
+                from_slot: Slot(0),
+            },
+            SimTime::ZERO,
+        );
+        assert!(!leader.is_leader());
+        assert_eq!(leader.accum_len(), 0);
     }
 
     #[test]

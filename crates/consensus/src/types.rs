@@ -128,6 +128,23 @@ pub trait Command: Clone + fmt::Debug + PartialEq + Wire + 'static {
     fn is_noop(&self) -> bool {
         *self == Self::noop()
     }
+
+    /// True if this command type can represent several commands as one
+    /// batch value (see [`Command::batch`]). When false, the leader's
+    /// batch accumulator degenerates to one command per slot — the
+    /// pipelined proposal window still applies.
+    fn supports_batching() -> bool {
+        false
+    }
+
+    /// Combines `cmds` (in order) into a single batch command, or `None`
+    /// if the type has no batch representation. Implementations must
+    /// preserve command order; the composition layer relies on the
+    /// intra-batch position of each command (the close-point rule).
+    fn batch(cmds: Vec<Self>) -> Option<Self> {
+        let _ = cmds;
+        None
+    }
 }
 
 /// `u64` commands for tests and micro-benchmarks; `0` is the no-op.

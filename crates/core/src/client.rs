@@ -313,6 +313,19 @@ impl<S: StateMachine> OpenLoopClient<S> {
         self
     }
 
+    /// See [`RsmrClient::with_history`]. Invocation timestamps are the
+    /// *intended* issue times, so recorded latencies include any local
+    /// queueing delay (coordinated-omission-safe).
+    pub fn with_history(mut self) -> Self {
+        self.inner = self.inner.with_history();
+        self
+    }
+
+    /// See [`RsmrClient::history`].
+    pub fn history(&self) -> &[HistoryEntry<S::Op, S::Output>] {
+        self.inner.history()
+    }
+
     fn admit(&mut self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>) {
         if self.inner.inflight.is_some() {
             return;

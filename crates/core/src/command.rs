@@ -4,6 +4,58 @@ use consensus::Command;
 use simnet::wire::Wire;
 use simnet::NodeId;
 
+/// One element of a leader-side batch: an application command or an
+/// epoch-closing `Reconfigure` embedded at its intra-batch position.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchEntry<O> {
+    /// An application command (the fields of [`Cmd::App`]).
+    App {
+        /// The submitting client.
+        client: NodeId,
+        /// The client's session sequence number.
+        seq: u64,
+        /// The application operation.
+        op: O,
+    },
+    /// An epoch close. The apply pump truncates the epoch at this entry's
+    /// intra-batch index; entries after it belong to the successor.
+    Reconfigure {
+        /// Member ids of the next epoch's configuration.
+        members: Vec<NodeId>,
+    },
+}
+
+impl<O: Wire> Wire for BatchEntry<O> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            BatchEntry::App { client, seq, op } => {
+                buf.push(0);
+                client.encode(buf);
+                seq.encode(buf);
+                op.encode(buf);
+            }
+            BatchEntry::Reconfigure { members } => {
+                buf.push(1);
+                members.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(BatchEntry::App {
+                client: NodeId::decode(buf)?,
+                seq: u64::decode(buf)?,
+                op: O::decode(buf)?,
+            }),
+            1 => Some(BatchEntry::Reconfigure {
+                members: Vec::<NodeId>::decode(buf)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// What flows through an epoch's static log.
 ///
 /// `O` is the application operation type (the [`crate::StateMachine`]'s
@@ -27,20 +79,28 @@ pub enum Cmd<O> {
         /// Member ids of the next epoch's configuration.
         members: Vec<NodeId>,
     },
-    /// A leader-side batch of application commands, amortizing one
-    /// consensus round over many operations (E1's batching ablation).
-    /// Batches never contain `Reconfigure`s, so the close rule is
-    /// unaffected.
+    /// A leader-side batch, amortizing one consensus round over many
+    /// commands. A batch may carry a `Reconfigure` at any position: the
+    /// apply pump closes the epoch at that intra-batch index and
+    /// surfaces the batch tail for re-proposal in the successor (the
+    /// batch-aware close-point rule). Batches never nest.
     Batch {
-        /// The batched operations, in arrival order.
-        entries: Vec<(NodeId, u64, O)>,
+        /// The batched commands, in arrival order.
+        entries: Vec<BatchEntry<O>>,
     },
 }
 
 impl<O> Cmd<O> {
-    /// True for the epoch-closing command.
+    /// True for the epoch-closing command — including a batch that
+    /// carries one at any intra-batch position.
     pub fn is_reconfigure(&self) -> bool {
-        matches!(self, Cmd::Reconfigure { .. })
+        match self {
+            Cmd::Reconfigure { .. } => true,
+            Cmd::Batch { entries } => entries
+                .iter()
+                .any(|e| matches!(e, BatchEntry::Reconfigure { .. })),
+            _ => false,
+        }
     }
 }
 
@@ -77,7 +137,7 @@ impl<O: Wire> Wire for Cmd<O> {
                 members: Vec::<NodeId>::decode(buf)?,
             }),
             3 => Some(Cmd::Batch {
-                entries: Vec::<(NodeId, u64, O)>::decode(buf)?,
+                entries: Vec::<BatchEntry<O>>::decode(buf)?,
             }),
             _ => None,
         }
@@ -87,6 +147,27 @@ impl<O: Wire> Wire for Cmd<O> {
 impl<O: Clone + std::fmt::Debug + PartialEq + Wire + 'static> Command for Cmd<O> {
     fn noop() -> Self {
         Cmd::Noop
+    }
+
+    fn supports_batching() -> bool {
+        true
+    }
+
+    /// Flattens `cmds` into one [`Cmd::Batch`], preserving order. No-ops
+    /// are dropped (they carry no effect); nested batches — possible when
+    /// the node-level group commit feeds the core accumulator — are
+    /// spliced inline so batches never nest on the wire.
+    fn batch(cmds: Vec<Self>) -> Option<Self> {
+        let mut entries = Vec::with_capacity(cmds.len());
+        for cmd in cmds {
+            match cmd {
+                Cmd::Noop => {}
+                Cmd::App { client, seq, op } => entries.push(BatchEntry::App { client, seq, op }),
+                Cmd::Reconfigure { members } => entries.push(BatchEntry::Reconfigure { members }),
+                Cmd::Batch { entries: inner } => entries.extend(inner),
+            }
+        }
+        Some(Cmd::Batch { entries })
     }
 }
 
@@ -106,6 +187,23 @@ mod tests {
             },
             Cmd::Reconfigure {
                 members: vec![NodeId(1), NodeId(2)],
+            },
+            Cmd::Batch {
+                entries: vec![
+                    BatchEntry::App {
+                        client: NodeId(4),
+                        seq: 1,
+                        op: 77,
+                    },
+                    BatchEntry::Reconfigure {
+                        members: vec![NodeId(5)],
+                    },
+                    BatchEntry::App {
+                        client: NodeId(4),
+                        seq: 2,
+                        op: 78,
+                    },
+                ],
             },
         ];
         for c in cases {
@@ -130,5 +228,142 @@ mod tests {
         .is_noop());
         assert!(Cmd::<u64>::Reconfigure { members: vec![] }.is_reconfigure());
         assert!(!Cmd::<u64>::Noop.is_reconfigure());
+    }
+
+    #[test]
+    fn batch_constructor_flattens_and_preserves_order() {
+        let batched = Cmd::<u64>::batch(vec![
+            Cmd::App {
+                client: NodeId(1),
+                seq: 1,
+                op: 10,
+            },
+            Cmd::Noop,
+            Cmd::Reconfigure {
+                members: vec![NodeId(2)],
+            },
+            Cmd::Batch {
+                entries: vec![BatchEntry::App {
+                    client: NodeId(1),
+                    seq: 2,
+                    op: 11,
+                }],
+            },
+        ])
+        .expect("Cmd supports batching");
+        assert!(batched.is_reconfigure());
+        let Cmd::Batch { entries } = batched else {
+            panic!("expected a batch");
+        };
+        assert_eq!(
+            entries,
+            vec![
+                BatchEntry::App {
+                    client: NodeId(1),
+                    seq: 1,
+                    op: 10
+                },
+                BatchEntry::Reconfigure {
+                    members: vec![NodeId(2)]
+                },
+                BatchEntry::App {
+                    client: NodeId(1),
+                    seq: 2,
+                    op: 11
+                },
+            ]
+        );
+    }
+
+    /// A random batch command — the corpus the fuzzers mangle. Mixed
+    /// `App`/`Reconfigure` entries exercise both entry decoders plus the
+    /// outer length prefix.
+    fn fuzz_batch(rng: &mut simnet::SimRng) -> Cmd<u64> {
+        let n = rng.gen_range(0..6usize);
+        let entries = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.25) {
+                    BatchEntry::Reconfigure {
+                        members: (0..rng.gen_range(0..4u64)).map(NodeId).collect(),
+                    }
+                } else {
+                    BatchEntry::App {
+                        client: NodeId(rng.gen_range(100u64..164)),
+                        seq: rng.gen_range(0..u64::MAX),
+                        op: rng.gen_range(0..u64::MAX),
+                    }
+                }
+            })
+            .collect();
+        Cmd::Batch { entries }
+    }
+
+    /// Seeded fuzz: every strict prefix of a valid batch encoding decodes
+    /// to `None` — never panics, never over-allocates.
+    #[test]
+    fn fuzz_batch_truncations_are_rejected() {
+        let mut rng = simnet::SimRng::seed_from_u64(0xBA7C41);
+        for _ in 0..200 {
+            let bytes = wire::to_bytes(&fuzz_batch(&mut rng));
+            for cut in 0..bytes.len() {
+                assert_eq!(
+                    wire::from_bytes::<Cmd<u64>>(&bytes[..cut]),
+                    None,
+                    "accepted truncated batch at {cut}"
+                );
+            }
+        }
+    }
+
+    /// Seeded fuzz: single-bit corruption of a batch either still decodes
+    /// (a value byte flipped) or cleanly returns `None`.
+    #[test]
+    fn fuzz_batch_bit_flips_never_panic() {
+        let mut rng = simnet::SimRng::seed_from_u64(0xBA7C42);
+        for _ in 0..200 {
+            let mut bytes = wire::to_bytes(&fuzz_batch(&mut rng));
+            let byte = rng.gen_range(0..bytes.len());
+            let bit = rng.gen_range(0..8u32);
+            bytes[byte] ^= 1 << bit;
+            let _ = wire::from_bytes::<Cmd<u64>>(&bytes);
+        }
+    }
+
+    /// Seeded fuzz: trailing garbage after a valid batch is always
+    /// rejected (full-consumption contract).
+    #[test]
+    fn fuzz_batch_trailing_garbage_is_always_rejected() {
+        let mut rng = simnet::SimRng::seed_from_u64(0xBA7C43);
+        for _ in 0..200 {
+            let mut bytes = wire::to_bytes(&fuzz_batch(&mut rng));
+            let extra = rng.gen_range(1..16usize);
+            for _ in 0..extra {
+                bytes.push(rng.gen_range(0..u64::MAX) as u8);
+            }
+            assert_eq!(wire::from_bytes::<Cmd<u64>>(&bytes), None);
+        }
+    }
+
+    /// Seeded fuzz: arbitrary byte soup never panics the batch decoder.
+    #[test]
+    fn fuzz_batch_random_bytes_never_panic() {
+        let mut rng = simnet::SimRng::seed_from_u64(0xBA7C44);
+        for _ in 0..500 {
+            let len = rng.gen_range(0..96usize);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..u64::MAX) as u8).collect();
+            let _ = wire::from_bytes::<Cmd<u64>>(&bytes);
+        }
+    }
+
+    #[test]
+    fn batch_without_reconfigure_is_not_a_close() {
+        let b = Cmd::<u64>::Batch {
+            entries: vec![BatchEntry::App {
+                client: NodeId(1),
+                seq: 1,
+                op: 10,
+            }],
+        };
+        assert!(!b.is_reconfigure());
     }
 }

@@ -55,7 +55,7 @@ pub mod transfer;
 
 pub use chain::{ConfigChain, Epoch};
 pub use client::{AdminActor, HistoryEntry, OpenLoopClient, RsmrClient, GROUP_COMPLETES_KEYS};
-pub use command::Cmd;
+pub use command::{BatchEntry, Cmd};
 pub use messages::RsmrMsg;
 pub use node::{RsmrNode, RsmrTunables};
 pub use observe::InvariantObserver;

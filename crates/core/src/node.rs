@@ -26,7 +26,7 @@ use consensus::{MultiPaxos, PaxosTunables, ProposeOutcome, Slot, StaticConfig};
 use simnet::{Actor, Context, DomainEvent, NodeId, SimDuration, SimTime, StableStore, Timer};
 
 use crate::chain::{ConfigChain, Epoch};
-use crate::command::Cmd;
+use crate::command::{BatchEntry, Cmd};
 use crate::messages::RsmrMsg;
 use crate::session::{SessionDecision, SessionTable};
 use crate::state_machine::StateMachine;
@@ -179,6 +179,14 @@ pub struct RsmrNode<S: StateMachine> {
     /// Leader-side batch accumulator (when `batch_size > 0`).
     batch_buf: Vec<(NodeId, u64, S::Op)>,
 
+    /// The intra-batch tail of the batch that closed the current epoch:
+    /// application commands that followed the first `Reconfigure` inside
+    /// the same batch. Set by the apply pump at the close, drained by
+    /// `finalize_epoch` in the very next pump iteration, where the tail
+    /// is re-proposed into the successor *ahead of* the slot-granular
+    /// discarded entries (it precedes them in composed log order).
+    batch_tail: Vec<(NodeId, u64, S::Op)>,
+
     /// Scratch buffer reused across base-state encodes (epoch finalization
     /// happens once per reconfiguration; the capacity amortizes across the
     /// chain instead of growing a fresh `Vec` each time).
@@ -227,6 +235,7 @@ impl<S: StateMachine> RsmrNode<S> {
             stashed: BTreeMap::new(),
             stash_since: BTreeMap::new(),
             batch_buf: Vec::new(),
+            batch_tail: Vec::new(),
             base_scratch: Vec::new(),
             applied_count: 0,
             commit_seen_epoch: None,
@@ -274,6 +283,7 @@ impl<S: StateMachine> RsmrNode<S> {
             stashed: BTreeMap::new(),
             stash_since: BTreeMap::new(),
             batch_buf: Vec::new(),
+            batch_tail: Vec::new(),
             base_scratch: Vec::new(),
             applied_count: 0,
             commit_seen_epoch: None,
@@ -310,6 +320,7 @@ impl<S: StateMachine> RsmrNode<S> {
             stashed: BTreeMap::new(),
             stash_since: BTreeMap::new(),
             batch_buf: Vec::new(),
+            batch_tail: Vec::new(),
             base_scratch: Vec::new(),
             applied_count: 0,
             commit_seen_epoch: None,
@@ -506,9 +517,43 @@ impl<S: StateMachine> RsmrNode<S> {
                     self.apply_app(ctx, epoch, slot, *client, *seq, op)
                 }
                 Cmd::Batch { entries } => {
-                    self.note_first_commit(ctx, epoch, slot);
-                    for (client, seq, op) in entries {
-                        self.apply_app(ctx, epoch, slot, *client, *seq, op);
+                    // Batch-aware close rule: apply the prefix before the
+                    // first intra-batch `Reconfigure`, close the epoch at
+                    // its position, and surface the tail (commands after
+                    // the close point) for re-proposal in the successor.
+                    let close = entries
+                        .iter()
+                        .position(|e| matches!(e, BatchEntry::Reconfigure { .. }));
+                    let prefix_end = close.unwrap_or(entries.len());
+                    if prefix_end > 0 {
+                        self.note_first_commit(ctx, epoch, slot);
+                    }
+                    for entry in &entries[..prefix_end] {
+                        if let BatchEntry::App { client, seq, op } = entry {
+                            self.apply_app(ctx, epoch, slot, *client, *seq, op);
+                        }
+                    }
+                    if let Some(idx) = close {
+                        let BatchEntry::Reconfigure { members } = &entries[idx] else {
+                            unreachable!("position() found a Reconfigure");
+                        };
+                        let members = members.clone();
+                        self.batch_tail = entries[idx + 1..]
+                            .iter()
+                            .filter_map(|e| match e {
+                                BatchEntry::App { client, seq, op } => {
+                                    Some((*client, *seq, op.clone()))
+                                }
+                                // Only the *first* Reconfigure closes; any
+                                // later one in the same batch is dropped,
+                                // exactly like a buffered one at a later
+                                // slot (its admin retries).
+                                BatchEntry::Reconfigure { .. } => None,
+                            })
+                            .collect();
+                        ctx.metrics()
+                            .incr("rsmr.batch_close_tail", self.batch_tail.len() as u64);
+                        self.close_epoch(ctx, epoch, slot, members);
                     }
                 }
                 Cmd::Reconfigure { members } => {
@@ -645,21 +690,29 @@ impl<S: StateMachine> RsmrNode<S> {
         }
 
         // Collect the discarded tail (entries the block committed past the
-        // close point) for optional re-proposal.
-        let discarded: Vec<(NodeId, u64, S::Op)> = self
-            .buffers
-            .remove(&epoch)
-            .map(|tail| {
-                tail.into_iter()
-                    .filter(|(s, _)| *s > close_slot)
-                    .flat_map(|(_, cmd)| match &*cmd {
+        // close point) for optional re-proposal. The intra-batch tail of
+        // the closing batch comes first: it precedes any later-slot entry
+        // in composed log order.
+        let mut discarded: Vec<(NodeId, u64, S::Op)> = std::mem::take(&mut self.batch_tail);
+        if let Some(tail) = self.buffers.remove(&epoch) {
+            discarded.extend(tail.into_iter().filter(|(s, _)| *s > close_slot).flat_map(
+                |(_, cmd)| {
+                    match &*cmd {
                         Cmd::App { client, seq, op } => vec![(*client, *seq, op.clone())],
-                        Cmd::Batch { entries } => entries.clone(),
+                        Cmd::Batch { entries } => entries
+                            .iter()
+                            .filter_map(|e| match e {
+                                BatchEntry::App { client, seq, op } => {
+                                    Some((*client, *seq, op.clone()))
+                                }
+                                BatchEntry::Reconfigure { .. } => None,
+                            })
+                            .collect(),
                         _ => Vec::new(),
-                    })
-                    .collect()
-            })
-            .unwrap_or_default();
+                    }
+                },
+            ));
+        }
         ctx.metrics()
             .incr("rsmr.discarded_tail", discarded.len() as u64);
 
@@ -974,6 +1027,10 @@ impl<S: StateMachine> RsmrNode<S> {
             return;
         };
         let keys: Vec<(NodeId, u64)> = entries.iter().map(|(c, s, _)| (*c, *s)).collect();
+        let entries: Vec<BatchEntry<S::Op>> = entries
+            .into_iter()
+            .map(|(client, seq, op)| BatchEntry::App { client, seq, op })
+            .collect();
         let (fx, outcome) = inst.paxos.propose(Cmd::Batch { entries }, ctx.now());
         match outcome {
             ProposeOutcome::Accepted => {
@@ -1551,5 +1608,168 @@ mod tests {
         assert!(
             RsmrNode::<CounterSm>::recover(NodeId(0), RsmrTunables::default(), &store).is_none()
         );
+    }
+
+    // -- batch-aware close point: a `Reconfigure` at *every* intra-batch
+    // index must close the epoch at that position, with the batch tail
+    // re-proposed into the successor. Batches with an embedded close
+    // cannot be produced through `handle_request` (requests park once the
+    // epoch is closing), so the test injects a constructed batch directly
+    // into whichever replica currently leads — private access is exactly
+    // why this lives in the node's own test module.
+
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use simnet::{NetConfig, Sim, SimTime, Timer};
+
+    /// A server that, once `payload` is armed and this replica leads the
+    /// active epoch, proposes the constructed batch and seeds `waiting`
+    /// for its app entries so the tail re-proposal path fires.
+    struct Injector {
+        node: RsmrNode<CounterSm>,
+        payload: Rc<RefCell<Option<(SimTime, Cmd<u64>)>>>,
+    }
+
+    impl Injector {
+        fn try_inject(&mut self, ctx: &mut Context<'_, RsmrMsg<u64, u64>>) {
+            let armed = {
+                let p = self.payload.borrow();
+                matches!(&*p, Some((at, _)) if ctx.now() >= *at)
+            };
+            if !armed {
+                return;
+            }
+            let Some(epoch) = self.node.active_epoch() else {
+                return;
+            };
+            let leading = self
+                .node
+                .instances
+                .get(&epoch)
+                .map(|i| i.paxos.is_leader())
+                .unwrap_or(false);
+            if !leading {
+                return;
+            }
+            let (_, cmd) = self.payload.borrow_mut().take().expect("armed");
+            if let Cmd::Batch { entries } = &cmd {
+                for e in entries {
+                    if let BatchEntry::App { client, seq, .. } = e {
+                        self.node.waiting.insert((*client, *seq), ());
+                    }
+                }
+            }
+            let inst = self.node.instances.get_mut(&epoch).expect("active");
+            let (fx, _) = inst.paxos.propose(cmd, ctx.now());
+            self.node.process_effects(ctx, epoch, fx);
+        }
+    }
+
+    impl Actor for Injector {
+        type Msg = RsmrMsg<u64, u64>;
+        fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+            self.node.on_start(ctx);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg) {
+            self.node.on_message(ctx, from, msg);
+            self.try_inject(ctx);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, timer: Timer) {
+            self.node.on_timer(ctx, timer);
+            self.try_inject(ctx);
+        }
+    }
+
+    /// Runs a 3-server cluster, injects a batch of `n_apps` commands with
+    /// a `Reconfigure` spliced in at `close_idx`, and returns per-server
+    /// `(anchored epoch, applied count, counter value)` plus the summed
+    /// `rsmr.batch_close_tail` metric.
+    fn run_intra_batch_close(
+        seed: u64,
+        n_apps: u64,
+        close_idx: usize,
+    ) -> (Vec<(u64, u64, u64)>, u64) {
+        let servers: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let mut entries: Vec<BatchEntry<u64>> = (0..n_apps)
+            .map(|seq| BatchEntry::App {
+                client: NodeId(100),
+                seq,
+                op: 1 << seq,
+            })
+            .collect();
+        entries.insert(
+            close_idx,
+            BatchEntry::Reconfigure {
+                members: servers.clone(),
+            },
+        );
+        let payload = Rc::new(RefCell::new(Some((
+            SimTime::from_millis(500),
+            Cmd::Batch { entries },
+        ))));
+
+        let mut sim: Sim<Injector> = Sim::new(seed, NetConfig::lan());
+        let genesis = StaticConfig::new(servers.clone());
+        for &s in &servers {
+            sim.add_node_with_id(
+                s,
+                Injector {
+                    node: RsmrNode::genesis(s, genesis.clone(), RsmrTunables::default()),
+                    payload: payload.clone(),
+                },
+            );
+        }
+        sim.run_until(SimTime::from_secs(5));
+        assert!(payload.borrow().is_none(), "batch was injected");
+
+        let states = servers
+            .iter()
+            .map(|&s| {
+                let a = sim.actor(s).expect("server up");
+                (
+                    a.node.anchored_epoch().expect("anchored").0,
+                    a.node.applied_count(),
+                    a.node.state_machine().value(),
+                )
+            })
+            .collect();
+        (states, sim.metrics().counter("rsmr.batch_close_tail"))
+    }
+
+    #[test]
+    fn reconfigure_at_every_intra_batch_index_closes_there_and_reproposes_the_tail() {
+        const N_APPS: u64 = 5;
+        for close_idx in 0..=N_APPS as usize {
+            let (states, tail_metric) = run_intra_batch_close(0xC105E, N_APPS, close_idx);
+            let tail = N_APPS as usize - close_idx;
+            for &(epoch, applied, value) in &states {
+                assert_eq!(epoch, 1, "close at index {close_idx}: epoch sealed");
+                assert_eq!(
+                    applied, N_APPS,
+                    "close at index {close_idx}: prefix applied in epoch 0, \
+                     tail re-proposed into epoch 1, each exactly once"
+                );
+                assert_eq!(
+                    value,
+                    (1 << N_APPS) - 1,
+                    "close at index {close_idx}: every op applied exactly once"
+                );
+            }
+            // Every epoch-0 member records the same intra-batch tail — the
+            // close point is a pure function of the batch position.
+            assert_eq!(
+                tail_metric,
+                3 * tail as u64,
+                "close at index {close_idx}: deterministic tail length"
+            );
+        }
+    }
+
+    #[test]
+    fn intra_batch_close_is_deterministic_across_replays() {
+        let a = run_intra_batch_close(7, 4, 2);
+        let b = run_intra_batch_close(7, 4, 2);
+        assert_eq!(a, b, "same seed, same close point, same final state");
     }
 }

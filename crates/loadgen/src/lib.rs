@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use kvstore::{KeyDist, KvStore, WorkloadGen};
 use rsmr_core::harness::World;
-use rsmr_core::{AdminActor, RsmrClient};
+use rsmr_core::{AdminActor, OpenLoopClient, RsmrClient};
 use simnet::{
     GroupId, MemStorage, MultiGroup, NodeId, NodeRuntime, RuntimeConfig, SimTime, StableStore,
     TcpConfig, TcpTransport, WallClock,
@@ -73,6 +73,12 @@ pub struct LoadgenConfig {
     pub keyspace: usize,
     /// Workload seed.
     pub seed: u64,
+    /// Open-loop mode: each session *intends* to issue this many
+    /// operations per second, queueing overflow arrivals locally and
+    /// measuring latency from the intended send time (coordinated-
+    /// omission-safe — server stalls surface in the tail instead of
+    /// silently thinning the arrival stream). `None` = closed loop.
+    pub open_loop_rate: Option<f64>,
     /// Wall-clock run duration.
     pub run_for: Duration,
     /// Completions earlier than this offset are excluded from throughput
@@ -95,6 +101,7 @@ impl Default for LoadgenConfig {
             value_size: 64,
             keyspace: 4096,
             seed: 0,
+            open_loop_rate: None,
             run_for: Duration::from_secs(10),
             warmup: Duration::from_secs(1),
             reconfigs: Vec::new(),
@@ -228,8 +235,19 @@ fn client_actor(cfg: &LoadgenConfig, i: u64) -> ClientActor {
         )
         .for_shard(group, cfg.groups)
         .into_fn();
-        let client = RsmrClient::new(members.clone(), gen, cfg.ops_per_client).with_history();
-        mg.insert(GroupId(group), World::client(client));
+        let world = match cfg.open_loop_rate {
+            Some(rate) => {
+                let interval = simnet::SimDuration::from_micros((1e6 / rate.max(1e-3)) as u64);
+                World::paced(
+                    OpenLoopClient::new(members.clone(), gen, interval, cfg.ops_per_client)
+                        .with_history(),
+                )
+            }
+            None => World::client(
+                RsmrClient::new(members.clone(), gen, cfg.ops_per_client).with_history(),
+            ),
+        };
+        mg.insert(GroupId(group), world);
     }
     mg
 }
@@ -321,8 +339,12 @@ pub fn run_fleet(cfg: &LoadgenConfig) -> io::Result<FleetReport> {
             let actor = rt.shutdown();
             let mut times = Vec::new();
             for (_, world) in actor.entries() {
-                if let Some(c) = world.as_client() {
-                    times.extend(c.history().iter().map(|&(_, _, _, invoked, responded)| {
+                let history = world
+                    .as_client()
+                    .map(|c| c.history())
+                    .or_else(|| world.as_paced().map(|c| c.history()));
+                if let Some(history) = history {
+                    times.extend(history.iter().map(|&(_, _, _, invoked, responded)| {
                         (invoked.as_micros(), responded.as_micros())
                     }));
                 }
@@ -517,6 +539,20 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"loadgen_summary\""));
         assert!(lines[1].contains("\"latency_us\":300"));
+    }
+
+    #[test]
+    fn open_loop_rate_builds_paced_sessions() {
+        let cfg = LoadgenConfig {
+            servers: vec![(0, "127.0.0.1:1".into())],
+            initial_members: vec![0, 1, 2],
+            groups: 2,
+            open_loop_rate: Some(500.0),
+            ..LoadgenConfig::default()
+        };
+        let actor = client_actor(&cfg, 0);
+        assert!(actor.entries().all(|(_, w)| w.as_paced().is_some()));
+        assert!(actor.entries().all(|(_, w)| w.as_client().is_none()));
     }
 
     #[test]

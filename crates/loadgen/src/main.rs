@@ -31,6 +31,9 @@ FLAGS:
     --value-size N           write value bytes (default 64)
     --keyspace N             distinct keys (default 4096)
     --seed N                 workload seed (default 0)
+    --open-loop-rate F       open loop: each session intends F ops/sec,
+                             latency measured from intended send time
+                             (default: closed loop)
     --run-for-secs N         wall-clock run length (default 10)
     --warmup-secs N          exclude the first N seconds from stats (default 1)
     --reconfigure S@a,b,c    at S seconds, reconfigure every group to
@@ -77,6 +80,9 @@ fn parse_args(args: &[String]) -> Result<(LoadgenConfig, Option<String>), String
             "--value-size" => cfg.value_size = parse_num(val("--value-size")?, flag)?,
             "--keyspace" => cfg.keyspace = parse_num(val("--keyspace")?, flag)?,
             "--seed" => cfg.seed = parse_num(val("--seed")?, flag)?,
+            "--open-loop-rate" => {
+                cfg.open_loop_rate = Some(parse_num(val("--open-loop-rate")?, flag)?)
+            }
             "--run-for-secs" => {
                 cfg.run_for = Duration::from_secs(parse_num(val("--run-for-secs")?, flag)?)
             }

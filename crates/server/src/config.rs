@@ -43,6 +43,19 @@ pub struct ServerConfig {
     pub storage_dir: Option<PathBuf>,
     /// Fsync files and directory on every write batch.
     pub fsync: bool,
+    /// WAL group commit: issue at most one fsync per this many
+    /// milliseconds (`0` = fsync every batch). Widens the power-loss
+    /// durability window to this long; see OPERATIONS.md.
+    pub fsync_window_ms: u64,
+    /// Leader-side batching: commands per consensus proposal (`1` = one
+    /// command per slot, batching off).
+    pub max_batch: u64,
+    /// Leader-side batching: how long a non-full batch may wait for more
+    /// commands before it is flushed anyway (`0` = flush on next tick).
+    pub max_delay_ms: u64,
+    /// Pipelined proposal window: outstanding slots the leader keeps in
+    /// flight (`0` = unbounded, the pre-batching behavior).
+    pub window: u64,
     /// Seed for protocol-level randomness (retry jitter).
     pub seed: u64,
     /// Exit cleanly after this many wall-clock seconds; `None` = serve
@@ -63,6 +76,10 @@ impl Default for ServerConfig {
             groups: 1,
             storage_dir: None,
             fsync: true,
+            fsync_window_ms: 0,
+            max_batch: 1,
+            max_delay_ms: 0,
+            window: 0,
             seed: 0,
             run_for_secs: None,
             events_out: None,
@@ -94,7 +111,8 @@ impl ServerConfig {
     /// `--node N`, `--listen ADDR`, `--peer ID@ADDR` (repeatable, resets
     /// the file's list on first use), `--initial-members 0,1,2`,
     /// `--groups N`, `--storage-dir DIR`, `--fsync`/`--no-fsync`,
-    /// `--seed N`, `--run-for-secs N`, `--events-out FILE`.
+    /// `--fsync-window-ms N`, `--max-batch N`, `--max-delay-ms N`,
+    /// `--window N`, `--seed N`, `--run-for-secs N`, `--events-out FILE`.
     pub fn from_args(args: &[String]) -> Result<Self, String> {
         let mut cfg = ServerConfig::default();
         // Load the file (if any) before applying overrides, regardless of
@@ -138,6 +156,10 @@ impl ServerConfig {
                 "--storage-dir" => cfg.storage_dir = Some(PathBuf::from(next("--storage-dir")?)),
                 "--fsync" => cfg.fsync = true,
                 "--no-fsync" => cfg.fsync = false,
+                "--fsync-window-ms" => cfg.fsync_window_ms = parse_u64(next("--fsync-window-ms")?)?,
+                "--max-batch" => cfg.max_batch = parse_u64(next("--max-batch")?)?,
+                "--max-delay-ms" => cfg.max_delay_ms = parse_u64(next("--max-delay-ms")?)?,
+                "--window" => cfg.window = parse_u64(next("--window")?)?,
                 "--seed" => cfg.seed = parse_u64(next("--seed")?)?,
                 "--run-for-secs" => cfg.run_for_secs = Some(parse_u64(next("--run-for-secs")?)?),
                 "--events-out" => cfg.events_out = Some(PathBuf::from(next("--events-out")?)),
@@ -161,6 +183,10 @@ impl ServerConfig {
             "groups" => self.groups = parse_u64(value)? as u32,
             "storage_dir" => self.storage_dir = Some(PathBuf::from(parse_string(value)?)),
             "fsync" => self.fsync = parse_bool(value)?,
+            "fsync_window_ms" => self.fsync_window_ms = parse_u64(value)?,
+            "max_batch" => self.max_batch = parse_u64(value)?,
+            "max_delay_ms" => self.max_delay_ms = parse_u64(value)?,
+            "window" => self.window = parse_u64(value)?,
             "seed" => self.seed = parse_u64(value)?,
             "run_for_secs" => self.run_for_secs = Some(parse_u64(value)?),
             "events_out" => self.events_out = Some(PathBuf::from(parse_string(value)?)),
@@ -190,6 +216,9 @@ impl ServerConfig {
         }
         if self.initial_members.is_empty() {
             return Err("initial_members must not be empty".into());
+        }
+        if self.max_batch == 0 {
+            return Err("max_batch must be at least 1".into());
         }
         Ok(())
     }

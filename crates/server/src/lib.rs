@@ -62,7 +62,10 @@ pub struct ServerSummary {
 /// actor and how many groups were recovered.
 pub fn build_actor(cfg: &ServerConfig, store: &StableStore) -> (ReplicaActor, usize) {
     let me = NodeId(cfg.node_id);
-    let tun = RsmrTunables::default();
+    let mut tun = RsmrTunables::default();
+    tun.paxos.max_batch = cfg.max_batch as usize;
+    tun.paxos.max_delay = simnet::SimDuration::from_millis(cfg.max_delay_ms);
+    tun.paxos.window = cfg.window as usize;
     let initial: Vec<NodeId> = cfg.initial_members.iter().map(|&n| NodeId(n)).collect();
     let persisted = ReplicaActor::persisted_groups(store);
     let mut actor = ReplicaActor::sealed();
@@ -105,7 +108,10 @@ pub fn serve(cfg: &ServerConfig, stop: &AtomicBool) -> io::Result<ServerSummary>
     let peers = cfg.peer_addrs().map_err(io_err)?;
 
     let mut backend: Box<dyn StorageBackend> = match &cfg.storage_dir {
-        Some(dir) => Box::new(FileStorage::open(dir, cfg.fsync)?),
+        Some(dir) => Box::new(
+            FileStorage::open(dir, cfg.fsync)?
+                .with_sync_window(Duration::from_millis(cfg.fsync_window_ms)),
+        ),
         None => Box::new(MemStorage),
     };
     let store = backend.load()?;

@@ -78,6 +78,10 @@ fn cluster_config(
         groups: 1,
         storage_dir: storage,
         fsync: false,
+        fsync_window_ms: 0,
+        max_batch: 1,
+        max_delay_ms: 0,
+        window: 0,
         seed: node,
         run_for_secs: None,
         events_out: None,

@@ -246,6 +246,15 @@ pub struct FileStorage {
     /// un-replayed prefix.
     loaded: bool,
     fsync: bool,
+    /// Group commit: defer device syncs so at most one fsync happens per
+    /// window. Zero (the default) syncs on every [`StorageBackend::sync`].
+    sync_window: std::time::Duration,
+    /// When the last device sync completed (group-commit bookkeeping).
+    last_fsync: Option<std::time::Instant>,
+    /// Bytes were flushed to the OS but not yet synced to the device.
+    pending_sync: bool,
+    /// Device syncs issued on the WAL (observability for tests).
+    fsyncs: u64,
 }
 
 const WAL_PUT: u8 = 1;
@@ -272,7 +281,27 @@ impl FileStorage {
             mirror: StableStore::new(),
             loaded: false,
             fsync,
+            sync_window: std::time::Duration::ZERO,
+            last_fsync: None,
+            pending_sync: false,
+            fsyncs: 0,
         })
+    }
+
+    /// Enables group commit: [`StorageBackend::sync`] still flushes every
+    /// batch to the OS, but issues at most one device sync per `window`.
+    /// Widens the durability window to at most `window` of acknowledged
+    /// writes on power loss (see OPERATIONS.md); a plain process crash
+    /// loses nothing because the OS holds the flushed bytes. No effect
+    /// when `fsync` is off.
+    pub fn with_sync_window(mut self, window: std::time::Duration) -> Self {
+        self.sync_window = window;
+        self
+    }
+
+    /// Device syncs issued on the WAL so far.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     /// The storage directory.
@@ -369,6 +398,8 @@ impl FileStorage {
         if self.fsync {
             std::fs::File::open(&self.dir)?.sync_all()?;
         }
+        // Everything deferred is folded into the just-synced snapshot.
+        self.pending_sync = false;
         Ok(())
     }
 }
@@ -409,12 +440,38 @@ impl StorageBackend for FileStorage {
     fn sync(&mut self) -> io::Result<()> {
         self.wal.flush()?;
         if self.fsync {
-            self.wal.get_ref().sync_data()?;
+            let due = self.sync_window.is_zero()
+                || self
+                    .last_fsync
+                    .is_none_or(|at| at.elapsed() >= self.sync_window);
+            if due {
+                self.wal.get_ref().sync_data()?;
+                self.fsyncs += 1;
+                self.last_fsync = Some(std::time::Instant::now());
+                self.pending_sync = false;
+            } else {
+                // Group commit: the bytes are flushed to the OS; the
+                // device sync rides with a later batch in this window.
+                self.pending_sync = true;
+            }
         }
         if self.loaded && self.wal_bytes > Self::COMPACT_SLACK {
             self.compact()?;
         }
         Ok(())
+    }
+}
+
+impl Drop for FileStorage {
+    /// Close the durability window on clean shutdown: sync any writes
+    /// whose device sync was deferred by group commit.
+    fn drop(&mut self) {
+        if self.fsync && self.pending_sync {
+            let _ = self.wal.flush();
+            if self.wal.get_ref().sync_data().is_ok() {
+                self.fsyncs += 1;
+            }
+        }
     }
 }
 
@@ -1157,6 +1214,48 @@ mod tests {
         let reloaded = FileStorage::open(&dir, false).unwrap().load().unwrap();
         assert_eq!(reloaded.get("base"), None);
         assert_eq!(reloaded.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_defers_device_syncs_within_the_window() {
+        let dir = std::env::temp_dir().join(format!("rsmr-gc-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut fs = FileStorage::open(&dir, true)
+                .unwrap()
+                .with_sync_window(std::time::Duration::from_secs(3600));
+            fs.load().unwrap();
+            assert_eq!(fs.fsyncs(), 0);
+            fs.apply("a", Some(b"1")).unwrap();
+            fs.sync().unwrap();
+            assert_eq!(fs.fsyncs(), 1, "first sync of a window hits the device");
+            for i in 0..50u8 {
+                fs.apply("k", Some(&[i])).unwrap();
+                fs.sync().unwrap();
+            }
+            assert_eq!(fs.fsyncs(), 1, "later syncs in the window are deferred");
+            // Drop closes the window: the deferred bytes are synced.
+        }
+        let mut fs = FileStorage::open(&dir, true).unwrap();
+        let store = fs.load().unwrap();
+        assert_eq!(store.get("a"), Some(&b"1"[..]));
+        assert_eq!(store.get("k"), Some(&[49u8][..]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_window_syncs_every_batch() {
+        let dir = std::env::temp_dir().join(format!("rsmr-gc0-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fs = FileStorage::open(&dir, true).unwrap();
+        fs.load().unwrap();
+        for i in 0..3u8 {
+            fs.apply("k", Some(&[i])).unwrap();
+            fs.sync().unwrap();
+        }
+        assert_eq!(fs.fsyncs(), 3);
+        drop(fs);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
