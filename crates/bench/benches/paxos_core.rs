@@ -10,17 +10,25 @@ use consensus::{
 };
 use rsmr_core::Cmd;
 use simnet::wire::Wire;
-use simnet::{NodeId, SimDuration, SimTime};
+use simnet::{LogHistogram, Metrics, NodeId, Registry, SimDuration, SimTime};
 
 struct Loop<C: Command> {
     cores: BTreeMap<NodeId, MultiPaxos<C>>,
     inbox: VecDeque<(NodeId, NodeId, PaxosMsg<C>)>,
     now: SimTime,
+    /// When set, every step's `Effects::record_stats` lands here — the
+    /// telemetry-on configuration; `None` is the zero-subscriber baseline.
+    metrics: Option<Metrics>,
 }
 
 impl<C: Command> Loop<C> {
     fn new(n: u64) -> Self {
         Self::new_tuned(n, PaxosTunables::default())
+    }
+
+    fn recorded(mut self) -> Self {
+        self.metrics = Some(Metrics::new());
+        self
     }
 
     fn new_tuned(n: u64, tun: PaxosTunables) -> Self {
@@ -38,6 +46,7 @@ impl<C: Command> Loop<C> {
                 .collect(),
             inbox: VecDeque::new(),
             now: SimTime::ZERO,
+            metrics: None,
         };
         // Elect a leader.
         while l.leader().is_none() {
@@ -53,6 +62,9 @@ impl<C: Command> Loop<C> {
     }
 
     fn absorb(&mut self, from: NodeId, fx: Effects<C>) {
+        if let Some(sink) = &mut self.metrics {
+            fx.record_stats(sink);
+        }
         for (to, m) in fx.outbound {
             self.inbox.push_back((from, to, m));
         }
@@ -203,4 +215,55 @@ fn main() {
             |l| l.commit_burst((1..=1000).map(app).collect()),
         );
     }
+
+    // The telemetry record path on the same burst: every step's
+    // `Effects::record_stats` folds batch-size / flush-wait / slot-latency
+    // samples into a `Metrics` sink, the way the sim actors and the real
+    // runtime do. The acceptance gate is the delta against the unrecorded
+    // `burst_commit_1000_n3_b64_w8` row above: < 2% (BENCH_PR7.json keeps
+    // the reference numbers). The un-recorded rows double as the
+    // no-subscriber baseline — stats land in `Effects` either way, so the
+    // only toggleable cost is the sink fold measured here.
+    {
+        let tun = PaxosTunables {
+            max_batch: 64,
+            window: 8,
+            max_delay: SimDuration::from_millis(1),
+            ..PaxosTunables::default()
+        };
+        bench(
+            "burst_commit_1000_n3_b64_w8_recorded",
+            1000,
+            move || Loop::<Cmd<u64>>::new_tuned(3, tun.clone()).recorded(),
+            |l| l.commit_burst((1..=1000).map(app).collect()),
+        );
+    }
+
+    // The record primitives in isolation, ns/sample: the single-threaded
+    // log-scale histogram (sim + loadgen path) and the atomic registry
+    // handle (storage/transport threads on the real backend).
+    const SAMPLES: u64 = 1_000_000;
+    bench(
+        "telemetry_log_histogram_record_1m",
+        SAMPLES,
+        LogHistogram::new,
+        |h| {
+            for i in 0..SAMPLES {
+                h.record(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20);
+            }
+        },
+    );
+    bench(
+        "telemetry_atomic_histogram_record_1m",
+        SAMPLES,
+        || {
+            let reg = Registry::new();
+            (reg.histogram("bench.h"), reg)
+        },
+        |(h, _reg)| {
+            for i in 0..SAMPLES {
+                h.record(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20);
+            }
+        },
+    );
 }

@@ -171,6 +171,7 @@ pub fn run_structured_seeds(seeds: &[u64]) -> (ExpOutput, Vec<u64>) {
     }
     (
         ExpOutput {
+            histograms: Vec::new(),
             rendered: out,
             tables: vec![t],
         },

@@ -84,6 +84,7 @@ pub fn run_structured(quick: bool) -> ExpOutput {
          is machine-checked in `kvstore`'s test suite.\n\n",
     );
     ExpOutput {
+        histograms: Vec::new(),
         rendered: out,
         tables: vec![t],
     }

@@ -228,6 +228,7 @@ pub fn run_structured(quick: bool) -> ExpOutput {
          parallel split driver bit-identical with serial execution.\n\n",
     );
     ExpOutput {
+        histograms: Vec::new(),
         rendered,
         tables: vec![t8a, t8b, t8c],
     }

@@ -19,7 +19,7 @@
 //! the same client fleet — only the batching knobs
 //! `(max_batch, max_delay, window)` differ.
 
-use simnet::SimTime;
+use simnet::{HistogramSummary, SimTime};
 
 use super::ExpOutput;
 use crate::runner::{run_many, Scenario, SystemKind};
@@ -69,6 +69,14 @@ pub struct Row {
 
 /// Runs the sweep, returning one [`Row`] per point.
 pub fn run_rows(quick: bool) -> Vec<Row> {
+    run_sweep(quick).0
+}
+
+/// Runs the sweep, also exporting the leader-side `paxos.*` telemetry
+/// histograms (batch size, flush wait, pipeline occupancy, slot latency)
+/// of the `batch=64 w=8` point — the configuration both modes share —
+/// for the schema-2 JSONL artifact.
+pub fn run_sweep(quick: bool) -> (Vec<Row>, Vec<HistogramSummary>) {
     let horizon = if quick {
         SimTime::from_secs(6)
     } else {
@@ -92,12 +100,23 @@ pub fn run_rows(quick: bool) -> Vec<Row> {
         .collect();
     let mut outs = run_many(jobs).into_iter();
     let mut base_tput = 0.0;
-    pts.iter()
+    let mut telemetry = Vec::new();
+    let rows = pts
+        .iter()
         .map(|&(label, batching)| {
             let mut out = outs.next().expect("one result per point");
             let tput = out.throughput(measure_from, horizon);
             if batching.is_none() {
                 base_tput = tput;
+            }
+            if label == "batch=64 w=8" {
+                telemetry = out
+                    .metrics
+                    .snapshot()
+                    .histograms
+                    .into_iter()
+                    .filter(|h| h.name.starts_with("paxos."))
+                    .collect();
             }
             Row {
                 label,
@@ -112,11 +131,12 @@ pub fn run_rows(quick: bool) -> Vec<Row> {
                 },
             }
         })
-        .collect()
+        .collect();
+    (rows, telemetry)
 }
 
-/// Runs E13 and renders Table 15.
-pub fn run_table(quick: bool) -> Table {
+/// Renders Table 15 from measured rows.
+fn table_from(rows: &[Row]) -> Table {
     let mut table = Table::new(
         "E13 / Table 15 — leader-side batching at a fixed egress cap (1 group, 3 servers)",
         &[
@@ -128,9 +148,9 @@ pub fn run_table(quick: bool) -> Table {
             "vs unbatched",
         ],
     );
-    for r in run_rows(quick) {
+    for r in rows {
         table.row(&[
-            r.label.into(),
+            r.label.to_owned(),
             format!("{:.0}", r.throughput),
             format!("{:.3}", r.p50_ms),
             format!("{:.3}", r.p95_ms),
@@ -145,9 +165,16 @@ pub fn run_table(quick: bool) -> Table {
     table
 }
 
-/// Runs E13, returning the rendered text plus its table.
+/// Runs E13 and renders Table 15.
+pub fn run_table(quick: bool) -> Table {
+    table_from(&run_rows(quick))
+}
+
+/// Runs E13, returning the rendered text, its table, and the exported
+/// leader-side telemetry histograms.
 pub fn run_structured(quick: bool) -> ExpOutput {
-    let table = run_table(quick);
+    let (rows, telemetry) = run_sweep(quick);
+    let table = table_from(&rows);
     let mut out = table.render();
     out.push_str(
         "Shape expected: with the replication fabric capped and egress \
@@ -162,6 +189,7 @@ pub fn run_structured(quick: bool) -> ExpOutput {
          longer fills instantly.\n\n",
     );
     ExpOutput {
+        histograms: telemetry,
         rendered: out,
         tables: vec![table],
     }

@@ -99,6 +99,7 @@ pub fn run_structured(quick: bool) -> ExpOutput {
          nothing while idle.\n\n",
     );
     ExpOutput {
+        histograms: Vec::new(),
         rendered: out,
         tables: vec![table],
     }

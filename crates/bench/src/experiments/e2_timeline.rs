@@ -104,6 +104,7 @@ pub fn run_structured(quick: bool) -> ExpOutput {
          change-entry commit but no instance restart.\n\n",
     );
     ExpOutput {
+        histograms: Vec::new(),
         rendered: out,
         tables: vec![t],
     }

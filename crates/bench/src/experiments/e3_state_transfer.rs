@@ -129,6 +129,7 @@ pub fn run_structured(quick: bool) -> ExpOutput {
          events — its snapshots ship inside AppendEntries).\n\n",
     );
     ExpOutput {
+        histograms: Vec::new(),
         rendered: out,
         tables: vec![t],
     }

@@ -87,6 +87,7 @@ pub fn run_structured(quick: bool) -> ExpOutput {
          no-spec sits between, its tail an election timeout wide.\n\n",
     );
     ExpOutput {
+        histograms: Vec::new(),
         rendered: out,
         tables: vec![t],
     }

@@ -119,6 +119,7 @@ pub fn run_structured(quick: bool) -> ExpOutput {
          3-member control — visible as the loss floor at k=1.)\n\n",
     );
     ExpOutput {
+        histograms: Vec::new(),
         rendered: out,
         tables: vec![t],
     }

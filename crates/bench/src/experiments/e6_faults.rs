@@ -166,6 +166,7 @@ pub fn run_structured(quick: bool) -> ExpOutput {
          on the retry-with-failover path picking an alternate donor.\n\n",
     );
     ExpOutput {
+        histograms: Vec::new(),
         rendered: out,
         tables: vec![classic, chaos],
     }

@@ -152,6 +152,7 @@ pub fn run_structured(quick: bool) -> ExpOutput {
          per-reconfiguration traffic.)\n\n",
     );
     ExpOutput {
+        histograms: Vec::new(),
         rendered: out,
         tables: vec![t, t2],
     }

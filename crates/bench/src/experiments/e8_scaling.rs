@@ -76,6 +76,7 @@ pub fn run_structured(quick: bool) -> ExpOutput {
          scaling behaviour verbatim.\n\n",
     );
     ExpOutput {
+        histograms: Vec::new(),
         rendered: out,
         tables: vec![t],
     }

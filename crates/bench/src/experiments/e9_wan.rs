@@ -87,6 +87,7 @@ pub fn run_structured(quick: bool) -> ExpOutput {
          shrinks to the close-commit alone.\n\n",
     );
     ExpOutput {
+        histograms: Vec::new(),
         rendered: out,
         tables: vec![t],
     }

@@ -19,6 +19,7 @@ pub mod e8_scaling;
 pub mod e9_wan;
 
 use crate::table::{json_escape_into, Table};
+use simnet::HistogramSummary;
 
 /// Experiment ids in presentation order.
 pub const ALL: [&str; 13] = [
@@ -53,18 +54,22 @@ pub struct ExpOutput {
     pub rendered: String,
     /// The tables in presentation order.
     pub tables: Vec<Table>,
+    /// Telemetry histogram summaries the experiment chose to export
+    /// (schema-2 artifact lines; empty for experiments with none).
+    pub histograms: Vec<HistogramSummary>,
 }
 
 impl ExpOutput {
-    /// Serializes the experiment as a JSONL artifact: one meta line, then
-    /// one line per table row (schema documented in `EXPERIMENTS.md`).
+    /// Serializes the experiment as a JSONL artifact: one meta line, one
+    /// line per table row, then one line per exported histogram summary
+    /// (schema documented in `EXPERIMENTS.md`).
     ///
     /// Artifacts carry no timestamps or host data, so two same-seed runs —
     /// and the serial and parallel drivers — produce byte-identical files.
     pub fn to_jsonl(&self, id: &str, quick: bool) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\"experiment\":\"{id}\",\"schema\":1,\"quick\":{quick},\"tables\":["
+            "{{\"experiment\":\"{id}\",\"schema\":2,\"quick\":{quick},\"tables\":["
         ));
         for (i, t) in self.tables.iter().enumerate() {
             if i > 0 {
@@ -77,6 +82,15 @@ impl ExpOutput {
         out.push_str("]}\n");
         for (i, t) in self.tables.iter().enumerate() {
             t.jsonl_into(id, i, &mut out);
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("{{\"experiment\":\"{id}\",\"histogram\":\""));
+            json_escape_into(&h.name, &mut out);
+            out.push_str(&format!(
+                "\",\"count\":{},\"mean\":{:.3},\"min\":{:.3},\"max\":{:.3},\
+                 \"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3}}}\n",
+                h.count, h.mean, h.min, h.max, h.p50, h.p90, h.p99
+            ));
         }
         out
     }
@@ -116,19 +130,35 @@ mod tests {
         let mut t = Table::new("Table A", &["x"]);
         t.row(&["1".into()]);
         let out = ExpOutput {
+            histograms: vec![HistogramSummary {
+                name: "paxos.batch_size".into(),
+                count: 3,
+                mean: 2.0,
+                min: 1.0,
+                max: 4.0,
+                p50: 2.0,
+                p90: 4.0,
+                p99: 4.0,
+            }],
             rendered: String::new(),
             tables: vec![t],
         };
         let art = out.to_jsonl("e1", true);
         let lines: Vec<&str> = art.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         assert_eq!(
             lines[0],
-            "{\"experiment\":\"e1\",\"schema\":1,\"quick\":true,\"tables\":[\"Table A\"]}"
+            "{\"experiment\":\"e1\",\"schema\":2,\"quick\":true,\"tables\":[\"Table A\"]}"
         );
         assert_eq!(
             lines[1],
             "{\"experiment\":\"e1\",\"table\":0,\"title\":\"Table A\",\"row\":0,\"cells\":{\"x\":\"1\"}}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"experiment\":\"e1\",\"histogram\":\"paxos.batch_size\",\"count\":3,\
+             \"mean\":2.000,\"min\":1.000,\"max\":4.000,\
+             \"p50\":2.000,\"p90\":4.000,\"p99\":4.000}"
         );
     }
 

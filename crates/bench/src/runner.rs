@@ -413,6 +413,37 @@ fn finish_invariants(inv: Option<Rc<RefCell<InvariantObserver>>>) -> Vec<String>
         .unwrap_or_default()
 }
 
+/// Drains one finished simulation into a [`RunOut`]. The metrics sink is
+/// moved out of the simulator rather than cloned — at the end of a long
+/// run it holds every counter, timeline and histogram map, and the sim
+/// is about to be dropped anyway.
+#[allow(clippy::too_many_arguments)]
+fn finish_run<A: Actor>(
+    sim: &mut Sim<A>,
+    sc: &Scenario,
+    probes: EventProbes,
+    inv: Option<Rc<RefCell<InvariantObserver>>>,
+    chaos_log: Vec<(SimTime, String)>,
+    completed: u64,
+    admin: Vec<(SimTime, SimTime)>,
+    histories: Vec<HistoryOp<KvOp, KvOutput>>,
+) -> RunOut {
+    let (event_digest, event_count, spans) = probes.finish();
+    RunOut {
+        completed,
+        metrics: sim.take_metrics(),
+        admin,
+        horizon: sc.horizon,
+        histories,
+        trace_digest: sim.trace().digest(),
+        event_digest,
+        event_count,
+        spans,
+        invariant_violations: finish_invariants(inv),
+        chaos_log,
+    }
+}
+
 /// Everything extracted from one run.
 pub struct RunOut {
     /// Total client completions.
@@ -691,20 +722,9 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
         .and_then(World::as_admin)
         .map(|a| a.results().iter().map(|&(s, f, _)| (s, f)).collect())
         .unwrap_or_default();
-    let (event_digest, event_count, spans) = probes.finish();
-    RunOut {
-        completed,
-        metrics: sim.metrics().clone(),
-        admin,
-        horizon: sc.horizon,
-        histories,
-        trace_digest: sim.trace().digest(),
-        event_digest,
-        event_count,
-        spans,
-        invariant_violations: finish_invariants(inv),
-        chaos_log,
-    }
+    finish_run(
+        &mut sim, sc, probes, inv, chaos_log, completed, admin, histories,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -802,20 +822,16 @@ fn run_stw(sc: &Scenario) -> RunOut {
         .and_then(StwWorld::as_admin)
         .map(|a| a.results().iter().map(|&(s, f, _)| (s, f)).collect())
         .unwrap_or_default();
-    let (event_digest, event_count, spans) = probes.finish();
-    RunOut {
-        completed,
-        metrics: sim.metrics().clone(),
-        admin,
-        horizon: sc.horizon,
-        histories: Vec::new(),
-        trace_digest: sim.trace().digest(),
-        event_digest,
-        event_count,
-        spans,
-        invariant_violations: finish_invariants(inv),
+    finish_run(
+        &mut sim,
+        sc,
+        probes,
+        inv,
         chaos_log,
-    }
+        completed,
+        admin,
+        Vec::new(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -924,20 +940,9 @@ fn run_raft(sc: &Scenario) -> RunOut {
         .and_then(RaftWorld::as_admin)
         .map(|a| a.results().to_vec())
         .unwrap_or_default();
-    let (event_digest, event_count, spans) = probes.finish();
-    RunOut {
-        completed,
-        metrics: sim.metrics().clone(),
-        admin,
-        horizon: sc.horizon,
-        histories,
-        trace_digest: sim.trace().digest(),
-        event_digest,
-        event_count,
-        spans,
-        invariant_violations: finish_invariants(inv),
-        chaos_log,
-    }
+    finish_run(
+        &mut sim, sc, probes, inv, chaos_log, completed, admin, histories,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -1040,20 +1045,16 @@ fn run_static(sc: &Scenario) -> RunOut {
             _ => None,
         })
         .sum();
-    let (event_digest, event_count, spans) = probes.finish();
-    RunOut {
-        completed,
-        metrics: sim.metrics().clone(),
-        admin: Vec::new(),
-        horizon: sc.horizon,
-        histories: Vec::new(),
-        trace_digest: sim.trace().digest(),
-        event_digest,
-        event_count,
-        spans,
-        invariant_violations: finish_invariants(inv),
+    finish_run(
+        &mut sim,
+        sc,
+        probes,
+        inv,
         chaos_log,
-    }
+        completed,
+        Vec::new(),
+        Vec::new(),
+    )
 }
 
 /// Runs every `(kind, scenario)` job, fanning out across cores, and returns

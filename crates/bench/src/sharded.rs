@@ -314,8 +314,11 @@ pub fn run_sharded(kind: ShardSystem, sc: &ShardScenario) -> ShardRunOut {
     }
 }
 
+/// One group's reconfiguration script: `(fire at, target members)` steps.
+type AdminScript = Vec<(SimTime, Vec<NodeId>)>;
+
 /// The per-group admin scripts of a scenario, as `(group, script)`.
-fn admin_groups(sc: &ShardScenario) -> Vec<(GroupId, Vec<(SimTime, Vec<NodeId>)>)> {
+fn admin_groups(sc: &ShardScenario) -> Vec<(GroupId, AdminScript)> {
     (0..sc.groups)
         .filter_map(|g| {
             let script: Vec<(SimTime, Vec<NodeId>)> = sc

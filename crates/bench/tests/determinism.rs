@@ -95,6 +95,16 @@ fn parallel_driver_matches_serial_runs() {
             "{}: parallel driver changed the structured event stream",
             kind.name()
         );
+        // The rendered telemetry snapshot (counters, labels, histogram
+        // summaries incl. the log-scale record histograms, timelines) must
+        // be byte-identical, not merely fingerprint-equal: this is the
+        // JSON that flows into artifacts and the live `/metrics` path.
+        assert_eq!(
+            s.metrics.snapshot().to_json(),
+            p.metrics.snapshot().to_json(),
+            "{}: telemetry snapshots diverge between serial and parallel runs",
+            kind.name()
+        );
         assert_eq!(s.completed, p.completed);
     }
 }

@@ -157,6 +157,7 @@ impl<C: Command> ReplicaActor<C> {
     }
 
     fn apply_effects(&mut self, ctx: &mut Context<'_, SmrMsg<C>>, fx: Effects<TaggedCmd<C>>) {
+        fx.record_stats(ctx.metrics());
         // Write-ahead: persist before anything leaves the node.
         for (key, value) in fx.persist {
             ctx.storage().put(&format!("{PERSIST_PREFIX}{key}"), value);

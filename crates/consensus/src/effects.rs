@@ -2,10 +2,39 @@
 
 use std::sync::Arc;
 
-use simnet::NodeId;
+use simnet::{Metrics, NodeId};
 
 use crate::msg::PaxosMsg;
 use crate::types::Slot;
+
+/// Why the leader's batch accumulator flushed a proposal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlushCause {
+    /// The pipeline was empty, so the command(s) went out immediately —
+    /// the adaptive policy's unloaded-latency path.
+    Idle,
+    /// The accumulator reached `max_batch`.
+    Full,
+    /// The oldest buffered command waited `max_delay`.
+    Overdue,
+}
+
+/// One batch proposal leaving the leader's accumulator. Hosts record
+/// these into the `paxos.batch_size` / `paxos.flush_*` /
+/// `paxos.pipeline_inflight` metrics; everything here is derived from
+/// the protocol clock, so the stats are as deterministic as the run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlushStat {
+    /// Commands in the flushed proposal.
+    pub batch: u32,
+    /// What triggered the flush.
+    pub cause: FlushCause,
+    /// How long the oldest command waited in the accumulator, µs.
+    pub waited_us: u64,
+    /// Phase-2 proposals in flight *after* this one started — the
+    /// pipeline window occupancy at flush time.
+    pub inflight: u32,
+}
 
 /// Everything a sans-I/O protocol step wants done by its host.
 ///
@@ -30,6 +59,13 @@ pub struct Effects<C> {
     pub became_leader: bool,
     /// True if this step demoted the node from leader.
     pub lost_leadership: bool,
+    /// Batch flushes this step performed (leader only; empty unless
+    /// batching is enabled).
+    pub flushed: Vec<FlushStat>,
+    /// Proposal→commit latency, µs, of each slot whose quorum completed
+    /// at this leader during this step (the `paxos.commit_slot_us`
+    /// signal; followers learn via `Chosen` and report nothing here).
+    pub commit_slot_us: Vec<u64>,
 }
 
 impl<C> Default for Effects<C> {
@@ -41,6 +77,8 @@ impl<C> Default for Effects<C> {
             proposed: Vec::new(),
             became_leader: false,
             lost_leadership: false,
+            flushed: Vec::new(),
+            commit_slot_us: Vec::new(),
         }
     }
 }
@@ -59,6 +97,8 @@ impl<C> Effects<C> {
         self.proposed.extend(other.proposed);
         self.became_leader |= other.became_leader;
         self.lost_leadership |= other.lost_leadership;
+        self.flushed.extend(other.flushed);
+        self.commit_slot_us.extend(other.commit_slot_us);
     }
 
     /// True when the step produced nothing at all.
@@ -69,6 +109,32 @@ impl<C> Effects<C> {
             && self.proposed.is_empty()
             && !self.became_leader
             && !self.lost_leadership
+            && self.flushed.is_empty()
+            && self.commit_slot_us.is_empty()
+    }
+
+    /// Records this step's hot-path stats into a metrics sink under the
+    /// shared `paxos.*` names (DESIGN §9): batch size, flush cause and
+    /// wait, pipeline window occupancy, proposal→commit slot latency.
+    /// Every host — sim actor, composition layer, real runtime — calls
+    /// this so the same series flow from every backend. All values
+    /// derive from the protocol clock, so sim-side recordings are
+    /// deterministic.
+    pub fn record_stats(&self, m: &mut Metrics) {
+        for f in &self.flushed {
+            m.record("paxos.batch_size", u64::from(f.batch));
+            m.record("paxos.flush_wait_us", f.waited_us);
+            m.record("paxos.pipeline_inflight", u64::from(f.inflight));
+            let cause = match f.cause {
+                FlushCause::Idle => "paxos.flush_idle",
+                FlushCause::Full => "paxos.flush_full",
+                FlushCause::Overdue => "paxos.flush_overdue",
+            };
+            m.incr(cause, 1);
+        }
+        for &us in &self.commit_slot_us {
+            m.record("paxos.commit_slot_us", us);
+        }
     }
 }
 
@@ -84,6 +150,13 @@ mod tests {
         let mut b: Effects<u64> = Effects::new();
         b.committed.push((Slot(1), Arc::new(2)));
         b.became_leader = true;
+        b.flushed.push(FlushStat {
+            batch: 2,
+            cause: FlushCause::Full,
+            waited_us: 5,
+            inflight: 1,
+        });
+        b.commit_slot_us.push(100);
         a.merge(b);
         assert_eq!(
             a.committed,
@@ -91,6 +164,24 @@ mod tests {
         );
         assert!(a.became_leader);
         assert!(!a.lost_leadership);
+        assert_eq!(a.flushed.len(), 1);
+        assert_eq!(a.flushed[0].cause, FlushCause::Full);
+        assert_eq!(a.commit_slot_us, vec![100]);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn stats_alone_make_effects_nonempty() {
+        let mut a: Effects<u64> = Effects::new();
+        a.commit_slot_us.push(1);
+        assert!(!a.is_empty());
+        let mut b: Effects<u64> = Effects::new();
+        b.flushed.push(FlushStat {
+            batch: 1,
+            cause: FlushCause::Idle,
+            waited_us: 0,
+            inflight: 0,
+        });
+        assert!(!b.is_empty());
     }
 }

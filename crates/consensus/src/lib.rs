@@ -26,7 +26,7 @@ pub mod single_decree;
 mod types;
 
 pub use config::StaticConfig;
-pub use effects::Effects;
+pub use effects::{Effects, FlushCause, FlushStat};
 pub use msg::PaxosMsg;
 pub use multipaxos::{MultiPaxos, PaxosTunables, ProposeOutcome, Role};
 pub use types::{Ballot, Command, Slot};

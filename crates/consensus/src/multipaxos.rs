@@ -120,6 +120,9 @@ struct Proposal<C> {
     cmd: Arc<C>,
     acks: BTreeSet<NodeId>,
     last_sent: SimTime,
+    /// When phase 2 started for this slot; reported as the
+    /// proposal→commit latency when the quorum completes.
+    proposed_at: SimTime,
 }
 
 /// One replica of a static Multi-Paxos SMR instance. See the module docs.
@@ -430,6 +433,16 @@ impl<C: Command> MultiPaxos<C> {
             if !(idle || full || overdue) {
                 return;
             }
+            // Attribute the flush to the strongest trigger: a full batch
+            // beats the delay deadline beats the idle fast path.
+            let cause = if full {
+                crate::effects::FlushCause::Full
+            } else if overdue {
+                crate::effects::FlushCause::Overdue
+            } else {
+                crate::effects::FlushCause::Idle
+            };
+            let waited_us = now.since(self.accum_since).as_micros();
             let take = self.accum.len().min(chunk);
             let mut cmds: Vec<C> = self.accum.drain(..take).collect();
             let cmd = if cmds.len() == 1 {
@@ -443,6 +456,12 @@ impl<C: Command> MultiPaxos<C> {
             let slot = self.next_slot;
             self.next_slot = self.next_slot.next();
             self.propose_at(slot, cmd, now, fx);
+            fx.flushed.push(crate::effects::FlushStat {
+                batch: take as u32,
+                cause,
+                waited_us,
+                inflight: self.proposals.len() as u32,
+            });
         }
     }
 
@@ -466,7 +485,7 @@ impl<C: Command> MultiPaxos<C> {
                 self.handle_accept(from, ballot, slot, cmd, now, &mut fx)
             }
             PaxosMsg::Accepted { ballot, slot } => {
-                self.handle_accepted(from, ballot, slot, &mut fx)
+                self.handle_accepted(from, ballot, slot, now, &mut fx)
             }
             PaxosMsg::Reject { ballot, promised } => {
                 self.handle_reject(ballot, promised, now, &mut fx)
@@ -770,6 +789,7 @@ impl<C: Command> MultiPaxos<C> {
                 cmd: cmd.clone(),
                 acks,
                 last_sent: now,
+                proposed_at: now,
             },
         );
         // Self-accept (write-ahead persisted).
@@ -788,7 +808,7 @@ impl<C: Command> MultiPaxos<C> {
                 },
             ));
         }
-        self.maybe_choose(slot, fx);
+        self.maybe_choose(slot, now, fx);
     }
 
     fn handle_accept(
@@ -822,7 +842,14 @@ impl<C: Command> MultiPaxos<C> {
         }
     }
 
-    fn handle_accepted(&mut self, from: NodeId, ballot: Ballot, slot: Slot, fx: &mut Effects<C>) {
+    fn handle_accepted(
+        &mut self,
+        from: NodeId,
+        ballot: Ballot,
+        slot: Slot,
+        now: SimTime,
+        fx: &mut Effects<C>,
+    ) {
         if self.role != Role::Leader || ballot != self.ballot {
             return;
         }
@@ -830,12 +857,12 @@ impl<C: Command> MultiPaxos<C> {
         if let Some(p) = self.proposals.get_mut(&slot) {
             p.acks.insert(from);
             if p.acks.len() >= quorum {
-                self.maybe_choose(slot, fx);
+                self.maybe_choose(slot, now, fx);
             }
         }
     }
 
-    fn maybe_choose(&mut self, slot: Slot, fx: &mut Effects<C>) {
+    fn maybe_choose(&mut self, slot: Slot, now: SimTime, fx: &mut Effects<C>) {
         let quorum = self.cfg.quorum();
         let ready = self
             .proposals
@@ -846,6 +873,7 @@ impl<C: Command> MultiPaxos<C> {
             return;
         }
         let p = self.proposals.remove(&slot).expect("checked above");
+        fx.commit_slot_us.push(now.since(p.proposed_at).as_micros());
         for peer in self.cfg.peers(self.me) {
             fx.outbound.push((
                 peer,

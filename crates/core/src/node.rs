@@ -125,8 +125,10 @@ struct PendingTransfer {
 const KEY_BASE: &str = "base/latest";
 const BASES_KEPT: usize = 4;
 
-/// One epoch's committed-but-unapplied entries, by slot.
-type SlotBuffer<Op> = BTreeMap<Slot, Arc<Cmd<Op>>>;
+/// One epoch's committed-but-unapplied entries, by slot, each stamped
+/// with its commit time so the apply pump can report the commit→apply
+/// latency (`rsmr.commit_to_apply_us`).
+type SlotBuffer<Op> = BTreeMap<Slot, (SimTime, Arc<Cmd<Op>>)>;
 /// Building-block messages parked for an epoch whose instance does not
 /// exist yet.
 type Stash<Op> = Vec<(NodeId, consensus::PaxosMsg<Cmd<Op>>)>;
@@ -148,6 +150,10 @@ pub struct RsmrNode<S: StateMachine> {
 
     /// Committed-but-not-yet-applied entries, per epoch.
     buffers: BTreeMap<Epoch, SlotBuffer<S::Op>>,
+    /// When each still-finalizing epoch was sealed; drained by
+    /// `finalize_epoch` into the `rsmr.seal_to_finalize_us` histogram —
+    /// the replica-local reconfiguration span.
+    sealed_at: BTreeMap<Epoch, SimTime>,
     /// Encoded base states this node can serve, keyed by anchored epoch.
     bases: BTreeMap<Epoch, Vec<u8>>,
 
@@ -227,6 +233,7 @@ impl<S: StateMachine> RsmrNode<S> {
                 next_slot: Slot::ZERO,
             }),
             buffers: BTreeMap::new(),
+            sealed_at: BTreeMap::new(),
             bases: BTreeMap::new(),
             waiting: BTreeMap::new(),
             handoff: VecDeque::new(),
@@ -275,6 +282,7 @@ impl<S: StateMachine> RsmrNode<S> {
             sessions: SessionTable::new(),
             anchor: None,
             buffers: BTreeMap::new(),
+            sealed_at: BTreeMap::new(),
             bases: BTreeMap::new(),
             waiting: BTreeMap::new(),
             handoff: VecDeque::new(),
@@ -312,6 +320,7 @@ impl<S: StateMachine> RsmrNode<S> {
                 next_slot: Slot::ZERO,
             }),
             buffers: BTreeMap::new(),
+            sealed_at: BTreeMap::new(),
             bases: BTreeMap::new(),
             waiting: BTreeMap::new(),
             handoff: VecDeque::new(),
@@ -437,6 +446,7 @@ impl<S: StateMachine> RsmrNode<S> {
         epoch: Epoch,
         fx: consensus::Effects<Cmd<S::Op>>,
     ) {
+        fx.record_stats(ctx.metrics());
         for (key, value) in fx.persist {
             ctx.storage()
                 .put(&format!("{}{key}", px_prefix(epoch)), value);
@@ -454,13 +464,14 @@ impl<S: StateMachine> RsmrNode<S> {
             });
         }
         if !fx.committed.is_empty() {
+            let now = ctx.now();
             let buf = self.buffers.entry(epoch).or_default();
             for (slot, cmd) in fx.committed {
                 ctx.emit_event(DomainEvent::CmdCommitted {
                     epoch: epoch.0,
                     slot: slot.0,
                 });
-                buf.insert(slot, cmd);
+                buf.insert(slot, (now, cmd));
             }
             self.pump_apply(ctx);
         }
@@ -497,7 +508,7 @@ impl<S: StateMachine> RsmrNode<S> {
                 }
             }
 
-            let Some(cmd) = self
+            let Some((committed_at, cmd)) = self
                 .buffers
                 .get_mut(&epoch)
                 .and_then(|b| b.remove(&anchor.next_slot))
@@ -509,6 +520,8 @@ impl<S: StateMachine> RsmrNode<S> {
                 epoch,
                 next_slot: slot.next(),
             });
+            let apply_lag = ctx.now().since(committed_at).as_micros();
+            ctx.metrics().record("rsmr.commit_to_apply_us", apply_lag);
 
             match &*cmd {
                 Cmd::Noop => {}
@@ -646,6 +659,7 @@ impl<S: StateMachine> RsmrNode<S> {
             inst.closed = Some((slot, members));
         }
         let now = ctx.now();
+        self.sealed_at.insert(epoch, now);
         ctx.metrics().incr("rsmr.epochs_closed", 1);
         ctx.metrics()
             .timeline_push("rsmr.epoch_closed", now, epoch.0 as f64);
@@ -669,6 +683,12 @@ impl<S: StateMachine> RsmrNode<S> {
                 inst.closed.as_ref().expect("closed").0,
             )
         };
+        // The replica-local reconfiguration span: seal observed → epoch
+        // finalized (base captured, successor anchored).
+        if let Some(sealed) = self.sealed_at.remove(&epoch) {
+            let span_us = ctx.now().since(sealed).as_micros();
+            ctx.metrics().record("rsmr.seal_to_finalize_us", span_us);
+        }
 
         // Anchor moves first so the captured base reflects exactly the
         // closed prefix.
@@ -696,7 +716,7 @@ impl<S: StateMachine> RsmrNode<S> {
         let mut discarded: Vec<(NodeId, u64, S::Op)> = std::mem::take(&mut self.batch_tail);
         if let Some(tail) = self.buffers.remove(&epoch) {
             discarded.extend(tail.into_iter().filter(|(s, _)| *s > close_slot).flat_map(
-                |(_, cmd)| {
+                |(_, (_, cmd))| {
                     match &*cmd {
                         Cmd::App { client, seq, op } => vec![(*client, *seq, op.clone())],
                         Cmd::Batch { entries } => entries
@@ -1288,6 +1308,7 @@ impl<S: StateMachine> RsmrNode<S> {
         self.bases.insert(epoch, bytes);
         // Drop buffers and instances for epochs we jumped over.
         self.buffers.retain(|&e, _| e >= epoch);
+        self.sealed_at.retain(|&e, _| e >= epoch);
         let stale: Vec<Epoch> = self
             .instances
             .keys()
@@ -1623,12 +1644,16 @@ mod tests {
 
     use simnet::{NetConfig, Sim, SimTime, Timer};
 
+    /// A command armed to fire at a given virtual time, shared with the
+    /// driving test.
+    type ArmedPayload = Rc<RefCell<Option<(SimTime, Cmd<u64>)>>>;
+
     /// A server that, once `payload` is armed and this replica leads the
     /// active epoch, proposes the constructed batch and seeds `waiting`
     /// for its app entries so the tail re-proposal path fires.
     struct Injector {
         node: RsmrNode<CounterSm>,
-        payload: Rc<RefCell<Option<(SimTime, Cmd<u64>)>>>,
+        payload: ArmedPayload,
     }
 
     impl Injector {

@@ -19,7 +19,7 @@
 
 use std::io;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -28,8 +28,8 @@ use kvstore::{KeyDist, KvStore, WorkloadGen};
 use rsmr_core::harness::World;
 use rsmr_core::{AdminActor, OpenLoopClient, RsmrClient};
 use simnet::{
-    GroupId, MemStorage, MultiGroup, NodeId, NodeRuntime, RuntimeConfig, SimTime, StableStore,
-    TcpConfig, TcpTransport, WallClock,
+    GroupId, LogHistogram, MemStorage, MultiGroup, NodeId, NodeRuntime, RuntimeConfig, SimTime,
+    StableStore, TcpConfig, TcpTransport, WallClock,
 };
 
 /// Node id of the fleet's admin actor (mirrors the simulation harness).
@@ -86,6 +86,9 @@ pub struct LoadgenConfig {
     pub warmup: Duration,
     /// Reconfigurations to drive (every group, same schedule).
     pub reconfigs: Vec<ReconfigStep>,
+    /// Print a live progress line (completions, instantaneous rate) to
+    /// stderr this often during the run; `None` = silent.
+    pub stats_interval: Option<Duration>,
 }
 
 impl Default for LoadgenConfig {
@@ -105,6 +108,7 @@ impl Default for LoadgenConfig {
             run_for: Duration::from_secs(10),
             warmup: Duration::from_secs(1),
             reconfigs: Vec::new(),
+            stats_interval: None,
         }
     }
 }
@@ -168,9 +172,9 @@ impl FleetReport {
     pub fn to_jsonl(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = write!(
+        let _ = writeln!(
             out,
-            "{{\"event\":\"loadgen_summary\",\"completed\":{},\"completed_total\":{},\"window_secs\":{:.3},\"ops_per_sec\":{:.1},\"latency_us\":{{\"p50\":{},\"p95\":{},\"p99\":{},\"mean\":{},\"max\":{}}},\"max_gap_us\":{},\"max_gap_at_us\":{}}}\n",
+            "{{\"event\":\"loadgen_summary\",\"completed\":{},\"completed_total\":{},\"window_secs\":{:.3},\"ops_per_sec\":{:.1},\"latency_us\":{{\"p50\":{},\"p95\":{},\"p99\":{},\"mean\":{},\"max\":{}}},\"max_gap_us\":{},\"max_gap_at_us\":{}}}",
             self.completed,
             self.completed_total,
             self.window_secs,
@@ -184,9 +188,9 @@ impl FleetReport {
             self.max_gap_at_us
         );
         for r in &self.reconfigs {
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "{{\"event\":\"reconfig\",\"group\":{},\"started_us\":{},\"finished_us\":{},\"latency_us\":{},\"epoch\":{}}}\n",
+                "{{\"event\":\"reconfig\",\"group\":{},\"started_us\":{},\"finished_us\":{},\"latency_us\":{},\"epoch\":{}}}",
                 r.group,
                 r.started_us,
                 r.finished_us,
@@ -310,12 +314,17 @@ pub fn run_fleet(cfg: &LoadgenConfig) -> io::Result<FleetReport> {
     let clock = WallClock::new();
     let stop = Arc::new(AtomicBool::new(false));
     let deadline = Instant::now() + cfg.run_for;
+    // One progress cell per client thread; the reporter sums them. Each
+    // thread owns its cell, so relaxed stores are race-free per cell.
+    let progress: Arc<Vec<AtomicU64>> =
+        Arc::new((0..cfg.clients).map(|_| AtomicU64::new(0)).collect());
 
     let mut handles = Vec::new();
     for i in 0..cfg.clients {
         let node = NodeId(cfg.client_base + i);
         let cfg = cfg.clone();
         let stop = stop.clone();
+        let progress = Arc::clone(&progress);
         handles.push(thread::spawn(move || -> io::Result<Vec<(u64, u64)>> {
             // The actor holds non-Send closures, so it is built on this
             // thread rather than moved in.
@@ -324,16 +333,21 @@ pub fn run_fleet(cfg: &LoadgenConfig) -> io::Result<FleetReport> {
             let mut rt = runtime(node, actor, clock, &cfg.servers, cfg.seed)?;
             rt.start();
             while !stop.load(Ordering::SeqCst) && Instant::now() < deadline {
-                if let Some(limit) = limit {
-                    let done = rt.run_until(
+                let done = if let Some(limit) = limit {
+                    rt.run_until(
                         |a| a.entries().all(|(_, w)| w.completed() >= limit),
                         Duration::from_millis(50),
-                    );
-                    if done {
-                        break;
-                    }
+                    )
                 } else {
                     rt.run_for(Duration::from_millis(50));
+                    false
+                };
+                progress[i as usize].store(
+                    rt.actor().entries().map(|(_, w)| w.completed()).sum(),
+                    Ordering::Relaxed,
+                );
+                if done {
+                    break;
                 }
             }
             let actor = rt.shutdown();
@@ -390,6 +404,33 @@ pub fn run_fleet(cfg: &LoadgenConfig) -> io::Result<FleetReport> {
         })
     });
 
+    // Live progress readout: total completions and the instantaneous
+    // rate since the previous line, printed to stderr so the JSONL
+    // report stays clean.
+    let reporter = cfg.stats_interval.map(|every| {
+        let stop = stop.clone();
+        let progress = Arc::clone(&progress);
+        let started = Instant::now();
+        thread::spawn(move || {
+            let mut last = 0u64;
+            let mut last_at = started;
+            while !stop.load(Ordering::SeqCst) && Instant::now() < deadline {
+                thread::sleep(every.min(Duration::from_millis(200)));
+                if Instant::now() < last_at + every {
+                    continue;
+                }
+                let total: u64 = progress.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+                let now = Instant::now();
+                let rate = (total - last) as f64 / now.duration_since(last_at).as_secs_f64();
+                eprintln!(
+                    "loadgen: t={:.0}s completed={total} rate={rate:.0} ops/s",
+                    now.duration_since(started).as_secs_f64()
+                );
+                (last, last_at) = (total, now);
+            }
+        })
+    });
+
     let mut per_client = Vec::new();
     let mut all_times: Vec<(u64, u64)> = Vec::new();
     let mut first_err = None;
@@ -406,6 +447,9 @@ pub fn run_fleet(cfg: &LoadgenConfig) -> io::Result<FleetReport> {
         }
     }
     stop.store(true, Ordering::SeqCst);
+    if let Some(h) = reporter {
+        let _ = h.join();
+    }
     let reconfigs = match admin_handle {
         Some(h) => h.join().expect("admin thread panicked")?,
         None => Vec::new(),
@@ -436,28 +480,24 @@ fn aggregate(
     let window_end = window.last().map(|&(_, r)| r).unwrap_or(warmup_us);
     let window_secs = (window_end.saturating_sub(warmup_us)) as f64 / 1e6;
 
-    let mut latencies: Vec<u64> = window
-        .iter()
-        .map(|&(invoked, responded)| responded.saturating_sub(invoked))
-        .collect();
-    latencies.sort_unstable();
-    let pct = |q: f64| -> u64 {
-        if latencies.is_empty() {
-            return 0;
-        }
-        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
-        latencies[idx]
-    };
+    // The same mergeable log-scale histogram the servers export
+    // (`simnet::LogHistogram`), replacing the old sort-the-raw-Vec
+    // percentile pass: constant memory however long the run, and its
+    // quantile() uses the identical rank convention the sort used.
+    let mut latencies = LogHistogram::new();
+    for &(invoked, responded) in &window {
+        latencies.record(responded.saturating_sub(invoked));
+    }
     let latency = LatencySummary {
-        p50: pct(0.50),
-        p95: pct(0.95),
-        p99: pct(0.99),
+        p50: latencies.quantile(0.50),
+        p95: latencies.quantile(0.95),
+        p99: latencies.quantile(0.99),
         mean: if latencies.is_empty() {
             0
         } else {
-            latencies.iter().sum::<u64>() / latencies.len() as u64
+            latencies.sum() / latencies.count()
         },
-        max: latencies.last().copied().unwrap_or(0),
+        max: latencies.max().unwrap_or(0),
     };
 
     let (mut max_gap_us, mut max_gap_at_us) = (0, 0);
@@ -520,6 +560,28 @@ mod tests {
         // Latencies sorted: [100, 150, 1200, 999900]; p50 rounds to idx 2.
         assert_eq!(report.latency.p50, 1_200);
         assert!(report.ops_per_sec > 3.9 && report.ops_per_sec < 4.1);
+    }
+
+    #[test]
+    fn histogram_percentiles_match_an_exact_sort_at_small_n() {
+        // The LogHistogram path must agree with the old sort-the-Vec
+        // percentiles on a small sample whose ranks land on exact
+        // values (min, max, width-1 buckets, bucket boundaries).
+        let cfg = LoadgenConfig {
+            warmup: Duration::ZERO,
+            ..LoadgenConfig::default()
+        };
+        let samples: [u64; 5] = [40, 100, 128, 255, 1 << 20];
+        let pairs: Vec<(u64, u64)> = samples.iter().map(|&l| (1, 1 + l)).collect();
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        let exact = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        let report = aggregate(&cfg, pairs, vec![5], Vec::new());
+        assert_eq!(report.latency.p50, exact(0.50));
+        assert_eq!(report.latency.p95, exact(0.95));
+        assert_eq!(report.latency.p99, exact(0.99));
+        assert_eq!(report.latency.max, 1 << 20);
+        assert_eq!(report.latency.mean, samples.iter().sum::<u64>() / 5);
     }
 
     #[test]

@@ -38,6 +38,7 @@ FLAGS:
     --warmup-secs N          exclude the first N seconds from stats (default 1)
     --reconfigure S@a,b,c    at S seconds, reconfigure every group to
                              members a,b,c (repeatable)
+    --stats-interval SECS    print a live progress line every SECS seconds
     --out FILE               write the JSONL report here (default stdout)
 ";
 
@@ -101,6 +102,12 @@ fn parse_args(args: &[String]) -> Result<(LoadgenConfig, Option<String>), String
                     ),
                     target: parse_ids(ids, flag)?,
                 });
+            }
+            "--stats-interval" => {
+                cfg.stats_interval = Some(Duration::from_secs(parse_num(
+                    val("--stats-interval")?,
+                    flag,
+                )?))
             }
             "--out" => out = Some(val("--out")?.clone()),
             other => return Err(format!("unknown flag {other:?}")),

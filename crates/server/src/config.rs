@@ -15,6 +15,7 @@
 //! fsync = true
 //! run_for_secs = 60
 //! events_out = "events-n0.jsonl"
+//! metrics_listen = "127.0.0.1:9400"   # /metrics, /healthz, /status
 //! ```
 //!
 //! Every key can also be set (or overridden) on the command line; see
@@ -62,8 +63,16 @@ pub struct ServerConfig {
     /// until killed.
     pub run_for_secs: Option<u64>,
     /// Write observed reconfiguration spans and command-latency stats to
-    /// this JSONL file on shutdown.
+    /// this JSONL file on shutdown (plus periodic `server_stats` lines
+    /// during the run; see `stats_interval_secs`).
     pub events_out: Option<PathBuf>,
+    /// Serve live telemetry over HTTP on this address: Prometheus text
+    /// at `/metrics`, liveness at `/healthz`, a JSON replica snapshot at
+    /// `/status`. `None` disables the endpoint.
+    pub metrics_listen: Option<String>,
+    /// Seconds between periodic `server_stats` lines appended to
+    /// `events_out` during the run (`0` = only the shutdown summary).
+    pub stats_interval_secs: u64,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +92,8 @@ impl Default for ServerConfig {
             seed: 0,
             run_for_secs: None,
             events_out: None,
+            metrics_listen: None,
+            stats_interval_secs: 10,
         }
     }
 }
@@ -112,7 +123,8 @@ impl ServerConfig {
     /// the file's list on first use), `--initial-members 0,1,2`,
     /// `--groups N`, `--storage-dir DIR`, `--fsync`/`--no-fsync`,
     /// `--fsync-window-ms N`, `--max-batch N`, `--max-delay-ms N`,
-    /// `--window N`, `--seed N`, `--run-for-secs N`, `--events-out FILE`.
+    /// `--window N`, `--seed N`, `--run-for-secs N`, `--events-out FILE`,
+    /// `--metrics-listen ADDR`, `--stats-interval-secs N`.
     pub fn from_args(args: &[String]) -> Result<Self, String> {
         let mut cfg = ServerConfig::default();
         // Load the file (if any) before applying overrides, regardless of
@@ -163,6 +175,12 @@ impl ServerConfig {
                 "--seed" => cfg.seed = parse_u64(next("--seed")?)?,
                 "--run-for-secs" => cfg.run_for_secs = Some(parse_u64(next("--run-for-secs")?)?),
                 "--events-out" => cfg.events_out = Some(PathBuf::from(next("--events-out")?)),
+                "--metrics-listen" => {
+                    cfg.metrics_listen = Some(next("--metrics-listen")?.clone());
+                }
+                "--stats-interval-secs" => {
+                    cfg.stats_interval_secs = parse_u64(next("--stats-interval-secs")?)?;
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -190,6 +208,8 @@ impl ServerConfig {
             "seed" => self.seed = parse_u64(value)?,
             "run_for_secs" => self.run_for_secs = Some(parse_u64(value)?),
             "events_out" => self.events_out = Some(PathBuf::from(parse_string(value)?)),
+            "metrics_listen" => self.metrics_listen = Some(parse_string(value)?),
+            "stats_interval_secs" => self.stats_interval_secs = parse_u64(value)?,
             other => return Err(format!("unknown key {other:?}")),
         }
         Ok(())
@@ -198,6 +218,11 @@ impl ServerConfig {
     /// Resolves the configured listen address.
     pub fn listen_addr(&self) -> Result<Option<SocketAddr>, String> {
         self.listen.as_deref().map(resolve).transpose()
+    }
+
+    /// Resolves the configured telemetry endpoint address.
+    pub fn metrics_listen_addr(&self) -> Result<Option<SocketAddr>, String> {
+        self.metrics_listen.as_deref().map(resolve).transpose()
     }
 
     /// Resolves every peer (other than this node) to `(id, addr)`.

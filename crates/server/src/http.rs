@@ -1,0 +1,220 @@
+//! A tiny thread-per-connection HTTP/1.1 endpoint serving the replica's
+//! telemetry: Prometheus text at `/metrics`, liveness at `/healthz`, and
+//! a JSON snapshot at `/status`. Hand-rolled on `std::net` — the
+//! workspace carries no dependencies, and a scrape endpoint needs
+//! nothing beyond request-line parsing.
+//!
+//! The endpoint never touches replica state directly: `/metrics` renders
+//! a [`Registry`] snapshot (lock-cheap atomics plus batches the serve
+//! loop publishes), and `/status` returns a JSON string the serve loop
+//! re-renders periodically. A slow or stuck scraper therefore cannot
+//! stall consensus.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use simnet::{render_prometheus, Registry};
+
+/// How long a connection may dribble its request (or absorb the
+/// response) before the worker gives up on it.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The serving half of the telemetry endpoint. Dropping it stops the
+/// accept loop and joins every worker.
+pub struct HttpServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` and starts serving. `status` holds the pre-rendered
+    /// `/status` body; the owner overwrites it as state changes.
+    pub fn bind(
+        addr: SocketAddr,
+        registry: Registry,
+        status: Arc<Mutex<String>>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("rsmr-http".to_owned())
+            .spawn(move || accept_loop(listener, registry, status, stop_accept))?;
+        Ok(HttpServer {
+            local,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.local, Duration::from_millis(200));
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Registry,
+    status: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let registry = registry.clone();
+        let status = Arc::clone(&status);
+        if let Ok(t) = std::thread::Builder::new()
+            .name("rsmr-http-conn".to_owned())
+            .spawn(move || serve_connection(stream, &registry, &status))
+        {
+            workers.push(t);
+        }
+        // Reap finished workers so a long-lived server does not
+        // accumulate handles one per scrape.
+        workers.retain(|t| !t.is_finished());
+    }
+    for t in workers {
+        let _ = t.join();
+    }
+}
+
+/// Handles exactly one request: read the request line, drain the
+/// headers, respond, close. No keep-alive — scrapers poll rarely and a
+/// fresh connection per scrape keeps the worker lifetime bounded.
+fn serve_connection(stream: TcpStream, registry: &Registry, status: &Mutex<String>) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Drain the headers so the client sees a clean close after the body.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+    if method != "GET" {
+        respond(stream, 405, "text/plain; charset=utf-8", "GET only\n");
+        return;
+    }
+    match path {
+        "/metrics" => {
+            let body = render_prometheus(&registry.snapshot());
+            respond(
+                stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/healthz" => respond(stream, 200, "text/plain; charset=utf-8", "ok\n"),
+        "/status" => {
+            let body = status.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            respond(stream, 200, "application/json", &body);
+        }
+        _ => respond(stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+fn respond(mut stream: TcpStream, code: u16, content_type: &str, body: &str) {
+    let reason = match code {
+        200 => "OK",
+        405 => "Method Not Allowed",
+        _ => "Not Found",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut raw = String::new();
+        use std::io::Read as _;
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_status() {
+        let registry = Registry::new();
+        registry.counter("paxos.flush_idle").add(3);
+        registry.histogram("storage.fsync_us").record(120);
+        let status = Arc::new(Mutex::new("{\"node\":7}".to_owned()));
+        let server = HttpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            registry.clone(),
+            Arc::clone(&status),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("paxos_flush_idle 3"), "{body}");
+        assert!(body.contains("storage_fsync_us_count 1"), "{body}");
+
+        let (head, body) = get(addr, "/status");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"));
+        assert_eq!(body, "{\"node\":7}");
+
+        // Status follows the owner's updates.
+        *status.lock().unwrap() = "{\"node\":8}".to_owned();
+        let (_, body) = get(addr, "/status");
+        assert_eq!(body, "{\"node\":8}");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+}

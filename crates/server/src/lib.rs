@@ -12,8 +12,10 @@
 //! replicas in-process; the `rsmr-server` binary is a thin CLI wrapper.
 //! See `OPERATIONS.md` at the repository root for the operator's guide.
 
-use std::io;
+use std::collections::{BTreeSet, HashMap};
+use std::io::{self, Write as _};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use kvstore::KvStore;
@@ -21,12 +23,15 @@ use rsmr_core::harness::World;
 use rsmr_core::{RsmrNode, RsmrTunables};
 use simnet::observe::shared;
 use simnet::{
-    FileStorage, GroupId, MemStorage, MultiGroup, NodeId, NodeRuntime, RuntimeConfig, Spans,
-    StableStore, StorageBackend, TcpConfig, TcpTransport, WallClock,
+    Counter, FileStorage, Gauge, GroupId, HistogramHandle, MemStorage, MultiGroup, NodeId,
+    NodeRuntime, Registry, RuntimeConfig, Spans, StableStore, StorageBackend, TcpConfig,
+    TcpTransport, WallClock,
 };
 
 pub mod config;
+pub mod http;
 pub use config::ServerConfig;
+pub use http::HttpServer;
 
 use consensus::StaticConfig;
 
@@ -105,19 +110,22 @@ pub fn serve(cfg: &ServerConfig, stop: &AtomicBool) -> io::Result<ServerSummary>
     cfg.validate().map_err(io_err)?;
     let me = NodeId(cfg.node_id);
     let listen = cfg.listen_addr().map_err(io_err)?;
+    let metrics_listen = cfg.metrics_listen_addr().map_err(io_err)?;
     let peers = cfg.peer_addrs().map_err(io_err)?;
+    let registry = Registry::new();
 
     let mut backend: Box<dyn StorageBackend> = match &cfg.storage_dir {
         Some(dir) => Box::new(
             FileStorage::open(dir, cfg.fsync)?
-                .with_sync_window(Duration::from_millis(cfg.fsync_window_ms)),
+                .with_sync_window(Duration::from_millis(cfg.fsync_window_ms))
+                .with_telemetry(&registry),
         ),
         None => Box::new(MemStorage),
     };
     let store = backend.load()?;
     let (actor, recovered_groups) = build_actor(cfg, &store);
 
-    let mut tcp = TcpConfig::new(me);
+    let mut tcp = TcpConfig::new(me).telemetry(registry.clone());
     if let Some(addr) = listen {
         tcp = tcp.listen(addr);
     }
@@ -141,23 +149,182 @@ pub fn serve(cfg: &ServerConfig, stop: &AtomicBool) -> io::Result<ServerSummary>
     let spans = shared(Spans::new());
     rt.add_observer(spans.clone());
 
+    // Live telemetry: the serve loop refreshes the registry and a
+    // pre-rendered status JSON; the HTTP thread only reads snapshots.
+    let mut pump = TelemetryPump::new(registry.clone());
+    let _http = match metrics_listen {
+        Some(addr) => Some(
+            HttpServer::bind(addr, registry.clone(), Arc::clone(&pump.status))
+                .map_err(|e| io::Error::new(e.kind(), format!("metrics endpoint: {e}")))?,
+        ),
+        None => None,
+    };
+    let mut events_file = match &cfg.events_out {
+        Some(path) => Some(std::fs::File::create(path)?),
+        None => None,
+    };
+
+    let started = Instant::now();
     let deadline = cfg
         .run_for_secs
         .map(|s| Instant::now() + Duration::from_secs(s));
+    let stats_every =
+        (cfg.stats_interval_secs > 0).then(|| Duration::from_secs(cfg.stats_interval_secs));
+    let mut next_refresh = Instant::now();
+    let mut next_stats = stats_every.map(|d| started + d);
     while !stop.load(Ordering::SeqCst) {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             break;
         }
         rt.run_for(Duration::from_millis(50));
+        if Instant::now() >= next_refresh {
+            pump.refresh(cfg.node_id, &rt, &spans.borrow());
+            next_refresh = Instant::now() + REFRESH_INTERVAL;
+        }
+        if let (Some(every), Some(at)) = (stats_every, next_stats) {
+            if Instant::now() >= at {
+                if let Some(f) = &mut events_file {
+                    let _ = f.write_all(stats_line(cfg.node_id, started, &rt).as_bytes());
+                }
+                next_stats = Some(at + every);
+            }
+        }
     }
 
+    pump.refresh(cfg.node_id, &rt, &spans.borrow());
     let summary = summarize(cfg, recovered_groups, &rt);
-    if let Some(path) = &cfg.events_out {
+    if let Some(f) = &mut events_file {
         let spans = spans.borrow();
-        std::fs::write(path, events_jsonl(&summary, &spans))?;
+        f.write_all(events_jsonl(&summary, &spans).as_bytes())?;
     }
     rt.shutdown();
     Ok(summary)
+}
+
+/// How often the serve loop pushes actor-thread metrics and status into
+/// the scrape-side registry. Publishing clones the actor's histogram
+/// records, so this trades staleness against copying.
+const REFRESH_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Pushes the replica's live state into the registry: the actor thread's
+/// [`simnet::Metrics`] batch (so `paxos.*` / `rsmr.*` series appear next
+/// to the atomic `storage.*` / `net.*` handles), a per-group
+/// `rsmr.epoch` gauge, per-phase reconfiguration-span histograms, and
+/// the pre-rendered `/status` JSON.
+struct TelemetryPump {
+    registry: Registry,
+    status: Arc<Mutex<String>>,
+    epoch_gauges: HashMap<u32, Gauge>,
+    seal_us: HistogramHandle,
+    transfer_us: HistogramHandle,
+    handoff_us: HistogramHandle,
+    transfer_bytes: Counter,
+    /// `(epoch, phase)` pairs already recorded — spans fill in phase by
+    /// phase, and each phase must count exactly once.
+    recorded: BTreeSet<(u64, u8)>,
+}
+
+impl TelemetryPump {
+    fn new(registry: Registry) -> Self {
+        TelemetryPump {
+            status: Arc::new(Mutex::new("{}".to_owned())),
+            epoch_gauges: HashMap::new(),
+            seal_us: registry.histogram("reconfig.seal_latency_us"),
+            transfer_us: registry.histogram("reconfig.transfer_time_us"),
+            handoff_us: registry.histogram("reconfig.handoff_gap_us"),
+            transfer_bytes: registry.counter("reconfig.transfer_bytes"),
+            recorded: BTreeSet::new(),
+            registry,
+        }
+    }
+
+    fn refresh(&mut self, node: u64, rt: &NodeRuntime<ReplicaActor>, spans: &Spans) {
+        self.registry.publish("actor", rt.metrics().export());
+        for b in spans.epoch_breakdowns() {
+            let mut phase = |id: u8, value: Option<simnet::SimDuration>, h: &HistogramHandle| {
+                if let Some(d) = value {
+                    if self.recorded.insert((b.epoch, id)) {
+                        h.record(d.as_micros());
+                        if id == 1 {
+                            self.transfer_bytes.add(b.transfer_bytes);
+                        }
+                    }
+                }
+            };
+            phase(0, b.seal_latency, &self.seal_us);
+            phase(1, b.transfer_time, &self.transfer_us);
+            phase(2, b.handoff_gap, &self.handoff_us);
+        }
+
+        use std::fmt::Write as _;
+        let mut json = String::with_capacity(256);
+        let _ = write!(json, "{{\"node\":{node},\"groups\":[");
+        let mut first = true;
+        for (gid, world) in rt.actor().entries() {
+            let Some(n) = world.as_server() else { continue };
+            if !std::mem::take(&mut first) {
+                json.push(',');
+            }
+            let anchored = n.anchored_epoch().map(|e| e.0);
+            let epoch = |e: Option<u64>| match e {
+                Some(e) => e.to_string(),
+                None => "null".to_owned(),
+            };
+            let role = if n.is_active_leader() {
+                "leader"
+            } else if anchored.is_some() {
+                "follower"
+            } else {
+                "joining"
+            };
+            let _ = write!(
+                json,
+                "{{\"group\":{},\"epoch\":{},\"active_epoch\":{},\"role\":\"{role}\",\"members\":[",
+                gid.0,
+                epoch(anchored),
+                epoch(n.active_epoch().map(|e| e.0)),
+            );
+            if let Some(chain) = n.chain() {
+                for (i, m) in chain.latest_config().members().iter().enumerate() {
+                    if i > 0 {
+                        json.push(',');
+                    }
+                    let _ = write!(json, "{}", m.0);
+                }
+            }
+            json.push_str("]}");
+            if let Some(e) = anchored {
+                self.epoch_gauges
+                    .entry(gid.0)
+                    .or_insert_with(|| {
+                        self.registry
+                            .gauge(&format!("rsmr.epoch{{group=\"{}\"}}", gid.0))
+                    })
+                    .set(e);
+            }
+        }
+        json.push_str("]}");
+        *self.status.lock().unwrap_or_else(|e| e.into_inner()) = json;
+    }
+}
+
+/// One periodic `server_stats` JSONL line: liveness counters an operator
+/// (or the CI smoke job) can tail without scraping.
+fn stats_line(node: u64, started: Instant, rt: &NodeRuntime<ReplicaActor>) -> String {
+    let mut ops = 0;
+    for (_, world) in rt.actor().entries() {
+        if let Some(n) = world.as_server() {
+            ops += n.state_machine().ops_applied();
+        }
+    }
+    format!(
+        "{{\"event\":\"server_stats\",\"node\":{},\"uptime_ms\":{},\"ops_applied\":{},\"net_sent\":{},\"net_delivered\":{}}}\n",
+        node,
+        started.elapsed().as_millis(),
+        ops,
+        rt.metrics().counter("net.sent"),
+        rt.metrics().counter("net.delivered"),
+    )
 }
 
 fn summarize(
@@ -189,9 +356,9 @@ fn summarize(
 fn events_jsonl(summary: &ServerSummary, spans: &Spans) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = write!(
+    let _ = writeln!(
         out,
-        "{{\"event\":\"server_summary\",\"node\":{},\"recovered_groups\":{},\"ops_applied\":{},\"net_sent\":{},\"net_delivered\":{}}}\n",
+        "{{\"event\":\"server_summary\",\"node\":{},\"recovered_groups\":{},\"ops_applied\":{},\"net_sent\":{},\"net_delivered\":{}}}",
         summary.node, summary.recovered_groups, summary.ops_applied, summary.net_sent,
         summary.net_delivered
     );
@@ -200,9 +367,9 @@ fn events_jsonl(summary: &ServerSummary, spans: &Spans) -> String {
         None => "null".to_owned(),
     };
     for b in spans.epoch_breakdowns() {
-        let _ = write!(
+        let _ = writeln!(
             out,
-            "{{\"event\":\"reconfig_span\",\"node\":{},\"epoch\":{},\"seal_latency_us\":{},\"transfer_time_us\":{},\"transfer_bytes\":{},\"handoff_gap_us\":{}}}\n",
+            "{{\"event\":\"reconfig_span\",\"node\":{},\"epoch\":{},\"seal_latency_us\":{},\"transfer_time_us\":{},\"transfer_bytes\":{},\"handoff_gap_us\":{}}}",
             summary.node,
             b.epoch,
             opt(b.seal_latency),
@@ -211,9 +378,9 @@ fn events_jsonl(summary: &ServerSummary, spans: &Spans) -> String {
             opt(b.handoff_gap)
         );
     }
-    let _ = write!(
+    let _ = writeln!(
         out,
-        "{{\"event\":\"command_latency\",\"node\":{},\"completed\":{},\"mean_us\":{}}}\n",
+        "{{\"event\":\"command_latency\",\"node\":{},\"completed\":{},\"mean_us\":{}}}",
         summary.node,
         spans.commands_completed(),
         spans.mean_command_latency_us()

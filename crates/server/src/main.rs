@@ -33,6 +33,9 @@ FLAGS (each overrides the config file):
     --seed N                 protocol randomness seed
     --run-for-secs N         exit cleanly after N seconds
     --events-out FILE        write span/latency JSONL on shutdown
+    --metrics-listen ADDR    serve /metrics, /healthz, /status over HTTP
+    --stats-interval-secs N  server_stats line cadence in the events file
+                             (default 10; 0 = shutdown summary only)
 ";
 
 fn main() -> ExitCode {
@@ -55,7 +58,7 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "rsmr-server: node {} listening on {} ({} group(s), storage: {})",
+        "rsmr-server: node {} listening on {} ({} group(s), storage: {}, metrics: {})",
         cfg.node_id,
         cfg.listen.as_deref().unwrap_or("<none>"),
         cfg.groups,
@@ -63,6 +66,7 @@ fn main() -> ExitCode {
             .as_deref()
             .map(|p| p.display().to_string())
             .unwrap_or_else(|| "volatile".into()),
+        cfg.metrics_listen.as_deref().unwrap_or("<off>"),
     );
 
     // The binary serves until the deadline; tests drive `serve` directly

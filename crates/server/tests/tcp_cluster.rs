@@ -85,6 +85,8 @@ fn cluster_config(
         seed: node,
         run_for_secs: None,
         events_out: None,
+        metrics_listen: None,
+        stats_interval_secs: 0,
     }
 }
 

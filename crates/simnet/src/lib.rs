@@ -72,6 +72,7 @@ pub mod runtime;
 pub mod shard;
 mod sim;
 mod storage;
+pub mod telemetry;
 mod time;
 mod trace;
 pub mod transport;
@@ -80,7 +81,7 @@ pub mod wire;
 pub use actor::{Actor, Context, Message, Timer, TimerId};
 pub use backoff::RetryBackoff;
 pub use chaos::{ChaosDriver, ChaosGen, FaultEvent, FaultKind, FaultPlan, FaultTarget};
-pub use metrics::{Histogram, Metrics, MetricsSnapshot, Timeline};
+pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot, Timeline};
 pub use net::{LatencyModel, NetConfig};
 pub use observe::{DomainEvent, DropReason, EventDigest, EventLog, Observer, SimEvent, Spans};
 pub use rng::SimRng;
@@ -88,6 +89,9 @@ pub use runtime::{NodeRuntime, RuntimeConfig};
 pub use shard::{GroupId, Grouped, MultiGroup};
 pub use sim::{NodeId, Sim};
 pub use storage::{ScopedStore, StableStore};
+pub use telemetry::{
+    render_prometheus, Counter, Export, Gauge, HistogramHandle, LogHistogram, Registry,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;
 pub use transport::{

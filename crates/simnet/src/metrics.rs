@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::telemetry::{Export, LogHistogram};
 use crate::time::SimTime;
 
 /// A raw-sample histogram with quantile queries.
@@ -177,6 +178,10 @@ pub struct Metrics {
     pub(crate) net: NetCounters,
     histograms: BTreeMap<&'static str, Histogram>,
     timelines: BTreeMap<&'static str, Timeline>,
+    /// Integer-sample log-scale histograms (see [`LogHistogram`]): the
+    /// shared representation for hot-path latency/size recording, used
+    /// by both the simulator and the real backend.
+    records: BTreeMap<&'static str, LogHistogram>,
 }
 
 impl Metrics {
@@ -300,6 +305,24 @@ impl Metrics {
         self.histograms.get_mut(name)
     }
 
+    /// Records an integer sample in the named [`LogHistogram`] — the
+    /// fixed-bucket path for hot-path latencies and sizes. Unlike
+    /// [`Metrics::observe`], memory stays bounded regardless of sample
+    /// count, and recording never allocates after the first sample.
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        self.records.entry(name).or_default().record(value);
+    }
+
+    /// The named log-scale histogram, if any samples were recorded.
+    pub fn record_histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.records.get(name)
+    }
+
+    /// All log-scale histograms, in name order.
+    pub fn record_histograms(&self) -> impl Iterator<Item = (&'static str, &LogHistogram)> {
+        self.records.iter().map(|(&k, v)| (k, v))
+    }
+
     /// Appends a point to the named timeline.
     pub fn timeline_push(&mut self, name: &'static str, t: SimTime, v: f64) {
         self.timelines.entry(name).or_default().push(t, v);
@@ -353,6 +376,16 @@ impl Metrics {
                 eat(&v.to_bits().to_le_bytes());
             }
         }
+        // Log-scale histograms fold last so a sink without any keeps the
+        // exact fingerprint it had before they existed.
+        for (k, lh) in &self.records {
+            eat(k.as_bytes());
+            for (upper, count) in lh.nonzero_buckets() {
+                eat(&upper.to_le_bytes());
+                eat(&count.to_le_bytes());
+            }
+            eat(&lh.sum().to_le_bytes());
+        }
         h
     }
 
@@ -361,6 +394,41 @@ impl Metrics {
     /// are in name order and the embedded [`Metrics::fingerprint`] lets
     /// consumers pair a snapshot with a run.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut histograms: Vec<HistogramSummary> = self
+            .histograms
+            .iter()
+            .map(|(&name, h)| {
+                // `quantile` sorts lazily and needs `&mut`; summarize a
+                // clone so snapshots work from shared references.
+                let mut h = h.clone();
+                HistogramSummary {
+                    name: name.to_owned(),
+                    count: h.count() as u64,
+                    mean: h.mean(),
+                    min: h.min(),
+                    max: h.max(),
+                    p50: h.quantile(0.50),
+                    p90: h.quantile(0.90),
+                    p99: h.quantile(0.99),
+                }
+            })
+            .collect();
+        // Log-scale histograms export through the same summary shape.
+        // Empty ones are skipped — the zero-count guard that keeps every
+        // summary's min/quantiles meaningful.
+        histograms.extend(self.records.iter().filter(|(_, lh)| !lh.is_empty()).map(
+            |(&name, lh)| HistogramSummary {
+                name: name.to_owned(),
+                count: lh.count(),
+                mean: lh.mean(),
+                min: lh.min().unwrap_or(0) as f64,
+                max: lh.max().unwrap_or(0) as f64,
+                p50: lh.quantile(0.50) as f64,
+                p90: lh.quantile(0.90) as f64,
+                p99: lh.quantile(0.99) as f64,
+            },
+        ));
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
         MetricsSnapshot {
             counters: self.counters_with_prefix(""),
             labels: self
@@ -368,25 +436,7 @@ impl Metrics {
                 .into_iter()
                 .map(|(k, v)| (k.to_owned(), v))
                 .collect(),
-            histograms: self
-                .histograms
-                .iter()
-                .map(|(&name, h)| {
-                    // `quantile` sorts lazily and needs `&mut`; summarize a
-                    // clone so snapshots work from shared references.
-                    let mut h = h.clone();
-                    HistogramSummary {
-                        name: name.to_owned(),
-                        count: h.count() as u64,
-                        mean: h.mean(),
-                        min: h.min(),
-                        max: h.max(),
-                        p50: h.quantile(0.50),
-                        p90: h.quantile(0.90),
-                        p99: h.quantile(0.99),
-                    }
-                })
-                .collect(),
+            histograms,
             timelines: self
                 .timelines
                 .iter()
@@ -402,6 +452,23 @@ impl Metrics {
                 })
                 .collect(),
             fingerprint: self.fingerprint(),
+        }
+    }
+
+    /// Packages the sink for [`crate::telemetry::Registry::publish`]:
+    /// all nonzero counters (including the `net.*` fields) plus every
+    /// non-empty log-scale histogram. This is how an actor thread's
+    /// private sink becomes visible to a live `/metrics` scrape.
+    pub fn export(&self) -> Export {
+        Export {
+            counters: self.counters_with_prefix(""),
+            gauges: Vec::new(),
+            histograms: self
+                .records
+                .iter()
+                .filter(|(_, lh)| !lh.is_empty())
+                .map(|(&k, lh)| (k.to_owned(), lh.clone()))
+                .collect(),
         }
     }
 }
@@ -744,6 +811,33 @@ mod tests {
         assert!(json.contains("\"rsmr.applied\":3"));
         assert!(json.contains("\"p50\":2"));
         assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn record_histograms_flow_through_fingerprint_snapshot_and_export() {
+        let mut m = Metrics::new();
+        m.incr("rsmr.applied", 1);
+        m.observe("lat_us", 2.0);
+        let before = m.fingerprint();
+        m.record("paxos.batch_size", 0); // a zero-valued sample still counts
+        assert_ne!(m.fingerprint(), before, "record change must show");
+        m.record("paxos.batch_size", 64);
+
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["lat_us", "paxos.batch_size"],
+            "merged in name order"
+        );
+        let h = &snap.histograms[1];
+        assert_eq!((h.count, h.min, h.max, h.p90), (2, 0.0, 64.0, 64.0));
+
+        let export = m.export();
+        assert_eq!(export.counters, vec![("rsmr.applied".into(), 1)]);
+        assert_eq!(export.histograms.len(), 1);
+        assert_eq!(export.histograms[0].0, "paxos.batch_size");
+        assert_eq!(export.histograms[0].1.count(), 2);
     }
 
     #[test]

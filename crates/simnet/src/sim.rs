@@ -270,6 +270,13 @@ impl<A: Actor> Sim<A> {
         &mut self.metrics
     }
 
+    /// Moves the metrics sink out, leaving an empty one behind. For
+    /// end-of-run reporting this avoids cloning every counter, timeline
+    /// and histogram map when the simulation is about to be dropped.
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::take(&mut self.metrics)
+    }
+
     /// The simulation trace.
     pub fn trace(&self) -> &Trace {
         &self.trace

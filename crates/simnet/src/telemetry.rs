@@ -1,0 +1,768 @@
+//! Backend-agnostic telemetry: log-scale histograms and a lock-cheap
+//! metric registry.
+//!
+//! Two layers share one representation:
+//!
+//! * [`LogHistogram`] — a plain, mergeable, fixed-bucket log-linear
+//!   (HDR-style) histogram of `u64` samples. Deterministic and `Clone`;
+//!   this is what the simulator's [`Metrics`](crate::metrics::Metrics)
+//!   sink records into, what `loadgen` aggregates latencies with, and
+//!   what snapshots carry.
+//! * [`Registry`] — a shared, thread-safe registry of counters, gauges
+//!   and atomic histograms for the *real* backend (`NodeRuntime`,
+//!   `FileStorage`, `TcpTransport`). Registration takes a `Mutex` once;
+//!   the record path is a handful of relaxed atomic adds on
+//!   preallocated arrays — no locks, no allocation.
+//!
+//! The bucket layout is log-linear with [`SUB_BITS`] = 7: values below
+//! 128 get their own bucket (exact), and every octave above is split
+//! into 128 sub-buckets, bounding the relative quantile error at
+//! 1/128 < 0.79%. The full `u64` range fits in [`BUCKETS`] = 7424
+//! buckets (~58 KiB per histogram).
+//!
+//! Metric names follow DESIGN.md §9 (`layer.noun[_unit]`, dot
+//! separated); [`render_prometheus`] sanitizes them to Prometheus form
+//! (`layer_noun_unit`). A name may carry a literal label suffix, e.g.
+//! `rsmr.epoch{group="0"}` — only the part before `{` is sanitized.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` buckets.
+pub const SUB_BITS: u32 = 7;
+const SUB: u64 = 1 << SUB_BITS; // 128
+/// Total bucket count covering the full `u64` range: the 128 exact
+/// buckets plus one 128-wide group per exponent in `7..=63`.
+pub const BUCKETS: usize = SUB as usize + (64 - SUB_BITS as usize) * SUB as usize; // 7424
+
+/// The bucket index a value lands in. Exact (width 1) below 256; the
+/// width doubles every octave after that.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let e = (63 - v.leading_zeros()) as u64; // 7..=63
+        let off = (v >> (e - SUB_BITS as u64)) & (SUB - 1);
+        (SUB + (e - SUB_BITS as u64) * SUB + off) as usize
+    }
+}
+
+/// The smallest value that maps to bucket `idx`.
+#[inline]
+pub fn bucket_lower(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        idx
+    } else {
+        let g = (idx - SUB) / SUB;
+        let off = (idx - SUB) % SUB;
+        (SUB + off) << g
+    }
+}
+
+/// The largest value that maps to bucket `idx`.
+#[inline]
+pub fn bucket_upper(idx: usize) -> u64 {
+    let w = if (idx as u64) < SUB {
+        1
+    } else {
+        1u64 << ((idx as u64 - SUB) / SUB)
+    };
+    bucket_lower(idx).saturating_add(w - 1)
+}
+
+/// A fixed-bucket log-linear histogram of `u64` samples.
+///
+/// Mergeable (element-wise, associative and commutative), allocation
+/// free after construction, and fully deterministic: the same sample
+/// multiset always produces the same state regardless of record order.
+/// `sum` saturates at `u64::MAX` instead of wrapping.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogHistogram {
+    buckets: Box<[u64]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; BUCKETS].into_boxed_slice(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` occurrences of the same sample.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)] = self.buckets[bucket_index(v)].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Element-wise saturating addition, so
+    /// merging is associative and commutative.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The quantile `q` in `[0, 1]`, using the same rank convention as
+    /// a sorted vector: `rank = round((count - 1) * q)`.
+    ///
+    /// Returns the exact sample when the rank falls on the minimum or
+    /// maximum, or when the sample's bucket has width 1 (all values
+    /// below 256) or the sample sits on a bucket boundary; otherwise
+    /// the bucket's lower bound — an under-estimate by less than one
+    /// sub-bucket width (< 0.79% relative). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        if rank == 0 {
+            return self.min;
+        }
+        if rank >= self.count - 1 {
+            return self.max;
+        }
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(c);
+            if cum > rank {
+                return bucket_lower(idx).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| (bucket_upper(idx), c))
+    }
+}
+
+// --- Atomic registry (real backend) ------------------------------------
+
+/// A monotone counter handle. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Overwrites the value. For mirroring an externally-maintained
+    /// cumulative count (e.g. a published actor-thread metric).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A last-value gauge handle. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Increments (e.g. queue depth on enqueue).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Decrements, saturating at zero under racy over-subtraction.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        // fetch_sub would wrap on a transient inc/dec race; a CAS loop
+        // keeps the gauge non-negative.
+        let _ = self
+            .0
+            .fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(n)));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+struct AtomicHistogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        AtomicHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// A coherent-enough copy for scraping: `count` is derived from the
+    /// bucket loads so the quantile walk always sees a self-consistent
+    /// distribution; `sum`/`min`/`max` may trail in-flight records by a
+    /// few samples.
+    fn snapshot(&self) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        let mut count = 0u64;
+        for (dst, src) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            let c = src.load(Relaxed);
+            *dst = c;
+            count = count.saturating_add(c);
+        }
+        h.count = count;
+        h.sum = self.sum.load(Relaxed);
+        h.min = self.min.load(Relaxed);
+        h.max = self.max.load(Relaxed);
+        if count > 0 && h.min == u64::MAX {
+            // A racer bumped a bucket before publishing min.
+            h.min = 0;
+        }
+        h
+    }
+}
+
+/// A histogram handle recording into shared atomic buckets.
+#[derive(Clone)]
+pub struct HistogramHandle(Arc<AtomicHistogram>);
+
+impl HistogramHandle {
+    /// Records one sample. Lock-free and allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.record(v);
+    }
+
+    /// A point-in-time copy as a plain [`LogHistogram`].
+    pub fn snapshot(&self) -> LogHistogram {
+        self.0.snapshot()
+    }
+}
+
+/// A batch of externally-maintained metrics pushed into a registry,
+/// e.g. the actor thread's [`Metrics`](crate::metrics::Metrics) sink
+/// mirrored for scraping.
+#[derive(Clone, Default)]
+pub struct Export {
+    /// Cumulative counters as `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Last-value gauges as `(name, value)`.
+    pub gauges: Vec<(String, u64)>,
+    /// Histograms as `(name, histogram)`.
+    pub histograms: Vec<(String, LogHistogram)>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<AtomicHistogram>>,
+    published: BTreeMap<String, Export>,
+}
+
+/// A shared registry of counters, gauges and histograms.
+///
+/// Handles are registered once (under a `Mutex`) and record through
+/// relaxed atomics thereafter. [`Registry::publish`] additionally
+/// mirrors whole metric batches from threads that own a private sink;
+/// [`Registry::snapshot`] and [`render_prometheus`] merge both views,
+/// summing counters and merging histograms that share a name.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Configs embed registries; dumping every bucket would drown them.
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        Counter(
+            inner
+                .counters
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                .clone(),
+        )
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        Gauge(
+            inner
+                .gauges
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                .clone(),
+        )
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut inner = self.inner.lock().unwrap();
+        HistogramHandle(
+            inner
+                .histograms
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(AtomicHistogram::new()))
+                .clone(),
+        )
+    }
+
+    /// Replaces the published batch under `source`. Each publishing
+    /// thread uses its own source tag so batches never clobber each
+    /// other.
+    pub fn publish(&self, source: &str, export: Export) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.published.insert(source.to_owned(), export);
+    }
+
+    /// A merged point-in-time view: registered atomics plus every
+    /// published batch, counters summed and histograms merged by name.
+    pub fn snapshot(&self) -> Export {
+        let inner = self.inner.lock().unwrap();
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, LogHistogram> = BTreeMap::new();
+        for (name, c) in &inner.counters {
+            *counters.entry(name.clone()).or_insert(0) += c.load(Relaxed);
+        }
+        for (name, g) in &inner.gauges {
+            gauges.insert(name.clone(), g.load(Relaxed));
+        }
+        for (name, h) in &inner.histograms {
+            histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(&h.snapshot());
+        }
+        for export in inner.published.values() {
+            for (name, v) in &export.counters {
+                *counters.entry(name.clone()).or_insert(0) += v;
+            }
+            for (name, v) in &export.gauges {
+                gauges.insert(name.clone(), *v);
+            }
+            for (name, h) in &export.histograms {
+                histograms.entry(name.clone()).or_default().merge(h);
+            }
+        }
+        Export {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+        }
+    }
+}
+
+/// Sanitizes a DESIGN §9 metric name (`layer.noun_unit`, optionally
+/// with a `{label="v"}` suffix) to Prometheus form: every character of
+/// the base name outside `[a-zA-Z0-9_:]` becomes `_`; the label suffix
+/// is kept verbatim.
+fn sanitize_into(out: &mut String, name: &str) {
+    let (base, labels) = match name.find('{') {
+        Some(i) => name.split_at(i),
+        None => (name, ""),
+    };
+    for ch in base.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out.push_str(labels);
+}
+
+fn sanitized(name: &str) -> String {
+    let mut s = String::with_capacity(name.len());
+    sanitize_into(&mut s, name);
+    s
+}
+
+/// Splits a sanitized name into `(base, label_body)` where the label
+/// body excludes the braces (empty when unlabelled).
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], name[i + 1..].trim_end_matches('}')),
+        None => (name, ""),
+    }
+}
+
+/// Renders an [`Export`] (typically [`Registry::snapshot`]) in the
+/// Prometheus text exposition format (version 0.0.4). Histograms emit
+/// cumulative `_bucket{le=...}` lines at each non-empty bucket's upper
+/// bound plus `+Inf`, and `_sum`/`_count`.
+pub fn render_prometheus(export: &Export) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, v) in &export.counters {
+        let full = sanitized(name);
+        let (base, _) = split_labels(&full);
+        let _ = writeln!(out, "# TYPE {base} counter");
+        let _ = writeln!(out, "{full} {v}");
+    }
+    for (name, v) in &export.gauges {
+        let full = sanitized(name);
+        let (base, _) = split_labels(&full);
+        let _ = writeln!(out, "# TYPE {base} gauge");
+        let _ = writeln!(out, "{full} {v}");
+    }
+    for (name, h) in &export.histograms {
+        let full = sanitized(name);
+        let (base, labels) = split_labels(&full);
+        let _ = writeln!(out, "# TYPE {base} histogram");
+        let lbl = |le: &str| {
+            if labels.is_empty() {
+                format!("{base}_bucket{{le=\"{le}\"}}")
+            } else {
+                format!("{base}_bucket{{{labels},le=\"{le}\"}}")
+            }
+        };
+        let mut cum = 0u64;
+        for (upper, count) in h.nonzero_buckets() {
+            cum = cum.saturating_add(count);
+            let _ = writeln!(out, "{} {cum}", lbl(&upper.to_string()));
+        }
+        let _ = writeln!(out, "{} {}", lbl("+Inf"), h.count());
+        let suffix = |s: &str| {
+            if labels.is_empty() {
+                format!("{base}_{s}")
+            } else {
+                format!("{base}_{s}{{{labels}}}")
+            }
+        };
+        let _ = writeln!(out, "{} {}", suffix("sum"), h.sum());
+        let _ = writeln!(out, "{} {}", suffix("count"), h.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_below_two_fifty_six() {
+        // Width-1 buckets: every value below 2^(SUB_BITS+1) maps to a
+        // bucket whose lower and upper bounds are the value itself.
+        for v in [0u64, 1, 2, 63, 127, 128, 129, 200, 255] {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_lower(idx), v, "lower({v})");
+            assert_eq!(bucket_upper(idx), v, "upper({v})");
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_cover_the_range_contiguously() {
+        // Every bucket's lower bound maps back to the bucket, upper+1
+        // maps to the next, and widths never shrink.
+        let mut prev_upper: Option<u64> = None;
+        for idx in 0..BUCKETS {
+            let lo = bucket_lower(idx);
+            let hi = bucket_upper(idx);
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), idx, "index(lower({idx}))");
+            assert_eq!(bucket_index(hi), idx, "index(upper({idx}))");
+            if let Some(p) = prev_upper {
+                assert_eq!(lo, p + 1, "gap before bucket {idx}");
+            }
+            prev_upper = Some(hi);
+        }
+        assert_eq!(prev_upper, Some(u64::MAX), "top bucket reaches u64::MAX");
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_one_sub_bucket() {
+        for v in [300u64, 1000, 12345, 1 << 20, 987_654_321, u64::MAX / 3] {
+            let idx = bucket_index(v);
+            let width = bucket_upper(idx) - bucket_lower(idx) + 1;
+            assert!(
+                (width as f64) / (v as f64) < 1.0 / 127.0,
+                "width {width} too wide for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_match_a_sorted_vector_at_small_n() {
+        // The loadgen parity contract: same rank convention as sorting,
+        // exact on min/max and on width-1 / boundary-aligned samples.
+        let samples = [100u64, 150, 1200, 999_900];
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for (q, want) in [(0.0, 100), (0.5, 1200), (0.95, 999_900), (0.99, 999_900)] {
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            assert_eq!(sorted[idx], want, "rank convention changed");
+            assert_eq!(h.quantile(q), want, "q={q}");
+        }
+        assert_eq!(h.min(), Some(100));
+        assert_eq!(h.max(), Some(999_900));
+        assert_eq!(h.sum(), 100 + 150 + 1200 + 999_900);
+    }
+
+    #[test]
+    fn quantile_lower_bound_bias_is_within_one_bucket() {
+        let mut h = LogHistogram::new();
+        for v in 0..10_000u64 {
+            h.record(v * 7 + 3);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            let rank = ((h.count() - 1) as f64 * q).round() as u64;
+            let truth = rank * 7 + 3;
+            let got = h.quantile(q);
+            assert!(got <= truth, "q={q}: {got} > {truth}");
+            assert!(
+                (truth - got) as f64 <= truth as f64 / 127.0 + 1.0,
+                "q={q}: {got} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_single_recording() {
+        let parts: [&[u64]; 3] = [&[1, 5, 300], &[70_000, 5, u64::MAX], &[0, 42]];
+        let mut all = LogHistogram::new();
+        for p in parts {
+            for &v in p {
+                all.record(v);
+            }
+        }
+        // (a ⊕ b) ⊕ c
+        let h = |vals: &[u64]| {
+            let mut h = LogHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let mut left = h(parts[0]);
+        left.merge(&h(parts[1]));
+        left.merge(&h(parts[2]));
+        // a ⊕ (b ⊕ c)
+        let mut bc = h(parts[1]);
+        bc.merge(&h(parts[2]));
+        let mut right = h(parts[0]);
+        right.merge(&bc);
+        assert_eq!(left, right, "associativity");
+        assert_eq!(left, all, "merge == single recording");
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(u64::MAX));
+        let mut other = LogHistogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.sum(), u64::MAX, "merge saturates");
+        assert_eq!(h.count(), 3);
+        // record_n with a multiplied-out overflow also saturates.
+        let mut m = LogHistogram::new();
+        m.record_n(u64::MAX / 2, 3);
+        assert_eq!(m.sum(), u64::MAX);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.quantile(0.5), u64::MAX / 2);
+    }
+
+    #[test]
+    fn empty_histogram_is_guarded() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn registry_handles_share_state_and_merge_published_batches() {
+        let reg = Registry::new();
+        let c = reg.counter("net.reconnects");
+        c.add(2);
+        reg.counter("net.reconnects").add(1); // same underlying cell
+        let g = reg.gauge("net.outbound_queue_depth{peer=\"1\"}");
+        g.add(5);
+        g.sub(2);
+        g.sub(100); // saturates at zero, never wraps
+        assert_eq!(g.get(), 0);
+        g.set(3);
+        let h = reg.histogram("storage.fsync_us");
+        h.record(40);
+        h.record(90);
+
+        let mut export = Export::default();
+        export.counters.push(("net.reconnects".into(), 10));
+        let mut ph = LogHistogram::new();
+        ph.record(100);
+        export.histograms.push(("storage.fsync_us".into(), ph));
+        reg.publish("rt", export);
+
+        let snap = reg.snapshot();
+        let counter = |n: &str| snap.counters.iter().find(|(k, _)| k == n).map(|(_, v)| *v);
+        assert_eq!(counter("net.reconnects"), Some(13), "atomic + published");
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "storage.fsync_us")
+            .map(|(_, h)| h.clone())
+            .unwrap();
+        assert_eq!(hist.count(), 3, "atomic + published merged");
+        assert_eq!(hist.max(), Some(100));
+    }
+
+    #[test]
+    fn prometheus_rendering_sanitizes_names_and_emits_cumulative_buckets() {
+        let reg = Registry::new();
+        reg.counter("rsmr.applied").add(7);
+        reg.gauge("rsmr.epoch{group=\"0\"}").set(2);
+        let h = reg.histogram("paxos.batch_size");
+        h.record(1);
+        h.record(1);
+        h.record(64);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE rsmr_applied counter\nrsmr_applied 7\n"));
+        assert!(text.contains("# TYPE rsmr_epoch gauge\nrsmr_epoch{group=\"0\"} 2\n"));
+        assert!(text.contains("# TYPE paxos_batch_size histogram"));
+        assert!(text.contains("paxos_batch_size_bucket{le=\"1\"} 2"));
+        assert!(text.contains("paxos_batch_size_bucket{le=\"64\"} 3"));
+        assert!(text.contains("paxos_batch_size_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("paxos_batch_size_sum 66"));
+        assert!(text.contains("paxos_batch_size_count 3"));
+        // Labelled histograms fold `le` into the existing label set.
+        let lh = reg.histogram("net.coalesced_write_bytes{peer=\"2\"}");
+        lh.record(10);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("net_coalesced_write_bytes_bucket{peer=\"2\",le=\"10\"} 1"));
+        assert!(text.contains("net_coalesced_write_bytes_count{peer=\"2\"} 1"));
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_plain_recording() {
+        let reg = Registry::new();
+        let h = reg.histogram("x");
+        let mut plain = LogHistogram::new();
+        for v in [3u64, 128, 4096, 70_000] {
+            h.record(v);
+            plain.record(v);
+        }
+        assert_eq!(h.snapshot(), plain);
+    }
+}

@@ -38,6 +38,7 @@ use std::time::{Duration, Instant};
 
 use crate::sim::NodeId;
 use crate::storage::StableStore;
+use crate::telemetry::{Counter, Gauge, HistogramHandle, Registry};
 use crate::time::SimTime;
 
 /// A monotonic time source handing out [`SimTime`] instants.
@@ -255,6 +256,37 @@ pub struct FileStorage {
     pending_sync: bool,
     /// Device syncs issued on the WAL (observability for tests).
     fsyncs: u64,
+    /// Telemetry handles, when a registry was attached.
+    stats: Option<StorageStats>,
+}
+
+/// The `storage.*` telemetry handles of one [`FileStorage`] (DESIGN §9).
+/// Timings use the wall clock — this backend only runs in real processes,
+/// so determinism is not at stake.
+struct StorageStats {
+    /// Bytes appended to the WAL per record.
+    wal_append_bytes: HistogramHandle,
+    /// Device sync latency, µs.
+    fsync_us: HistogramHandle,
+    /// Snapshot fold duration, µs.
+    compaction_us: HistogramHandle,
+    /// `sync()` batches folded into each device sync — the group-commit
+    /// window fill (1 = no batching happened).
+    group_commit_fill: HistogramHandle,
+    /// Batches deferred so far in the current window.
+    window_syncs: u64,
+}
+
+impl StorageStats {
+    fn new(registry: &Registry) -> Self {
+        StorageStats {
+            wal_append_bytes: registry.histogram("storage.wal_append_bytes"),
+            fsync_us: registry.histogram("storage.fsync_us"),
+            compaction_us: registry.histogram("storage.compaction_us"),
+            group_commit_fill: registry.histogram("storage.group_commit_fill"),
+            window_syncs: 0,
+        }
+    }
 }
 
 const WAL_PUT: u8 = 1;
@@ -285,6 +317,7 @@ impl FileStorage {
             last_fsync: None,
             pending_sync: false,
             fsyncs: 0,
+            stats: None,
         })
     }
 
@@ -296,6 +329,14 @@ impl FileStorage {
     /// when `fsync` is off.
     pub fn with_sync_window(mut self, window: std::time::Duration) -> Self {
         self.sync_window = window;
+        self
+    }
+
+    /// Publishes this store's `storage.*` series (WAL append bytes, fsync
+    /// latency, compaction duration, group-commit window fill) into
+    /// `registry`.
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.stats = Some(StorageStats::new(registry));
         self
     }
 
@@ -377,6 +418,7 @@ impl FileStorage {
     /// Writes the mirror as a fresh snapshot (atomic rename) and truncates
     /// the log.
     fn compact(&mut self) -> io::Result<()> {
+        let started = Instant::now();
         let mut buf = Vec::new();
         for (key, value) in self.mirror.entries() {
             Self::encode_record(&mut buf, key, Some(value));
@@ -400,6 +442,9 @@ impl FileStorage {
         }
         // Everything deferred is folded into the just-synced snapshot.
         self.pending_sync = false;
+        if let Some(s) = &self.stats {
+            s.compaction_us.record(started.elapsed().as_micros() as u64);
+        }
         Ok(())
     }
 }
@@ -428,6 +473,9 @@ impl StorageBackend for FileStorage {
         Self::encode_record(&mut buf, key, value);
         self.wal.write_all(&buf)?;
         self.wal_bytes += buf.len() as u64;
+        if let Some(s) = &self.stats {
+            s.wal_append_bytes.record(buf.len() as u64);
+        }
         match value {
             Some(v) => self.mirror.put(key, v.to_vec()),
             None => {
@@ -445,14 +493,25 @@ impl StorageBackend for FileStorage {
                     .last_fsync
                     .is_none_or(|at| at.elapsed() >= self.sync_window);
             if due {
+                let started = Instant::now();
                 self.wal.get_ref().sync_data()?;
+                let done = Instant::now();
                 self.fsyncs += 1;
-                self.last_fsync = Some(std::time::Instant::now());
+                self.last_fsync = Some(done);
                 self.pending_sync = false;
+                if let Some(s) = &mut self.stats {
+                    s.fsync_us
+                        .record(done.duration_since(started).as_micros() as u64);
+                    s.group_commit_fill.record(s.window_syncs + 1);
+                    s.window_syncs = 0;
+                }
             } else {
                 // Group commit: the bytes are flushed to the OS; the
                 // device sync rides with a later batch in this window.
                 self.pending_sync = true;
+                if let Some(s) = &mut self.stats {
+                    s.window_syncs += 1;
+                }
             }
         }
         if self.loaded && self.wal_bytes > Self::COMPACT_SLACK {
@@ -628,6 +687,9 @@ pub struct TcpConfig {
     pub queue_capacity: usize,
     /// Largest accepted frame payload, bytes.
     pub max_frame: u32,
+    /// Registry to publish the transport's `net.*` series into (DESIGN
+    /// §9); `None` records nothing.
+    pub telemetry: Option<Registry>,
 }
 
 impl TcpConfig {
@@ -641,6 +703,7 @@ impl TcpConfig {
             reconnect_max: Duration::from_secs(2),
             queue_capacity: 4096,
             max_frame: 64 << 20,
+            telemetry: None,
         }
     }
 
@@ -654,6 +717,54 @@ impl TcpConfig {
     pub fn peer(mut self, id: NodeId, addr: SocketAddr) -> Self {
         self.peers.push((id, addr));
         self
+    }
+
+    /// Publishes the transport's `net.*` series (per-peer queue occupancy,
+    /// coalesced write sizes, reconnects, frame errors) into `registry`.
+    pub fn telemetry(mut self, registry: Registry) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+}
+
+/// The `net.*` telemetry handles shared by a [`TcpTransport`]'s threads.
+#[derive(Clone)]
+struct NetStats {
+    /// Outbound connections re-established after a break.
+    reconnects: Counter,
+    /// Connections killed by an oversized/corrupt length prefix.
+    frame_errors: Counter,
+    /// Frames dropped at send time (unknown peer or full queue).
+    dropped_frames: Counter,
+    /// Bytes per coalesced write syscall.
+    coalesced_write_bytes: HistogramHandle,
+}
+
+impl NetStats {
+    fn new(registry: &Registry) -> Self {
+        NetStats {
+            reconnects: registry.counter("net.reconnects"),
+            frame_errors: registry.counter("net.frame_errors"),
+            dropped_frames: registry.counter("net.dropped_frames"),
+            coalesced_write_bytes: registry.histogram("net.coalesced_write_bytes"),
+        }
+    }
+}
+
+/// Occupancy gauges for one configured peer's egress queue: incremented
+/// by [`Transport::send`], decremented as the writer thread drains.
+#[derive(Clone)]
+struct QueueGauges {
+    depth: Gauge,
+    bytes: Gauge,
+}
+
+impl QueueGauges {
+    fn new(registry: &Registry, peer: NodeId) -> Self {
+        QueueGauges {
+            depth: registry.gauge(&format!("net.outbound_queue_depth{{peer=\"{peer}\"}}")),
+            bytes: registry.gauge(&format!("net.outbound_queue_bytes{{peer=\"{peer}\"}}")),
+        }
     }
 }
 
@@ -721,6 +832,10 @@ pub struct TcpTransport {
     threads: Vec<JoinHandle<()>>,
     /// Frames dropped at send time (unknown peer or full queue).
     dropped: u64,
+    /// Shared telemetry handles, when a registry was attached.
+    stats: Option<NetStats>,
+    /// Per-configured-peer egress queue gauges.
+    queue_gauges: HashMap<NodeId, QueueGauges>,
 }
 
 impl TcpTransport {
@@ -731,6 +846,7 @@ impl TcpTransport {
         let stop = Arc::new(AtomicBool::new(false));
         let inbound: InboundMap = Arc::new(Mutex::new(HashMap::new()));
         let mut threads = Vec::new();
+        let stats = cfg.telemetry.as_ref().map(NetStats::new);
 
         let local = match cfg.listen {
             Some(addr) => {
@@ -742,6 +858,7 @@ impl TcpTransport {
                     stop: Arc::clone(&stop),
                     queue_capacity: cfg.queue_capacity,
                     max_frame: cfg.max_frame,
+                    frame_errors: stats.as_ref().map(|s| s.frame_errors.clone()),
                 };
                 threads.push(
                     std::thread::Builder::new()
@@ -754,12 +871,17 @@ impl TcpTransport {
         };
 
         let mut outbound = HashMap::new();
+        let mut queue_gauges = HashMap::new();
         for &(peer, addr) in &cfg.peers {
             if peer == cfg.me {
                 continue;
             }
             let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(cfg.queue_capacity);
             outbound.insert(peer, tx);
+            let gauges = cfg.telemetry.as_ref().map(|r| QueueGauges::new(r, peer));
+            if let Some(g) = &gauges {
+                queue_gauges.insert(peer, g.clone());
+            }
             let conn = Connector {
                 me: cfg.me,
                 peer,
@@ -769,6 +891,8 @@ impl TcpTransport {
                 reconnect_min: cfg.reconnect_min,
                 reconnect_max: cfg.reconnect_max,
                 max_frame: cfg.max_frame,
+                stats: stats.clone(),
+                gauges,
             };
             threads.push(
                 std::thread::Builder::new()
@@ -786,6 +910,8 @@ impl TcpTransport {
             stop,
             threads,
             dropped: 0,
+            stats,
+            queue_gauges,
         })
     }
 
@@ -803,6 +929,7 @@ impl TcpTransport {
 impl Transport for TcpTransport {
     fn send(&mut self, to: NodeId, payload: Vec<u8>) -> bool {
         let frame = encode_frame(&payload);
+        let frame_len = frame.len() as u64;
         // Configured peers go through their connector's queue; anyone else
         // must have connected to us (a client), giving us a reply path.
         let tx = match self.outbound.get(&to) {
@@ -811,14 +938,26 @@ impl Transport for TcpTransport {
                 Some((_, tx)) => tx.clone(),
                 None => {
                     self.dropped += 1;
+                    if let Some(s) = &self.stats {
+                        s.dropped_frames.add(1);
+                    }
                     return false;
                 }
             },
         };
         match tx.try_send(frame) {
-            Ok(()) => true,
+            Ok(()) => {
+                if let Some(g) = self.queue_gauges.get(&to) {
+                    g.depth.add(1);
+                    g.bytes.add(frame_len);
+                }
+                true
+            }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                 self.dropped += 1;
+                if let Some(s) = &self.stats {
+                    s.dropped_frames.add(1);
+                }
                 false
             }
         }
@@ -859,6 +998,7 @@ struct Acceptor {
     stop: Arc<AtomicBool>,
     queue_capacity: usize,
     max_frame: u32,
+    frame_errors: Option<Counter>,
 }
 
 impl Acceptor {
@@ -903,6 +1043,7 @@ impl Acceptor {
                 inbound: Arc::clone(&self.inbound),
                 stop: Arc::clone(&self.stop),
                 max_frame: self.max_frame,
+                frame_errors: self.frame_errors.clone(),
             };
             readers.push(
                 std::thread::Builder::new()
@@ -926,11 +1067,19 @@ struct InboundReader {
     inbound: InboundMap,
     stop: Arc<AtomicBool>,
     max_frame: u32,
+    frame_errors: Option<Counter>,
 }
 
 impl InboundReader {
     fn run(self, stream: TcpStream) {
-        read_loop(stream, self.peer, &self.events, &self.stop, self.max_frame);
+        read_loop(
+            stream,
+            self.peer,
+            &self.events,
+            &self.stop,
+            self.max_frame,
+            self.frame_errors.as_ref(),
+        );
         // Drop the reply path, but only if it is still ours — the peer may
         // already have reconnected and replaced it.
         let mut map = lock(&self.inbound);
@@ -959,12 +1108,15 @@ struct Connector {
     reconnect_min: Duration,
     reconnect_max: Duration,
     max_frame: u32,
+    stats: Option<NetStats>,
+    gauges: Option<QueueGauges>,
 }
 
 impl Connector {
     fn run(self, rx: Receiver<Vec<u8>>) {
         let mut readers: Vec<JoinHandle<()>> = Vec::new();
         let mut backoff = self.reconnect_min;
+        let mut ever_connected = false;
         while !self.stop.load(Ordering::SeqCst) {
             let stream =
                 TcpStream::connect_timeout(&self.addr, Duration::from_secs(1)).and_then(|mut s| {
@@ -982,6 +1134,12 @@ impl Connector {
                 }
             };
             backoff = self.reconnect_min;
+            if ever_connected {
+                if let Some(s) = &self.stats {
+                    s.reconnects.add(1);
+                }
+            }
+            ever_connected = true;
 
             // Whatever the peer pushes on this connection (e.g. replies to
             // a client) flows into the same event stream.
@@ -990,10 +1148,20 @@ impl Connector {
                 let stop = Arc::clone(&self.stop);
                 let peer = self.peer;
                 let max_frame = self.max_frame;
+                let frame_errors = self.stats.as_ref().map(|s| s.frame_errors.clone());
                 readers.push(
                     std::thread::Builder::new()
                         .name(format!("rsmr-read-{}-{}", self.me, peer))
-                        .spawn(move || read_loop(read_stream, peer, &events, &stop, max_frame))
+                        .spawn(move || {
+                            read_loop(
+                                read_stream,
+                                peer,
+                                &events,
+                                &stop,
+                                max_frame,
+                                frame_errors.as_ref(),
+                            )
+                        })
                         .expect("spawn reader"),
                 );
             }
@@ -1014,7 +1182,11 @@ impl Connector {
     /// Pumps frames until a write fails (returns `true`: reconnect) or the
     /// transport goes away (returns `false`: exit).
     fn write_until_broken(&self, stream: &TcpStream, rx: &Receiver<Vec<u8>>) -> bool {
-        matches!(pump_writes(stream, rx, &self.stop), WriteEnd::Broken)
+        let coalesced = self.stats.as_ref().map(|s| &s.coalesced_write_bytes);
+        matches!(
+            pump_writes(stream, rx, &self.stop, self.gauges.as_ref(), coalesced),
+            WriteEnd::Broken
+        )
     }
 
     fn sleep_backoff(&self, total: Duration) {
@@ -1033,6 +1205,7 @@ fn read_loop(
     events: &Sender<TransportEvent>,
     stop: &AtomicBool,
     max_frame: u32,
+    frame_errors: Option<&Counter>,
 ) {
     let mut frames = FrameBuffer::new(max_frame);
     let mut chunk = [0u8; 64 * 1024];
@@ -1058,7 +1231,13 @@ fn read_loop(
                             }
                         }
                         Ok(None) => break,
-                        Err(_) => return, // oversized frame: kill connection
+                        Err(_) => {
+                            // Oversized frame: kill the connection.
+                            if let Some(c) = frame_errors {
+                                c.add(1);
+                            }
+                            return;
+                        }
                     }
                 }
             }
@@ -1075,7 +1254,9 @@ fn read_loop(
 /// Drains an egress queue into a socket until hangup — the reply path for
 /// inbound (client) connections.
 fn write_loop(stream: TcpStream, rx: Receiver<Vec<u8>>, stop: Arc<AtomicBool>) {
-    pump_writes(&stream, &rx, &stop);
+    // Reply paths are unmetered: clients come and go with arbitrary ids,
+    // so per-peer gauges would grow without bound.
+    pump_writes(&stream, &rx, &stop, None, None);
 }
 
 /// Why the socket pump stopped: the socket broke (the connector
@@ -1095,7 +1276,13 @@ const WRITE_COALESCE_BYTES: usize = 256 * 1024;
 /// syscall for the batch — at tens of thousands of frames per second the
 /// per-frame wakeup + syscall pair dominates, so coalescing is the
 /// difference between a saturated core and headroom.
-fn pump_writes(mut stream: &TcpStream, rx: &Receiver<Vec<u8>>, stop: &AtomicBool) -> WriteEnd {
+fn pump_writes(
+    mut stream: &TcpStream,
+    rx: &Receiver<Vec<u8>>,
+    stop: &AtomicBool,
+    gauges: Option<&QueueGauges>,
+    coalesced: Option<&HistogramHandle>,
+) -> WriteEnd {
     let mut batch: Vec<u8> = Vec::with_capacity(WRITE_COALESCE_BYTES);
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -1108,11 +1295,22 @@ fn pump_writes(mut stream: &TcpStream, rx: &Receiver<Vec<u8>>, stop: &AtomicBool
         };
         batch.clear();
         batch.extend_from_slice(&first);
+        let mut frames: u64 = 1;
         while batch.len() < WRITE_COALESCE_BYTES {
             match rx.try_recv() {
-                Ok(frame) => batch.extend_from_slice(&frame),
+                Ok(frame) => {
+                    batch.extend_from_slice(&frame);
+                    frames += 1;
+                }
                 Err(_) => break,
             }
+        }
+        if let Some(g) = gauges {
+            g.depth.sub(frames);
+            g.bytes.sub(batch.len() as u64);
+        }
+        if let Some(h) = coalesced {
+            h.record(batch.len() as u64);
         }
         if stream.write_all(&batch).is_err() {
             return WriteEnd::Broken;
@@ -1383,5 +1581,99 @@ mod tests {
         // Sends to unknown peers drop and are counted.
         assert!(!server.send(NodeId(42), b"x".to_vec()));
         assert_eq!(server.dropped(), 1);
+    }
+
+    #[test]
+    fn file_storage_telemetry_records_appends_fsyncs_and_window_fill() {
+        let dir = std::env::temp_dir().join(format!("rsmr-fstel-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = Registry::new();
+        {
+            let mut fs = FileStorage::open(&dir, true)
+                .unwrap()
+                .with_sync_window(std::time::Duration::from_secs(3600))
+                .with_telemetry(&registry);
+            fs.load().unwrap();
+            fs.apply("a", Some(b"12345")).unwrap();
+            fs.sync().unwrap(); // window opens: device sync, fill = 1
+            for i in 0..3u8 {
+                fs.apply("k", Some(&[i])).unwrap();
+                fs.sync().unwrap(); // deferred within the window
+            }
+        }
+        let snap = registry.snapshot();
+        let hist = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h)
+                .unwrap_or_else(|| panic!("missing histogram {name}"))
+        };
+        assert_eq!(hist("storage.wal_append_bytes").count(), 4);
+        // One device sync happened (the window absorbed the rest).
+        assert_eq!(hist("storage.fsync_us").count(), 1);
+        let fill = hist("storage.group_commit_fill");
+        assert_eq!(fill.count(), 1);
+        assert_eq!(fill.max(), Some(1), "the first sync had nothing batched");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tcp_transport_telemetry_tracks_queues_writes_and_drops() {
+        let registry = Registry::new();
+        let mut server =
+            TcpTransport::bind(TcpConfig::new(NodeId(0)).listen("127.0.0.1:0".parse().unwrap()))
+                .unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut client = TcpTransport::bind(
+            TcpConfig::new(NodeId(100))
+                .peer(NodeId(0), addr)
+                .telemetry(registry.clone()),
+        )
+        .unwrap();
+
+        // Push a frame through and wait for it to arrive.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut sent = false;
+        loop {
+            assert!(Instant::now() < deadline, "no frame before deadline");
+            if !sent {
+                sent = client.send(NodeId(0), b"request".to_vec());
+            }
+            match server.poll(Duration::from_millis(50)) {
+                Some(TransportEvent::Frame { .. }) => break,
+                _ => continue,
+            }
+        }
+        // A send to an unknown peer bumps the dropped-frames counter.
+        assert!(!client.send(NodeId(42), b"x".to_vec()));
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            assert!(Instant::now() < deadline, "telemetry never converged");
+            let snap = registry.snapshot();
+            let counter = |name: &str| {
+                snap.counters
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or(0, |(_, v)| *v)
+            };
+            let coalesced = snap
+                .histograms
+                .iter()
+                .find(|(n, _)| n == "net.coalesced_write_bytes")
+                .map_or(0, |(_, h)| h.count());
+            let depth = snap
+                .gauges
+                .iter()
+                .find(|(n, _)| n == "net.outbound_queue_depth{peer=\"n0\"}")
+                .map_or(u64::MAX, |(_, v)| *v);
+            // The frame was written (one coalesced batch), the queue
+            // drained back to empty, and the drop was counted.
+            if coalesced >= 1 && depth == 0 && counter("net.dropped_frames") == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
     }
 }
