@@ -1,0 +1,111 @@
+//! Nightly gate for the coverage-guided chaos sweep: runs the
+//! uniform-vs-guided comparison, writes the result (summary, per-run
+//! novelty rows, and the novelty corpus) as `BENCH_PR9.json`, and exits
+//! non-zero if any run fails safety/liveness or the guided arm finds
+//! fewer than [`GATE_MIN_COVERAGE_GAIN_PCT`]% more unique event-digest
+//! prefixes than uniform sampling at equal run budget.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_pr9 -- [--quick] [--out PATH]
+//! ```
+//!
+//! The default budget (24 runs per arm) matches the committed repo-root
+//! `BENCH_PR9.json`; `--quick` drops to 8 per arm for smoke runs.
+
+use std::fmt::Write as _;
+
+use bench::experiments::chaos_sweep::{run_coverage, GATE_MIN_COVERAGE_GAIN_PCT};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_PR9.json");
+
+    let budget = if quick { 8 } else { 24 };
+    let report = run_coverage(budget, 1);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"experiment\": \"chaos_coverage\",\n  \"mode\": \"{}\",\n  \
+         \"budget_per_arm\": {budget},\n  \
+         \"gate_min_gain_pct\": {GATE_MIN_COVERAGE_GAIN_PCT},\n  \
+         \"uniform_unique_prefixes\": {},\n  \
+         \"uniform_unique_signatures\": {},\n  \
+         \"coverage_unique_prefixes\": {},\n  \
+         \"coverage_unique_signatures\": {},\n  \
+         \"gain_pct\": {:.1},",
+        if quick { "quick" } else { "full" },
+        report.uniform_prefixes,
+        report.uniform_signatures,
+        report.guided_prefixes,
+        report.guided_signatures,
+        report.gain_pct(),
+    );
+    json.push_str("  \"corpus\": [");
+    for (i, l) in report.corpus.iter().enumerate() {
+        let _ = write!(
+            json,
+            "\"{l}\"{}",
+            if i + 1 < report.corpus.len() {
+                ", "
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("],\n  \"runs\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"lineage\": \"{}\", \"perm\": {}, \
+             \"checkpoints\": {}, \"novel\": {}, \"signature\": {}, \
+             \"completed\": {}, \"expected\": {}, \"violations\": {}, \
+             \"linearizable\": {}}}{}",
+            r.mode,
+            r.lineage,
+            r.lineage.perm,
+            r.checkpoints,
+            r.novel,
+            r.signature,
+            r.completed,
+            r.expected,
+            r.invariant_violations.len(),
+            r.linearizable,
+            if i + 1 < report.rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write artifact");
+    print!("{json}");
+
+    let mut failed = false;
+    let failing = report.failing_lineages();
+    if !failing.is_empty() {
+        eprintln!("FAIL: coverage runs failed safety/liveness — replay with:");
+        for l in &failing {
+            eprintln!("  cargo run --release -p bench --bin exp_all -- chaos --replay {l}");
+        }
+        failed = true;
+    }
+    if !report.gate_ok() {
+        eprintln!(
+            "FAIL: guided coverage gain {:+.1}% is below the recorded \
+             {GATE_MIN_COVERAGE_GAIN_PCT}% gate",
+            report.gain_pct()
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "gate ok: guided coverage gain {:+.1}% >= {GATE_MIN_COVERAGE_GAIN_PCT}%",
+        report.gain_pct()
+    );
+}

@@ -8,6 +8,8 @@
 //! cargo run --release -p bench --bin exp_all -- --json artifacts/
 //! cargo run --release -p bench --bin exp_all -- chaos --seeds 64      # nightly sweep
 //! cargo run --release -p bench --bin exp_all -- chaos --seeds 1@7     # replay seed 7
+//! cargo run --release -p bench --bin exp_all -- chaos --coverage 24   # coverage comparison
+//! cargo run --release -p bench --bin exp_all -- chaos --replay 0x1:4#13  # replay a lineage
 //! ```
 //!
 //! `--json <dir>` additionally writes one machine-readable artifact per
@@ -18,6 +20,12 @@
 //! `--seeds N[@BASE]` overrides the chaos sweep's seed set with
 //! `BASE..BASE+N` (default base 1). When any seed fails, the process exits
 //! non-zero after printing a one-command replay line per failing seed.
+//!
+//! `--coverage N` runs only the coverage-guided-vs-uniform comparison at a
+//! budget of N runs per arm, exiting non-zero if any run fails safety or
+//! the guided arm misses the recorded coverage-gain gate. `--replay
+//! <lineage>` replays one coverage candidate (`base[:m1,m2,..][#perm]`,
+//! as printed in failure reports) across every swept system.
 
 use std::time::Instant;
 
@@ -84,6 +92,34 @@ fn main() {
             }
         }
     };
+    // `--coverage N` — run only the coverage comparison at budget N/arm.
+    let coverage_arg: Option<usize> = match args.iter().position(|a| a == "--coverage") {
+        None => None,
+        Some(i) => match args.get(i + 1).and_then(|n| n.parse::<usize>().ok()) {
+            Some(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!("--coverage requires a positive run budget");
+                std::process::exit(2);
+            }
+        },
+    };
+    // `--replay LINEAGE` — replay one coverage candidate on every system.
+    let replay_arg: Option<simnet::PlanLineage> = match args.iter().position(|a| a == "--replay") {
+        None => None,
+        Some(i) => match args.get(i + 1).and_then(|s| simnet::PlanLineage::parse(s)) {
+            Some(l) => Some(l),
+            None => {
+                eprintln!("--replay requires a lineage (base[:m1,m2,..][#perm])");
+                std::process::exit(2);
+            }
+        },
+    };
+    if let Some(lineage) = replay_arg {
+        std::process::exit(replay_lineage(&lineage));
+    }
+    if let Some(budget) = coverage_arg {
+        std::process::exit(run_coverage_only(budget, &json_dir, quick));
+    }
     let mut skip_next = false;
     let selected: Vec<String> = args
         .iter()
@@ -92,7 +128,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--json" || *a == "--seeds" {
+            if *a == "--json" || *a == "--seeds" || *a == "--coverage" || *a == "--replay" {
                 skip_next = true;
                 return false;
             }
@@ -173,14 +209,20 @@ fn main() {
     }
     let mut failed = false;
     if chaos_selected {
+        // A `--seeds` override is a replay / custom sweep: uniform arm
+        // only. The default run adds the coverage comparison.
+        let coverage_budget = match &chaos_seeds {
+            Some(_) => None,
+            None => Some(if quick { 8 } else { 24 }),
+        };
         let seeds =
             chaos_seeds.unwrap_or_else(|| chaos_sweep::seed_range(if quick { 8 } else { 24 }, 1));
         let start = Instant::now();
-        let (output, failing) = chaos_sweep::run_structured_seeds(&seeds);
-        print!("{}", output.rendered);
+        let outcome = chaos_sweep::run_sweep(&seeds, coverage_budget);
+        print!("{}", outcome.output.rendered);
         if let Some(dir) = &json_dir {
             let path = format!("{dir}/chaos.jsonl");
-            match std::fs::write(&path, output.to_jsonl("chaos", quick)) {
+            match std::fs::write(&path, outcome.output.to_jsonl("chaos", quick)) {
                 Ok(()) => eprintln!("[chaos artifact: {path}]"),
                 Err(e) => {
                     eprintln!("cannot write {path}: {e}");
@@ -193,8 +235,24 @@ fn main() {
             start.elapsed().as_secs_f64(),
             seeds.len()
         );
-        if !failing.is_empty() {
-            eprintln!("chaos sweep FAILED on seeds {failing:?}");
+        if !outcome.failing_seeds.is_empty() {
+            eprintln!("chaos sweep FAILED on seeds {:?}", outcome.failing_seeds);
+            failed = true;
+        }
+        if !outcome.failing_lineages.is_empty() {
+            let lineages: Vec<String> = outcome
+                .failing_lineages
+                .iter()
+                .map(|l| l.to_string())
+                .collect();
+            eprintln!("chaos coverage runs FAILED on lineages {lineages:?}");
+            failed = true;
+        }
+        if !outcome.coverage_gate_ok {
+            eprintln!(
+                "chaos coverage gate FAILED: guided coverage gain below {}%",
+                chaos_sweep::GATE_MIN_COVERAGE_GAIN_PCT
+            );
             failed = true;
         }
     }
@@ -202,4 +260,111 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
+}
+
+/// Replays one coverage lineage on every swept system; returns the exit
+/// code (0 iff safety and liveness held everywhere).
+fn replay_lineage(lineage: &simnet::PlanLineage) -> i32 {
+    use bench::runner::run;
+    use kvstore::{linearizable, KvStore};
+
+    let sc = chaos_sweep::lineage_scenario(lineage);
+    println!("# replay lineage {lineage}");
+    println!("# plan: {}", sc.faults.describe());
+    let mut ok = true;
+    for kind in chaos_sweep::SWEPT {
+        let out = run(kind, &sc);
+        let linear = linearizable(KvStore::new(), &out.histories);
+        let expected = sc.n_clients * sc.ops_per_client.unwrap_or(0);
+        let passed = out.invariant_violations.is_empty() && linear && out.completed == expected;
+        println!(
+            "{:<14} completed {}/{} invariants {} linearizable {} signature {:#04x} -> {}",
+            kind.name(),
+            out.completed,
+            expected,
+            if out.invariant_violations.is_empty() {
+                "clean".to_string()
+            } else {
+                format!("{} VIOLATIONS", out.invariant_violations.len())
+            },
+            if linear { "PASS" } else { "FAIL" },
+            out.lifecycle_signature,
+            if passed { "ok" } else { "FAILED" },
+        );
+        for v in &out.invariant_violations {
+            println!("  violation: {v}");
+        }
+        if !passed {
+            for (at, line) in &out.chaos_log {
+                println!("  chaos @{at:?}: {line}");
+            }
+            ok = false;
+        }
+    }
+    if ok {
+        0
+    } else {
+        1
+    }
+}
+
+/// Runs only the coverage comparison; returns the exit code (0 iff every
+/// run was safe + live and the guided arm held the coverage-gain gate).
+fn run_coverage_only(budget: usize, json_dir: &Option<String>, quick: bool) -> i32 {
+    let start = Instant::now();
+    let report = chaos_sweep::run_coverage(budget, 1);
+    let (runs, summary) = chaos_sweep::coverage_tables(&report);
+    print!("{}", runs.render());
+    print!("{}", summary.render());
+    println!(
+        "corpus ({} lineages with novel coverage):",
+        report.corpus.len()
+    );
+    for l in &report.corpus {
+        println!("  {l}");
+    }
+    if let Some(dir) = json_dir {
+        let output = ExpOutput {
+            histograms: Vec::new(),
+            rendered: String::new(),
+            tables: vec![runs, summary],
+        };
+        let path = format!("{dir}/chaos_coverage.jsonl");
+        match std::fs::write(&path, output.to_jsonl("chaos_coverage", quick)) {
+            Ok(()) => eprintln!("[chaos_coverage artifact: {path}]"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    eprintln!(
+        "[coverage comparison done in {:.1}s wall, {} runs/arm]",
+        start.elapsed().as_secs_f64(),
+        budget
+    );
+    let mut code = 0;
+    let failing = report.failing_lineages();
+    if !failing.is_empty() {
+        eprintln!("coverage runs FAILED — replay with --replay <lineage>:");
+        for l in &failing {
+            eprintln!("  cargo run --release -p bench --bin exp_all -- chaos --replay {l}");
+        }
+        code = 1;
+    }
+    if !report.gate_ok() {
+        eprintln!(
+            "coverage gate FAILED: {:+.1}% gain is below the recorded {}% gate",
+            report.gain_pct(),
+            chaos_sweep::GATE_MIN_COVERAGE_GAIN_PCT
+        );
+        code = 1;
+    } else {
+        eprintln!(
+            "coverage gate ok: {:+.1}% gain >= {}%",
+            report.gain_pct(),
+            chaos_sweep::GATE_MIN_COVERAGE_GAIN_PCT
+        );
+    }
+    code
 }

@@ -13,8 +13,8 @@ use rsmr_core::harness::World;
 use rsmr_core::{AdminActor, InvariantObserver, RsmrClient, RsmrNode, RsmrTunables};
 use simnet::observe::shared;
 use simnet::{
-    Actor, ChaosDriver, Context, EventDigest, FaultPlan, FaultTarget, Metrics, NetConfig, NodeId,
-    Sim, SimDuration, SimTime, Spans, Timer,
+    Actor, ChaosDriver, Context, EventDigest, FaultPlan, FaultTarget, LatencyModel,
+    LifecycleCoverage, Metrics, NetConfig, NodeId, Sim, SimDuration, SimTime, Spans, Timer,
 };
 
 /// Which system a scenario runs on.
@@ -134,6 +134,11 @@ pub struct Scenario {
     /// `Stw` via the embedded Paxos tunables and to `Raft` via its
     /// `cmd_batch` knob (`max_batch` only). `None` = unbatched.
     pub batching: Option<(usize, u64, usize)>,
+    /// Fixed-delay link permutation for DPOR-flavoured delivery-order
+    /// exploration (see [`simnet::link_delay_permutation`]): the three
+    /// links among the first three servers get fixed one-way delays chosen
+    /// by this index. `None` = the scenario's default links.
+    pub delay_perm: Option<u64>,
 }
 
 impl Scenario {
@@ -164,7 +169,15 @@ impl Scenario {
             record_events: false,
             shard: None,
             batching: None,
+            delay_perm: None,
         }
+    }
+
+    /// Pins the inter-server link delays to permutation `perm`,
+    /// builder-style (see [`simnet::link_delay_permutation`]).
+    pub fn delay_perm(mut self, perm: u64) -> Self {
+        self.delay_perm = Some(perm);
+        self
     }
 
     /// Enables in-core leader batching, builder-style: up to `max_batch`
@@ -362,6 +375,16 @@ pub(crate) const ADMIN: NodeId = NodeId(99);
 pub(crate) struct EventProbes {
     digest: Option<Rc<RefCell<EventDigest>>>,
     spans: Option<Rc<RefCell<Spans>>>,
+    lifecycle: Option<Rc<RefCell<LifecycleCoverage>>>,
+}
+
+/// What the probes saw, for [`RunOut`].
+pub(crate) struct ProbeOut {
+    pub(crate) event_digest: u64,
+    pub(crate) event_count: u64,
+    pub(crate) digest_prefixes: Vec<(u64, u64)>,
+    pub(crate) lifecycle_signature: u64,
+    pub(crate) spans: Option<Spans>,
 }
 
 impl EventProbes {
@@ -370,26 +393,41 @@ impl EventProbes {
             return EventProbes {
                 digest: None,
                 spans: None,
+                lifecycle: None,
             };
         }
         let digest = shared(EventDigest::new());
         let spans = shared(Spans::new());
+        let lifecycle = shared(LifecycleCoverage::new());
         sim.add_observer(digest.clone());
         sim.add_observer(spans.clone());
+        sim.add_observer(lifecycle.clone());
         EventProbes {
             digest: Some(digest),
             spans: Some(spans),
+            lifecycle: Some(lifecycle),
         }
     }
 
-    /// `(event_digest, event_count, spans)` for [`RunOut`].
-    pub(crate) fn finish(self) -> (u64, u64, Option<Spans>) {
-        match (self.digest, self.spans) {
-            (Some(d), Some(s)) => {
+    pub(crate) fn finish(self) -> ProbeOut {
+        match (self.digest, self.spans, self.lifecycle) {
+            (Some(d), Some(s), Some(l)) => {
                 let d = d.borrow();
-                (d.value(), d.count(), Some(s.borrow().clone()))
+                ProbeOut {
+                    event_digest: d.value(),
+                    event_count: d.count(),
+                    digest_prefixes: d.prefix_digests().to_vec(),
+                    lifecycle_signature: l.borrow().signature(),
+                    spans: Some(s.borrow().clone()),
+                }
             }
-            _ => (0, 0, None),
+            _ => ProbeOut {
+                event_digest: 0,
+                event_count: 0,
+                digest_prefixes: Vec::new(),
+                lifecycle_signature: 0,
+                spans: None,
+            },
         }
     }
 }
@@ -428,7 +466,7 @@ fn finish_run<A: Actor>(
     admin: Vec<(SimTime, SimTime)>,
     histories: Vec<HistoryOp<KvOp, KvOutput>>,
 ) -> RunOut {
-    let (event_digest, event_count, spans) = probes.finish();
+    let probe_out = probes.finish();
     RunOut {
         completed,
         metrics: sim.take_metrics(),
@@ -436,9 +474,11 @@ fn finish_run<A: Actor>(
         horizon: sc.horizon,
         histories,
         trace_digest: sim.trace().digest(),
-        event_digest,
-        event_count,
-        spans,
+        event_digest: probe_out.event_digest,
+        event_count: probe_out.event_count,
+        digest_prefixes: probe_out.digest_prefixes,
+        lifecycle_signature: probe_out.lifecycle_signature,
+        spans: probe_out.spans,
         invariant_violations: finish_invariants(inv),
         chaos_log,
     }
@@ -463,6 +503,13 @@ pub struct RunOut {
     pub event_digest: u64,
     /// Number of structured events folded into `event_digest`.
     pub event_count: u64,
+    /// `(event_count, digest)` checkpoints captured at power-of-two event
+    /// counts — the coverage-guided sweep's prefix-coverage signal (empty
+    /// unless `record_events`).
+    pub digest_prefixes: Vec<(u64, u64)>,
+    /// Lifecycle-interleaving signature bitmask (see
+    /// [`simnet::LifecycleCoverage`]; 0 unless `record_events`).
+    pub lifecycle_signature: u64,
     /// Span aggregation over the event stream (`None` unless
     /// `record_events`).
     pub spans: Option<Spans>,
@@ -603,6 +650,24 @@ fn apply_fabric_cap<A: simnet::Actor>(sim: &mut Sim<A>, sc: &Scenario) {
     }
 }
 
+/// Pins the three links among the first three servers to the fixed delays
+/// of the scenario's `delay_perm` (DPOR-flavoured delivery-order
+/// exploration). A chaos window that later degrades one of these links
+/// resets it to the default on heal — acceptable, since the permutation's
+/// job is to diversify the pre-fault prefix.
+fn apply_delay_perm<A: simnet::Actor>(sim: &mut Sim<A>, sc: &Scenario) {
+    let Some(perm) = sc.delay_perm else { return };
+    let ids = sc.server_ids();
+    if ids.len() < 3 {
+        return;
+    }
+    let delays = simnet::link_delay_permutation(perm);
+    let pairs = [(ids[0], ids[1]), (ids[0], ids[2]), (ids[1], ids[2])];
+    for (&(a, b), &d) in pairs.iter().zip(delays.iter()) {
+        sim.set_link(a, b, sc.net().with_latency(LatencyModel::Fixed(d)));
+    }
+}
+
 fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
     let mut tun = RsmrTunables {
         fast_handoff,
@@ -620,6 +685,7 @@ fn run_rsmr(sc: &Scenario, fast_handoff: bool, batch_size: usize) -> RunOut {
     }
     let mut sim: Sim<World<KvStore>> = Sim::new(sc.seed, sc.net());
     apply_fabric_cap(&mut sim, sc);
+    apply_delay_perm(&mut sim, sc);
     if sc.record_trace {
         sim.enable_trace();
     }
@@ -740,6 +806,7 @@ fn run_stw(sc: &Scenario) -> RunOut {
     }
     let mut sim: Sim<StwWorld<KvStore>> = Sim::new(sc.seed, sc.net());
     apply_fabric_cap(&mut sim, sc);
+    apply_delay_perm(&mut sim, sc);
     if sc.record_trace {
         sim.enable_trace();
     }
@@ -845,6 +912,7 @@ fn run_raft(sc: &Scenario) -> RunOut {
     }
     let mut sim: Sim<RaftWorld<KvStore>> = Sim::new(sc.seed, sc.net());
     apply_fabric_cap(&mut sim, sc);
+    apply_delay_perm(&mut sim, sc);
     if sc.record_trace {
         sim.enable_trace();
     }
@@ -984,6 +1052,7 @@ impl Actor for StaticWorld {
 fn run_static(sc: &Scenario) -> RunOut {
     let mut sim: Sim<StaticWorld> = Sim::new(sc.seed, sc.net());
     apply_fabric_cap(&mut sim, sc);
+    apply_delay_perm(&mut sim, sc);
     if sc.record_trace {
         sim.enable_trace();
     }

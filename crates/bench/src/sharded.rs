@@ -466,7 +466,7 @@ fn run_sharded_rsmr(sc: &ShardScenario) -> ShardRunOut {
     }
     let mut admin: Vec<(SimTime, SimTime)> = per_group_admin.iter().flatten().copied().collect();
     admin.sort();
-    let (event_digest, event_count, spans) = probes.finish();
+    let probe = probes.finish();
     ShardRunOut {
         run: RunOut {
             completed,
@@ -475,9 +475,11 @@ fn run_sharded_rsmr(sc: &ShardScenario) -> ShardRunOut {
             horizon: sc.horizon,
             histories: Vec::new(),
             trace_digest: sim.trace().digest(),
-            event_digest,
-            event_count,
-            spans,
+            event_digest: probe.event_digest,
+            event_count: probe.event_count,
+            digest_prefixes: probe.digest_prefixes,
+            lifecycle_signature: probe.lifecycle_signature,
+            spans: probe.spans,
             invariant_violations: Vec::new(),
             chaos_log,
         },
@@ -591,7 +593,7 @@ fn run_sharded_stw(sc: &ShardScenario) -> ShardRunOut {
     }
     let mut admin: Vec<(SimTime, SimTime)> = per_group_admin.iter().flatten().copied().collect();
     admin.sort();
-    let (event_digest, event_count, spans) = probes.finish();
+    let probe = probes.finish();
     ShardRunOut {
         run: RunOut {
             completed,
@@ -600,9 +602,11 @@ fn run_sharded_stw(sc: &ShardScenario) -> ShardRunOut {
             horizon: sc.horizon,
             histories: Vec::new(),
             trace_digest: sim.trace().digest(),
-            event_digest,
-            event_count,
-            spans,
+            event_digest: probe.event_digest,
+            event_count: probe.event_count,
+            digest_prefixes: probe.digest_prefixes,
+            lifecycle_signature: probe.lifecycle_signature,
+            spans: probe.spans,
             invariant_violations: Vec::new(),
             chaos_log,
         },

@@ -261,3 +261,85 @@ fn different_seeds_actually_differ() {
         "different seeds produced identical fingerprints and traces"
     );
 }
+
+/// Coverage-guided chaos candidates must be as replayable as plain seeds:
+/// the same parent seed and mutation index always derive the *identical*
+/// child fault plan, a printed lineage parses back to the same plan, and
+/// permutations never leak into the plan itself (they only pin delivery
+/// orders).
+#[test]
+fn mutated_chaos_plans_are_deterministic_and_replayable() {
+    use simnet::PlanLineage;
+    let from = SimTime::from_millis(200);
+    let until = SimTime::from_millis(1_500);
+    for base in [1u64, 0xFA17, 0xDEAD_BEEF] {
+        for m in 0u32..6 {
+            let a = PlanLineage::seed(base).child(m).materialize(from, until, 3);
+            let b = PlanLineage::seed(base).child(m).materialize(from, until, 3);
+            assert_eq!(
+                a, b,
+                "base {base:#x} mutation {m}: child plans diverge across \
+                 materializations"
+            );
+        }
+        // Distinct mutation indices must actually explore: at least one
+        // neighbouring pair differs (mutations include no-op-prone jitter,
+        // so only a fully-constant chain would be a bug).
+        let plans: Vec<_> = (0u32..6)
+            .map(|m| {
+                PlanLineage::seed(base)
+                    .child(m)
+                    .materialize(from, until, 3)
+                    .describe()
+            })
+            .collect();
+        assert!(
+            plans.windows(2).any(|w| w[0] != w[1]),
+            "base {base:#x}: six different mutations produced identical plans"
+        );
+    }
+    // The printed replay key is the whole identity: parse(to_string)
+    // rebuilds the same lineage and the same plan, perm included.
+    let lineage = PlanLineage::seed(0xFA17).child(3).child(12).with_perm(5);
+    let parsed = PlanLineage::parse(&lineage.to_string()).expect("lineage parses");
+    assert_eq!(parsed, lineage);
+    assert_eq!(
+        parsed.materialize(from, until, 3),
+        lineage.materialize(from, until, 3),
+        "replayed lineage materializes a different plan"
+    );
+    assert_eq!(
+        lineage.materialize(from, until, 3),
+        lineage.with_perm(19).materialize(from, until, 3),
+        "the delivery-order permutation must not change the fault plan"
+    );
+}
+
+/// The whole coverage comparison — candidate schedule, runs fanned across
+/// the worker pool, novelty accounting — is a pure function of
+/// `(budget, base)`: two invocations agree on every per-run novelty count,
+/// the corpus, and both arms' unique-coverage totals.
+#[test]
+fn coverage_comparison_is_deterministic_run_to_run() {
+    use bench::experiments::chaos_sweep::run_coverage;
+    let a = run_coverage(3, 1);
+    let b = run_coverage(3, 1);
+    let key = |r: &bench::experiments::chaos_sweep::CoverageReport| {
+        (
+            r.uniform_prefixes,
+            r.uniform_signatures,
+            r.guided_prefixes,
+            r.guided_signatures,
+            r.corpus.iter().map(|l| l.to_string()).collect::<Vec<_>>(),
+            r.rows
+                .iter()
+                .map(|row| (row.lineage.to_string(), row.novel, row.signature))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(key(&a), key(&b), "coverage comparison diverges across runs");
+    assert!(
+        a.rows.iter().all(|r| r.checkpoints > 0),
+        "a coverage run recorded no digest-prefix checkpoints"
+    );
+}

@@ -164,6 +164,12 @@ pub struct MultiPaxos<C: Command> {
     // --- Timing ---
     last_heartbeat_sent: SimTime,
     election_deadline: SimTime,
+    /// When this replica last saw direct evidence of an *active* leader
+    /// (a heartbeat, accept or chosen from another node) — as opposed to
+    /// `election_deadline`, which is also pushed out by candidate contact
+    /// and step-downs. Drives the disruptive-election guard in
+    /// [`MultiPaxos::handle_prepare`].
+    last_leader_heard: SimTime,
     /// Per-peer: the send time of the newest heartbeat the peer has acked
     /// (leases). Cleared on leadership changes.
     hb_acked: BTreeMap<NodeId, SimTime>,
@@ -215,6 +221,7 @@ impl<C: Command> MultiPaxos<C> {
             election_attempt: 0,
             last_heartbeat_sent: SimTime::ZERO,
             election_deadline: SimTime::ZERO,
+            last_leader_heard: SimTime::ZERO,
             hb_acked: BTreeMap::new(),
             halted: false,
         };
@@ -492,6 +499,7 @@ impl<C: Command> MultiPaxos<C> {
             }
             PaxosMsg::Chosen { slot, cmd } => {
                 self.learn(slot, cmd, &mut fx);
+                self.last_leader_heard = now;
                 self.note_leader_contact(from, now);
             }
             PaxosMsg::Heartbeat {
@@ -635,6 +643,24 @@ impl<C: Command> MultiPaxos<C> {
             .collect()
     }
 
+    /// Whether this replica has evidence of an active leader recent
+    /// enough that a competing election would be disruptive rather than
+    /// necessary. Followers trust `last_leader_heard`; a leader trusts
+    /// its own reign while any heartbeat ack is fresh; candidates have
+    /// already judged the leader dead (and must keep granting, or two
+    /// candidates surviving a real leader crash would reject each other
+    /// forever).
+    fn leader_is_live(&self, now: SimTime) -> bool {
+        let window = self.tun.election_timeout;
+        match self.role {
+            Role::Leader => self.hb_acked.values().any(|&t| now < t + window),
+            Role::Candidate => false,
+            Role::Follower => {
+                self.last_leader_heard > SimTime::ZERO && now < self.last_leader_heard + window
+            }
+        }
+    }
+
     fn handle_prepare(
         &mut self,
         from: NodeId,
@@ -643,6 +669,25 @@ impl<C: Command> MultiPaxos<C> {
         now: SimTime,
         fx: &mut Effects<C>,
     ) {
+        // Disruptive-election guard (leader stickiness): while an active
+        // leader is live, refuse to promise a higher ballot to anyone
+        // else. A replica rejoining after a crash-restart elects itself
+        // before the survivors' reconnect backoff delivers it a
+        // heartbeat; without this guard it deposes a healthy leader —
+        // and, being slots behind, stalls its own catch-up (which is
+        // driven by *receiving* heartbeats) while it grinds through
+        // re-proposals. The current leader re-preparing at a higher
+        // ballot is exempt.
+        if ballot > self.promised && Some(from) != self.leader_hint && self.leader_is_live(now) {
+            fx.outbound.push((
+                from,
+                PaxosMsg::Reject {
+                    ballot,
+                    promised: self.promised,
+                },
+            ));
+            return;
+        }
         if ballot >= self.promised {
             self.set_promised(ballot, fx);
             if ballot > self.ballot {
@@ -825,6 +870,7 @@ impl<C: Command> MultiPaxos<C> {
             if ballot > self.ballot {
                 self.step_down(Some(from), fx);
             }
+            self.last_leader_heard = now;
             self.note_leader_contact(from, now);
             self.accepted.insert(slot, (ballot, cmd.clone()));
             fx.persist
@@ -896,12 +942,22 @@ impl<C: Command> MultiPaxos<C> {
         if promised > self.promised {
             self.set_promised(promised, fx);
         }
-        if ballot == self.ballot
-            && promised > self.ballot
-            && (self.role == Role::Candidate || self.role == Role::Leader)
-        {
-            self.step_down(Some(promised.node), fx);
-            self.reset_election_deadline(now);
+        if ballot == self.ballot && promised > self.ballot {
+            match self.role {
+                // A leader outbid by a rejoining replica's ballot must not
+                // abdicate into a passive election-timeout wait — heartbeats
+                // would stop for hundreds of milliseconds while the laggard
+                // (slots behind, under the disruptive-election guard) cannot
+                // win either. Re-prepare immediately at a round above the
+                // rejector's; the quorum that was following this leader
+                // grants at once.
+                Role::Leader => self.start_election(now, fx),
+                Role::Candidate => {
+                    self.step_down(Some(promised.node), fx);
+                    self.reset_election_deadline(now);
+                }
+                Role::Follower => {}
+            }
         }
     }
 
@@ -919,6 +975,7 @@ impl<C: Command> MultiPaxos<C> {
             if ballot > self.ballot {
                 self.step_down(Some(from), fx);
             }
+            self.last_leader_heard = now;
             self.note_leader_contact(from, now);
             fx.outbound
                 .push((from, PaxosMsg::HeartbeatAck { ballot, sent_at }));
@@ -1467,20 +1524,56 @@ mod tests {
         let l = c.elect();
         c.advance(SimDuration::from_millis(30));
         assert!(c.cores[&l].lease_valid(c.now));
-        // A higher-ballot prepare forces a step-down; the (time-wise still
-        // live) lease must be gone with the role.
+        // A higher-ballot heartbeat (an established rival leader) forces a
+        // step-down; the (time-wise still live) lease must be gone with
+        // the role. (A bare higher *prepare* no longer deposes a leader
+        // with fresh acks — that is the disruptive-election guard.)
         let higher = Ballot::new(c.cores[&l].ballot().round + 10, NodeId(1));
         let fx = c.cores.get_mut(&l).unwrap().on_message(
             NodeId(1),
-            PaxosMsg::Prepare {
+            PaxosMsg::Heartbeat {
                 ballot: higher,
-                from_slot: Slot(0),
+                chosen_upto: Slot(0),
+                sent_at: c.now,
             },
             c.now,
         );
         drop(fx);
         assert!(!c.cores[&l].is_leader());
         assert!(!c.cores[&l].lease_valid(c.now));
+    }
+
+    /// The disruptive-election guard: a rejoining replica's higher-ballot
+    /// prepare must not depose a live leader, and the leader, once its
+    /// current ballot is rejected by the laggard, re-prepares immediately
+    /// at a higher round instead of waiting out an election timeout.
+    #[test]
+    fn a_rejoining_replica_cannot_depose_a_live_leader() {
+        let mut c = Cluster::new(3);
+        let l = c.elect();
+        for i in 1..=5 {
+            c.propose_at_leader(i);
+        }
+        c.advance(SimDuration::from_millis(50));
+        let laggard = c.cores.keys().copied().find(|&n| n != l).unwrap();
+
+        // The laggard campaigns out of the blue (a restart looks exactly
+        // like this: fresh timers, stale log, no heartbeat heard yet).
+        let fx = c.cores.get_mut(&laggard).unwrap().campaign(c.now);
+        c.absorb(laggard, fx);
+        c.drain();
+        c.advance(SimDuration::from_millis(100));
+
+        // The cluster must re-converge on a leader that is NOT the
+        // laggard, and quickly (no election-timeout dead air).
+        let new_l = c.leader().expect("a leader survives the disruption");
+        assert_ne!(new_l, laggard, "the laggard must not win");
+        // Commits still flow afterwards.
+        c.propose_at_leader(99);
+        c.advance(SimDuration::from_millis(50));
+        let vals: Vec<u64> = c.committed[&new_l].iter().map(|&(_, v)| v).collect();
+        assert!(vals.contains(&99), "{vals:?}");
+        c.assert_logs_agree();
     }
 
     /// A batchable test command: `Many` carries several `One`s.

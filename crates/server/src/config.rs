@@ -73,6 +73,12 @@ pub struct ServerConfig {
     /// Seconds between periodic `server_stats` lines appended to
     /// `events_out` during the run (`0` = only the shutdown summary).
     pub stats_interval_secs: u64,
+    /// Fault injection for integrity smoke tests: 0-based indices (in
+    /// send order, across all peers) of outgoing frames to bit-flip
+    /// *after* the CRC trailer is computed. The receiving replica must
+    /// detect every one (`net.frame_errors`), kill the connection, and
+    /// resume after the reconnect. Empty in normal operation.
+    pub corrupt_frames: Vec<u64>,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +100,7 @@ impl Default for ServerConfig {
             events_out: None,
             metrics_listen: None,
             stats_interval_secs: 10,
+            corrupt_frames: Vec::new(),
         }
     }
 }
@@ -124,7 +131,9 @@ impl ServerConfig {
     /// `--groups N`, `--storage-dir DIR`, `--fsync`/`--no-fsync`,
     /// `--fsync-window-ms N`, `--max-batch N`, `--max-delay-ms N`,
     /// `--window N`, `--seed N`, `--run-for-secs N`, `--events-out FILE`,
-    /// `--metrics-listen ADDR`, `--stats-interval-secs N`.
+    /// `--metrics-listen ADDR`, `--stats-interval-secs N`,
+    /// `--corrupt-frame N` (repeatable; injects link corruption into the
+    /// n-th outgoing frame, for integrity smoke tests).
     pub fn from_args(args: &[String]) -> Result<Self, String> {
         let mut cfg = ServerConfig::default();
         // Load the file (if any) before applying overrides, regardless of
@@ -181,6 +190,10 @@ impl ServerConfig {
                 "--stats-interval-secs" => {
                     cfg.stats_interval_secs = parse_u64(next("--stats-interval-secs")?)?;
                 }
+                "--corrupt-frame" => {
+                    cfg.corrupt_frames
+                        .push(parse_u64(next("--corrupt-frame")?)?);
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -210,6 +223,7 @@ impl ServerConfig {
             "events_out" => self.events_out = Some(PathBuf::from(parse_string(value)?)),
             "metrics_listen" => self.metrics_listen = Some(parse_string(value)?),
             "stats_interval_secs" => self.stats_interval_secs = parse_u64(value)?,
+            "corrupt_frames" => self.corrupt_frames = parse_u64_array(value)?,
             other => return Err(format!("unknown key {other:?}")),
         }
         Ok(())

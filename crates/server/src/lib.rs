@@ -132,6 +132,9 @@ pub fn serve(cfg: &ServerConfig, stop: &AtomicBool) -> io::Result<ServerSummary>
     for (id, addr) in peers {
         tcp = tcp.peer(NodeId(id), addr);
     }
+    for &n in &cfg.corrupt_frames {
+        tcp = tcp.corrupt_frame(n);
+    }
     let transport = TcpTransport::bind(tcp)?;
 
     let mut rt = NodeRuntime::new(

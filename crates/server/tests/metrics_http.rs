@@ -137,6 +137,7 @@ fn metrics_and_status_track_a_live_reconfiguration() {
         events_out: None,
         metrics_listen: Some(format!("127.0.0.1:{}", scrape[node as usize])),
         stats_interval_secs: 0,
+        corrupt_frames: Vec::new(),
     };
     let replicas: Vec<Replica> = (0..4).map(|n| Replica::spawn(config(n))).collect();
 

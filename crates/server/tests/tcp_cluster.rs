@@ -87,6 +87,7 @@ fn cluster_config(
         events_out: None,
         metrics_listen: None,
         stats_interval_secs: 0,
+        corrupt_frames: Vec::new(),
     }
 }
 

@@ -80,7 +80,10 @@ pub mod wire;
 
 pub use actor::{Actor, Context, Message, Timer, TimerId};
 pub use backoff::RetryBackoff;
-pub use chaos::{ChaosDriver, ChaosGen, FaultEvent, FaultKind, FaultPlan, FaultTarget};
+pub use chaos::{
+    link_delay_permutation, mutate_plan, ChaosDriver, ChaosGen, CoverageMap, DiskFault, FaultEvent,
+    FaultKind, FaultPlan, FaultTarget, LifecycleCoverage, PlanLineage,
+};
 pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot, Timeline};
 pub use net::{LatencyModel, NetConfig};
 pub use observe::{DomainEvent, DropReason, EventDigest, EventLog, Observer, SimEvent, Spans};
@@ -95,6 +98,7 @@ pub use telemetry::{
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;
 pub use transport::{
-    ChannelHub, ChannelTransport, Clock, FileStorage, FrameBuffer, ManualClock, MemStorage,
-    NullTransport, StorageBackend, TcpConfig, TcpTransport, Transport, TransportEvent, WallClock,
+    ChannelHub, ChannelTransport, Clock, FaultyStorage, FaultyTransport, FileStorage, FrameBuffer,
+    FrameError, ManualClock, MemStorage, NullTransport, StorageBackend, TcpConfig, TcpTransport,
+    Transport, TransportEvent, WallClock,
 };

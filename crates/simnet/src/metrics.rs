@@ -159,6 +159,7 @@ pub(crate) struct NetCounters {
     pub(crate) delivered: u64,
     pub(crate) bytes: u64,
     pub(crate) dropped: u64,
+    pub(crate) corrupted: u64,
     pub(crate) partitioned: u64,
     pub(crate) dropped_down: u64,
     pub(crate) dropped_unknown: u64,
@@ -199,6 +200,7 @@ impl Metrics {
             "net.delivered" => self.net.delivered += n,
             "net.bytes" => self.net.bytes += n,
             "net.dropped" => self.net.dropped += n,
+            "net.corrupted" => self.net.corrupted += n,
             "net.partitioned" => self.net.partitioned += n,
             "net.dropped_down" => self.net.dropped_down += n,
             "net.dropped_unknown" => self.net.dropped_unknown += n,
@@ -233,6 +235,7 @@ impl Metrics {
             "net.delivered" => self.net.delivered,
             "net.bytes" => self.net.bytes,
             "net.dropped" => self.net.dropped,
+            "net.corrupted" => self.net.corrupted,
             "net.partitioned" => self.net.partitioned,
             "net.dropped_down" => self.net.dropped_down,
             "net.dropped_unknown" => self.net.dropped_unknown,
@@ -255,6 +258,7 @@ impl Metrics {
     pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
         let net = [
             ("net.bytes", self.net.bytes),
+            ("net.corrupted", self.net.corrupted),
             ("net.delivered", self.net.delivered),
             ("net.dropped", self.net.dropped),
             ("net.dropped_down", self.net.dropped_down),
@@ -357,6 +361,7 @@ impl Metrics {
             self.net.delivered,
             self.net.bytes,
             self.net.dropped,
+            self.net.corrupted,
             self.net.partitioned,
             self.net.dropped_down,
             self.net.dropped_unknown,

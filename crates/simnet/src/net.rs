@@ -55,6 +55,13 @@ pub struct NetConfig {
     pub latency: LatencyModel,
     /// Probability in `[0, 1]` that a message is silently dropped.
     pub drop_rate: f64,
+    /// Probability in `[0, 1]` that a message is corrupted in flight.
+    /// Every frame on the real wire carries a CRC32C, so a corrupted
+    /// message is always *detected and discarded* by the receiver — the
+    /// simulation models it as a distinct drop class
+    /// ([`DropReason::Corrupted`](crate::observe::DropReason)), never as a
+    /// mutated payload reaching the actor.
+    pub corrupt_rate: f64,
     /// Probability in `[0, 1]` that a message is delivered twice.
     pub duplicate_rate: f64,
     /// Link bandwidth in bytes/second (`None` = infinite). Adds a
@@ -80,6 +87,7 @@ impl NetConfig {
                 SimDuration::from_micros(200),
             ),
             drop_rate: 0.0,
+            corrupt_rate: 0.0,
             duplicate_rate: 0.0,
             bandwidth: Some(1_250_000_000),
             egress_queueing: false,
@@ -95,6 +103,7 @@ impl NetConfig {
                 min: SimDuration::from_millis(5),
             },
             drop_rate: 0.001,
+            corrupt_rate: 0.0,
             duplicate_rate: 0.0,
             bandwidth: Some(12_500_000), // 100 Mbit/s
             egress_queueing: false,
@@ -110,6 +119,7 @@ impl NetConfig {
                 SimDuration::from_millis(30),
             ),
             drop_rate,
+            corrupt_rate: 0.0,
             duplicate_rate: drop_rate / 2.0,
             bandwidth: Some(125_000_000), // 1 Gbit/s
             egress_queueing: false,
@@ -131,6 +141,14 @@ impl NetConfig {
     /// Replaces the bandwidth, builder-style (`None` = infinite).
     pub fn with_bandwidth(mut self, bandwidth: Option<u64>) -> Self {
         self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Replaces the in-flight corruption rate, builder-style. Corrupted
+    /// messages surface as detected drops, mirroring the CRC32C check on
+    /// the real wire.
+    pub fn with_corrupt_rate(mut self, corrupt_rate: f64) -> Self {
+        self.corrupt_rate = corrupt_rate;
         self
     }
 
@@ -179,6 +197,9 @@ pub(crate) enum Fate {
     Deliver(SimDuration, Option<SimDuration>),
     /// Drop silently.
     Drop,
+    /// The message was corrupted in flight; the receiver's integrity check
+    /// rejects it, so it is dropped (and counted as a detected corruption).
+    Corrupted,
     /// The link is cut by a partition.
     Partitioned,
 }
@@ -296,6 +317,12 @@ impl NetworkState {
         let cfg = self.link_config(from, to);
         if cfg.drop_rate > 0.0 && rng.gen_bool(cfg.drop_rate.clamp(0.0, 1.0)) {
             return Fate::Drop;
+        }
+        // Corruption is drawn after loss: the frame made it onto the wire,
+        // got mangled, and the receiver's CRC32C check rejects it. Like a
+        // drop, it still occupied the sender's egress port.
+        if cfg.corrupt_rate > 0.0 && rng.gen_bool(cfg.corrupt_rate.clamp(0.0, 1.0)) {
+            return Fate::Corrupted;
         }
         let first = cfg.latency.sample(rng) + departure_delay;
         let dup = if cfg.duplicate_rate > 0.0 && rng.gen_bool(cfg.duplicate_rate.clamp(0.0, 1.0)) {

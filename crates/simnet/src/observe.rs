@@ -38,6 +38,11 @@ pub enum DropReason {
     DestDown,
     /// The destination id has no slot in the simulation.
     DestUnknown,
+    /// The message was corrupted in flight and rejected by the integrity
+    /// layer (frame CRC). In the simulation messages are typed values, so
+    /// a *detected* corruption is modelled exactly as what the real stack
+    /// does with it: the frame is discarded, never applied.
+    Corrupted,
 }
 
 impl DropReason {
@@ -47,6 +52,7 @@ impl DropReason {
             DropReason::Partitioned => 1,
             DropReason::DestDown => 2,
             DropReason::DestUnknown => 3,
+            DropReason::Corrupted => 4,
         }
     }
 
@@ -57,6 +63,7 @@ impl DropReason {
             DropReason::Partitioned => "partitioned",
             DropReason::DestDown => "dest_down",
             DropReason::DestUnknown => "dest_unknown",
+            DropReason::Corrupted => "corrupted",
         }
     }
 }
@@ -298,6 +305,10 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 pub struct EventDigest {
     hash: u64,
     count: u64,
+    /// Digest values captured at power-of-two event counts — the
+    /// coverage-guided chaos sweep's notion of "which execution prefixes
+    /// has this run visited" (see `chaos`).
+    prefixes: Vec<(u64, u64)>,
 }
 
 impl Default for EventDigest {
@@ -305,6 +316,7 @@ impl Default for EventDigest {
         EventDigest {
             hash: FNV_OFFSET,
             count: 0,
+            prefixes: Vec::new(),
         }
     }
 }
@@ -325,6 +337,15 @@ impl EventDigest {
         self.count
     }
 
+    /// Checkpointed `(event_count, digest)` pairs, captured whenever the
+    /// event count crosses a power of two. Two runs share a prefix
+    /// checkpoint exactly when their first `count` events hashed
+    /// identically, so the set of distinct pairs across a sweep measures
+    /// how many genuinely different execution prefixes were explored.
+    pub fn prefix_digests(&self) -> &[(u64, u64)] {
+        &self.prefixes
+    }
+
     fn fold_bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.hash ^= b as u64;
@@ -341,6 +362,9 @@ impl Observer for EventDigest {
     fn on_event(&mut self, at: SimTime, ev: &SimEvent) {
         self.count += 1;
         self.fold_u64(at.as_micros());
+        if self.count.is_power_of_two() {
+            self.prefixes.push((self.count, self.hash));
+        }
         match *ev {
             SimEvent::MsgSent {
                 from,

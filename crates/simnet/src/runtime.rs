@@ -274,16 +274,29 @@ where
 
     fn fire_due_timers(&mut self) -> bool {
         let mut fired = false;
+        // Bounded pass: only timers due when the pass began, and at most
+        // as many firings as the heap held at entry. A callback that
+        // outlasts its own re-arm interval (a 5ms tick doing a restart's
+        // worth of catch-up) would otherwise be due again by the time the
+        // loop re-peeks, and the pass would spin forever — the transport
+        // never polled, inbound starved, `run_for` deadlines and the stop
+        // flag never checked. Re-armed timers fire on the next step.
+        let horizon = self.clock.now();
+        let mut budget = self.timers.len();
         loop {
-            let now = self.clock.now();
+            if budget == 0 {
+                return fired;
+            }
             match self.timers.peek() {
-                Some(Reverse(e)) if e.at <= now => {}
+                Some(Reverse(e)) if e.at <= horizon => {}
                 _ => return fired,
             }
+            budget -= 1;
             let Reverse(e) = self.timers.pop().expect("peeked");
             if self.cancelled.remove(&e.id) {
                 continue;
             }
+            let now = self.clock.now();
             let node = self.node;
             let kind = e.kind;
             self.bus
@@ -297,7 +310,15 @@ where
 
     fn drain_self_sends(&mut self) -> bool {
         let mut any = false;
-        while let Some(msg) = self.selfq.pop_front() {
+        // Same bounding as `fire_due_timers`: deliver only the self-sends
+        // queued when the pass began, so a handler that replies to itself
+        // cannot starve the transport poll.
+        let mut budget = self.selfq.len();
+        while budget > 0 {
+            budget -= 1;
+            let Some(msg) = self.selfq.pop_front() else {
+                break;
+            };
             let now = self.clock.now();
             let node = self.node;
             let label = msg.label();
@@ -590,6 +611,86 @@ mod tests {
         let store = backend.load().unwrap();
         assert_eq!(store.get_u64("acceptor/promised"), Some(42));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// An actor whose timer callback re-arms an immediately-due timer and
+    /// whose message handler replies to itself. Either pattern (or a tick
+    /// whose work outlasts the tick interval, the real-world shape) used
+    /// to trap `step` in an unbounded drain pass: the transport was never
+    /// polled again and `run_for` never regained control. The regression
+    /// check is that `step` *returns at all*.
+    struct Storm {
+        ticks: u32,
+        echoes: u32,
+    }
+
+    impl Actor for Storm {
+        type Msg = Ping;
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.set_timer(SimDuration::ZERO, 1);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Ping>, _from: NodeId, msg: Ping) {
+            self.echoes += 1;
+            let me = ctx.node_id();
+            ctx.send(me, msg);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Ping>, _timer: Timer) {
+            self.ticks += 1;
+            ctx.set_timer(SimDuration::ZERO, 1);
+        }
+    }
+
+    #[test]
+    fn always_due_timers_cannot_starve_a_step() {
+        // The manual clock never advances, so the re-armed timer is due
+        // the instant it is set — the worst case of "callback outlasts
+        // its own re-arm interval".
+        let clock = ManualClock::new();
+        let mut rt = NodeRuntime::new(
+            NodeId(1),
+            Storm {
+                ticks: 0,
+                echoes: 0,
+            },
+            clock,
+            NullTransport,
+            MemStorage,
+            StableStore::new(),
+            RuntimeConfig::default(),
+        );
+        for _ in 0..5 {
+            assert!(rt.step(Duration::ZERO), "bounded progress each step");
+        }
+        // Each step fires the one due timer per drain pass (two passes per
+        // step), never more: the re-armed duplicate waits for the next step.
+        let ticks = rt.actor().ticks;
+        assert!((1..=10).contains(&ticks), "got {ticks} ticks");
+    }
+
+    #[test]
+    fn self_send_loops_cannot_starve_a_step() {
+        let clock = ManualClock::new();
+        let mut rt = NodeRuntime::new(
+            NodeId(1),
+            Storm {
+                ticks: 0,
+                echoes: 0,
+            },
+            clock,
+            NullTransport,
+            MemStorage,
+            StableStore::new(),
+            RuntimeConfig::default(),
+        );
+        rt.with_actor(|_, ctx| {
+            let me = ctx.node_id();
+            ctx.send(me, Ping(0));
+        });
+        for _ in 0..5 {
+            assert!(rt.step(Duration::ZERO), "bounded progress each step");
+        }
+        let echoes = rt.actor().echoes;
+        assert!((1..=11).contains(&echoes), "got {echoes} echoes");
     }
 
     #[test]

@@ -492,6 +492,15 @@ impl<A: Actor> Sim<A> {
                                 reason: DropReason::Loss,
                             });
                         }
+                        Fate::Corrupted => {
+                            self.metrics.net.corrupted += 1;
+                            self.bus.emit_with(self.time, || SimEvent::MsgDropped {
+                                from: origin,
+                                to,
+                                label,
+                                reason: DropReason::Corrupted,
+                            });
+                        }
                         Fate::Partitioned => {
                             self.metrics.net.partitioned += 1;
                             self.bus.emit_with(self.time, || SimEvent::MsgDropped {

@@ -17,6 +17,82 @@
 
 use crate::sim::NodeId;
 
+/// CRC-32C (Castagnoli, polynomial `0x1EDC6F41`): the checksum guarding
+/// every byte boundary in the workspace — TCP frames, WAL records and
+/// snapshot records all carry one. Software slicing-by-8 (the eight
+/// tables are built at compile time), reflected, initial value and
+/// final XOR of `!0`, matching the SSE4.2 `crc32` instruction and
+/// iSCSI/ext4. Every frame is checksummed twice (once per side), so
+/// this sits on the transport hot path; slicing-by-8 processes eight
+/// bytes per step instead of one, which keeps the check well under a
+/// cycle per byte.
+pub mod crc32c {
+    const fn build_tables() -> [[u32; 256]; 8] {
+        // Reflected polynomial of 0x1EDC6F41.
+        const POLY: u32 = 0x82F6_3B78;
+        let mut tables = [[0u32; 256]; 8];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            tables[0][i] = crc;
+            i += 1;
+        }
+        // tables[k][b] is the CRC of byte b followed by k zero bytes:
+        // each level feeds the previous one through one more byte step.
+        let mut k = 1;
+        while k < 8 {
+            let mut i = 0;
+            while i < 256 {
+                let prev = tables[k - 1][i];
+                tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+                i += 1;
+            }
+            k += 1;
+        }
+        tables
+    }
+
+    static TABLES: [[u32; 256]; 8] = build_tables();
+
+    /// Continues a checksum over `bytes` from a previous [`checksum`]
+    /// value (pass the previous result directly; the pre/post
+    /// conditioning is handled internally).
+    pub fn extend(crc: u32, bytes: &[u8]) -> u32 {
+        let mut crc = !crc;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+            let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+            crc = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        !crc
+    }
+
+    /// The CRC-32C of `bytes`.
+    pub fn checksum(bytes: &[u8]) -> u32 {
+        extend(0, bytes)
+    }
+}
+
 /// Types that can be framed to and from bytes.
 ///
 /// `decode` consumes from the front of the slice and returns `None` on
@@ -245,6 +321,44 @@ mod tests {
     fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
         let bytes = to_bytes(&v);
         assert_eq!(from_bytes::<T>(&bytes), Some(v));
+    }
+
+    #[test]
+    fn crc32c_matches_known_vectors() {
+        // The iSCSI/ext4 check value — pins the polynomial, reflection
+        // and conditioning against the published CRC-32C definition.
+        assert_eq!(crc32c::checksum(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c::checksum(b""), 0);
+        assert_eq!(crc32c::checksum(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c::checksum(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn crc32c_extend_composes_like_one_pass() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(
+                crc32c::extend(crc32c::checksum(a), b),
+                crc32c::checksum(data),
+                "split at {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn crc32c_detects_every_single_bit_flip() {
+        let mut rng = crate::SimRng::seed_from_u64(0xC32C);
+        let data: Vec<u8> = (0..64).map(|_| rng.gen_range(0..u64::MAX) as u8).collect();
+        let clean = crc32c::checksum(&data);
+        let mut mangled = data.clone();
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                mangled[byte] ^= 1 << bit;
+                assert_ne!(crc32c::checksum(&mangled), clean, "missed {byte}:{bit}");
+                mangled[byte] ^= 1 << bit;
+            }
+        }
     }
 
     #[test]
