@@ -349,9 +349,14 @@ impl<S: StateMachine> StwNode<S> {
             .as_mut()
             .expect("executing nodes have a chain")
             .append(successor, cfg.clone());
+        // The control deliberately stays monolithic: every page is
+        // encoded fresh at seal time and shipped as one blob — the cost
+        // the chunked/incremental composition is measured against.
         let base = BaseState::<S::Output> {
             epoch: successor,
-            app: self.sm.snapshot(),
+            pages: (0..self.sm.snapshot_pages())
+                .map(|i| Arc::new(self.sm.snapshot_page(i)))
+                .collect(),
             sessions: self.sessions.clone(),
             chain: self.chain.clone().expect("just used"),
         };
@@ -410,9 +415,15 @@ impl<S: StateMachine> StwNode<S> {
             return;
         }
         if !handoff.awaiting.is_empty() {
-            if ctx.now().since(handoff.last_push) >= self.tun.push_retry
-                || handoff.last_push == SimTime::ZERO
-            {
+            // The retransmit timeout must scale with the blob: a fixed
+            // interval shorter than the blob's own wire time would queue
+            // duplicate multi-megabyte copies behind the egress port long
+            // before the first copy can possibly be acked. One `push_retry`
+            // per 64 KiB models a pessimistic transport floor (~640 KB/s at
+            // the 100 ms default) while keeping small-state retries prompt.
+            let units = 1 + handoff.base.len() as u64 / (64 * 1024);
+            let timeout = SimDuration::from_micros(self.tun.push_retry.as_micros() * units);
+            if ctx.now().since(handoff.last_push) >= timeout || handoff.last_push == SimTime::ZERO {
                 handoff.last_push = ctx.now();
                 for &m in handoff.awaiting.iter() {
                     ctx.metrics()
@@ -720,7 +731,7 @@ impl<S: StateMachine> StwNode<S> {
             let Some(base) = BaseState::<S::Output>::decode_bytes(&bytes) else {
                 return;
             };
-            let Some(sm) = S::restore(&base.app) else {
+            let Some(sm) = S::restore_pages(&base.pages) else {
                 return;
             };
             self.sm = sm;

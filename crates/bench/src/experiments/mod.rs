@@ -8,6 +8,7 @@ pub mod chaos_sweep;
 pub mod e10_local_reads;
 pub mod e11_sharding;
 pub mod e13_batching;
+pub mod e14_large_state;
 pub mod e1_steady_state;
 pub mod e2_timeline;
 pub mod e3_state_transfer;
@@ -22,8 +23,8 @@ use crate::table::{json_escape_into, Table};
 use simnet::HistogramSummary;
 
 /// Experiment ids in presentation order.
-pub const ALL: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e13", "chaos",
+pub const ALL: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e13", "e14", "chaos",
 ];
 
 /// One-line description per experiment id (same order as [`ALL`]; the
@@ -42,6 +43,7 @@ pub fn describe(id: &str) -> &'static str {
         "e10" => "leader-local reads vs full ordering",
         "e11" => "sharded multi-group composition: scaling + rolling churn",
         "e13" => "leader-side batching + pipelined window at a fixed egress cap",
+        "e14" => "large-state transfer: chunked streaming, delta rejoin, compaction",
         "chaos" => "randomized fault sweep with safety oracles",
         _ => "unknown experiment",
     }
@@ -111,6 +113,7 @@ pub fn run_structured(id: &str, quick: bool) -> Option<ExpOutput> {
         "e10" => Some(e10_local_reads::run_structured(quick)),
         "e11" => Some(e11_sharding::run_structured(quick)),
         "e13" => Some(e13_batching::run_structured(quick)),
+        "e14" => Some(e14_large_state::run_structured(quick)),
         "chaos" => Some(chaos_sweep::run_structured(quick)),
         _ => None,
     }

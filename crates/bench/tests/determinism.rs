@@ -9,7 +9,7 @@
 
 use bench::runner::{run, run_many, Scenario, SystemKind};
 use bench::sharded::{run_sharded, run_split, ShardScenario, ShardSystem};
-use simnet::{ChaosGen, SimDuration, SimTime};
+use simnet::{ChaosGen, FaultPlan, FaultTarget, SimDuration, SimTime};
 
 /// A mid-size scenario exercising every hot path at once: elections,
 /// steady-state commits, a reconfiguration with a joiner, and client
@@ -149,6 +149,93 @@ fn chaos_runs_are_deterministic_serial_and_parallel() {
             s.metrics_fingerprint(),
             p.metrics_fingerprint(),
             "{}: chaos metrics diverge between serial and parallel runs",
+            kind.name()
+        );
+        assert_eq!(s.completed, p.completed, "{}", kind.name());
+    }
+}
+
+/// Pre-filled state, a fresh joiner *and* a member restart: one run that
+/// exercises the full chunked-stream path (manifest, windowed chunk
+/// fetch) and the rejoin delta path (watermark advertise, delta chunks)
+/// under a fault plan. The new transfer layer must be as deterministic
+/// as everything else — byte-identical metrics, events and applied-fault
+/// log whether the run executes serially or on the worker pool.
+fn transfer_scenario() -> Scenario {
+    // The member stays down past `retire_grace`, so when it returns the
+    // survivors have retired its epoch and the only way back is a
+    // transfer — a *delta* one, since it recovers an anchored base.
+    let plan = FaultPlan::new().crash_at(
+        SimTime::from_millis(600),
+        FaultTarget::ServerIdx(2),
+        Some(SimDuration::from_millis(2_600)),
+    );
+    let mut sc = Scenario::new(0xC0A57)
+        .clients(2)
+        .joiners(&[3])
+        .filler(1_200, 512)
+        .bandwidth(400_000)
+        .reconfigure_at(SimTime::from_secs(1), &[0, 1, 2, 3])
+        .with_faults(plan)
+        .checked()
+        .until(SimTime::from_secs(10))
+        .with_events();
+    sc.ops_per_client = Some(100);
+    sc.record_trace = true;
+    sc
+}
+
+#[test]
+fn chunked_and_delta_transfers_are_deterministic_serial_and_parallel() {
+    let kinds = [SystemKind::Rsmr, SystemKind::RsmrBatched];
+    let serial: Vec<_> = kinds
+        .iter()
+        .map(|&k| run(k, &transfer_scenario()))
+        .collect();
+    let jobs: Vec<(SystemKind, Scenario)> =
+        kinds.iter().map(|&k| (k, transfer_scenario())).collect();
+    let parallel = run_many(jobs);
+    for ((kind, s), p) in kinds.iter().zip(&serial).zip(&parallel) {
+        // The paths under test actually ran: chunks streamed to the fresh
+        // joiner, and the restarted member came back over the delta path.
+        assert!(
+            s.metrics.counter("transfer.chunk_bytes") > 0,
+            "{}: no chunked transfer happened",
+            kind.name()
+        );
+        assert!(
+            s.metrics.counter("transfer.delta_chunk_bytes") > 0,
+            "{}: the rejoiner never took the delta path (log: {:?})",
+            kind.name(),
+            s.chaos_log
+        );
+        assert!(
+            !s.chaos_log.is_empty(),
+            "{}: the restart plan never fired",
+            kind.name()
+        );
+        assert_eq!(
+            s.chaos_log,
+            p.chaos_log,
+            "{}: applied faults diverge between serial and parallel runs",
+            kind.name()
+        );
+        assert_eq!(
+            s.metrics_fingerprint(),
+            p.metrics_fingerprint(),
+            "{}: transfer metrics diverge between serial and parallel runs",
+            kind.name()
+        );
+        assert_eq!(
+            (s.trace_digest, s.event_digest, s.event_count),
+            (p.trace_digest, p.event_digest, p.event_count),
+            "{}: transfer event streams diverge between serial and parallel runs",
+            kind.name()
+        );
+        assert_eq!(
+            s.metrics.snapshot().to_json(),
+            p.metrics.snapshot().to_json(),
+            "{}: telemetry snapshots diverge between serial and parallel runs",
             kind.name()
         );
         assert_eq!(s.completed, p.completed, "{}", kind.name());

@@ -103,6 +103,9 @@ impl Wire for StaticConfig {
         }
         Some(StaticConfig::new(members))
     }
+    fn encoded_size(&self) -> usize {
+        8 + 8 * self.members.len()
+    }
 }
 
 #[cfg(test)]

@@ -100,7 +100,7 @@ pub enum PaxosMsg<C> {
     },
 }
 
-impl<C: Clone + std::fmt::Debug + 'static> Message for PaxosMsg<C> {
+impl<C: Wire + Clone + std::fmt::Debug + 'static> Message for PaxosMsg<C> {
     fn label(&self) -> &'static str {
         match self {
             PaxosMsg::Prepare { .. } => "paxos.prepare",
@@ -117,18 +117,30 @@ impl<C: Clone + std::fmt::Debug + 'static> Message for PaxosMsg<C> {
     }
 
     fn size_hint(&self) -> usize {
-        // A rough wire-size model: fixed header plus per-entry payload.
+        // Fixed header plus the command's *serialized* size, so a batch
+        // carrying a hundred entries is charged like a hundred entries —
+        // the fabric-cap experiments depend on this being honest.
         match self {
             PaxosMsg::Prepare { .. } => 24,
-            PaxosMsg::Promise { accepted, .. } => 32 + accepted.len() * 48,
-            PaxosMsg::Accept { .. } => 48,
+            PaxosMsg::Promise { accepted, .. } => {
+                32 + accepted
+                    .iter()
+                    .map(|(_, _, cmd)| 24 + cmd.encoded_size())
+                    .sum::<usize>()
+            }
+            PaxosMsg::Accept { cmd, .. } => 32 + cmd.encoded_size(),
             PaxosMsg::Accepted { .. } => 24,
             PaxosMsg::Reject { .. } => 32,
-            PaxosMsg::Chosen { .. } => 40,
+            PaxosMsg::Chosen { cmd, .. } => 24 + cmd.encoded_size(),
             PaxosMsg::Heartbeat { .. } => 32,
             PaxosMsg::HeartbeatAck { .. } => 24,
             PaxosMsg::CatchupRequest { .. } => 16,
-            PaxosMsg::CatchupReply { entries, .. } => 24 + entries.len() * 40,
+            PaxosMsg::CatchupReply { entries, .. } => {
+                24 + entries
+                    .iter()
+                    .map(|(_, cmd)| 16 + cmd.encoded_size())
+                    .sum::<usize>()
+            }
         }
     }
 }

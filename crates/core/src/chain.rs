@@ -45,6 +45,9 @@ impl Wire for Epoch {
     fn decode(buf: &mut &[u8]) -> Option<Self> {
         Some(Epoch(u64::decode(buf)?))
     }
+    fn encoded_size(&self) -> usize {
+        8
+    }
 }
 
 /// The agreed sequence of configurations, from genesis up to the newest
@@ -163,6 +166,13 @@ impl Wire for ConfigChain {
         }
         let configs: BTreeMap<Epoch, StaticConfig> = links.into_iter().collect();
         Some(ConfigChain { configs })
+    }
+    fn encoded_size(&self) -> usize {
+        8 + self
+            .configs
+            .values()
+            .map(|c| 8 + c.encoded_size())
+            .sum::<usize>()
     }
 }
 

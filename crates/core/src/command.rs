@@ -54,6 +54,15 @@ impl<O: Wire> Wire for BatchEntry<O> {
             _ => None,
         }
     }
+
+    fn encoded_size(&self) -> usize {
+        1 + match self {
+            BatchEntry::App { client, seq, op } => {
+                client.encoded_size() + seq.encoded_size() + op.encoded_size()
+            }
+            BatchEntry::Reconfigure { members } => members.encoded_size(),
+        }
+    }
 }
 
 /// What flows through an epoch's static log.
@@ -140,6 +149,17 @@ impl<O: Wire> Wire for Cmd<O> {
                 entries: Vec::<BatchEntry<O>>::decode(buf)?,
             }),
             _ => None,
+        }
+    }
+
+    fn encoded_size(&self) -> usize {
+        1 + match self {
+            Cmd::Noop => 0,
+            Cmd::App { client, seq, op } => {
+                client.encoded_size() + seq.encoded_size() + op.encoded_size()
+            }
+            Cmd::Reconfigure { members } => members.encoded_size(),
+            Cmd::Batch { entries } => entries.encoded_size(),
         }
     }
 }

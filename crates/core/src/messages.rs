@@ -6,6 +6,7 @@ use simnet::{Message, NodeId};
 
 use crate::chain::Epoch;
 use crate::command::Cmd;
+use crate::transfer::TransferManifest;
 
 /// Messages of a reconfigurable-SMR world.
 ///
@@ -99,11 +100,49 @@ pub enum RsmrMsg<O, R> {
         /// The successor epoch to campaign in.
         epoch: Epoch,
     },
+    /// Joining member → finalized member: describe the base state
+    /// anchoring `epoch`. A rejoiner with usable local state advertises
+    /// its delta watermark in `since`; fresh joiners send `None`.
+    ManifestRequest {
+        /// The epoch whose base is requested.
+        epoch: Epoch,
+        /// The rejoiner's delta watermark, if it holds restorable state.
+        since: Option<u64>,
+    },
+    /// Response to [`RsmrMsg::ManifestRequest`]. `manifest` is `None`
+    /// when the responder has not finalized the predecessor epoch yet
+    /// (retry later). A `since` the donor cannot serve (tombstones
+    /// pruned past it) degrades to a `Full` manifest.
+    ManifestReply {
+        /// Echo of the requested epoch.
+        epoch: Epoch,
+        /// The transfer manifest, if the donor holds the base.
+        manifest: Option<TransferManifest>,
+    },
+    /// Joining member → donor: send chunk `index` of the manifest for
+    /// `epoch`.
+    ChunkRequest {
+        /// The epoch being transferred.
+        epoch: Epoch,
+        /// Zero-based chunk index within the manifest.
+        index: u64,
+    },
+    /// Response to [`RsmrMsg::ChunkRequest`]. `bytes` is `None` when the
+    /// donor no longer holds the base for `epoch` (the joiner rotates
+    /// donors and re-requests the manifest).
+    ChunkReply {
+        /// The epoch being transferred.
+        epoch: Epoch,
+        /// Echo of the requested chunk index.
+        index: u64,
+        /// The chunk payload, shared so retries never copy.
+        bytes: Option<std::sync::Arc<Vec<u8>>>,
+    },
 }
 
 impl<O, R> Message for RsmrMsg<O, R>
 where
-    O: Clone + std::fmt::Debug + 'static,
+    O: Wire + Clone + std::fmt::Debug + 'static,
     R: Clone + std::fmt::Debug + 'static,
 {
     fn label(&self) -> &'static str {
@@ -119,6 +158,10 @@ where
             RsmrMsg::TransferReply { .. } => "rsmr.transfer_reply",
             RsmrMsg::TransferAck { .. } => "rsmr.transfer_ack",
             RsmrMsg::Nominate { .. } => "rsmr.nominate",
+            RsmrMsg::ManifestRequest { .. } => "rsmr.manifest_req",
+            RsmrMsg::ManifestReply { .. } => "rsmr.manifest_reply",
+            RsmrMsg::ChunkRequest { .. } => "rsmr.chunk_req",
+            RsmrMsg::ChunkReply { .. } => "rsmr.chunk_reply",
         }
     }
 
@@ -135,6 +178,14 @@ where
             RsmrMsg::TransferReply { base, .. } => 16 + base.as_ref().map(Vec::len).unwrap_or(0),
             RsmrMsg::TransferAck { .. } => 16,
             RsmrMsg::Nominate { .. } => 16,
+            RsmrMsg::ManifestRequest { .. } => 24,
+            RsmrMsg::ManifestReply { manifest, .. } => {
+                16 + manifest
+                    .as_ref()
+                    .map_or(0, simnet::wire::Wire::encoded_size)
+            }
+            RsmrMsg::ChunkRequest { .. } => 24,
+            RsmrMsg::ChunkReply { bytes, .. } => 24 + bytes.as_ref().map_or(0, |b| b.len()),
         }
     }
 }
@@ -208,6 +259,31 @@ impl<O: Wire, R: Wire> Wire for RsmrMsg<O, R> {
                 buf.push(10);
                 epoch.encode(buf);
             }
+            RsmrMsg::ManifestRequest { epoch, since } => {
+                buf.push(11);
+                epoch.encode(buf);
+                since.encode(buf);
+            }
+            RsmrMsg::ManifestReply { epoch, manifest } => {
+                buf.push(12);
+                epoch.encode(buf);
+                manifest.encode(buf);
+            }
+            RsmrMsg::ChunkRequest { epoch, index } => {
+                buf.push(13);
+                epoch.encode(buf);
+                index.encode(buf);
+            }
+            RsmrMsg::ChunkReply {
+                epoch,
+                index,
+                bytes,
+            } => {
+                buf.push(14);
+                epoch.encode(buf);
+                index.encode(buf);
+                bytes.encode(buf);
+            }
         }
     }
 
@@ -256,6 +332,23 @@ impl<O: Wire, R: Wire> Wire for RsmrMsg<O, R> {
             10 => RsmrMsg::Nominate {
                 epoch: Epoch::decode(buf)?,
             },
+            11 => RsmrMsg::ManifestRequest {
+                epoch: Epoch::decode(buf)?,
+                since: Option::decode(buf)?,
+            },
+            12 => RsmrMsg::ManifestReply {
+                epoch: Epoch::decode(buf)?,
+                manifest: Option::decode(buf)?,
+            },
+            13 => RsmrMsg::ChunkRequest {
+                epoch: Epoch::decode(buf)?,
+                index: u64::decode(buf)?,
+            },
+            14 => RsmrMsg::ChunkReply {
+                epoch: Epoch::decode(buf)?,
+                index: u64::decode(buf)?,
+                bytes: Option::decode(buf)?,
+            },
             _ => return None,
         })
     }
@@ -301,6 +394,23 @@ mod tests {
             },
             RsmrMsg::TransferAck { epoch: Epoch(1) },
             RsmrMsg::Nominate { epoch: Epoch(1) },
+            RsmrMsg::ManifestRequest {
+                epoch: Epoch(1),
+                since: None,
+            },
+            RsmrMsg::ManifestReply {
+                epoch: Epoch(1),
+                manifest: None,
+            },
+            RsmrMsg::ChunkRequest {
+                epoch: Epoch(1),
+                index: 0,
+            },
+            RsmrMsg::ChunkReply {
+                epoch: Epoch(1),
+                index: 0,
+                bytes: None,
+            },
         ];
         let mut labels: Vec<_> = msgs.iter().map(|m| m.label()).collect();
         labels.sort_unstable();
@@ -355,6 +465,28 @@ mod tests {
             },
             RsmrMsg::TransferAck { epoch: Epoch(6) },
             RsmrMsg::Nominate { epoch: Epoch(7) },
+            RsmrMsg::ManifestRequest {
+                epoch: Epoch(8),
+                since: Some(42),
+            },
+            RsmrMsg::ManifestReply {
+                epoch: Epoch(8),
+                manifest: Some(crate::transfer::TransferManifest {
+                    epoch: Epoch(8),
+                    mode: crate::transfer::TransferMode::Delta { since: 42 },
+                    header: vec![1, 2, 3],
+                    chunks: vec![crate::transfer::ChunkMeta { len: 3, crc: 7 }],
+                }),
+            },
+            RsmrMsg::ChunkRequest {
+                epoch: Epoch(8),
+                index: 2,
+            },
+            RsmrMsg::ChunkReply {
+                epoch: Epoch(8),
+                index: 2,
+                bytes: Some(Arc::new(vec![9, 9, 9])),
+            },
         ];
         for msg in msgs {
             let bytes = to_bytes(&msg);
@@ -386,5 +518,33 @@ mod tests {
             base: Some(vec![0; 4096]),
         };
         assert!(big.size_hint() >= small.size_hint() + 4096);
+    }
+
+    #[test]
+    fn chunk_and_manifest_sizes_reflect_payload() {
+        use std::sync::Arc;
+        let small: RsmrMsg<u64, u64> = RsmrMsg::ChunkReply {
+            epoch: Epoch(1),
+            index: 0,
+            bytes: None,
+        };
+        let big: RsmrMsg<u64, u64> = RsmrMsg::ChunkReply {
+            epoch: Epoch(1),
+            index: 0,
+            bytes: Some(Arc::new(vec![0; 8192])),
+        };
+        assert!(big.size_hint() >= small.size_hint() + 8192);
+        let manifest = crate::transfer::TransferManifest {
+            epoch: Epoch(1),
+            mode: crate::transfer::TransferMode::Full { pages: 4 },
+            header: vec![0; 256],
+            chunks: vec![crate::transfer::ChunkMeta { len: 10, crc: 1 }; 100],
+        };
+        let reply: RsmrMsg<u64, u64> = RsmrMsg::ManifestReply {
+            epoch: Epoch(1),
+            manifest: Some(manifest),
+        };
+        // The manifest cost scales with its chunk table and header.
+        assert!(reply.size_hint() >= 256 + 100 * 12);
     }
 }

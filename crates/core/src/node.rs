@@ -19,10 +19,11 @@
 //! commands optionally re-proposed into the successor), and the anchor
 //! moves to the successor's slot 0.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use consensus::{MultiPaxos, PaxosTunables, ProposeOutcome, Slot, StaticConfig};
+use simnet::wire::{self, Wire};
 use simnet::{Actor, Context, DomainEvent, NodeId, SimDuration, SimTime, StableStore, Timer};
 
 use crate::chain::{ConfigChain, Epoch};
@@ -30,7 +31,10 @@ use crate::command::{BatchEntry, Cmd};
 use crate::messages::RsmrMsg;
 use crate::session::{SessionDecision, SessionTable};
 use crate::state_machine::StateMachine;
-use crate::transfer::BaseState;
+use crate::transfer::{
+    assemble_full_pages, BaseState, ChunkAssembly, ChunkOutcome, TransferManifest, TransferMode,
+    TransferPlan, CHUNK_TARGET,
+};
 
 /// Behaviour knobs of the composed replica.
 #[derive(Clone, Debug)]
@@ -61,6 +65,14 @@ pub struct RsmrTunables {
     /// Requires `paxos.lease_duration` to be set; linearizable given the
     /// lease-safety constraint documented there.
     pub local_reads: bool,
+    /// In-epoch incremental compaction: how many snapshot pages the
+    /// rolling cursor refreshes per tick. Pages whose
+    /// [`StateMachine::page_version`] still matches the cached encode are
+    /// skipped, so a full pass over a quiescent state costs nothing; at
+    /// epoch seal only pages dirtied since the cursor last passed them
+    /// need re-encoding. `0` disables the cursor (seal encodes
+    /// everything). Irrelevant for single-page state machines.
+    pub compact_pages_per_tick: usize,
 }
 
 impl Default for RsmrTunables {
@@ -74,6 +86,7 @@ impl Default for RsmrTunables {
             retire_grace: SimDuration::from_secs(2),
             batch_size: 0,
             local_reads: false,
+            compact_pages_per_tick: 8,
         }
     }
 }
@@ -120,10 +133,41 @@ struct PendingTransfer {
     last_request: SimTime,
     attempts: u32,
     candidates: Vec<NodeId>,
+    /// Delta watermark advertised in the manifest request (`None` for a
+    /// blank joiner, which always takes a full transfer).
+    since: Option<u64>,
+    /// Reassembly state once a manifest has been accepted. Survives donor
+    /// rotation: the manifest is a deterministic function of the base, so
+    /// a new donor fills in only the missing chunks.
+    assembly: Option<ChunkAssembly>,
+    /// Chunk indices requested but not yet answered (bounded window).
+    inflight: Vec<u64>,
+    /// Every chunk index ever requested; re-requesting one (donor crash,
+    /// corruption) counts toward `transfer.chunks_resent`.
+    requested: BTreeSet<u64>,
 }
 
+/// One cached page encode, reused while the page's version is unchanged.
+struct CachedPage {
+    version: Option<u64>,
+    bytes: Arc<Vec<u8>>,
+}
+
+/// Legacy monolithic base key; still read as a recovery fallback.
 const KEY_BASE: &str = "base/latest";
+/// Per-page persistence: `(epoch, page count, header)` metadata…
+const KEY_BASE_META: &str = "base/meta";
+/// …plus one key per snapshot page; only dirty pages are re-put.
+fn page_key(i: usize) -> String {
+    format!("base/page/{i:05}")
+}
+
 const BASES_KEPT: usize = 4;
+/// Max chunk requests a joiner keeps in flight (interleaves the stream
+/// with live traffic under the egress cap instead of bursting).
+const CHUNK_WINDOW: usize = 4;
+/// Cap on cached donor-side transfer plans.
+const SERVE_PLANS_KEPT: usize = 32;
 
 /// One epoch's committed-but-unapplied entries, by slot, each stamped
 /// with its commit time so the apply pump can report the commit→apply
@@ -154,8 +198,25 @@ pub struct RsmrNode<S: StateMachine> {
     /// `finalize_epoch` into the `rsmr.seal_to_finalize_us` histogram —
     /// the replica-local reconfiguration span.
     sealed_at: BTreeMap<Epoch, SimTime>,
-    /// Encoded base states this node can serve, keyed by anchored epoch.
-    bases: BTreeMap<Epoch, Vec<u8>>,
+    /// Base states this node can serve, keyed by anchored epoch. Pages
+    /// are `Arc`-shared with the page cache and outgoing chunks, so
+    /// keeping a few epochs costs little beyond the newest.
+    bases: BTreeMap<Epoch, Arc<BaseState<S::Output>>>,
+
+    /// Donor-side transfer plans, keyed by `(epoch, requester)`: chunks
+    /// are served from the plan the requester's manifest described, so a
+    /// full and a delta transfer of the same epoch never mix.
+    serve_plans: BTreeMap<(Epoch, NodeId), TransferPlan>,
+
+    /// Rolling page-encode cache (in-epoch incremental compaction). Entry
+    /// `i` holds the last encode of snapshot page `i` and the page version
+    /// it reflects; the seal reuses it when the version still matches.
+    page_cache: Vec<CachedPage>,
+    /// Next page the compaction cursor refreshes.
+    compact_cursor: usize,
+    /// Page versions as last persisted, so finalization re-puts only
+    /// dirty pages.
+    persisted_versions: Vec<Option<u64>>,
 
     /// Requests this node proposed and owes replies for.
     waiting: BTreeMap<(NodeId, u64), ()>,
@@ -192,11 +253,6 @@ pub struct RsmrNode<S: StateMachine> {
     /// is re-proposed into the successor *ahead of* the slot-granular
     /// discarded entries (it precedes them in composed log order).
     batch_tail: Vec<(NodeId, u64, S::Op)>,
-
-    /// Scratch buffer reused across base-state encodes (epoch finalization
-    /// happens once per reconfiguration; the capacity amortizes across the
-    /// chain instead of growing a fresh `Vec` each time).
-    base_scratch: Vec<u8>,
 
     /// Commands applied by this replica (for tests and metrics).
     applied_count: u64,
@@ -235,6 +291,10 @@ impl<S: StateMachine> RsmrNode<S> {
             buffers: BTreeMap::new(),
             sealed_at: BTreeMap::new(),
             bases: BTreeMap::new(),
+            serve_plans: BTreeMap::new(),
+            page_cache: Vec::new(),
+            compact_cursor: 0,
+            persisted_versions: Vec::new(),
             waiting: BTreeMap::new(),
             handoff: VecDeque::new(),
             closing: None,
@@ -243,7 +303,6 @@ impl<S: StateMachine> RsmrNode<S> {
             stash_since: BTreeMap::new(),
             batch_buf: Vec::new(),
             batch_tail: Vec::new(),
-            base_scratch: Vec::new(),
             applied_count: 0,
             commit_seen_epoch: None,
         };
@@ -255,8 +314,8 @@ impl<S: StateMachine> RsmrNode<S> {
                 retire_at: None,
             },
         );
-        node.bases
-            .insert(Epoch::ZERO, node.capture_base(Epoch::ZERO).encode_bytes());
+        let (genesis_base, _, _) = node.capture_base(Epoch::ZERO);
+        node.bases.insert(Epoch::ZERO, Arc::new(genesis_base));
         node
     }
 
@@ -284,6 +343,10 @@ impl<S: StateMachine> RsmrNode<S> {
             buffers: BTreeMap::new(),
             sealed_at: BTreeMap::new(),
             bases: BTreeMap::new(),
+            serve_plans: BTreeMap::new(),
+            page_cache: Vec::new(),
+            compact_cursor: 0,
+            persisted_versions: Vec::new(),
             waiting: BTreeMap::new(),
             handoff: VecDeque::new(),
             closing: None,
@@ -292,7 +355,6 @@ impl<S: StateMachine> RsmrNode<S> {
             stash_since: BTreeMap::new(),
             batch_buf: Vec::new(),
             batch_tail: Vec::new(),
-            base_scratch: Vec::new(),
             applied_count: 0,
             commit_seen_epoch: None,
         }
@@ -303,9 +365,8 @@ impl<S: StateMachine> RsmrNode<S> {
     /// state. The log since the base is re-learned from peers via catch-up
     /// and replayed (sessions make replay exactly-once).
     pub fn recover(me: NodeId, tun: RsmrTunables, store: &StableStore) -> Option<Self> {
-        let base_bytes = store.get(KEY_BASE)?.to_vec();
-        let base = BaseState::<S::Output>::decode_bytes(&base_bytes)?;
-        let sm = S::restore(&base.app)?;
+        let base = Self::read_persisted_base(store)?;
+        let sm = S::restore_pages(&base.pages)?;
         let anchor_epoch = base.epoch;
         let chain = base.chain.clone();
         let mut node = RsmrNode {
@@ -322,6 +383,10 @@ impl<S: StateMachine> RsmrNode<S> {
             buffers: BTreeMap::new(),
             sealed_at: BTreeMap::new(),
             bases: BTreeMap::new(),
+            serve_plans: BTreeMap::new(),
+            page_cache: Vec::new(),
+            compact_cursor: 0,
+            persisted_versions: Vec::new(),
             waiting: BTreeMap::new(),
             handoff: VecDeque::new(),
             closing: None,
@@ -330,11 +395,22 @@ impl<S: StateMachine> RsmrNode<S> {
             stash_since: BTreeMap::new(),
             batch_buf: Vec::new(),
             batch_tail: Vec::new(),
-            base_scratch: Vec::new(),
             applied_count: 0,
             commit_seen_epoch: None,
         };
-        node.bases.insert(anchor_epoch, base_bytes);
+        // The page cache mirrors the recovered base, and those exact pages
+        // are what stable storage holds.
+        node.page_cache = base
+            .pages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| CachedPage {
+                version: node.sm.page_version(i),
+                bytes: Arc::clone(p),
+            })
+            .collect();
+        node.persisted_versions = node.page_cache.iter().map(|c| c.version).collect();
+        node.bases.insert(anchor_epoch, Arc::new(base));
         // Rebuild instances (from the anchored epoch onward) whose acceptor
         // state was persisted and whose configuration we know.
         for (epoch, cfg) in chain.iter() {
@@ -422,13 +498,91 @@ impl<S: StateMachine> RsmrNode<S> {
 
     // --- Internals --------------------------------------------------------
 
-    fn capture_base(&self, epoch: Epoch) -> BaseState<S::Output> {
-        BaseState {
+    /// Reads the persisted base state: per-page keys first, falling back
+    /// to the legacy monolithic blob.
+    fn read_persisted_base(store: &StableStore) -> Option<BaseState<S::Output>> {
+        if let Some(meta) = store.get(KEY_BASE_META) {
+            let (epoch, count, header) = wire::from_bytes::<(Epoch, u64, Vec<u8>)>(meta)?;
+            let mut pages = Vec::with_capacity(count as usize);
+            for i in 0..count as usize {
+                pages.push(Arc::new(store.get(&page_key(i))?.to_vec()));
+            }
+            return BaseState::from_parts(epoch, pages, &header);
+        }
+        BaseState::decode_bytes(store.get(KEY_BASE)?)
+    }
+
+    /// Captures the base state anchoring `epoch`, reusing cached page
+    /// encodes whose version is unchanged since the compaction cursor
+    /// last refreshed them. Returns `(base, pages encoded, pages
+    /// reused)`.
+    fn capture_base(&mut self, epoch: Epoch) -> (BaseState<S::Output>, u64, u64) {
+        let n = self.sm.snapshot_pages();
+        self.page_cache.truncate(n);
+        let mut pages = Vec::with_capacity(n);
+        let (mut encoded, mut reused) = (0u64, 0u64);
+        for i in 0..n {
+            let version = self.sm.page_version(i);
+            let hit =
+                version.is_some() && self.page_cache.get(i).is_some_and(|c| c.version == version);
+            if hit {
+                reused += 1;
+                pages.push(Arc::clone(&self.page_cache[i].bytes));
+            } else {
+                encoded += 1;
+                let bytes = Arc::new(self.sm.snapshot_page(i));
+                let entry = CachedPage {
+                    version,
+                    bytes: Arc::clone(&bytes),
+                };
+                if i < self.page_cache.len() {
+                    self.page_cache[i] = entry;
+                } else {
+                    self.page_cache.push(entry);
+                }
+                pages.push(bytes);
+            }
+        }
+        let base = BaseState {
             epoch,
-            app: self.sm.snapshot(),
+            pages,
             sessions: self.sessions.clone(),
             chain: self.chain.clone().expect("anchored nodes have a chain"),
+        };
+        (base, encoded, reused)
+    }
+
+    /// Persists `base` under the per-page keys, re-putting only pages
+    /// whose version changed since the last persist. Callers must have
+    /// `page_cache` mirroring `base.pages` (capture and install both do).
+    fn persist_base(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        base: &BaseState<S::Output>,
+    ) {
+        let meta = wire::to_bytes(&(base.epoch, base.pages.len() as u64, base.header_bytes()));
+        ctx.storage().put(KEY_BASE_META, meta);
+        let mut persisted = 0u64;
+        for (i, page) in base.pages.iter().enumerate() {
+            let version = self.page_cache.get(i).and_then(|c| c.version);
+            let clean =
+                version.is_some() && self.persisted_versions.get(i).copied() == Some(version);
+            if !clean {
+                ctx.storage().put(&page_key(i), (**page).clone());
+                persisted += 1;
+            }
         }
+        // Drop pages beyond the new count (page counts are constant per
+        // state machine type, but a joiner's placeholder may differ).
+        let mut stale = base.pages.len();
+        while ctx.storage().get(&page_key(stale)).is_some() {
+            ctx.storage().remove(&page_key(stale));
+            stale += 1;
+        }
+        self.persisted_versions = (0..base.pages.len())
+            .map(|i| self.page_cache.get(i).and_then(|c| c.version))
+            .collect();
+        ctx.metrics().incr("transfer.pages_persisted", persisted);
     }
 
     fn current_members(&self) -> Vec<NodeId> {
@@ -696,18 +850,21 @@ impl<S: StateMachine> RsmrNode<S> {
             epoch: successor,
             next_slot: Slot::ZERO,
         });
-        let base = self.capture_base(successor);
-        let mut scratch = std::mem::take(&mut self.base_scratch);
-        base.encode_into(&mut scratch);
+        let (base, pages_encoded, pages_reused) = self.capture_base(successor);
         ctx.metrics()
-            .incr("transfer.encode_bytes", scratch.len() as u64);
-        ctx.storage().put(KEY_BASE, scratch.clone());
-        self.bases.insert(successor, scratch.clone());
-        self.base_scratch = scratch;
+            .incr("transfer.encode_bytes", base.byte_size() as u64);
+        ctx.metrics()
+            .incr("transfer.seal_pages_encoded", pages_encoded);
+        ctx.metrics()
+            .incr("transfer.seal_pages_reused", pages_reused);
+        self.persist_base(ctx, &base);
+        self.bases.insert(successor, Arc::new(base));
         while self.bases.len() > BASES_KEPT {
             let oldest = *self.bases.keys().next().expect("non-empty");
             self.bases.remove(&oldest);
         }
+        let kept: Vec<Epoch> = self.bases.keys().copied().collect();
+        self.serve_plans.retain(|&(e, _), _| kept.contains(&e));
 
         // Collect the discarded tail (entries the block committed past the
         // close point) for optional re-proposal. The intra-batch tail of
@@ -1231,28 +1388,44 @@ impl<S: StateMachine> RsmrNode<S> {
                 pool.push(c);
             }
         }
+        // A replica that already holds anchored state is a *rejoiner*: it
+        // advertises its delta watermark so the donor ships only what
+        // changed. A blank joiner takes the full stream.
+        let since = if self.anchor.is_some() {
+            self.sm.delta_watermark()
+        } else {
+            None
+        };
         self.pending_transfer = Some(PendingTransfer {
             epoch,
             provider,
             last_request: ctx.now(),
             attempts: 0,
             candidates: pool,
+            since,
+            assembly: None,
+            inflight: Vec::new(),
+            requested: BTreeSet::new(),
         });
         ctx.metrics().incr("rsmr.transfer_requests", 1);
         ctx.emit_event(DomainEvent::TransferRequested {
             epoch: epoch.0,
             provider,
         });
-        ctx.send(provider, RsmrMsg::TransferRequest { epoch });
+        ctx.send(provider, RsmrMsg::ManifestRequest { epoch, since });
     }
 
+    /// Donor side, legacy path: serve the whole base as one blob. The
+    /// composed replica no longer *requests* monolithic transfers, but
+    /// keeps serving them (the stop-the-world control and older peers
+    /// depend on the message shape).
     fn handle_transfer_request(
         &mut self,
         ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
         from: NodeId,
         epoch: Epoch,
     ) {
-        let base = self.bases.get(&epoch).cloned();
+        let base = self.bases.get(&epoch).map(|b| b.encode_bytes());
         if let Some(bytes) = base.as_ref() {
             ctx.metrics().incr("rsmr.transfers_served", 1);
             ctx.metrics()
@@ -1266,6 +1439,8 @@ impl<S: StateMachine> RsmrNode<S> {
         ctx.send(from, RsmrMsg::TransferReply { epoch, base });
     }
 
+    /// Legacy joiner path kept for robustness: a monolithic reply (e.g.
+    /// from an old donor) still installs.
     fn handle_transfer_reply(
         &mut self,
         ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
@@ -1285,7 +1460,7 @@ impl<S: StateMachine> RsmrNode<S> {
             ctx.metrics().incr("rsmr.transfer_decode_failures", 1);
             return;
         };
-        let Some(sm) = S::restore(&base.app) else {
+        let Some(sm) = S::restore_pages(&base.pages) else {
             ctx.metrics().incr("rsmr.transfer_decode_failures", 1);
             return;
         };
@@ -1296,16 +1471,358 @@ impl<S: StateMachine> RsmrNode<S> {
                 return;
             }
         }
-        self.pending_transfer = None;
         self.sm = sm;
+        self.install_base(ctx, base);
+    }
+
+    /// Donor side: build (or reuse) the transfer plan for `from` and
+    /// reply with its manifest.
+    fn handle_manifest_request(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        from: NodeId,
+        epoch: Epoch,
+        since: Option<u64>,
+    ) {
+        let Some(base) = self.bases.get(&epoch).cloned() else {
+            ctx.send(
+                from,
+                RsmrMsg::ManifestReply {
+                    epoch,
+                    manifest: None,
+                },
+            );
+            return;
+        };
+        let plan = self.build_plan(ctx, &base, since);
+        let manifest = plan.manifest.clone();
+        ctx.metrics().incr("rsmr.transfers_served", 1);
+        ctx.emit_event(DomainEvent::TransferServed {
+            epoch: epoch.0,
+            to: from,
+            bytes: manifest.total_bytes(),
+        });
+        if self.serve_plans.len() >= SERVE_PLANS_KEPT {
+            let oldest = *self.serve_plans.keys().next().expect("non-empty");
+            self.serve_plans.remove(&oldest);
+        }
+        self.serve_plans.insert((epoch, from), plan);
+        ctx.send(
+            from,
+            RsmrMsg::ManifestReply {
+                epoch,
+                manifest: Some(manifest),
+            },
+        );
+    }
+
+    /// Plans a transfer of `base`: a delta against the rejoiner's
+    /// watermark when the state machine can serve one, otherwise the full
+    /// chunked stream. Deterministic, so every donor holding `base`
+    /// produces identical manifests and chunks.
+    fn build_plan(
+        &self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        base: &BaseState<S::Output>,
+        since: Option<u64>,
+    ) -> TransferPlan {
+        if let Some(watermark) = since {
+            if let Some(chunks) = S::delta_from_pages(&base.pages, watermark, CHUNK_TARGET) {
+                let plan = TransferPlan::delta(base, chunks, watermark);
+                let full = base.byte_size().max(1) as u64;
+                ctx.metrics().record(
+                    "transfer.delta_ratio",
+                    plan.manifest.total_bytes() * 100 / full,
+                );
+                return plan;
+            }
+            ctx.metrics().incr("transfer.delta_refused", 1);
+        }
+        TransferPlan::full(base, CHUNK_TARGET)
+    }
+
+    /// Joiner side: a manifest arrived — adopt it (or resume a matching
+    /// one) and keep the chunk-request window full.
+    fn handle_manifest_reply(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        from: NodeId,
+        epoch: Epoch,
+        manifest: Option<TransferManifest>,
+    ) {
+        let now = ctx.now();
+        {
+            let Some(pt) = &mut self.pending_transfer else {
+                return;
+            };
+            if pt.epoch != epoch {
+                return;
+            }
+            let Some(manifest) = manifest else {
+                return; // donor not finalized yet; the tick timer rotates
+            };
+            if manifest.epoch != epoch {
+                return;
+            }
+            // Chunks flow from whoever answered the manifest request.
+            pt.provider = from;
+            pt.last_request = now;
+            match &pt.assembly {
+                Some(a) if *a.manifest() == manifest => {} // resume
+                prior => {
+                    if prior.is_some() {
+                        ctx.metrics().incr("transfer.manifest_restarts", 1);
+                    }
+                    pt.assembly = Some(ChunkAssembly::new(manifest));
+                    pt.inflight.clear();
+                }
+            }
+        }
+        self.pump_chunk_requests(ctx);
+        self.try_complete_transfer(ctx);
+    }
+
+    /// Donor side: serve one chunk from the plan `from`'s manifest came
+    /// from. No plan (evicted, or this donor never served the manifest)
+    /// means `None`: the joiner rotates and re-requests the manifest.
+    fn handle_chunk_request(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        from: NodeId,
+        epoch: Epoch,
+        index: u64,
+    ) {
+        let plan = self.serve_plans.get(&(epoch, from));
+        let bytes = plan.and_then(|p| p.chunks.get(index as usize)).cloned();
+        if let (Some(plan), Some(b)) = (plan, bytes.as_ref()) {
+            ctx.metrics().incr("transfer.chunk_bytes", b.len() as u64);
+            ctx.metrics().incr("rsmr.transfer_bytes", b.len() as u64);
+            if matches!(plan.manifest.mode, TransferMode::Delta { .. }) {
+                ctx.metrics()
+                    .incr("transfer.delta_chunk_bytes", b.len() as u64);
+            }
+        }
+        ctx.send(
+            from,
+            RsmrMsg::ChunkReply {
+                epoch,
+                index,
+                bytes,
+            },
+        );
+    }
+
+    /// Joiner side: verify and store one chunk, then refill the window.
+    fn handle_chunk_reply(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        epoch: Epoch,
+        index: u64,
+        bytes: Option<Arc<Vec<u8>>>,
+    ) {
+        let now = ctx.now();
+        {
+            let Some(pt) = &mut self.pending_transfer else {
+                return;
+            };
+            if pt.epoch != epoch {
+                return;
+            }
+            pt.inflight.retain(|&i| i != index);
+            let Some(assembly) = &mut pt.assembly else {
+                return;
+            };
+            let Some(bytes) = bytes else {
+                return; // donor lost the base; the tick timer rotates
+            };
+            match assembly.accept(index as usize, bytes) {
+                ChunkOutcome::Stored => {
+                    // Progress: reset the rotation backoff.
+                    pt.attempts = 0;
+                    pt.last_request = now;
+                }
+                ChunkOutcome::Corrupt => {
+                    // Discarded, never applied; stays missing, so the
+                    // window refill re-requests it (counted as a resend).
+                    ctx.metrics().incr("transfer.chunks_corrupt", 1);
+                }
+                ChunkOutcome::Duplicate | ChunkOutcome::OutOfRange => {}
+            }
+        }
+        self.pump_chunk_requests(ctx);
+        self.try_complete_transfer(ctx);
+    }
+
+    /// Keeps up to [`CHUNK_WINDOW`] chunk requests outstanding against the
+    /// current provider.
+    fn pump_chunk_requests(&mut self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>) {
+        let Some(pt) = &mut self.pending_transfer else {
+            return;
+        };
+        let Some(assembly) = &pt.assembly else {
+            return;
+        };
+        let provider = pt.provider;
+        let epoch = pt.epoch;
+        let mut resent = 0u64;
+        let mut sends: Vec<u64> = Vec::new();
+        for i in assembly.missing() {
+            if pt.inflight.len() >= CHUNK_WINDOW {
+                break;
+            }
+            let index = i as u64;
+            if pt.inflight.contains(&index) {
+                continue;
+            }
+            if !pt.requested.insert(index) {
+                resent += 1;
+            }
+            pt.inflight.push(index);
+            sends.push(index);
+        }
+        if resent > 0 {
+            ctx.metrics().incr("transfer.chunks_resent", resent);
+        }
+        for index in sends {
+            ctx.send(provider, RsmrMsg::ChunkRequest { epoch, index });
+        }
+    }
+
+    /// Installs the transfer once every chunk has arrived and verified.
+    fn try_complete_transfer(&mut self, ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>) {
+        let complete = self
+            .pending_transfer
+            .as_ref()
+            .and_then(|pt| pt.assembly.as_ref())
+            .is_some_and(|a| a.is_complete());
+        if !complete {
+            return;
+        }
+        let epoch = self.pending_transfer.as_ref().expect("checked").epoch;
+        // Never regress the anchor.
+        if let Some(anchor) = self.anchor {
+            if anchor.epoch >= epoch {
+                self.pending_transfer = None;
+                return;
+            }
+        }
+        let pt = self.pending_transfer.take().expect("checked");
+        let assembly = pt.assembly.expect("checked");
+        let manifest = assembly.manifest().clone();
+        let chunks = assembly.into_chunks();
+        // Validate the header *before* touching the state machine, so a
+        // bad donor can never leave state half-mutated.
+        let header_ok = {
+            let mut buf = manifest.header.as_slice();
+            SessionTable::<S::Output>::decode(&mut buf)
+                .and_then(|_| ConfigChain::decode(&mut buf))
+                .is_some()
+                && buf.is_empty()
+        };
+        if !header_ok {
+            ctx.metrics().incr("rsmr.transfer_decode_failures", 1);
+            self.restart_transfer(ctx, pt.epoch, pt.provider, pt.candidates, None);
+            return;
+        }
+        match manifest.mode {
+            TransferMode::Full { pages } => {
+                let assembled = assemble_full_pages(&chunks, pages as usize).and_then(|p| {
+                    let sm = S::restore_pages(&p)?;
+                    let base = BaseState::from_parts(epoch, p, &manifest.header)?;
+                    Some((sm, base))
+                });
+                let Some((sm, base)) = assembled else {
+                    ctx.metrics().incr("rsmr.transfer_decode_failures", 1);
+                    self.restart_transfer(ctx, pt.epoch, pt.provider, pt.candidates, None);
+                    return;
+                };
+                self.sm = sm;
+                self.install_base(ctx, base);
+            }
+            TransferMode::Delta { since } => {
+                let owned: Vec<Vec<u8>> = chunks.iter().map(|c| (**c).clone()).collect();
+                if !self.sm.apply_delta(&owned) {
+                    // Malformed or unusable delta: fall back to a full
+                    // transfer (drop the watermark so the next manifest
+                    // is `Full`).
+                    ctx.metrics().incr("transfer.delta_fallbacks", 1);
+                    self.restart_transfer(ctx, pt.epoch, pt.provider, pt.candidates, None);
+                    return;
+                }
+                let _ = since;
+                // Re-derive the pages from the now-complete state so this
+                // replica can serve, seal and persist like any other.
+                let n = self.sm.snapshot_pages();
+                let pages: Vec<Arc<Vec<u8>>> =
+                    (0..n).map(|i| Arc::new(self.sm.snapshot_page(i))).collect();
+                let base = BaseState::from_parts(epoch, pages, &manifest.header)
+                    .expect("header validated above");
+                self.install_base(ctx, base);
+            }
+        }
+    }
+
+    /// Re-arms a pending transfer from scratch (new manifest request with
+    /// watermark `since`), keeping the accumulated donor pool.
+    fn restart_transfer(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        epoch: Epoch,
+        provider: NodeId,
+        candidates: Vec<NodeId>,
+        since: Option<u64>,
+    ) {
+        self.pending_transfer = Some(PendingTransfer {
+            epoch,
+            provider,
+            last_request: ctx.now(),
+            attempts: 0,
+            candidates,
+            since,
+            assembly: None,
+            inflight: Vec::new(),
+            requested: BTreeSet::new(),
+        });
+        ctx.send(provider, RsmrMsg::ManifestRequest { epoch, since });
+    }
+
+    /// Anchors this replica on `base` (its state machine must already
+    /// hold the matching application state). Shared by the chunked, delta
+    /// and legacy monolithic install paths. Callers check the
+    /// never-regress rule *before* mutating the state machine.
+    fn install_base(
+        &mut self,
+        ctx: &mut Context<'_, RsmrMsg<S::Op, S::Output>>,
+        base: BaseState<S::Output>,
+    ) {
+        let epoch = base.epoch;
+        self.pending_transfer = None;
         self.sessions = base.sessions.clone();
         self.chain = Some(base.chain.clone());
         self.anchor = Some(Anchor {
             epoch,
             next_slot: Slot::ZERO,
         });
-        ctx.storage().put(KEY_BASE, bytes.clone());
-        self.bases.insert(epoch, bytes);
+        // The page cache mirrors the installed base; persisting below
+        // re-puts everything (a joiner's storage is behind by definition).
+        self.page_cache = base
+            .pages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| CachedPage {
+                version: self.sm.page_version(i),
+                bytes: Arc::clone(p),
+            })
+            .collect();
+        self.persisted_versions.clear();
+        self.persist_base(ctx, &base);
+        // Make sure we participate in the anchored epoch.
+        let cfg = base
+            .chain
+            .config(epoch)
+            .expect("validated by decode")
+            .clone();
+        self.bases.insert(epoch, Arc::new(base));
         // Drop buffers and instances for epochs we jumped over.
         self.buffers.retain(|&e, _| e >= epoch);
         self.sealed_at.retain(|&e, _| e >= epoch);
@@ -1320,12 +1837,6 @@ impl<S: StateMachine> RsmrNode<S> {
                 inst.paxos.halt();
             }
         }
-        // Make sure we participate in the anchored epoch.
-        let cfg = base
-            .chain
-            .config(epoch)
-            .expect("validated by decode")
-            .clone();
         self.ensure_instance(ctx, epoch, &cfg);
         let now = ctx.now();
         ctx.metrics().incr("rsmr.transfers_installed", 1);
@@ -1379,6 +1890,49 @@ impl<S: StateMachine> RsmrNode<S> {
             self.stash_since.retain(|&e, _| e >= anchor.epoch);
         }
 
+        // In-epoch incremental compaction: the rolling cursor refreshes a
+        // few page encodes per tick, so the epoch seal re-encodes only the
+        // pages dirtied since the cursor last passed them (a bounded tail
+        // instead of the full state).
+        if self.anchor.is_some() && self.tun.compact_pages_per_tick > 0 {
+            let n = self.sm.snapshot_pages();
+            if n > 1 {
+                let mut refreshed = 0u64;
+                for _ in 0..self.tun.compact_pages_per_tick.min(n) {
+                    let i = self.compact_cursor % n;
+                    self.compact_cursor = (self.compact_cursor + 1) % n;
+                    let version = self.sm.page_version(i);
+                    let fresh = version.is_some()
+                        && self.page_cache.get(i).is_some_and(|c| c.version == version);
+                    if fresh {
+                        continue;
+                    }
+                    let entry = CachedPage {
+                        version,
+                        bytes: Arc::new(self.sm.snapshot_page(i)),
+                    };
+                    if i < self.page_cache.len() {
+                        self.page_cache[i] = entry;
+                    } else {
+                        // Cursor ahead of the cache: fill the gap lazily.
+                        while self.page_cache.len() < i {
+                            let j = self.page_cache.len();
+                            self.page_cache.push(CachedPage {
+                                version: self.sm.page_version(j),
+                                bytes: Arc::new(self.sm.snapshot_page(j)),
+                            });
+                            refreshed += 1;
+                        }
+                        self.page_cache.push(entry);
+                    }
+                    refreshed += 1;
+                }
+                if refreshed > 0 {
+                    ctx.metrics().incr("transfer.cursor_refreshes", refreshed);
+                }
+            }
+        }
+
         // A stash that keeps aging means the cluster moved past this
         // replica while it was down (or it rejoined blank): peers are
         // running an epoch we cannot reach through the local chain. Pull a
@@ -1412,22 +1966,27 @@ impl<S: StateMachine> RsmrNode<S> {
             }
         }
 
-        // Retry a pending state transfer with exponential backoff, rotating
+        // Retry a stalled state transfer with exponential backoff, rotating
         // to an alternate donor each attempt so a crashed or partitioned
-        // provider cannot stall the join forever.
-        if let Some(pt) = self.pending_transfer.clone() {
+        // provider cannot stall the join forever. Chunk progress resets the
+        // backoff, so a healthy stream never rotates; on rotation the
+        // manifest is re-requested and — the manifest being deterministic —
+        // the new donor resumes with only the missing chunks.
+        let stalled = self.pending_transfer.as_ref().and_then(|pt| {
             let delay = self.tun.transfer_retry * (1u64 << pt.attempts.min(3));
-            if now.since(pt.last_request) >= delay {
-                let next_provider = self.pick_transfer_provider(&pt);
-                self.pending_transfer = Some(PendingTransfer {
-                    provider: next_provider,
-                    last_request: now,
-                    attempts: pt.attempts.saturating_add(1),
-                    ..pt
-                });
-                ctx.metrics().incr("rsmr.transfer_retries", 1);
-                ctx.send(next_provider, RsmrMsg::TransferRequest { epoch: pt.epoch });
+            (now.since(pt.last_request) >= delay)
+                .then(|| (pt.epoch, pt.provider, pt.candidates.clone(), pt.since))
+        });
+        if let Some((epoch, provider, candidates, since)) = stalled {
+            let next_provider = self.pick_transfer_provider(epoch, provider, &candidates);
+            if let Some(pt) = &mut self.pending_transfer {
+                pt.provider = next_provider;
+                pt.last_request = now;
+                pt.attempts = pt.attempts.saturating_add(1);
+                pt.inflight.clear();
             }
+            ctx.metrics().incr("rsmr.transfer_retries", 1);
+            ctx.send(next_provider, RsmrMsg::ManifestRequest { epoch, since });
         }
 
         // A reconfiguration proposal that lost its leader will never
@@ -1465,7 +2024,12 @@ impl<S: StateMachine> RsmrNode<S> {
         }
     }
 
-    fn pick_transfer_provider(&mut self, pt: &PendingTransfer) -> NodeId {
+    fn pick_transfer_provider(
+        &self,
+        epoch: Epoch,
+        provider: NodeId,
+        candidates: &[NodeId],
+    ) -> NodeId {
         // Rotate deterministically through every donor we know about: the
         // target epoch's member set (any finalized member can serve) plus
         // the accumulated candidates (Activate sender, successor members,
@@ -1474,18 +2038,18 @@ impl<S: StateMachine> RsmrNode<S> {
         let mut pool: Vec<NodeId> = self
             .chain
             .as_ref()
-            .and_then(|c| c.config(pt.epoch))
+            .and_then(|c| c.config(epoch))
             .map(|c| c.peers(self.me))
             .unwrap_or_default();
-        for &c in &pt.candidates {
+        for &c in candidates {
             if c != self.me && !pool.contains(&c) {
                 pool.push(c);
             }
         }
         if pool.is_empty() {
-            return pt.provider;
+            return provider;
         }
-        let idx = pool.iter().position(|&m| m == pt.provider);
+        let idx = pool.iter().position(|&m| m == provider);
         match idx {
             Some(i) => pool[(i + 1) % pool.len()],
             None => pool[0],
@@ -1503,9 +2067,9 @@ impl<S: StateMachine> Actor for RsmrNode<S> {
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
         // Persist the genesis base so crash recovery always has one.
         if let Some(anchor) = self.anchor {
-            if ctx.storage().get(KEY_BASE).is_none() {
-                if let Some(bytes) = self.bases.get(&anchor.epoch) {
-                    ctx.storage().put(KEY_BASE, bytes.clone());
+            if ctx.storage().get(KEY_BASE_META).is_none() && ctx.storage().get(KEY_BASE).is_none() {
+                if let Some(base) = self.bases.get(&anchor.epoch).cloned() {
+                    self.persist_base(ctx, &base);
                 }
             }
         }
@@ -1565,6 +2129,20 @@ impl<S: StateMachine> Actor for RsmrNode<S> {
             RsmrMsg::Activate { epoch, members } => self.handle_activate(ctx, from, epoch, members),
             RsmrMsg::TransferRequest { epoch } => self.handle_transfer_request(ctx, from, epoch),
             RsmrMsg::TransferReply { epoch, base } => self.handle_transfer_reply(ctx, epoch, base),
+            RsmrMsg::ManifestRequest { epoch, since } => {
+                self.handle_manifest_request(ctx, from, epoch, since)
+            }
+            RsmrMsg::ManifestReply { epoch, manifest } => {
+                self.handle_manifest_reply(ctx, from, epoch, manifest)
+            }
+            RsmrMsg::ChunkRequest { epoch, index } => {
+                self.handle_chunk_request(ctx, from, epoch, index)
+            }
+            RsmrMsg::ChunkReply {
+                epoch,
+                index,
+                bytes,
+            } => self.handle_chunk_reply(ctx, epoch, index, bytes),
             RsmrMsg::Nominate { epoch } => {
                 // Campaign in the named epoch if we participate in it and
                 // no leader is known yet (otherwise the nomination is

@@ -104,6 +104,13 @@ impl<R: Wire + Clone> Wire for SessionTable<R> {
             entries: entries.into_iter().collect(),
         })
     }
+    fn encoded_size(&self) -> usize {
+        8 + self
+            .entries
+            .values()
+            .map(|(_, r)| 16 + r.encoded_size())
+            .sum::<usize>()
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! The application contract: a deterministic state machine.
 
 use std::fmt;
+use std::sync::Arc;
 
 use simnet::wire::{self, Wire};
 
@@ -33,6 +34,81 @@ pub trait StateMachine: Sized + 'static {
     /// Rebuilds the state from a snapshot. Returns `None` on malformed
     /// input.
     fn restore(bytes: &[u8]) -> Option<Self>;
+
+    // --- Paged snapshots (chunked state transfer + incremental seal) ---
+    //
+    // State machines that partition their state expose it as a fixed set
+    // of independently encoded pages. The composition uses them to stream
+    // state transfer in bounded chunks, to re-encode only dirty pages at
+    // epoch seal, and to persist only changed pages. The defaults present
+    // the whole state as a single page, so small state machines (and the
+    // monolithic stop-the-world control) need not implement anything.
+
+    /// Number of snapshot pages (constant for a given state machine type).
+    fn snapshot_pages(&self) -> usize {
+        1
+    }
+
+    /// Encodes page `page` (`0..snapshot_pages()`). The concatenation of
+    /// all pages, restored via [`StateMachine::restore_pages`], must
+    /// reproduce the exact state.
+    fn snapshot_page(&self, page: usize) -> Vec<u8> {
+        debug_assert_eq!(page, 0, "default state machines have one page");
+        self.snapshot()
+    }
+
+    /// A version counter for page `page` that changes whenever the page's
+    /// content changes (encoding a page is a pure function of its
+    /// version). `None` means "unknown": callers must treat the page as
+    /// always dirty. Powers the donor's rolling snapshot cursor.
+    fn page_version(&self, _page: usize) -> Option<u64> {
+        None
+    }
+
+    /// Rebuilds the state from all pages in index order. Returns `None`
+    /// on malformed input or a wrong page count.
+    fn restore_pages(pages: &[Arc<Vec<u8>>]) -> Option<Self> {
+        match pages {
+            [single] => Self::restore(single),
+            _ => None,
+        }
+    }
+
+    // --- Delta sync (rejoiners fetch only what changed) ---
+
+    /// The version stamp up to which this state is complete, advertised
+    /// by a restarted member when it requests state transfer. `None`
+    /// opts out of delta sync (the default): rejoiners always fetch the
+    /// full snapshot.
+    fn delta_watermark(&self) -> Option<u64> {
+        None
+    }
+
+    /// Builds delta chunks from a donor's encoded snapshot `pages`
+    /// covering everything that changed after `since`, each chunk
+    /// roughly `chunk_target` bytes. Returns `None` when a delta cannot
+    /// be constructed (malformed pages, watermark too old, or delta sync
+    /// unsupported) — the caller then falls back to a full transfer.
+    /// Must be deterministic: every replica holding the same pages must
+    /// produce byte-identical chunks, so a rotated donor's chunks still
+    /// match the original manifest.
+    fn delta_from_pages(
+        _pages: &[Arc<Vec<u8>>],
+        _since: u64,
+        _chunk_target: usize,
+    ) -> Option<Vec<Vec<u8>>> {
+        None
+    }
+
+    /// Applies delta chunks (in manifest order) on top of the current
+    /// state, yielding exactly the state the donor's pages encode.
+    /// Returns `false` (leaving the state unusable only if partially
+    /// applied — implementations must validate all chunks before
+    /// mutating) when the chunks are malformed; the caller then falls
+    /// back to a full transfer.
+    fn apply_delta(&mut self, _chunks: &[Vec<u8>]) -> bool {
+        false
+    }
 }
 
 /// A minimal state machine for tests and benchmarks: a counter supporting

@@ -2,6 +2,7 @@
 //! examples, experiments and linearizability tests.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rsmr_core::state_machine::StateMachine;
 use simnet::wire::{self, Wire};
@@ -116,7 +117,75 @@ impl Wire for KvOutput {
     }
 }
 
+/// Number of hash-partitioned snapshot pages. Fixed so page assignment is
+/// a pure function of the key: every replica (and every donor a joiner
+/// rotates to) slices the identical state into identical pages.
+pub const PAGES: usize = 256;
+
+/// Bound on the tombstone log. When it overflows, the oldest entries are
+/// dropped and [`KvStore::tombstone_floor`] rises: rejoiners whose
+/// watermark predates the floor can no longer be served a delta and fall
+/// back to a full transfer.
+pub const TOMBSTONE_CAP: usize = 1024;
+
+/// FNV-1a, 64-bit: the deterministic page hash. `std`'s hashers are not
+/// guaranteed stable across releases, and page assignment is part of the
+/// snapshot format.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn page_of(key: &str) -> usize {
+    (fnv1a64(key) % PAGES as u64) as usize
+}
+
+/// One hash partition of the store. `version` is the `ops_applied` stamp
+/// of the last mutation that touched this page, so a page's encoding is a
+/// pure function of its version — the donor-side snapshot cursor reuses
+/// cached encodings whenever the version still matches.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Page {
+    map: BTreeMap<String, (u64, Vec<u8>)>,
+    version: u64,
+}
+
+impl Page {
+    fn encode(&self) -> Vec<u8> {
+        let entries: Vec<(String, u64, Vec<u8>)> = self
+            .map
+            .iter()
+            .map(|(k, (ver, v))| (k.clone(), *ver, v.clone()))
+            .collect();
+        wire::to_bytes(&(self.version, entries))
+    }
+
+    fn decode(index: usize, bytes: &[u8]) -> Option<Self> {
+        let (version, entries) = wire::from_bytes::<(u64, Vec<(String, u64, Vec<u8>)>)>(bytes)?;
+        let mut map = BTreeMap::new();
+        for (k, ver, v) in entries {
+            if page_of(&k) != index {
+                return None; // entry on the wrong page: corrupt snapshot
+            }
+            map.insert(k, (ver, v));
+        }
+        Some(Page { map, version })
+    }
+}
+
 /// The deterministic key-value state machine.
+///
+/// State is hash-partitioned into [`PAGES`] fixed pages, each entry
+/// stamped with the `ops_applied` count of the write that produced it.
+/// The partitioning drives three things in the composition: chunked
+/// state transfer (pages stream independently), incremental seal-time
+/// snapshots (only dirty pages re-encode), and delta sync for rejoiners
+/// (entries newer than a watermark, plus a bounded tombstone log for
+/// deletions).
 ///
 /// ```
 /// use kvstore::{KvOp, KvOutput, KvStore};
@@ -125,10 +194,27 @@ impl Wire for KvOutput {
 /// kv.apply(&KvOp::Put("k".into(), b"v".to_vec()));
 /// assert_eq!(kv.apply(&KvOp::Get("k".into())), KvOutput::Value(Some(b"v".to_vec())));
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KvStore {
-    map: BTreeMap<String, Vec<u8>>,
+    pages: Vec<Page>,
     ops_applied: u64,
+    /// Deleted keys with their deletion stamp, newest last. Pruned when a
+    /// key is re-inserted; truncated at [`TOMBSTONE_CAP`].
+    tombstones: Vec<(String, u64)>,
+    /// Deltas from watermarks older than this are refused (tombstones
+    /// below it have been dropped, so deletions could be missed).
+    tombstone_floor: u64,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        KvStore {
+            pages: vec![Page::default(); PAGES],
+            ops_applied: 0,
+            tombstones: Vec::new(),
+            tombstone_floor: 0,
+        }
+    }
 }
 
 impl KvStore {
@@ -139,24 +225,24 @@ impl KvStore {
 
     /// Creates a store pre-filled with `n` keys of `value_size` bytes each
     /// (`fill/000000`…), used by the state-transfer experiments to control
-    /// snapshot size.
+    /// snapshot size. Equivalent to applying `n` `Put`s to an empty store.
     pub fn with_filler(n: usize, value_size: usize) -> Self {
         let mut kv = Self::new();
         for i in 0..n {
-            kv.map
-                .insert(format!("fill/{i:06}"), vec![0xAB; value_size]);
+            kv.ops_applied += 1;
+            kv.write(format!("fill/{i:06}"), vec![0xAB; value_size]);
         }
         kv
     }
 
     /// Number of keys stored.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.pages.iter().map(|p| p.map.len()).sum()
     }
 
     /// True when no keys are stored.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.pages.iter().all(|p| p.map.is_empty())
     }
 
     /// Operations applied since genesis/restore.
@@ -166,7 +252,90 @@ impl KvStore {
 
     /// Direct read access (for tests/examples).
     pub fn get(&self, key: &str) -> Option<&[u8]> {
-        self.map.get(key).map(Vec::as_slice)
+        self.pages[page_of(key)]
+            .map
+            .get(key)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Oldest watermark still serviceable by delta sync.
+    pub fn tombstone_floor(&self) -> u64 {
+        self.tombstone_floor
+    }
+
+    /// Hashes the *observable* state only — the key→value map, no version
+    /// stamps, tombstone log or `ops_applied`. Every future output of the
+    /// store is a function of exactly this content, which is what makes it
+    /// the correct memoization key for the linearizability checker: two
+    /// apply orders that converge on the same map must collide here, even
+    /// though their per-key stamps (and thus [`StateMachine::snapshot`]
+    /// bytes) differ.
+    pub fn content_hash(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for page in &self.pages {
+            for (k, (_ver, v)) in &page.map {
+                k.hash(&mut h);
+                v.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    fn write(&mut self, key: String, value: Vec<u8>) {
+        let ver = self.ops_applied;
+        let page = &mut self.pages[page_of(&key)];
+        page.map.insert(key.clone(), (ver, value));
+        page.version = ver;
+        // A live key needs no tombstone; pruning here keeps the log to
+        // genuinely-deleted keys (and is deterministic, so every replica
+        // holds the identical log).
+        self.tombstones.retain(|(k, _)| *k != key);
+    }
+
+    fn remove(&mut self, key: &str) -> bool {
+        let ver = self.ops_applied;
+        let page = &mut self.pages[page_of(key)];
+        if page.map.remove(key).is_none() {
+            return false;
+        }
+        page.version = ver;
+        self.tombstones.push((key.to_owned(), ver));
+        if self.tombstones.len() > TOMBSTONE_CAP {
+            let drop_n = self.tombstones.len() - TOMBSTONE_CAP;
+            for (_, dropped) in self.tombstones.drain(..drop_n) {
+                self.tombstone_floor = self.tombstone_floor.max(dropped);
+            }
+        }
+        true
+    }
+
+    fn encode_meta(&self) -> Vec<u8> {
+        wire::to_bytes(&(
+            self.ops_applied,
+            self.tombstone_floor,
+            self.tombstones.clone(),
+        ))
+    }
+
+    fn restore_from_blobs<B: AsRef<[u8]>>(blobs: &[B]) -> Option<Self> {
+        if blobs.len() != PAGES + 1 {
+            return None;
+        }
+        let (data, meta) = blobs.split_at(PAGES);
+        let mut pages = Vec::with_capacity(PAGES);
+        for (i, blob) in data.iter().enumerate() {
+            pages.push(Page::decode(i, blob.as_ref())?);
+        }
+        let (ops_applied, tombstone_floor, tombstones) =
+            wire::from_bytes::<(u64, u64, Vec<(String, u64)>)>(meta[0].as_ref())?;
+        Some(KvStore {
+            pages,
+            ops_applied,
+            tombstones,
+            tombstone_floor,
+        })
     }
 }
 
@@ -177,26 +346,28 @@ impl StateMachine for KvStore {
     fn apply(&mut self, op: &KvOp) -> KvOutput {
         self.ops_applied += 1;
         match op {
-            KvOp::Get(k) => KvOutput::Value(self.map.get(k).cloned()),
+            KvOp::Get(k) => KvOutput::Value(self.get(k).map(<[u8]>::to_vec)),
             KvOp::Put(k, v) => {
-                self.map.insert(k.clone(), v.clone());
+                self.write(k.clone(), v.clone());
                 KvOutput::Written
             }
-            KvOp::Delete(k) => KvOutput::Deleted(self.map.remove(k).is_some()),
+            KvOp::Delete(k) => KvOutput::Deleted(self.remove(k)),
             KvOp::Cas { key, expect, new } => {
-                let current = self.map.get(key);
+                let current = self.get(key);
                 let matches = match (current, expect) {
                     (None, None) => true,
                     (Some(c), Some(e)) => c == e,
                     _ => false,
                 };
                 if matches {
-                    self.map.insert(key.clone(), new.clone());
+                    self.write(key.clone(), new.clone());
                 }
                 KvOutput::Swapped(matches)
             }
             KvOp::Append(k, v) => {
-                self.map.entry(k.clone()).or_default().extend_from_slice(v);
+                let mut value = self.get(k).map(<[u8]>::to_vec).unwrap_or_default();
+                value.extend_from_slice(v);
+                self.write(k.clone(), value);
                 KvOutput::Written
             }
         }
@@ -204,26 +375,146 @@ impl StateMachine for KvStore {
 
     fn query(&self, op: &KvOp) -> Option<KvOutput> {
         match op {
-            KvOp::Get(k) => Some(KvOutput::Value(self.map.get(k).cloned())),
+            KvOp::Get(k) => Some(KvOutput::Value(self.get(k).map(<[u8]>::to_vec))),
             _ => None,
         }
     }
 
     fn snapshot(&self) -> Vec<u8> {
-        let entries: Vec<(String, Vec<u8>)> = self
-            .map
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
+        let blobs: Vec<Vec<u8>> = (0..self.snapshot_pages())
+            .map(|i| self.snapshot_page(i))
             .collect();
-        wire::to_bytes(&(entries, self.ops_applied))
+        wire::to_bytes(&blobs)
     }
 
     fn restore(bytes: &[u8]) -> Option<Self> {
-        let (entries, ops_applied) = wire::from_bytes::<(Vec<(String, Vec<u8>)>, u64)>(bytes)?;
-        Some(KvStore {
-            map: entries.into_iter().collect(),
-            ops_applied,
-        })
+        let blobs = wire::from_bytes::<Vec<Vec<u8>>>(bytes)?;
+        Self::restore_from_blobs(&blobs)
+    }
+
+    fn snapshot_pages(&self) -> usize {
+        PAGES + 1 // data pages plus the meta page (stamps + tombstones)
+    }
+
+    fn snapshot_page(&self, page: usize) -> Vec<u8> {
+        if page < PAGES {
+            self.pages[page].encode()
+        } else {
+            self.encode_meta()
+        }
+    }
+
+    fn page_version(&self, page: usize) -> Option<u64> {
+        if page < PAGES {
+            Some(self.pages[page].version)
+        } else {
+            // The meta page moves with every op (ops_applied is part of
+            // it), so it is always dirty — and always tiny.
+            Some(self.ops_applied)
+        }
+    }
+
+    fn restore_pages(pages: &[Arc<Vec<u8>>]) -> Option<Self> {
+        let blobs: Vec<&[u8]> = pages.iter().map(|p| p.as_slice()).collect();
+        Self::restore_from_blobs(&blobs)
+    }
+
+    fn delta_watermark(&self) -> Option<u64> {
+        Some(self.ops_applied)
+    }
+
+    fn delta_from_pages(
+        pages: &[Arc<Vec<u8>>],
+        since: u64,
+        chunk_target: usize,
+    ) -> Option<Vec<Vec<u8>>> {
+        if pages.len() != PAGES + 1 {
+            return None;
+        }
+        let (data, meta) = pages.split_at(PAGES);
+        let (ops_applied, floor, tombstones) =
+            wire::from_bytes::<(u64, u64, Vec<(String, u64)>)>(meta[0].as_ref())?;
+        if since < floor || since > ops_applied {
+            // Tombstones the rejoiner would need are gone (or its
+            // watermark is from a different history): full transfer.
+            return None;
+        }
+        let mut chunks = Vec::new();
+        let mut cur: Vec<(String, u64, Vec<u8>)> = Vec::new();
+        let mut cur_bytes = 0usize;
+        for blob in data {
+            let (page_version, entries) =
+                wire::from_bytes::<(u64, Vec<(String, u64, Vec<u8>)>)>(blob.as_ref())?;
+            if page_version <= since {
+                continue; // page untouched since the watermark
+            }
+            for (k, ver, v) in entries {
+                if ver <= since {
+                    continue;
+                }
+                cur_bytes += k.len() + v.len() + 24;
+                cur.push((k, ver, v));
+                if cur_bytes >= chunk_target {
+                    chunks.push(wire::to_bytes(&std::mem::take(&mut cur)));
+                    cur_bytes = 0;
+                }
+            }
+        }
+        if !cur.is_empty() {
+            chunks.push(wire::to_bytes(&cur));
+        }
+        // The final chunk replaces the rejoiner's meta wholesale: donor
+        // stamp, floor and the full (bounded) tombstone log.
+        chunks.push(wire::to_bytes(&(ops_applied, floor, tombstones)));
+        Some(chunks)
+    }
+
+    fn apply_delta(&mut self, chunks: &[Vec<u8>]) -> bool {
+        let Some((meta, data)) = chunks.split_last() else {
+            return false;
+        };
+        let Some((ops_applied, floor, tombstones)) =
+            wire::from_bytes::<(u64, u64, Vec<(String, u64)>)>(meta)
+        else {
+            return false;
+        };
+        let since = self.ops_applied;
+        if ops_applied < since {
+            return false;
+        }
+        // Validate every chunk before mutating anything: a malformed
+        // delta must leave the state untouched so the caller can fall
+        // back to a full transfer.
+        let mut entries: Vec<(String, u64, Vec<u8>)> = Vec::new();
+        for chunk in data {
+            match wire::from_bytes::<Vec<(String, u64, Vec<u8>)>>(chunk) {
+                Some(batch) => entries.extend(batch),
+                None => return false,
+            }
+        }
+        if entries.iter().any(|(_, ver, _)| *ver <= since) {
+            return false;
+        }
+        // Deletions the rejoiner has not seen. A tombstone bumps the page
+        // version even when the key is absent locally (the donor deleted
+        // a key born after our watermark): the page version mirrors the
+        // donor's last-mutation stamp exactly.
+        for (k, del_ver) in &tombstones {
+            if *del_ver > since {
+                let page = &mut self.pages[page_of(k)];
+                page.map.remove(k);
+                page.version = page.version.max(*del_ver);
+            }
+        }
+        for (k, ver, v) in entries {
+            let page = &mut self.pages[page_of(&k)];
+            page.version = page.version.max(ver);
+            page.map.insert(k, (ver, v));
+        }
+        self.tombstones = tombstones;
+        self.tombstone_floor = floor;
+        self.ops_applied = ops_applied;
+        true
     }
 }
 
@@ -336,6 +627,118 @@ mod tests {
             let bytes = wire::to_bytes(&out);
             assert_eq!(wire::from_bytes::<KvOutput>(&bytes), Some(out));
         }
+    }
+
+    fn pages_of(kv: &KvStore) -> Vec<Arc<Vec<u8>>> {
+        (0..kv.snapshot_pages())
+            .map(|i| Arc::new(kv.snapshot_page(i)))
+            .collect()
+    }
+
+    #[test]
+    fn paged_snapshot_round_trips_and_matches_monolithic() {
+        let mut kv = KvStore::with_filler(500, 32);
+        kv.apply(&KvOp::Put("user/1".into(), b"alice".to_vec()));
+        kv.apply(&KvOp::Delete("fill/000007".into()));
+        let pages = pages_of(&kv);
+        assert_eq!(pages.len(), PAGES + 1);
+        let restored = KvStore::restore_pages(&pages).unwrap();
+        assert_eq!(restored, kv);
+        // The monolithic snapshot is the same pages in one blob.
+        assert_eq!(KvStore::restore(&kv.snapshot()).unwrap(), kv);
+    }
+
+    #[test]
+    fn page_version_tracks_only_touched_pages() {
+        let mut kv = KvStore::with_filler(100, 8);
+        let before: Vec<u64> = (0..PAGES).map(|i| kv.page_version(i).unwrap()).collect();
+        kv.apply(&KvOp::Put("solo".into(), vec![1]));
+        let after: Vec<u64> = (0..PAGES).map(|i| kv.page_version(i).unwrap()).collect();
+        let dirty = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        assert_eq!(dirty, 1, "one Put must dirty exactly one page");
+        // A Get mutates no page (but does move the meta page).
+        let meta_before = kv.page_version(PAGES).unwrap();
+        kv.apply(&KvOp::Get("solo".into()));
+        let unchanged: Vec<u64> = (0..PAGES).map(|i| kv.page_version(i).unwrap()).collect();
+        assert_eq!(after, unchanged);
+        assert_ne!(kv.page_version(PAGES).unwrap(), meta_before);
+    }
+
+    /// The delta contract: restoring a stale replica and applying the
+    /// delta built from newer pages yields *exactly* the newer state —
+    /// same entries, same version stamps, same tombstone log.
+    #[test]
+    fn delta_apply_equals_full_restore() {
+        let mut kv = KvStore::with_filler(400, 32);
+        let stale_pages = pages_of(&kv);
+        let watermark = kv.delta_watermark().unwrap();
+        // Mutation window: overwrites, fresh inserts, deletes of old and
+        // young keys, a delete-then-reinsert and an insert-then-delete.
+        for i in 0..20 {
+            kv.apply(&KvOp::Put(format!("fill/{i:06}"), vec![0xCD; 32]));
+        }
+        kv.apply(&KvOp::Put("young".into(), vec![1]));
+        kv.apply(&KvOp::Delete("fill/000399".into()));
+        kv.apply(&KvOp::Delete("fill/000100".into()));
+        kv.apply(&KvOp::Put("fill/000100".into(), vec![9]));
+        kv.apply(&KvOp::Put("ephemeral".into(), vec![2]));
+        kv.apply(&KvOp::Delete("ephemeral".into()));
+        let new_pages = pages_of(&kv);
+
+        let delta = KvStore::delta_from_pages(&new_pages, watermark, 4096).unwrap();
+        let mut rejoiner = KvStore::restore_pages(&stale_pages).unwrap();
+        assert!(rejoiner.apply_delta(&delta));
+        assert_eq!(rejoiner, kv);
+
+        let full: usize = new_pages.iter().map(|p| p.len()).sum();
+        let moved: usize = delta.iter().map(Vec::len).sum();
+        assert!(
+            moved * 5 < full,
+            "5% mutation window moved {moved} of {full} bytes"
+        );
+    }
+
+    #[test]
+    fn delta_refused_below_tombstone_floor() {
+        let mut kv = KvStore::with_filler(TOMBSTONE_CAP + 200, 8);
+        // Deleting more keys than the cap pushes the floor up.
+        for i in 0..TOMBSTONE_CAP + 100 {
+            kv.apply(&KvOp::Delete(format!("fill/{i:06}")));
+        }
+        assert!(kv.tombstone_floor() > 0);
+        let pages = pages_of(&kv);
+        assert!(
+            KvStore::delta_from_pages(&pages, kv.tombstone_floor() - 1, 4096).is_none(),
+            "watermark below the floor must force a full transfer"
+        );
+        assert!(
+            KvStore::delta_from_pages(&pages, kv.ops_applied() + 1, 4096).is_none(),
+            "watermark from the future must force a full transfer"
+        );
+    }
+
+    #[test]
+    fn malformed_delta_leaves_state_untouched() {
+        let mut kv = KvStore::with_filler(50, 8);
+        let watermark = kv.delta_watermark().unwrap();
+        kv.apply(&KvOp::Put("k".into(), vec![1]));
+        let delta = KvStore::delta_from_pages(&pages_of(&kv), watermark, 4096).unwrap();
+        let pristine = KvStore::with_filler(50, 8);
+        let mut victim = pristine.clone();
+        // Truncated meta chunk.
+        let mut bad = delta.clone();
+        let last = bad.last_mut().unwrap();
+        last.truncate(last.len() / 2);
+        assert!(!victim.apply_delta(&bad));
+        assert_eq!(victim, pristine);
+        // Garbage data chunk.
+        let mut bad = delta.clone();
+        bad[0] = vec![0xFF; 13];
+        assert!(!victim.apply_delta(&bad));
+        assert_eq!(victim, pristine);
+        // Empty chunk list.
+        assert!(!victim.apply_delta(&[]));
+        assert_eq!(victim, pristine);
     }
 
     #[test]

@@ -11,9 +11,7 @@
 //! client-recorded histories from reconfiguration runs through this
 //! checker (see the crate's integration tests and the E6 experiment).
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
 
 use simnet::SimTime;
 
@@ -158,10 +156,11 @@ impl Model for KvStore {
     }
 
     fn fingerprint(&self) -> u64 {
-        use rsmr_core::StateMachine;
-        let mut h = DefaultHasher::new();
-        self.snapshot().hash(&mut h);
-        h.finish()
+        // The key→value content only — NOT `snapshot()`, whose bytes carry
+        // per-key version stamps: two apply orders reaching the same map
+        // would then never collide in the memo table, and the search
+        // degenerates to exponential on adversarial histories.
+        self.content_hash()
     }
 }
 

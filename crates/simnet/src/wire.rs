@@ -104,6 +104,16 @@ pub trait Wire: Sized {
     /// Decodes a value from the front of `buf`, advancing it past the
     /// consumed bytes. Returns `None` on malformed input.
     fn decode(buf: &mut &[u8]) -> Option<Self>;
+
+    /// The exact number of bytes [`Wire::encode`] would append, computed
+    /// without encoding. The default round-trips through a scratch buffer;
+    /// implementations on the sizing hot path (message cost models,
+    /// snapshot accounting) override it with arithmetic.
+    fn encoded_size(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
 }
 
 /// Encodes a value into a fresh buffer.
@@ -142,6 +152,9 @@ macro_rules! wire_int {
                 let bytes = take(buf, std::mem::size_of::<$t>())?;
                 Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
             }
+            fn encoded_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
         }
     )*};
 }
@@ -151,6 +164,9 @@ wire_int!(u8, u16, u32, u64, i64);
 impl Wire for bool {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.push(u8::from(*self));
+    }
+    fn encoded_size(&self) -> usize {
+        1
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
         match u8::decode(buf)? {
@@ -165,6 +181,9 @@ impl Wire for usize {
     fn encode(&self, buf: &mut Vec<u8>) {
         (*self as u64).encode(buf);
     }
+    fn encoded_size(&self) -> usize {
+        8
+    }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
         usize::try_from(u64::decode(buf)?).ok()
     }
@@ -174,6 +193,9 @@ impl Wire for String {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.len().encode(buf);
         buf.extend_from_slice(self.as_bytes());
+    }
+    fn encoded_size(&self) -> usize {
+        8 + self.len()
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
         let len = usize::decode(buf)?;
@@ -188,6 +210,9 @@ impl<T: Wire> Wire for Vec<T> {
         for item in self {
             item.encode(buf);
         }
+    }
+    fn encoded_size(&self) -> usize {
+        8 + self.iter().map(Wire::encoded_size).sum::<usize>()
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
         let len = usize::decode(buf)?;
@@ -217,6 +242,9 @@ impl<T: Wire> Wire for Option<T> {
             _ => None,
         }
     }
+    fn encoded_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::encoded_size)
+    }
 }
 
 impl<T: Wire> Wire for std::sync::Arc<T> {
@@ -228,6 +256,9 @@ impl<T: Wire> Wire for std::sync::Arc<T> {
     fn decode(buf: &mut &[u8]) -> Option<Self> {
         T::decode(buf).map(std::sync::Arc::new)
     }
+    fn encoded_size(&self) -> usize {
+        (**self).encoded_size()
+    }
 }
 
 impl<A: Wire, B: Wire> Wire for (A, B) {
@@ -237,6 +268,9 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
         Some((A::decode(buf)?, B::decode(buf)?))
+    }
+    fn encoded_size(&self) -> usize {
+        self.0.encoded_size() + self.1.encoded_size()
     }
 }
 
@@ -248,6 +282,9 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
         Some((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+    fn encoded_size(&self) -> usize {
+        self.0.encoded_size() + self.1.encoded_size() + self.2.encoded_size()
     }
 }
 
@@ -265,6 +302,12 @@ impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
             C::decode(buf)?,
             D::decode(buf)?,
         ))
+    }
+    fn encoded_size(&self) -> usize {
+        self.0.encoded_size()
+            + self.1.encoded_size()
+            + self.2.encoded_size()
+            + self.3.encoded_size()
     }
 }
 
@@ -285,6 +328,13 @@ impl<A: Wire, B: Wire, C: Wire, D: Wire, E: Wire> Wire for (A, B, C, D, E) {
             E::decode(buf)?,
         ))
     }
+    fn encoded_size(&self) -> usize {
+        self.0.encoded_size()
+            + self.1.encoded_size()
+            + self.2.encoded_size()
+            + self.3.encoded_size()
+            + self.4.encoded_size()
+    }
 }
 
 impl Wire for NodeId {
@@ -293,6 +343,9 @@ impl Wire for NodeId {
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
         Some(NodeId(u64::decode(buf)?))
+    }
+    fn encoded_size(&self) -> usize {
+        8
     }
 }
 
@@ -303,6 +356,9 @@ impl Wire for crate::time::SimTime {
     fn decode(buf: &mut &[u8]) -> Option<Self> {
         Some(crate::time::SimTime::from_micros(u64::decode(buf)?))
     }
+    fn encoded_size(&self) -> usize {
+        8
+    }
 }
 
 impl Wire for crate::time::SimDuration {
@@ -311,6 +367,9 @@ impl Wire for crate::time::SimDuration {
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
         Some(crate::time::SimDuration::from_micros(u64::decode(buf)?))
+    }
+    fn encoded_size(&self) -> usize {
+        8
     }
 }
 
